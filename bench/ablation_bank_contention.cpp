@@ -1,0 +1,37 @@
+// Ablation 1 (DESIGN.md §6): the GDDR5 bank-contention model.
+//
+// Without the open-bank limit, STREAM on the Phi stays flat at 180 GB/s
+// past 118 threads and Fig 4's signature drop disappears.  This binary
+// prints the sweep with the mechanism enabled and disabled.
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "memsim/stream.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace maia;
+
+  auto phi = arch::xeon_phi_5110p();
+  const mem::StreamModel with{{phi, 1}};
+
+  auto phi_no_banks = phi;
+  phi_no_banks.memory.bank_thrash_factor = 1.0;  // ablated: infinite banks
+  const mem::StreamModel without{{phi_no_banks, 1}};
+
+  sim::TextTable table("Ablation: GDDR5 bank contention (Fig 4 mechanism)");
+  table.set_header({"threads", "with banks GB/s", "without GB/s"});
+  for (int t : {59, 118, 177, 236}) {
+    const int tpc = (t + 58) / 59;
+    table.add_row({sim::cell("%d", t),
+                   sim::cell("%.0f", with.predict(mem::StreamKernel::kTriad, t, tpc) / 1e9),
+                   sim::cell("%.0f", without.predict(mem::StreamKernel::kTriad, t, tpc) / 1e9)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe 180 -> 140 GB/s drop beyond 118 threads exists only with\n"
+               "the 128-open-bank limit; ablating it flattens the curve.\n";
+
+  const double drop = with.predict(mem::StreamKernel::kTriad, 236, 4) /
+                      without.predict(mem::StreamKernel::kTriad, 236, 4);
+  return drop < 0.85 ? 0 : 1;  // the mechanism must matter
+}

@@ -1,0 +1,4 @@
+// Regenerates the paper's fig16 omp_sched experiment; see DESIGN.md's
+// per-experiment index.  --csv prints the raw series.
+#include "figure_main.hpp"
+MAIA_FIGURE_MAIN(fig16_omp_sched)

@@ -1,0 +1,4 @@
+// Regenerates the paper's fig18 offload_bw experiment; see DESIGN.md's
+// per-experiment index.  --csv prints the raw series.
+#include "figure_main.hpp"
+MAIA_FIGURE_MAIN(fig18_offload_bw)

@@ -1,0 +1,4 @@
+// Regenerates the paper's fig27 offload_cost experiment; see DESIGN.md's
+// per-experiment index.  --csv prints the raw series.
+#include "figure_main.hpp"
+MAIA_FIGURE_MAIN(fig27_offload_cost)

@@ -1,0 +1,28 @@
+// Shared main() for the per-figure bench binaries: print the modelled
+// table next to the paper's shape checks; --csv emits the raw table for
+// plotting.  Exit status reflects the checks so CI can gate on shape.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+
+#include "core/figures.hpp"
+
+namespace maia::bench {
+
+inline int run_figure(maia::core::FigureResult (*fn)(), int argc, char** argv) {
+  const maia::core::FigureResult fig = fn();
+  if (argc > 1 && std::strcmp(argv[1], "--csv") == 0) {
+    fig.table.print_csv(std::cout);
+    return fig.all_pass() ? 0 : 1;
+  }
+  fig.print(std::cout);
+  return fig.all_pass() ? 0 : 1;
+}
+
+}  // namespace maia::bench
+
+#define MAIA_FIGURE_MAIN(fn)                              \
+  int main(int argc, char** argv) {                       \
+    return maia::bench::run_figure(&maia::core::fn, argc, argv); \
+  }

@@ -1,0 +1,95 @@
+// google-benchmark timings of the simulator's own hot paths: the
+// functional cache, the pointer-chase walker, collective cost evaluation,
+// the loop-schedule simulation, and the NPB numerical kernels.  These are
+// the costs a user pays per modelled experiment.
+#include <benchmark/benchmark.h>
+
+#include "arch/registry.hpp"
+#include "memsim/cache_sim.hpp"
+#include "memsim/latency_walker.hpp"
+#include "mpi/collectives.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/mg.hpp"
+#include "omp/schedule.hpp"
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+
+namespace {
+
+using namespace maia;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::SetAssociativeCache cache(32_KiB, 64, 8);
+  sim::Rng rng(1);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.next_below(1_MiB);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_LatencyWalk(benchmark::State& state) {
+  const mem::LatencyWalker walker(arch::xeon_phi_5110p());
+  const auto ws = static_cast<sim::Bytes>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.walk(ws).avg_latency);
+  }
+}
+BENCHMARK(BM_LatencyWalk)->Arg(64 * 1024)->Arg(4 * 1024 * 1024);
+
+void BM_AllgatherCost(benchmark::State& state) {
+  const mpi::Collectives coll(
+      mpi::MpiCostModel(arch::maia_node(), fabric::SoftwareStack::kPostUpdate));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coll.allgather(arch::DeviceId::kPhi0, 236, 4096).time);
+  }
+}
+BENCHMARK(BM_AllgatherCost);
+
+void BM_DynamicSchedule(benchmark::State& state) {
+  const omp::LoopScheduler sched(omp::ThreadTeam(arch::xeon_phi_5110p(), 1, 236));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched.run_uniform(state.range(0), sim::microseconds(0.1),
+                          omp::SchedulePolicy::kDynamic)
+            .makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicSchedule)->Arg(1024)->Arg(8192);
+
+void BM_EpKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::run_ep(static_cast<int>(state.range(0))).sx);
+  }
+}
+BENCHMARK(BM_EpKernel)->Arg(12)->Arg(16);
+
+void BM_MgVCycle(benchmark::State& state) {
+  const npb::Grid3 rhs = npb::make_mg_rhs(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npb::run_mg(rhs, 1).final_residual_norm);
+  }
+}
+BENCHMARK(BM_MgVCycle);
+
+void BM_Fft3d(benchmark::State& state) {
+  npb::Field3 f = npb::make_ft_initial(16);
+  for (auto _ : state) {
+    npb::fft3d(f, false);
+    npb::fft3d(f, true);
+    benchmark::DoNotOptimize(f.raw().front());
+  }
+}
+BENCHMARK(BM_Fft3d);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,4 @@
+// Regenerates the paper's table1 system experiment; see DESIGN.md's
+// per-experiment index.  --csv prints the raw series.
+#include "figure_main.hpp"
+MAIA_FIGURE_MAIN(table1_system)

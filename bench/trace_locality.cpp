@@ -1,0 +1,57 @@
+// Trace-driven grounding of the workload signatures (DESIGN.md §4-5).
+//
+// Replays the characteristic access patterns of the paper's workloads
+// through the functional cache hierarchies and prints the locality metrics
+// that justify each signature's prefetch_efficiency and gather_fraction —
+// the empirical counterpart of the calibration constants in maia_npb.
+#include <iostream>
+
+#include "arch/registry.hpp"
+#include "sim/table.hpp"
+#include "trace/analyzer.hpp"
+
+int main() {
+  using namespace maia;
+
+  struct Pattern {
+    const char* workload;
+    trace::AccessTrace trace;
+  };
+  Pattern patterns[] = {
+      {"STREAM (triad)", trace::trace_stream_triad(400000)},
+      {"MG (27-pt stencil)", trace::trace_stencil27(56)},
+      {"CG (CSR gather)", trace::trace_spmv_gather(300000, 12)},
+      {"FT (transpose walk)", trace::trace_transpose_walk(1024)},
+      {"latency (pointer chase)", trace::trace_pointer_chase(1 << 16)},
+  };
+
+  const trace::TraceAnalyzer host(arch::sandy_bridge_e5_2670());
+  const trace::TraceAnalyzer phi(arch::xeon_phi_5110p());
+
+  sim::TextTable table("Trace-driven locality of the paper's workload patterns");
+  table.set_header({"pattern", "footprint", "Phi DRAM miss%", "seq-miss% (Phi)",
+                    "gather%", "est. prefetch eff", "host DRAM miss%"});
+  for (auto& p : patterns) {
+    const auto rp = phi.analyze(p.trace);
+    const auto rh = host.analyze(p.trace);
+    table.add_row(
+        {p.workload, sim::format_bytes(p.trace.footprint()),
+         sim::cell("%.1f%%", 100.0 * rp.dram_miss_rate()),
+         sim::cell("%.0f%%", 100.0 * rp.sequential_miss_fraction),
+         sim::cell("%.0f%%", 100.0 * rp.gather_fraction),
+         sim::cell("%.2f", trace::TraceAnalyzer::estimated_prefetch_efficiency(rp)),
+         sim::cell("%.1f%%", 100.0 * rh.dram_miss_rate())});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nReadings:\n"
+      " * STREAM's misses are ~all sequential -> prefetch efficiency ~1.0.\n"
+      " * MG's finest-level stencil is fully prefetchable; the signature's\n"
+      "   0.58 reflects the V-cycle's coarse-level churn (short rows, level\n"
+      "   switches) that a single-level trace cannot show.\n"
+      " * CG's gathers hit the host L3 but go to DRAM on the L3-less Phi,\n"
+      "   and they are non-sequential -> the ~0.3 signature value and the\n"
+      "   paper's 'gather-scatter is not efficient on Phi' conclusion.\n"
+      " * FT's transpose is stride-defeated -> its 0.35 signature value.\n";
+  return 0;
+}

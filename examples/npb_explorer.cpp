@@ -1,0 +1,73 @@
+// NPB explorer: run the REAL benchmark kernels at a small class to verify
+// the numerics on your machine, then project Class C performance onto the
+// modelled host and Phi — the workflow of §6.8 of the paper.
+//
+//   $ ./npb_explorer
+#include <cstdio>
+
+#include "arch/registry.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "npb/mpi_runner.hpp"
+#include "npb/openmp_runner.hpp"
+
+int main() {
+  using namespace maia;
+  using namespace maia::npb;
+
+  std::printf("=== Part 1: real kernels, verified numerics (small classes) ===\n");
+
+  const auto ep = run_ep(18, 4);
+  std::printf("EP  : 2^18 pairs, %ld accepted (acceptance %.4f, pi/4 = 0.7854)\n",
+              ep.pairs_accepted,
+              static_cast<double>(ep.pairs_accepted) / (1 << 18));
+
+  const auto a = make_sparse_spd(2000, 12, 20.0);
+  const auto cg = run_cg(a, 10.0, 15, 25);
+  std::printf("CG  : n=2000, nz=%zu, zeta converged to %.6f\n", a.nonzeros(),
+              cg.zeta);
+
+  const auto mg_rhs = make_mg_rhs(32);
+  const auto mg = run_mg(mg_rhs, 4);
+  std::printf("MG  : 32^3 grid, residual %.3e -> %.3e in 4 V-cycles\n",
+              mg.initial_residual_norm, mg.final_residual_norm);
+
+  const auto ft0 = make_ft_initial(16);
+  const auto ft = run_ft(ft0, 3);
+  std::printf("FT  : 16^3 grid, step-3 checksum (%.6f, %.6f)\n",
+              ft.checksums.back().real(), ft.checksums.back().imag());
+
+  const auto keys = make_is_keys(1 << 16, 1 << 11);
+  const auto is = run_is(keys, 1 << 11);
+  std::printf("IS  : 2^16 keys sorted, first/last = %u/%u\n", is.sorted.front(),
+              is.sorted.back());
+
+  std::printf("\n=== Part 2: Class C projection on the Maia node ===\n");
+  const OpenMpRunner omp_runner(arch::maia_node());
+  std::printf("%-4s %12s %12s %16s\n", "", "host 16 thr", "best Phi", "best Phi threads");
+  for (auto b : all_benchmarks()) {
+    const auto host = omp_runner.run(b, arch::DeviceId::kHost, 16);
+    const auto phi = omp_runner.best(b, arch::DeviceId::kPhi0);
+    std::printf("%-4s %9.1f GF %9.1f GF %10d\n", benchmark_name(b), host.gflops,
+                phi.gflops, phi.threads);
+  }
+
+  std::printf("\n=== Part 3: the MPI version and the FT memory wall ===\n");
+  const MpiRunner mpi_runner(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+  for (auto b : {Benchmark::kFT, Benchmark::kMG, Benchmark::kBT}) {
+    std::printf("%-4s on Phi: ", benchmark_name(b));
+    for (int ranks : mpi_runner.valid_rank_counts(b, arch::DeviceId::kPhi0)) {
+      const auto r = mpi_runner.run(b, arch::DeviceId::kPhi0, ranks);
+      if (r.out_of_memory) {
+        std::printf("[%d ranks: OUT OF MEMORY] ", ranks);
+      } else {
+        std::printf("[%d ranks: %.1f GF] ", ranks, r.gflops);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

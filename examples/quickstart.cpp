@@ -1,0 +1,65 @@
+// Quickstart: build the Maia node model, ask it basic questions, and run
+// the two foundational microbenchmarks (STREAM and the latency walker) on
+// both devices.
+//
+//   $ ./quickstart
+//
+// This is the 30-second tour of the public API:
+//   arch::maia_node()            - the hardware description
+//   mem::StreamModel / LatencyWalker - memory microbenchmarks
+//   perf::ExecModel              - "how fast would my kernel run?"
+#include <cstdio>
+
+#include "arch/registry.hpp"
+#include "memsim/latency_walker.hpp"
+#include "memsim/stream.hpp"
+#include "perf/exec_model.hpp"
+#include "sim/units.hpp"
+
+int main() {
+  using namespace maia;
+  using sim::operator""_KiB;
+  using sim::operator""_MiB;
+
+  // 1. The machine.
+  const auto node = arch::maia_node();
+  std::printf("%s\n", node.name.c_str());
+  std::printf("  host: %2d cores, peak %s\n", node.host.total_cores(),
+              sim::format_flops(node.host.peak_flops()).c_str());
+  std::printf("  Phi0: %2d cores, peak %s\n", node.phi0.total_cores(),
+              sim::format_flops(node.phi0.peak_flops()).c_str());
+
+  // 2. STREAM triad on both devices.
+  const mem::StreamModel host_stream{{node.host.processor, node.host.sockets}};
+  const mem::StreamModel phi_stream{{node.phi0.processor, 1}};
+  std::printf("\nSTREAM triad:\n  host (16 threads): %s\n  Phi (118 threads): %s\n",
+              sim::format_rate(host_stream.predict(mem::StreamKernel::kTriad, 16, 1)).c_str(),
+              sim::format_rate(phi_stream.predict(mem::StreamKernel::kTriad, 118, 2)).c_str());
+
+  // 3. Load latency at three working-set sizes.
+  const mem::LatencyWalker host_walk(node.host.processor);
+  const mem::LatencyWalker phi_walk(node.phi0.processor);
+  std::printf("\nload latency       host      Phi\n");
+  for (sim::Bytes ws : {16_KiB, 256_KiB, 16_MiB}) {
+    std::printf("  %-12s %8s %8s\n", sim::format_bytes(ws).c_str(),
+                sim::format_time(host_walk.walk(ws).avg_latency).c_str(),
+                sim::format_time(phi_walk.walk(ws).avg_latency).c_str());
+  }
+
+  // 4. Predict a kernel of your own: a memory-bound vectorized sweep.
+  perf::KernelSignature kernel;
+  kernel.name = "my stencil";
+  kernel.flops = 2e11;
+  kernel.dram_bytes = 5e11;
+  kernel.vector_fraction = 0.9;
+  kernel.prefetch_efficiency = 0.6;
+  std::printf("\n'%s' prediction:\n", kernel.name.c_str());
+  std::printf("  host, 16 threads: %5.1f Gflop/s\n",
+              perf::ExecModel::gflops(node.host.processor, 2, 16, kernel));
+  for (int t : {59, 118, 177, 236}) {
+    std::printf("  Phi, %3d threads: %5.1f Gflop/s\n", t,
+                perf::ExecModel::gflops(node.phi0.processor, 1, t, kernel));
+  }
+  std::printf("\nTip: run the bench/ binaries to regenerate every figure of the paper.\n");
+  return 0;
+}

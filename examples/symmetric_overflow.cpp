@@ -1,0 +1,62 @@
+// Symmetric-mode tuning for the OVERFLOW proxy: sweep MPI x OpenMP
+// decompositions across host + both coprocessors and report where the
+// paper's "careful balancing of the workload" lands (§4.4, Fig 23).
+//
+//   $ ./symmetric_overflow [medium|large]
+#include <cstdio>
+#include <cstring>
+
+#include "apps/overflow.hpp"
+#include "apps/zones.hpp"
+#include "arch/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace maia;
+  using arch::DeviceId;
+
+  const bool large = argc < 2 || std::strcmp(argv[1], "large") == 0;
+  const auto zones = large ? apps::make_dlrf6_large() : apps::make_dlrf6_medium();
+  std::printf("dataset: %s (%ld points in %zu zones, %s of data)\n\n",
+              zones.name.c_str(), zones.total_points(), zones.zones.size(),
+              sim::format_bytes(zones.data_bytes()).c_str());
+
+  const apps::OverflowModel post(arch::maia_node(),
+                                 fabric::SoftwareStack::kPostUpdate);
+  const apps::OverflowModel pre(arch::maia_node(),
+                                fabric::SoftwareStack::kPreUpdate);
+
+  // Native references.
+  const double host_native =
+      post.step_time(zones, {{DeviceId::kHost, 16, 1}}).total;
+  std::printf("native host 16x1: %.3f s/step\n\n", host_native);
+
+  std::printf("%-26s %10s %10s %8s %9s %9s\n", "symmetric configuration",
+              "pre s/step", "post", "gain", "vs host", "imbalance");
+  double best = 1e30;
+  std::pair<int, int> best_cfg{0, 0};
+  for (auto [r, t] : std::vector<std::pair<int, int>>{
+           {2, 28}, {4, 14}, {4, 28}, {8, 14}, {8, 28}}) {
+    const auto config = apps::OverflowModel::symmetric_config(r, t);
+    const auto sp = pre.step_time(zones, config);
+    const auto sq = post.step_time(zones, config);
+    if (sq.total < best) {
+      best = sq.total;
+      best_cfg = {r, t};
+    }
+    std::printf("host 16x1 + 2 x Phi %2dx%-2d %9.3fs %9.3fs %+6.0f%% %8.2fx %9.2f\n",
+                r, t, sp.total, sq.total, (sp.total / sq.total - 1.0) * 100.0,
+                host_native / sq.total, sq.assignment_imbalance);
+  }
+
+  std::printf("\nbest: host 16x1 + 2 x Phi %dx%d at %.3f s/step (%.2fx native host)\n",
+              best_cfg.first, best_cfg.second, best, host_native / best);
+
+  const auto breakdown = post.step_time(
+      zones, apps::OverflowModel::symmetric_config(best_cfg.first, best_cfg.second));
+  std::printf("points per device: host %ld, Phi0 %ld, Phi1 %ld\n",
+              breakdown.points_per_group[0], breakdown.points_per_group[1],
+              breakdown.points_per_group[2]);
+  std::printf("step breakdown: compute %.3f s + PCIe halo exchange %.3f s\n",
+              breakdown.compute, breakdown.comm);
+  return 0;
+}

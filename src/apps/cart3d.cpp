@@ -1,0 +1,62 @@
+#include "apps/cart3d.hpp"
+
+#include "perf/exec_model.hpp"
+
+namespace maia::apps {
+namespace {
+
+// Per-cell per-iteration costs of the Flowcart-style solver: 2nd-order
+// cell-centered flux assembly + RK stages + multigrid smoothing.
+constexpr double kFlopsPerCell = 300.0;
+constexpr double kBytesPerCell = 200.0;
+// "Cart3D is not heavily vectorized": flux assembly over irregular cut
+// cells is branchy scalar code.
+constexpr double kVectorFraction = 0.42;
+constexpr double kGatherFraction = 0.05;
+constexpr double kPrefetchEfficiency = 0.80;
+constexpr double kParallelFraction = 0.999;
+
+}  // namespace
+
+perf::KernelSignature Cart3dWorkload::signature() const {
+  perf::KernelSignature s;
+  s.name = name;
+  const double work = static_cast<double>(cells) * iterations;
+  s.flops = work * kFlopsPerCell;
+  s.dram_bytes = work * kBytesPerCell;
+  s.vector_fraction = kVectorFraction;
+  s.gather_fraction = kGatherFraction;
+  s.prefetch_efficiency = kPrefetchEfficiency;
+  s.parallel_fraction = kParallelFraction;
+  s.parallel_trip = cells;  // flat cell loop: plenty of parallel slack
+  s.omp_regions = iterations * 20.0;
+  return s;
+}
+
+Cart3dWorkload onera_m6() {
+  return {"OneraM6 (6M cells)", 6'000'000, 500};
+}
+
+double Cart3dModel::seconds(const Cart3dWorkload& w, arch::DeviceId device,
+                            int threads) const {
+  const auto& dev = node_.device(device);
+  return perf::ExecModel::run(dev.processor, dev.sockets, threads, w.signature())
+      .total;
+}
+
+double Cart3dModel::gflops(const Cart3dWorkload& w, arch::DeviceId device,
+                           int threads) const {
+  return w.signature().flops / seconds(w, device, threads) / 1e9;
+}
+
+sim::DataSeries Cart3dModel::thread_sweep(const Cart3dWorkload& w,
+                                          arch::DeviceId device,
+                                          const std::vector<int>& threads) const {
+  sim::DataSeries s(w.name + " on " + arch::device_name(device));
+  for (int t : threads) {
+    s.add(static_cast<double>(t), gflops(w, device, t));
+  }
+  return s;
+}
+
+}  // namespace maia::apps

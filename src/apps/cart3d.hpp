@@ -1,0 +1,48 @@
+// Cart3D proxy performance model (paper §3.7.2, Fig 21).
+//
+// Cart3D/Flowcart: cell-centered finite-volume Euler on a multilevel
+// Cartesian mesh, Runge-Kutta + multigrid, pure OpenMP.  The paper's
+// diagnosis: "Cart3D is not heavily vectorized" — the workload is mostly
+// scalar flux assembly over irregular cut cells, which is why the host
+// wins by ~2x and why, uniquely, 4 threads/core is optimal on the Phi
+// (scalar latency hiding keeps improving to 4 resident threads).
+#pragma once
+
+#include <vector>
+
+#include "arch/node.hpp"
+#include "perf/signature.hpp"
+#include "sim/series.hpp"
+
+namespace maia::apps {
+
+struct Cart3dWorkload {
+  std::string name;
+  long cells = 0;
+  int iterations = 0;
+
+  perf::KernelSignature signature() const;
+};
+
+/// The paper's dataset: OneraM6 wing, 6 M cells.
+Cart3dWorkload onera_m6();
+
+class Cart3dModel {
+ public:
+  explicit Cart3dModel(arch::NodeTopology node) : node_(std::move(node)) {}
+
+  /// Wall-clock of the full run with `threads` OpenMP threads.
+  double seconds(const Cart3dWorkload& w, arch::DeviceId device,
+                 int threads) const;
+  double gflops(const Cart3dWorkload& w, arch::DeviceId device,
+                int threads) const;
+
+  /// Fig-21 sweep (Gflop/s vs threads).
+  sim::DataSeries thread_sweep(const Cart3dWorkload& w, arch::DeviceId device,
+                               const std::vector<int>& threads) const;
+
+ private:
+  arch::NodeTopology node_;
+};
+
+}  // namespace maia::apps

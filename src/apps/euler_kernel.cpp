@@ -1,0 +1,135 @@
+#include "apps/euler_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace maia::apps {
+
+double EulerState::total_mass(double dx) const {
+  double m = 0.0;
+  for (double r : rho) m += r * dx;
+  return m;
+}
+
+double EulerState::total_energy(double dx) const {
+  double e = 0.0;
+  for (double v : ener) e += v * dx;
+  return e;
+}
+
+EulerSolver::EulerSolver(std::size_t cells, double gamma)
+    : cells_(cells), gamma_(gamma), dx_(1.0 / static_cast<double>(cells)) {
+  if (cells < 10) throw std::invalid_argument("EulerSolver: too few cells");
+}
+
+EulerState EulerSolver::sod_initial() const {
+  EulerState s;
+  s.rho.resize(cells_);
+  s.mom.assign(cells_, 0.0);
+  s.ener.resize(cells_);
+  for (std::size_t i = 0; i < cells_; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) * dx_;
+    const double rho = x < 0.5 ? 1.0 : 0.125;
+    const double p = x < 0.5 ? 1.0 : 0.1;
+    s.rho[i] = rho;
+    s.ener[i] = p / (gamma_ - 1.0);
+  }
+  return s;
+}
+
+double EulerSolver::pressure(const EulerState& s, std::size_t i) const {
+  const double u = s.mom[i] / s.rho[i];
+  return (gamma_ - 1.0) * (s.ener[i] - 0.5 * s.rho[i] * u * u);
+}
+
+double EulerSolver::max_wave_speed(const EulerState& s) const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < cells_; ++i) {
+    const double u = s.mom[i] / s.rho[i];
+    const double c = std::sqrt(gamma_ * std::max(pressure(s, i), 1e-12) / s.rho[i]);
+    m = std::max(m, std::fabs(u) + c);
+  }
+  return m;
+}
+
+void EulerSolver::compute_fluxes(const EulerState& s, std::vector<double>& f_rho,
+                                 std::vector<double>& f_mom,
+                                 std::vector<double>& f_ener) const {
+  // Rusanov (local Lax-Friedrichs) flux at each interior face; reflective
+  // treatment collapses to zero-gradient at the ends (transmissive walls,
+  // fine for pre-interaction times).
+  const std::size_t faces = cells_ + 1;
+  f_rho.assign(faces, 0.0);
+  f_mom.assign(faces, 0.0);
+  f_ener.assign(faces, 0.0);
+
+  auto phys_flux = [&](std::size_t i, double& fr, double& fm, double& fe) {
+    const double u = s.mom[i] / s.rho[i];
+    const double p = pressure(s, i);
+    fr = s.mom[i];
+    fm = s.mom[i] * u + p;
+    fe = (s.ener[i] + p) * u;
+  };
+
+  for (std::size_t f = 1; f < faces - 1; ++f) {
+    const std::size_t l = f - 1;
+    const std::size_t r = f;
+    double frl, fml, fel, frr, fmr, fer;
+    phys_flux(l, frl, fml, fel);
+    phys_flux(r, frr, fmr, fer);
+    const double ul = s.mom[l] / s.rho[l];
+    const double ur = s.mom[r] / s.rho[r];
+    const double cl = std::sqrt(gamma_ * std::max(pressure(s, l), 1e-12) / s.rho[l]);
+    const double cr = std::sqrt(gamma_ * std::max(pressure(s, r), 1e-12) / s.rho[r]);
+    const double a = std::max(std::fabs(ul) + cl, std::fabs(ur) + cr);
+    f_rho[f] = 0.5 * (frl + frr) - 0.5 * a * (s.rho[r] - s.rho[l]);
+    f_mom[f] = 0.5 * (fml + fmr) - 0.5 * a * (s.mom[r] - s.mom[l]);
+    f_ener[f] = 0.5 * (fel + fer) - 0.5 * a * (s.ener[r] - s.ener[l]);
+  }
+  // Transmissive boundaries: boundary face flux = adjacent cell's flux.
+  double fr, fm, fe;
+  phys_flux(0, fr, fm, fe);
+  f_rho[0] = fr;
+  f_mom[0] = fm;
+  f_ener[0] = fe;
+  phys_flux(cells_ - 1, fr, fm, fe);
+  f_rho[faces - 1] = fr;
+  f_mom[faces - 1] = fm;
+  f_ener[faces - 1] = fe;
+}
+
+int EulerSolver::advance(EulerState& state, double t_end, double cfl) const {
+  double t = 0.0;
+  int steps = 0;
+  std::vector<double> fr, fm, fe;
+  EulerState stage = state;
+
+  while (t < t_end) {
+    const double dt = std::min(cfl * dx_ / max_wave_speed(state), t_end - t);
+
+    auto apply = [&](const EulerState& from, EulerState& to, double scale) {
+      compute_fluxes(from, fr, fm, fe);
+      for (std::size_t i = 0; i < cells_; ++i) {
+        to.rho[i] = state.rho[i] - scale * dt / dx_ * (fr[i + 1] - fr[i]);
+        to.mom[i] = state.mom[i] - scale * dt / dx_ * (fm[i + 1] - fm[i]);
+        to.ener[i] = state.ener[i] - scale * dt / dx_ * (fe[i + 1] - fe[i]);
+      }
+    };
+
+    // Two-stage RK (Heun): predictor to stage, corrector averages.
+    apply(state, stage, 1.0);
+    EulerState full = stage;
+    apply(stage, full, 1.0);
+    for (std::size_t i = 0; i < cells_; ++i) {
+      state.rho[i] = 0.5 * (stage.rho[i] + full.rho[i]);
+      state.mom[i] = 0.5 * (stage.mom[i] + full.mom[i]);
+      state.ener[i] = 0.5 * (stage.ener[i] + full.ener[i]);
+    }
+    t += dt;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace maia::apps

@@ -1,0 +1,49 @@
+// The numerical kernel of the Cart3D proxy: a cell-centered finite-volume
+// solver for the 1-D compressible Euler equations with Rusanov fluxes and
+// two-stage Runge-Kutta time stepping — the same ingredients (cell-
+// centered FV, upwind-dissipated flux, RK smoothing) as the paper's
+// Flowcart solver, in compact verifiable form (Sod shock tube).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace maia::apps {
+
+struct EulerState {
+  std::vector<double> rho;   // density
+  std::vector<double> mom;   // momentum
+  std::vector<double> ener;  // total energy
+
+  std::size_t cells() const { return rho.size(); }
+  double total_mass(double dx) const;
+  double total_energy(double dx) const;
+};
+
+class EulerSolver {
+ public:
+  /// `cells` finite volumes on [0,1], ratio of specific heats `gamma`.
+  explicit EulerSolver(std::size_t cells, double gamma = 1.4);
+
+  /// Sod shock-tube initial condition (rho,p = 1,1 | 0.125,0.1 at x=0.5).
+  EulerState sod_initial() const;
+
+  /// Advance `state` to time `t_end` with CFL-limited RK2 steps; returns
+  /// the number of steps taken.
+  int advance(EulerState& state, double t_end, double cfl = 0.4) const;
+
+  double pressure(const EulerState& s, std::size_t i) const;
+  double dx() const { return dx_; }
+
+ private:
+  void compute_fluxes(const EulerState& s, std::vector<double>& f_rho,
+                      std::vector<double>& f_mom,
+                      std::vector<double>& f_ener) const;
+  double max_wave_speed(const EulerState& s) const;
+
+  std::size_t cells_;
+  double gamma_;
+  double dx_;
+};
+
+}  // namespace maia::apps

@@ -1,0 +1,57 @@
+#include "apps/loadbalance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace maia::apps {
+
+double Assignment::makespan() const {
+  return rank_time.empty() ? 0.0
+                           : *std::max_element(rank_time.begin(), rank_time.end());
+}
+
+double Assignment::imbalance() const {
+  const double id = ideal();
+  return id > 0.0 ? makespan() / id : 1.0;
+}
+
+Assignment assign_zones(const std::vector<long>& zone_points,
+                        const std::vector<RankSlot>& ranks) {
+  if (ranks.empty()) throw std::invalid_argument("assign_zones: no ranks");
+  Assignment a;
+  a.zone_to_rank.assign(zone_points.size(), -1);
+  a.rank_time.assign(ranks.size(), 0.0);
+
+  // Zones in descending size order (LPT).
+  std::vector<std::size_t> order(zone_points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return zone_points[x] > zone_points[y];
+  });
+
+  double total_work = 0.0;
+  double total_speed = 0.0;
+  for (const auto& r : ranks) total_speed += r.speed;
+  for (long p : zone_points) total_work += static_cast<double>(p);
+
+  for (std::size_t z : order) {
+    // Pick the rank with the earliest finish time for this zone.
+    std::size_t best = 0;
+    double best_finish = 0.0;
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      const double finish =
+          a.rank_time[r] + static_cast<double>(zone_points[z]) / ranks[r].speed;
+      if (r == 0 || finish < best_finish) {
+        best = r;
+        best_finish = finish;
+      }
+    }
+    a.zone_to_rank[z] = static_cast<int>(best);
+    a.rank_time[best] = best_finish;
+  }
+  a.ideal_ = total_speed > 0.0 ? total_work / total_speed : 0.0;
+  return a;
+}
+
+}  // namespace maia::apps

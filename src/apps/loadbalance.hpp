@@ -1,0 +1,38 @@
+// Zone-to-rank load balancing for the multi-zone solver, including the
+// heterogeneous (symmetric-mode) case where ranks on different devices
+// have different speeds — the paper's "challenge is to optimally load
+// balance the work between the host and coprocessors" (§4.4).
+#pragma once
+
+#include <vector>
+
+namespace maia::apps {
+
+struct RankSlot {
+  /// Relative points-per-second this rank can sustain.
+  double speed = 1.0;
+};
+
+struct Assignment {
+  /// zone index -> rank index.
+  std::vector<int> zone_to_rank;
+  /// Weighted completion time per rank (points / speed).
+  std::vector<double> rank_time;
+
+  double makespan() const;
+  /// makespan / ideal: 1.0 = perfectly balanced.
+  double imbalance() const;
+  /// Perfect-balance completion time (total work / total speed), filled by
+  /// assign_zones.
+  double ideal() const { return ideal_; }
+
+  double ideal_ = 0.0;
+};
+
+/// Longest-processing-time-first assignment of zones (by point count) to
+/// heterogeneous ranks: each zone goes to the rank that would finish it
+/// earliest.
+Assignment assign_zones(const std::vector<long>& zone_points,
+                        const std::vector<RankSlot>& ranks);
+
+}  // namespace maia::apps

@@ -1,0 +1,172 @@
+#include "apps/overflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/exec_model.hpp"
+
+namespace maia::apps {
+namespace {
+
+// Per-point per-step workload characterization of the implicit overset
+// solver (ADI line solves + RHS + turbulence model + overset interpolation).
+constexpr double kFlopsPerPoint = 2500.0;
+constexpr double kBytesPerPoint = 1800.0;  // memory bound: 0.72 B/flop
+constexpr double kVectorFraction = 0.85;
+constexpr double kGatherFraction = 0.10;  // overset fringe interpolation
+// Short per-line stencil loops + indirect fringes defeat software
+// prefetch on the in-order core far more than MG's regular sweeps.
+constexpr double kPrefetchEfficiency = 0.30;
+// Fraction of a rank's step that OpenMP threads can cover (BC handling,
+// turbulence-model scalar sections and per-zone bookkeeping are serial
+// within the rank).
+constexpr double kRankParallelFraction = 0.95;
+// Halo traffic per surface point per step (5 state + metric doubles).
+constexpr double kHaloBytesPerSurfacePoint = 30.0;
+// OpenMP regions per zone per step (one per solver sweep/loop nest).
+constexpr double kRegionsPerZone = 30.0;
+
+perf::KernelSignature device_signature(long points, int nranks, int threads,
+                                       double zone_count) {
+  perf::KernelSignature s;
+  s.name = "OVERFLOW step";
+  s.flops = static_cast<double>(points) * kFlopsPerPoint;
+  s.dram_bytes = static_cast<double>(points) * kBytesPerPoint;
+  s.vector_fraction = kVectorFraction;
+  s.gather_fraction = kGatherFraction;
+  s.prefetch_efficiency = kPrefetchEfficiency;
+  // Per-rank serial sections run concurrently across ranks.
+  s.parallel_fraction = 1.0 - (1.0 - kRankParallelFraction) / nranks;
+  // OpenMP loop trips are per-rank plane loops (~zone edge length); the
+  // exec model evaluates balance against the whole device team of
+  // nranks*threads, so scale the per-rank trip by the rank count.
+  if (threads > 1 && points > 0) {
+    const double per_rank_pts =
+        static_cast<double>(points) / static_cast<double>(nranks);
+    const double planes = std::cbrt(per_rank_pts / std::max(zone_count, 1.0)) *
+                          std::max(zone_count, 1.0);
+    s.parallel_trip = static_cast<long>(planes) * nranks;
+  }
+  s.omp_regions = threads > 1 ? zone_count * kRegionsPerZone : 0.0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<long> split_zones(const ZoneSet& zones, long max_points) {
+  if (max_points <= 0) throw std::invalid_argument("split_zones: bad target");
+  std::vector<long> out;
+  for (const auto& z : zones.zones) {
+    if (z.points <= max_points) {
+      out.push_back(z.points);
+      continue;
+    }
+    const long chunks = (z.points + max_points - 1) / max_points;
+    const long per = z.points / chunks;
+    long rest = z.points - per * chunks;
+    for (long c = 0; c < chunks; ++c) {
+      out.push_back(per + (c < rest ? 1 : 0));
+    }
+  }
+  return out;
+}
+
+double OverflowModel::device_speed(arch::DeviceId device, int nranks,
+                                   int threads) const {
+  const auto& dev = node_.device(device);
+  const int contexts = nranks * threads;
+  // A fixed probe workload: the speed is points/second at this layout.
+  constexpr long kProbePoints = 1'000'000;
+  const auto sig = device_signature(kProbePoints, nranks, threads,
+                                    /*zone_count=*/4.0);
+  const auto t =
+      perf::ExecModel::run(dev.processor, dev.sockets,
+                           std::min(contexts, dev.total_threads()), sig)
+          .total;
+  return static_cast<double>(kProbePoints) / t;
+}
+
+std::vector<mpi::DeviceGroup> OverflowModel::symmetric_config(int phi_ranks,
+                                                              int phi_threads) {
+  return {{arch::DeviceId::kHost, 16, 1},
+          {arch::DeviceId::kPhi0, phi_ranks, phi_threads},
+          {arch::DeviceId::kPhi1, phi_ranks, phi_threads}};
+}
+
+OverflowStep OverflowModel::step_time(
+    const ZoneSet& zones, const std::vector<mpi::DeviceGroup>& groups) const {
+  if (groups.empty()) throw std::invalid_argument("step_time: no rank groups");
+
+  // 1. Split zones to the total rank count and balance them across ranks
+  //    weighted by per-rank speed.
+  int total_ranks = 0;
+  for (const auto& g : groups) total_ranks += g.nranks;
+  // Split to half the per-rank target so the LPT balancer has slack
+  // (OVERFLOW splits aggressively when ranks are plentiful).
+  const long target = std::max<long>(zones.total_points() / (6 * total_ranks), 1);
+  const std::vector<long> pieces = split_zones(zones, target);
+
+  std::vector<RankSlot> slots;
+  std::vector<std::size_t> slot_group;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    const double speed =
+        device_speed(g.device, g.nranks, g.threads_per_rank) / g.nranks;
+    for (int r = 0; r < g.nranks; ++r) {
+      slots.push_back({speed});
+      slot_group.push_back(gi);
+    }
+  }
+  const Assignment assignment = assign_zones(pieces, slots);
+
+  OverflowStep step;
+  step.assignment_imbalance = assignment.imbalance();
+  step.points_per_group.assign(groups.size(), 0);
+  for (std::size_t z = 0; z < pieces.size(); ++z) {
+    const auto slot = static_cast<std::size_t>(assignment.zone_to_rank[z]);
+    step.points_per_group[slot_group[slot]] += pieces[z];
+  }
+
+  // 2. Compute time per device group; the step waits for the slowest.
+  const double zones_per_rank =
+      static_cast<double>(pieces.size()) / static_cast<double>(total_ranks);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    if (step.points_per_group[gi] == 0) continue;
+    const auto& dev = node_.device(g.device);
+    const auto sig = device_signature(step.points_per_group[gi], g.nranks,
+                                      g.threads_per_rank, zones_per_rank);
+    const int contexts =
+        std::min(g.nranks * g.threads_per_rank, dev.total_threads());
+    const double t =
+        perf::ExecModel::run(dev.processor, dev.sockets, contexts, sig).total;
+    step.compute = std::max(step.compute, t * step.assignment_imbalance);
+  }
+
+  // 3. Halo exchange: zones on coprocessors ship their surfaces over PCIe
+  //    each step; host-resident traffic moves through shared memory.
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    if (step.points_per_group[gi] == 0) continue;
+    const double surface =
+        6.0 * std::pow(static_cast<double>(step.points_per_group[gi]) /
+                           std::max(zones_per_rank * g.nranks, 1.0),
+                       2.0 / 3.0) *
+        zones_per_rank * g.nranks;
+    const double bytes = 2.0 * surface * kHaloBytesPerSurfacePoint;
+    if (g.device == arch::DeviceId::kHost) {
+      step.comm += bytes / 20e9;  // shared-memory copies
+    } else {
+      const auto path = fabric::path_between(arch::DeviceId::kHost, g.device);
+      const sim::Bytes message = 1024 * 1024;  // typical aggregated halo
+      step.comm += bytes / fabric_.bandwidth(path, message) +
+                   zones_per_rank * g.nranks * fabric_.latency(path);
+    }
+  }
+
+  step.total = step.compute + step.comm;
+  return step;
+}
+
+}  // namespace maia::apps

@@ -1,0 +1,65 @@
+// OVERFLOW-2 proxy performance model (paper §3.7.1, Figs 22-23).
+//
+// OVERFLOW is a multi-zone overset implicit Navier-Stokes solver run as
+// hybrid MPI+OpenMP: zones (split for balance) are distributed over MPI
+// ranks, OpenMP threads parallelize the loops inside each zone.  The model
+// charges, per time step:
+//   * compute on each device (memory-bandwidth bound — the paper's stated
+//     reason Phi loses: "the performance of OVERFLOW depends on the
+//     bandwidth of the memory subsystem");
+//   * an Amdahl term that shrinks with the rank count (per-rank serial
+//     sections run concurrently across ranks — why 16x1 beats 1x16 on the
+//     host);
+//   * zone-assignment imbalance from the heterogeneous LPT balancer;
+//   * halo-exchange communication, crossing PCIe in symmetric mode (the
+//     piece the pre/post software update moves, Fig 23).
+#pragma once
+
+#include <vector>
+
+#include "apps/loadbalance.hpp"
+#include "apps/zones.hpp"
+#include "arch/node.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "mpi/layout.hpp"
+#include "sim/units.hpp"
+
+namespace maia::apps {
+
+struct OverflowStep {
+  sim::Seconds total = 0.0;
+  sim::Seconds compute = 0.0;  // slowest device's compute
+  sim::Seconds comm = 0.0;
+  double assignment_imbalance = 1.0;
+  /// Points assigned to each device group (same order as the config).
+  std::vector<long> points_per_group;
+};
+
+class OverflowModel {
+ public:
+  OverflowModel(arch::NodeTopology node, fabric::SoftwareStack stack)
+      : node_(std::move(node)), fabric_(stack) {}
+
+  /// Wall-clock per step for a zone set under an MPI x OpenMP layout.
+  OverflowStep step_time(const ZoneSet& zones,
+                         const std::vector<mpi::DeviceGroup>& groups) const;
+
+  /// Per-device sustained speed in points/second for one rank group
+  /// (used for balancing and reported in the figures).
+  double device_speed(arch::DeviceId device, int nranks, int threads) const;
+
+  /// The paper's symmetric-mode configuration: 16x1 on the host plus
+  /// ranks x threads on each Phi.
+  static std::vector<mpi::DeviceGroup> symmetric_config(int phi_ranks,
+                                                        int phi_threads);
+
+ private:
+  arch::NodeTopology node_;
+  fabric::MpiFabricModel fabric_;
+};
+
+/// Split zones bigger than `max_points` into near-equal chunks (OVERFLOW's
+/// automatic zone splitting for load balance).
+std::vector<long> split_zones(const ZoneSet& zones, long max_points);
+
+}  // namespace maia::apps

@@ -1,0 +1,72 @@
+#include "apps/zones.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace maia::apps {
+namespace {
+
+// Doubles + metrics + Jacobians per grid point in the proxy solver
+// (OVERFLOW-2 carries q, rhs, metrics, time-step arrays: ~45 doubles/pt).
+constexpr sim::Bytes kBytesPerPoint = 45 * 8;
+
+}  // namespace
+
+long Zone::surface_points() const {
+  // Cubic-equivalent surface: 6 * n^(2/3).
+  return static_cast<long>(
+      6.0 * std::pow(static_cast<double>(points), 2.0 / 3.0));
+}
+
+long ZoneSet::total_points() const {
+  long total = 0;
+  for (const auto& z : zones) total += z.points;
+  return total;
+}
+
+long ZoneSet::max_zone_points() const {
+  long m = 0;
+  for (const auto& z : zones) m = std::max(m, z.points);
+  return m;
+}
+
+sim::Bytes ZoneSet::data_bytes() const {
+  return static_cast<sim::Bytes>(total_points()) * kBytesPerPoint;
+}
+
+ZoneSet make_zone_set(std::string name, int count, long total_points) {
+  if (count <= 0 || total_points < count) {
+    throw std::invalid_argument("make_zone_set: bad zone parameters");
+  }
+  // Deterministic heavy-tailed profile: zone i gets weight (i+1)^-0.8,
+  // matching the few-big/many-small structure of overset systems.
+  std::vector<double> weight(count);
+  double sum = 0.0;
+  for (int i = 0; i < count; ++i) {
+    weight[i] = std::pow(static_cast<double>(i + 1), -0.8);
+    sum += weight[i];
+  }
+  ZoneSet set;
+  set.name = std::move(name);
+  long assigned = 0;
+  for (int i = 0; i < count; ++i) {
+    const long pts = std::max<long>(
+        1, static_cast<long>(static_cast<double>(total_points) * weight[i] / sum));
+    set.zones.push_back({pts});
+    assigned += pts;
+  }
+  // Put the rounding remainder on the biggest zone.
+  set.zones.front().points += total_points - assigned;
+  return set;
+}
+
+ZoneSet make_dlrf6_large() {
+  return make_zone_set("DLRF6-Large", 23, 35'900'000);
+}
+
+ZoneSet make_dlrf6_medium() {
+  return make_zone_set("DLRF6-Medium", 23, 10'800'000);
+}
+
+}  // namespace maia::apps

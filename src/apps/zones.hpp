@@ -1,0 +1,42 @@
+// Overset zone systems for the OVERFLOW proxy (paper §3.7.1).
+//
+// The paper's datasets: DLRF6-Large, a wing-body-nacelle-pylon geometry
+// with 23 zones and 35.9 M grid points (too large for one 8 GB Phi), and
+// DLRF6-Medium with 10.8 M points.  The real grids are export-controlled;
+// the synthetic zone systems here reproduce the documented zone count,
+// total size, and the heavy-tailed zone-size distribution typical of
+// overset systems (a few large near-body grids plus many small collars).
+#pragma once
+
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace maia::apps {
+
+struct Zone {
+  long points = 0;
+  /// Halo surface points exchanged with neighbouring zones per step.
+  long surface_points() const;
+};
+
+struct ZoneSet {
+  std::string name;
+  std::vector<Zone> zones;
+
+  long total_points() const;
+  long max_zone_points() const;
+  /// Memory footprint of the solution + metric arrays (bytes).
+  sim::Bytes data_bytes() const;
+};
+
+/// 23 zones, 35.9 M points (paper: input 1.6 GB, solution 2 GB).
+ZoneSet make_dlrf6_large();
+/// 23 zones, 10.8 M points — the single-device dataset of Fig 22.
+ZoneSet make_dlrf6_medium();
+
+/// A zone set with `count` zones summing to `total_points`, sizes drawn
+/// from the deterministic heavy-tailed overset profile.
+ZoneSet make_zone_set(std::string name, int count, long total_points);
+
+}  // namespace maia::apps

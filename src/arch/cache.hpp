@@ -1,0 +1,35 @@
+// Cache level description.  Latencies are in core cycles (architectural
+// facts), so wall-clock latency falls out of the core frequency — this is
+// how the paper's measured 1.5/4.6/15/81 ns (host) and 2.9/22.9/295 ns
+// (Phi) emerge from 4/12/39/210-cycle and 3/24/310-cycle hierarchies.
+#pragma once
+
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+enum class CacheScope {
+  kPerCore,  // private to a core (shared among its hardware threads)
+  kShared,   // shared by all cores of the processor (SNB L3)
+};
+
+struct CacheLevelParams {
+  std::string name;           // "L1D", "L2", "L3"
+  sim::Bytes capacity = 0;    // per-core for kPerCore, total for kShared
+  int line_bytes = 64;
+  int associativity = 8;
+  int load_to_use_cycles = 0;
+  CacheScope scope = CacheScope::kPerCore;
+  /// Per-core sustainable read / write bandwidth when hitting this level.
+  sim::BytesPerSecond read_bw_per_core = 0.0;
+  sim::BytesPerSecond write_bw_per_core = 0.0;
+
+  int sets() const {
+    return static_cast<int>(capacity / static_cast<sim::Bytes>(line_bytes) /
+                            static_cast<sim::Bytes>(associativity));
+  }
+};
+
+}  // namespace maia::arch

@@ -1,0 +1,65 @@
+// Core microarchitecture parameters and the issue model.
+//
+// The decisive difference the paper keeps returning to: a KNC core is
+// in-order, dual-issue, and "cannot issue back-to-back instructions in the
+// same thread".  One thread per core therefore achieves at most half the
+// issue rate; two or more hardware threads are needed to fill the pipeline.
+// A Sandy Bridge core is out-of-order and a single thread already saturates
+// it (HyperThreading adds little and may hurt compute-bound codes — the
+// paper measures MG at -6% with HT).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "arch/vector_isa.hpp"
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+enum class IssueModel {
+  kOutOfOrder,          // single thread can saturate issue
+  kInOrderNoBackToBack, // a thread may issue only every other cycle
+};
+
+struct CoreParams {
+  std::string name;
+  double frequency_hz = 0.0;
+  double turbo_frequency_hz = 0.0;  // 0 when the part has no turbo (KNC)
+  IssueModel issue = IssueModel::kOutOfOrder;
+  int hardware_threads = 1;
+  /// Whether SMT can be disabled (HT on SNB) or is always on (KNC).
+  bool smt_optional = true;
+  /// Peak double-precision flop per cycle with full vector + FMA/mul+add.
+  double flops_per_cycle = 0.0;
+  /// Sustained scalar (non-vector) flop per cycle on real code: ~2 on an
+  /// OoO core (add + mul pipes kept fed), ~0.67 on the in-order P54C
+  /// pipeline (dependent-chain stalls, no reordering).
+  double scalar_flops_per_cycle = 2.0;
+  VectorIsa isa = VectorIsa::kAvx256;
+
+  sim::Seconds cycle_time() const { return 1.0 / frequency_hz; }
+  sim::FlopsPerSecond peak_flops() const { return flops_per_cycle * frequency_hz; }
+
+  /// Fraction of peak issue rate achieved with `threads` resident hardware
+  /// threads, all runnable.  For the in-order no-back-to-back pipeline a
+  /// single thread can use at most every other issue slot; two threads can
+  /// cover each other's dead slots; beyond that extra threads only help by
+  /// hiding memory latency (modelled separately), so issue efficiency stays
+  /// at 1.  Out-of-order cores are saturated by one thread.
+  double issue_efficiency(int threads) const {
+    threads = std::clamp(threads, 1, hardware_threads);
+    if (issue == IssueModel::kOutOfOrder) return 1.0;
+    return threads >= 2 ? 1.0 : 0.5;
+  }
+
+  /// SMT efficiency multiplier for throughput-bound code on an OoO core:
+  /// running 2 threads/core on Sandy Bridge slightly degrades compute-bound
+  /// kernels (paper: MG 16->32 threads is -6%).
+  double smt_throughput_factor(int threads) const {
+    if (issue != IssueModel::kOutOfOrder) return 1.0;
+    return threads > 1 ? 0.94 : 1.0;
+  }
+};
+
+}  // namespace maia::arch

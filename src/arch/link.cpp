@@ -1,0 +1,21 @@
+#include "arch/link.hpp"
+
+namespace maia::arch {
+
+sim::BytesPerSecond PcieLinkParams::raw_bandwidth() const {
+  // Each transfer moves one bit per lane; 8b/10b (Gen2) or 128b/130b (Gen3)
+  // line coding converts signalling rate to usable bits, /8 to bytes.
+  // Gen2 x16: 5 GT/s * 0.8 / 8 * 16 = 8 GB/s.
+  const double usable_bits_per_lane =
+      gigatransfers_per_second() * encoding_efficiency();
+  return usable_bits_per_lane / 8.0 * static_cast<double>(lanes);
+}
+
+double PcieLinkParams::packet_efficiency(int payload) const {
+  if (payload <= 0) return 0.0;
+  if (payload > max_payload_bytes) payload = max_payload_bytes;
+  return static_cast<double>(payload) /
+         static_cast<double>(payload + packet_overhead_bytes);
+}
+
+}  // namespace maia::arch

@@ -1,0 +1,65 @@
+// Inter-device links: PCI Express (host <-> Phi) and QPI (socket <-> socket).
+//
+// The PCIe model carries the packet-framing arithmetic the paper spells out
+// in §6.7: a TLP wraps 64 or 128 bytes of payload in 20 bytes of framing
+// (start/end, sequence number, header, digest, LCRC), limiting efficiency
+// to 76% / 86% — i.e. 6.1 / 6.9 GB/s on a Gen2 x16 link.
+#pragma once
+
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+enum class PcieGen { kGen2, kGen3 };
+
+struct PcieLinkParams {
+  std::string name;
+  PcieGen gen = PcieGen::kGen2;
+  int lanes = 16;
+  int max_payload_bytes = 256;
+  /// TLP overhead: framing (2) + sequence (2) + header (12) + ECRC digest
+  /// (0 or 4) + LCRC (4).
+  int packet_overhead_bytes = 20;
+
+  /// Per-lane signalling rate in transfers/second.
+  double gigatransfers_per_second() const { return gen == PcieGen::kGen2 ? 5e9 : 8e9; }
+  /// Line-code efficiency: 8b/10b for Gen2, 128b/130b for Gen3.
+  double encoding_efficiency() const { return gen == PcieGen::kGen2 ? 0.8 : 128.0 / 130.0; }
+
+  /// Raw post-encoding bandwidth of the link, one direction.
+  sim::BytesPerSecond raw_bandwidth() const;
+
+  /// TLP efficiency for packets carrying `payload` bytes each.
+  double packet_efficiency(int payload) const;
+
+  /// Sustainable bandwidth when a bulk transfer is segmented into TLPs of
+  /// `payload` bytes.
+  sim::BytesPerSecond effective_bandwidth(int payload) const {
+    return raw_bandwidth() * packet_efficiency(payload);
+  }
+};
+
+struct QpiLinkParams {
+  std::string name;
+  double gigatransfers_per_second = 8e9;
+  int bytes_per_transfer = 2;  // per direction
+  int links = 2;
+
+  /// Aggregate one-direction bandwidth across all links.
+  sim::BytesPerSecond bandwidth() const {
+    return gigatransfers_per_second * bytes_per_transfer * links;
+  }
+};
+
+struct InfinibandParams {
+  std::string name;    // "4x FDR InfiniBand"
+  double signalling_gbps = 56.0;
+  /// 64b/66b encoding for FDR.
+  sim::BytesPerSecond data_bandwidth() const {
+    return signalling_gbps * 1e9 / 8.0 * (64.0 / 66.0);
+  }
+};
+
+}  // namespace maia::arch

@@ -1,0 +1,43 @@
+// Main-memory technology description.
+//
+// DDR3-1600 on the host: 4 channels x 8 bytes x 1600 MT/s = 51.2 GB/s per
+// socket.  GDDR5 on the Phi: 8 controllers x 2 channels x 4 bytes x 5 GT/s
+// = 320 GB/s raw; 16 banks per device x 8 devices = 128 simultaneously open
+// banks — the resource whose exhaustion explains the STREAM drop beyond 118
+// threads (paper §6.1).
+#pragma once
+
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+enum class MemoryTechnology { kDdr3, kGddr5 };
+
+struct MemoryParams {
+  MemoryTechnology technology = MemoryTechnology::kDdr3;
+  std::string name;
+  int channels = 0;
+  int bytes_per_transfer = 8;      // channel width
+  double transfers_per_second = 0; // MT/s or GT/s in absolute transfers/s
+  sim::Bytes capacity = 0;
+  int load_to_use_cycles = 0;      // in core cycles of the attached core
+  /// Number of DRAM banks that can be simultaneously open.  Independent
+  /// access streams beyond this count thrash row buffers.
+  int open_banks = 0;
+  /// Fraction of raw pin bandwidth sustainable by an ideal streaming
+  /// workload (command overhead, refresh, read/write turnaround).
+  double streaming_efficiency = 0.0;
+  /// Extra throughput penalty once streams exceed open_banks.
+  double bank_thrash_factor = 1.0;
+
+  sim::BytesPerSecond raw_bandwidth() const {
+    return static_cast<double>(channels) * bytes_per_transfer * transfers_per_second;
+  }
+  sim::BytesPerSecond peak_stream_bandwidth() const {
+    return raw_bandwidth() * streaming_efficiency;
+  }
+};
+
+}  // namespace maia::arch

@@ -1,0 +1,82 @@
+// Node topology: which devices exist, how they are wired, and system-level
+// facts (Table 1 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/link.hpp"
+#include "arch/processor.hpp"
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+/// The three addressable devices of one Maia node.  The two Sandy Bridge
+/// sockets are one cache-coherent "host" device (the paper's terminology).
+enum class DeviceId { kHost = 0, kPhi0 = 1, kPhi1 = 2 };
+
+inline const char* device_name(DeviceId id) {
+  switch (id) {
+    case DeviceId::kHost: return "host";
+    case DeviceId::kPhi0: return "Phi0";
+    case DeviceId::kPhi1: return "Phi1";
+  }
+  return "?";
+}
+
+struct Device {
+  DeviceId id = DeviceId::kHost;
+  ProcessorModel processor;
+  /// Sockets/cards of this processor on the device (2 for the host).
+  int sockets = 1;
+  sim::Bytes memory_capacity = 0;
+
+  int total_cores() const { return processor.num_cores * sockets; }
+  int total_threads() const { return processor.max_threads() * sockets; }
+  sim::FlopsPerSecond peak_flops() const {
+    return processor.peak_flops() * static_cast<double>(sockets);
+  }
+};
+
+struct NodeTopology {
+  std::string name;
+  Device host;
+  Device phi0;
+  Device phi1;
+  PcieLinkParams pcie_phi0;  // host <-> Phi0
+  PcieLinkParams pcie_phi1;  // host <-> Phi1
+  QpiLinkParams qpi;         // socket <-> socket within the host
+  InfinibandParams hca;      // node <-> node (FDR IB on PCIe bus 0)
+
+  const Device& device(DeviceId id) const {
+    switch (id) {
+      case DeviceId::kHost: return host;
+      case DeviceId::kPhi0: return phi0;
+      case DeviceId::kPhi1: return phi1;
+    }
+    return host;
+  }
+
+  sim::FlopsPerSecond peak_flops() const {
+    return host.peak_flops() + phi0.peak_flops() + phi1.peak_flops();
+  }
+  sim::Bytes total_memory() const {
+    return host.memory_capacity + phi0.memory_capacity + phi1.memory_capacity;
+  }
+};
+
+struct SystemParams {
+  std::string name;
+  int nodes = 0;
+  NodeTopology node;
+  std::string filesystem;
+  std::string compiler;
+  std::string mpi_library;
+  std::string operating_system;
+
+  sim::FlopsPerSecond peak_flops() const {
+    return node.peak_flops() * static_cast<double>(nodes);
+  }
+};
+
+}  // namespace maia::arch

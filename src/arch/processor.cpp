@@ -1,0 +1,33 @@
+#include "arch/processor.hpp"
+
+namespace maia::arch {
+
+std::optional<std::size_t> ProcessorModel::level_for(sim::Bytes working_set) const {
+  for (std::size_t i = 0; i < caches.size(); ++i) {
+    if (working_set <= caches[i].capacity) return i;
+  }
+  return std::nullopt;
+}
+
+sim::Seconds ProcessorModel::load_latency(sim::Bytes working_set) const {
+  if (auto level = level_for(working_set)) {
+    return cycles(caches[*level].load_to_use_cycles);
+  }
+  return cycles(memory.load_to_use_cycles);
+}
+
+sim::BytesPerSecond ProcessorModel::read_bandwidth_per_core(sim::Bytes working_set) const {
+  if (auto level = level_for(working_set)) {
+    return caches[*level].read_bw_per_core;
+  }
+  return memory_read_bw_per_core;
+}
+
+sim::BytesPerSecond ProcessorModel::write_bandwidth_per_core(sim::Bytes working_set) const {
+  if (auto level = level_for(working_set)) {
+    return caches[*level].write_bw_per_core;
+  }
+  return memory_write_bw_per_core;
+}
+
+}  // namespace maia::arch

@@ -1,0 +1,62 @@
+// ProcessorModel: one socket/card — core parameters, cache hierarchy, and
+// attached memory.  This is the unit the memory simulator, OpenMP runtime
+// and execution-time predictor consume.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/cache.hpp"
+#include "arch/core.hpp"
+#include "arch/memory.hpp"
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+struct ProcessorModel {
+  std::string name;
+  CoreParams core;
+  int num_cores = 0;
+  /// Cache levels ordered inner to outer (L1 first).
+  std::vector<CacheLevelParams> caches;
+  MemoryParams memory;
+  /// Cores the OS reserves for services; using them from user code incurs
+  /// interference (KNC convention: stay off the 60th core).
+  int os_reserved_cores = 0;
+
+  int usable_cores() const { return num_cores - os_reserved_cores; }
+  int max_threads() const { return num_cores * core.hardware_threads; }
+
+  sim::FlopsPerSecond peak_flops() const {
+    return core.peak_flops() * static_cast<double>(num_cores);
+  }
+
+  /// Load-to-use latency of the innermost level that holds a working set of
+  /// `bytes` entirely, as wall-clock seconds.  Shared caches hold the whole
+  /// working set; per-core capacities apply per thread.
+  sim::Seconds load_latency(sim::Bytes working_set) const;
+
+  /// Cache level index (0 = L1) containing the working set, or nullopt when
+  /// it spills to main memory.
+  std::optional<std::size_t> level_for(sim::Bytes working_set) const;
+
+  /// Per-core read / write bandwidth when streaming from the level holding
+  /// `working_set` (main memory when it fits nowhere).
+  sim::BytesPerSecond read_bandwidth_per_core(sim::Bytes working_set) const;
+  sim::BytesPerSecond write_bandwidth_per_core(sim::Bytes working_set) const;
+
+  /// Wall-clock time of `cycles` core cycles.
+  sim::Seconds cycles(double n) const { return n * core.cycle_time(); }
+
+  /// Per-core bandwidth cap into main memory implied by the per-core
+  /// bandwidth tables (used by the aggregate model to decide how many cores
+  /// are needed to saturate the memory system).
+  sim::BytesPerSecond memory_read_bw_per_core = 0.0;
+  sim::BytesPerSecond memory_write_bw_per_core = 0.0;
+  /// Per-core STREAM-style bandwidth (vectorized, prefetched, streaming
+  /// stores) — higher than the load-chain bandwidths above.
+  sim::BytesPerSecond stream_bw_per_core = 0.0;
+};
+
+}  // namespace maia::arch

@@ -1,0 +1,160 @@
+#include "arch/registry.hpp"
+
+#include "sim/units.hpp"
+
+namespace maia::arch {
+
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+using sim::operator""_GiB;
+
+namespace {
+
+// --- Microarchitectural sustained-rate constants -------------------------
+//
+// Per-core load bandwidths for the lmbench-style "memory load bandwidth"
+// benchmark of Fig 6 (a single-thread, unvectorized read or write loop).
+// These are sustained-rate properties of the pipeline + memory level:
+//   per-core BW ~= lines_in_flight * 64 B / load-to-use latency
+// For SNB the OoO window keeps ~10 line fills in flight against DRAM
+// (64 B * 10 / 81 ns ~= 7.9 GB/s); KNC's in-order pipeline without the L2
+// streaming prefetcher engaged sustains only ~2.3
+// (64 B * 2.3 / 295 ns ~= 0.5 GB/s).  Writes allocate and then evict, so
+// they sustain less than reads at every level.
+constexpr double kHostL1ReadBw = 12.6e9, kHostL1WriteBw = 10.4e9;
+constexpr double kHostL2ReadBw = 12.3e9, kHostL2WriteBw = 9.5e9;
+constexpr double kHostL3ReadBw = 11.6e9, kHostL3WriteBw = 8.6e9;
+constexpr double kHostMemReadBw = 7.5e9, kHostMemWriteBw = 7.2e9;
+
+constexpr double kPhiL1ReadBw = 1.68e9, kPhiL1WriteBw = 1.538e9;
+constexpr double kPhiL2ReadBw = 0.971e9, kPhiL2WriteBw = 0.962e9;
+constexpr double kPhiMemReadBw = 0.504e9, kPhiMemWriteBw = 0.263e9;
+
+// STREAM-style per-core bandwidth (vectorized, software-prefetched,
+// streaming stores): SNB sustains ~11.5 GB/s per core; KNC ~3.05 GB/s
+// (64 B * ~14 prefetched lines / 295 ns).
+constexpr double kHostStreamBwPerCore = 11.5e9;
+constexpr double kPhiStreamBwPerCore = 3.05e9;
+
+// DRAM streaming efficiencies (fraction of raw pin bandwidth an ideal
+// multi-stream workload sustains; command overhead + refresh + turnaround).
+constexpr double kDdr3StreamEfficiency = 0.732;   // 51.2 -> 37.5 GB/s/socket
+constexpr double kGddr5StreamEfficiency = 0.5625; // 320 -> 180 GB/s
+// Throughput retained once independent access streams exceed the open-bank
+// count and row buffers thrash (GDDR5: 8 devices x 16 banks = 128).
+constexpr double kGddr5BankThrash = 0.778;        // 180 -> 140 GB/s
+
+}  // namespace
+
+ProcessorModel sandy_bridge_e5_2670() {
+  ProcessorModel p;
+  p.name = "Intel Xeon E5-2670 (Sandy Bridge)";
+  p.core.name = "Sandy Bridge core";
+  p.core.frequency_hz = 2.6e9;
+  p.core.turbo_frequency_hz = 3.2e9;
+  p.core.issue = IssueModel::kOutOfOrder;
+  p.core.hardware_threads = 2;  // HyperThreading, can be disabled
+  p.core.smt_optional = true;
+  p.core.flops_per_cycle = 8.0;  // 256-bit AVX add + mul pipes
+  p.core.scalar_flops_per_cycle = 2.0;
+  p.core.isa = VectorIsa::kAvx256;
+  p.num_cores = 8;
+  p.os_reserved_cores = 0;
+
+  p.caches = {
+      {"L1D", 32_KiB, 64, 8, 4, CacheScope::kPerCore, kHostL1ReadBw, kHostL1WriteBw},
+      {"L2", 256_KiB, 64, 8, 12, CacheScope::kPerCore, kHostL2ReadBw, kHostL2WriteBw},
+      {"L3", 20_MiB, 64, 20, 39, CacheScope::kShared, kHostL3ReadBw, kHostL3WriteBw},
+  };
+
+  p.memory.technology = MemoryTechnology::kDdr3;
+  p.memory.name = "4x DDR3-1600";
+  p.memory.channels = 4;
+  p.memory.bytes_per_transfer = 8;
+  p.memory.transfers_per_second = 1.6e9;
+  p.memory.capacity = 16_GiB;  // half of the node's 32 GB per socket
+  p.memory.load_to_use_cycles = 210;  // ~81 ns at 2.6 GHz
+  p.memory.open_banks = 1024;  // DDR3 rank/bank pool is not the bottleneck
+  p.memory.streaming_efficiency = kDdr3StreamEfficiency;
+  p.memory.bank_thrash_factor = 1.0;
+
+  p.memory_read_bw_per_core = kHostMemReadBw;
+  p.memory_write_bw_per_core = kHostMemWriteBw;
+  p.stream_bw_per_core = kHostStreamBwPerCore;
+  return p;
+}
+
+ProcessorModel xeon_phi_5110p() {
+  ProcessorModel p;
+  p.name = "Intel Xeon Phi 5110P (Knights Corner)";
+  p.core.name = "P54C-derived in-order core";
+  p.core.frequency_hz = 1.05e9;
+  p.core.turbo_frequency_hz = 0.0;  // no turbo
+  p.core.issue = IssueModel::kInOrderNoBackToBack;
+  p.core.hardware_threads = 4;  // always on
+  p.core.smt_optional = false;
+  p.core.flops_per_cycle = 16.0;  // 8-wide DP FMA
+  p.core.scalar_flops_per_cycle = 0.67;  // in-order scalar pipeline
+  p.core.isa = VectorIsa::kMic512;
+  p.num_cores = 60;
+  p.os_reserved_cores = 1;  // the 60th core runs MPSS OS services
+
+  p.caches = {
+      {"L1D", 32_KiB, 64, 8, 3, CacheScope::kPerCore, kPhiL1ReadBw, kPhiL1WriteBw},
+      {"L2", 512_KiB, 64, 8, 24, CacheScope::kPerCore, kPhiL2ReadBw, kPhiL2WriteBw},
+  };
+
+  p.memory.technology = MemoryTechnology::kGddr5;
+  p.memory.name = "16-channel GDDR5-5000";
+  p.memory.channels = 16;
+  p.memory.bytes_per_transfer = 4;
+  p.memory.transfers_per_second = 5e9;
+  p.memory.capacity = 8_GiB;
+  p.memory.load_to_use_cycles = 310;  // ~295 ns at 1.05 GHz
+  p.memory.open_banks = 128;  // 8 devices x 16 banks
+  p.memory.streaming_efficiency = kGddr5StreamEfficiency;
+  p.memory.bank_thrash_factor = kGddr5BankThrash;
+
+  p.memory_read_bw_per_core = kPhiMemReadBw;
+  p.memory_write_bw_per_core = kPhiMemWriteBw;
+  p.stream_bw_per_core = kPhiStreamBwPerCore;
+  return p;
+}
+
+NodeTopology maia_node() {
+  NodeTopology node;
+  node.name = "Maia node (SGI Rackable C1104G-RP5)";
+
+  node.host.id = DeviceId::kHost;
+  node.host.processor = sandy_bridge_e5_2670();
+  node.host.sockets = 2;
+  node.host.memory_capacity = 32_GiB;
+
+  node.phi0.id = DeviceId::kPhi0;
+  node.phi0.processor = xeon_phi_5110p();
+  node.phi0.sockets = 1;
+  node.phi0.memory_capacity = 8_GiB;
+
+  node.phi1 = node.phi0;
+  node.phi1.id = DeviceId::kPhi1;
+
+  node.pcie_phi0 = {"PCIe Gen2 x16 (Phi0)", PcieGen::kGen2, 16, 256, 20};
+  node.pcie_phi1 = {"PCIe Gen2 x16 (Phi1)", PcieGen::kGen2, 16, 256, 20};
+  node.qpi = {"2x QPI 8.0 GT/s", 8e9, 2, 2};
+  node.hca = {"4x FDR InfiniBand", 56.0};
+  return node;
+}
+
+SystemParams maia_system() {
+  SystemParams s;
+  s.name = "Maia";
+  s.nodes = 128;
+  s.node = maia_node();
+  s.filesystem = "Lustre";
+  s.compiler = "Intel 13.1";
+  s.mpi_library = "Intel MPI 4.1";
+  s.operating_system = "SLES11SP2 / MPSS Gold";
+  return s;
+}
+
+}  // namespace maia::arch

@@ -1,0 +1,28 @@
+// Factory functions for the processors and the Maia node/system.
+//
+// Calibration policy (DESIGN.md §4): everything here is a datasheet or
+// Table-1 fact (frequencies, widths, capacities, channel counts, link
+// rates) or a well-known architectural cycle count.  Measured curves in the
+// paper's figures are *not* copied here; they must emerge from the models.
+#pragma once
+
+#include "arch/node.hpp"
+
+namespace maia::arch {
+
+/// Intel Xeon E5-2670 "Sandy Bridge-EP": 8 cores, 2.6 GHz, AVX-256,
+/// 32 KB L1D + 256 KB L2 per core, 20 MB shared L3, 4x DDR3-1600.
+ProcessorModel sandy_bridge_e5_2670();
+
+/// Intel Xeon Phi 5110P "Knights Corner": 60 in-order cores, 1.05 GHz,
+/// 512-bit SIMD, 4 hardware threads/core, 32 KB L1D + 512 KB L2 per core,
+/// 16-channel GDDR5-5000, 8 GB.
+ProcessorModel xeon_phi_5110p();
+
+/// One Maia node: 2x E5-2670 + 2x Phi 5110P on PCIe Gen2 x16 links.
+NodeTopology maia_node();
+
+/// The full 128-node SGI Rackable system (Table 1).
+SystemParams maia_system();
+
+}  // namespace maia::arch

@@ -1,0 +1,43 @@
+// SIMD instruction-set description.  The two ISAs in the paper differ in
+// width (256 vs 512 bit) and in how badly non-unit-stride access hurts:
+// KNC's hardware gather/scatter exists but is slow (the paper measures a
+// mere 10% gain from gather/scatter vectorization of CG's sparse BLAS).
+#pragma once
+
+#include <string>
+
+namespace maia::arch {
+
+enum class VectorIsa {
+  kSse128,   // SSE4.x, 128-bit
+  kAvx256,   // Sandy Bridge AVX, 256-bit
+  kMic512,   // Knights Corner MIC vector instructions, 512-bit
+};
+
+struct VectorIsaTraits {
+  int width_bits = 0;
+  /// Doubles per vector register.
+  int doubles_per_vector() const { return width_bits / 64; }
+  /// Throughput of gather/scatter-vectorized code relative to unit-stride
+  /// vector code (dimensionless, <1).
+  double gather_scatter_efficiency = 0.0;
+  std::string name;
+};
+
+inline VectorIsaTraits traits(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::kSse128:
+      return {128, 0.35, "SSE4"};
+    case VectorIsa::kAvx256:
+      // SNB has no hardware gather; compilers emit scalar element inserts.
+      return {256, 0.30, "AVX"};
+    case VectorIsa::kMic512:
+      // KNC vgather retires one cache line per cycle in the best case and
+      // one element per cycle in the worst; the paper's CG experiment saw
+      // only ~10% speedup over scalar, i.e. very low efficiency.
+      return {512, 0.12, "MIC-512"};
+  }
+  return {};
+}
+
+}  // namespace maia::arch

@@ -1,0 +1,40 @@
+#include "cluster/interconnect.hpp"
+
+#include <algorithm>
+
+namespace maia::cluster {
+namespace {
+
+// Per-hop switch traversal (cut-through FDR switch).
+constexpr sim::Seconds kPerHopLatency = 0.2e-6;
+// A coprocessor endpoint reaches the HCA through the PCIe/CCL path: extra
+// one-way latency and a forwarding bandwidth cap (the "low network
+// communication bandwidth via PCIe" the paper's §4.4 warns about).
+constexpr sim::Seconds kPhiToHcaLatency = 3.3e-6;
+constexpr double kPhiForwardBandwidth = 2.0e9;
+
+}  // namespace
+
+int IbInterconnect::hops(int a, int b) {
+  int x = a ^ b;
+  int count = 0;
+  while (x != 0) {
+    count += x & 1;
+    x >>= 1;
+  }
+  return std::max(count, 1);
+}
+
+sim::Seconds IbInterconnect::message_time(sim::Bytes size, int hop_count,
+                                          bool from_coprocessor) const {
+  sim::Seconds t = base_latency() + kPerHopLatency * std::max(hop_count - 1, 0);
+  double bw = port_bandwidth();
+  if (from_coprocessor) {
+    t += kPhiToHcaLatency;
+    bw = std::min(bw, kPhiForwardBandwidth);
+  }
+  if (size > 0) t += static_cast<double>(size) / bw;
+  return t;
+}
+
+}  // namespace maia::cluster

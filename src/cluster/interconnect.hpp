@@ -1,0 +1,38 @@
+// Inter-node InfiniBand interconnect model (4x FDR on a hypercube,
+// Table 1).  The paper restricts its measurements to one node; this module
+// is the forward extension its conclusions point at ("extreme-scale"
+// systems): the wire facts are datasheet numbers, the MPI-layer constants
+// follow the same calibration policy as the rest of the model.
+#pragma once
+
+#include "arch/link.hpp"
+#include "arch/node.hpp"
+#include "sim/units.hpp"
+
+namespace maia::cluster {
+
+class IbInterconnect {
+ public:
+  explicit IbInterconnect(const arch::InfinibandParams& hca) : hca_(hca) {}
+
+  /// One-way MPI latency between two hosts on adjacent switch ports.
+  sim::Seconds base_latency() const { return 1.3e-6; }
+
+  /// Data bandwidth of one node's FDR port (56 Gb/s, 64b/66b).
+  sim::BytesPerSecond port_bandwidth() const { return hca_.data_bandwidth(); }
+
+  /// Hypercube hop count between node ranks.
+  static int hops(int a, int b);
+
+  /// Time for one inter-node message of `size` bytes across `hop_count`
+  /// switch hops, sourced from `device` (a Phi endpoint first crosses PCIe
+  /// to reach the HCA, adding the host-Phi latency and capping at the
+  /// PCIe-to-IB forwarding bandwidth).
+  sim::Seconds message_time(sim::Bytes size, int hop_count,
+                            bool from_coprocessor) const;
+
+ private:
+  arch::InfinibandParams hca_;
+};
+
+}  // namespace maia::cluster

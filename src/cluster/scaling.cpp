@@ -1,0 +1,157 @@
+#include "cluster/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/exec_model.hpp"
+
+namespace maia::cluster {
+namespace {
+
+bool power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int ceil_log2(int n) {
+  int rounds = 0, span = 1;
+  while (span < n) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+const char* node_mode_name(NodeMode m) {
+  switch (m) {
+    case NodeMode::kHostNative: return "host-native";
+    case NodeMode::kCoprocessorNative: return "coprocessor-native";
+    case NodeMode::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
+
+ClusterModel::ClusterModel(arch::NodeTopology node)
+    : node_(std::move(node)), ib_(node_.hca) {}
+
+double ClusterModel::node_compute_seconds(const npb::NpbWorkload& w,
+                                          NodeMode mode, int nodes) const {
+  // Each node computes a 1/nodes share of the workload.
+  npb::NpbWorkload share = w;
+  share.signature.flops /= nodes;
+  share.signature.dram_bytes /= nodes;
+  share.signature.parallel_trip = 0;  // rank-grid decomposition
+
+  auto device_time = [&](const arch::Device& dev, int threads) {
+    return perf::ExecModel::run(dev.processor, dev.sockets, threads,
+                                share.signature)
+        .total;
+  };
+
+  switch (mode) {
+    case NodeMode::kHostNative:
+      return device_time(node_.host, 16);
+    case NodeMode::kCoprocessorNative: {
+      // The share splits over both cards.
+      npb::NpbWorkload half = share;
+      half.signature.flops /= 2;
+      half.signature.dram_bytes /= 2;
+      return perf::ExecModel::run(node_.phi0.processor, 1, 177, half.signature)
+          .total;
+    }
+    case NodeMode::kSymmetric: {
+      // Work split proportional to device throughput (host + 2 Phi).
+      const double th = 1.0 / device_time(node_.host, 16);
+      const double tp =
+          1.0 / perf::ExecModel::run(node_.phi0.processor, 1, 177,
+                                     share.signature)
+                    .total;
+      // Perfectly balanced: combined rate is the sum of rates.
+      return 1.0 / (th + 2.0 * tp);
+    }
+  }
+  return 0.0;
+}
+
+double ClusterModel::internode_comm_seconds(const npb::NpbWorkload& w,
+                                            NodeMode mode, int nodes) const {
+  if (nodes <= 1) return 0.0;
+  const bool from_phi = mode != NodeMode::kHostNative;
+  const int rounds = ceil_log2(nodes);
+  const int diameter = ceil_log2(nodes);  // hypercube
+  double t = 0.0;
+
+  const auto& c = w.comm;
+  // Allreduce: hierarchical — intra-node combine (cheap, folded into the
+  // single-node model) + inter-node recursive doubling.
+  if (c.allreduce_count > 0) {
+    t += static_cast<double>(c.allreduce_count) * rounds *
+         ib_.message_time(c.allreduce_bytes, 1, from_phi);
+  }
+  // Halo exchanges: the inter-node share of the surface shrinks with the
+  // per-node block: bytes ~ base / nodes^(2/3).
+  if (c.p2p_count > 0) {
+    const auto bytes = static_cast<sim::Bytes>(
+        static_cast<double>(c.p2p_bytes_base) /
+        std::pow(static_cast<double>(nodes), 2.0 / 3.0));
+    t += static_cast<double>(c.p2p_count) * ib_.message_time(bytes, 1, from_phi);
+  }
+  // Alltoall (FT/IS): pairwise across nodes; each node ships
+  // total/nodes^2 per partner per call, nodes-1 partners, average
+  // hypercube distance ~ diameter/2.
+  if (c.alltoall_count > 0) {
+    const auto per_pair = static_cast<sim::Bytes>(
+        static_cast<double>(c.alltoall_total_bytes) /
+        (static_cast<double>(nodes) * static_cast<double>(nodes)));
+    t += static_cast<double>(c.alltoall_count) * (nodes - 1) *
+         ib_.message_time(per_pair, std::max(diameter / 2, 1), from_phi);
+  }
+  return t;
+}
+
+ClusterRun ClusterModel::run(npb::Benchmark b, NodeMode mode, int nodes) const {
+  if (!power_of_two(nodes) || nodes > 1024) {
+    throw std::invalid_argument("ClusterModel: nodes must be a power of two");
+  }
+  const auto w = npb::class_c_workload(b);
+
+  ClusterRun r;
+  r.benchmark = b;
+  r.mode = mode;
+  r.nodes = nodes;
+  const double compute = node_compute_seconds(w, mode, nodes);
+  const double comm = internode_comm_seconds(w, mode, nodes);
+  r.seconds = compute + comm;
+  r.gflops = w.signature.flops / r.seconds / 1e9;
+  r.comm_fraction = comm / r.seconds;
+
+  const double single = node_compute_seconds(w, mode, 1);
+  r.efficiency = single / (static_cast<double>(nodes) * r.seconds);
+  return r;
+}
+
+sim::DataSeries ClusterModel::scaling_curve(npb::Benchmark b, NodeMode mode,
+                                            int max_nodes) const {
+  sim::DataSeries s(std::string(npb::benchmark_name(b)) + " " +
+                    node_mode_name(mode));
+  for (int n = 1; n <= max_nodes; n *= 2) {
+    s.add(n, run(b, mode, n).gflops);
+  }
+  return s;
+}
+
+int ClusterModel::scaling_limit(npb::Benchmark b, NodeMode mode,
+                                int max_nodes) const {
+  double best = 0.0;
+  int best_nodes = 1;
+  for (int n = 1; n <= max_nodes; n *= 2) {
+    const double g = run(b, mode, n).gflops;
+    if (g > best) {
+      best = g;
+      best_nodes = n;
+    }
+  }
+  return best_nodes;
+}
+
+}  // namespace maia::cluster

@@ -1,0 +1,69 @@
+// Multi-node scaling projection — the extension experiment: how would the
+// paper's Class-C workloads scale across Maia's 128 nodes in each
+// execution mode?
+//
+// Per node, compute time comes from the single-node model (maia_npb /
+// maia_perf); across nodes, the workload's communication pattern runs over
+// the InfiniBand model with hierarchical collectives (intra-node combine,
+// inter-node recursive doubling).  The three modes differ exactly as the
+// paper's single-node conclusions predict: coprocessor-native pays the
+// PCIe-to-HCA forwarding penalty on every inter-node message, symmetric
+// adds Phi flops at the price of more ranks per collective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/node.hpp"
+#include "cluster/interconnect.hpp"
+#include "npb/signatures.hpp"
+#include "sim/series.hpp"
+
+namespace maia::cluster {
+
+enum class NodeMode {
+  kHostNative,         // 16 host ranks per node
+  kCoprocessorNative,  // ranks on the Phis only, host idle
+  kSymmetric,          // host + both Phis
+};
+
+const char* node_mode_name(NodeMode m);
+
+struct ClusterRun {
+  npb::Benchmark benchmark = npb::Benchmark::kMG;
+  NodeMode mode = NodeMode::kHostNative;
+  int nodes = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  /// Parallel efficiency vs the same mode on one node.
+  double efficiency = 0.0;
+  double comm_fraction = 0.0;
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(arch::NodeTopology node);
+
+  /// Strong-scale a Class-C benchmark over `nodes` nodes (power of two).
+  ClusterRun run(npb::Benchmark b, NodeMode mode, int nodes) const;
+
+  /// Gflop/s vs node count at powers of two up to `max_nodes`.
+  sim::DataSeries scaling_curve(npb::Benchmark b, NodeMode mode,
+                                int max_nodes = 128) const;
+
+  /// Node count past which adding nodes no longer helps (or max_nodes).
+  int scaling_limit(npb::Benchmark b, NodeMode mode, int max_nodes = 128) const;
+
+ private:
+  /// Single-node time of the 1/nodes share of the workload.
+  double node_compute_seconds(const npb::NpbWorkload& w, NodeMode mode,
+                              int nodes) const;
+  /// Per-step inter-node communication time.
+  double internode_comm_seconds(const npb::NpbWorkload& w, NodeMode mode,
+                                int nodes) const;
+
+  arch::NodeTopology node_;
+  IbInterconnect ib_;
+};
+
+}  // namespace maia::cluster

@@ -1,0 +1,66 @@
+#include "core/figure.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace maia::core {
+
+bool FigureResult::all_pass() const {
+  for (const auto& c : checks) {
+    if (!c.pass) return false;
+  }
+  return true;
+}
+
+int FigureResult::passed() const {
+  int n = 0;
+  for (const auto& c : checks) n += c.pass;
+  return n;
+}
+
+void FigureResult::print(std::ostream& os) const {
+  os << "==== " << id << ": " << title << " ====\n";
+  table.print(os);
+  if (!checks.empty()) {
+    os << "-- paper shape checks --\n";
+    for (const auto& c : checks) {
+      os << (c.pass ? "  [PASS] " : "  [FAIL] ") << c.description
+         << "  (paper: " << c.expected << ", model: " << c.measured << ")\n";
+    }
+    os << "  " << passed() << "/" << checks.size() << " checks pass\n";
+  }
+  os << "\n";
+}
+
+ShapeCheck check_near(std::string description, double expected, double measured,
+                      double rel_tol, const char* unit) {
+  ShapeCheck c;
+  c.description = std::move(description);
+  c.expected = sim::cell("%.3g %s", expected, unit);
+  c.measured = sim::cell("%.3g %s", measured, unit);
+  c.pass = std::fabs(measured - expected) <=
+           rel_tol * std::max(std::fabs(expected), 1e-300);
+  return c;
+}
+
+ShapeCheck check_range(std::string description, double lo, double hi,
+                       double measured, const char* unit) {
+  ShapeCheck c;
+  c.description = std::move(description);
+  c.expected = sim::cell("%.3g..%.3g %s", lo, hi, unit);
+  c.measured = sim::cell("%.3g %s", measured, unit);
+  c.pass = measured >= lo && measured <= hi;
+  return c;
+}
+
+ShapeCheck check_true(std::string description, std::string expected,
+                      std::string measured, bool pass) {
+  ShapeCheck c;
+  c.description = std::move(description);
+  c.expected = std::move(expected);
+  c.measured = std::move(measured);
+  c.pass = pass;
+  return c;
+}
+
+}  // namespace maia::core

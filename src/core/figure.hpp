@@ -1,0 +1,46 @@
+// FigureResult: the uniform deliverable of every experiment reproduction.
+//
+// Each figNN generator returns the modelled series as a printable table
+// plus a list of ShapeChecks — quantitative statements lifted from the
+// paper ("host is 1.3-3.5x faster", "bandwidth drops past 118 threads")
+// evaluated against the model.  Bench binaries print them; the integration
+// suite asserts them; EXPERIMENTS.md records them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/table.hpp"
+
+namespace maia::core {
+
+struct ShapeCheck {
+  std::string description;  // the paper's claim
+  std::string expected;     // paper value/range, as printed in the paper
+  std::string measured;     // model value
+  bool pass = false;
+};
+
+struct FigureResult {
+  std::string id;     // "fig04", "table1", ...
+  std::string title;  // paper caption
+  sim::TextTable table;
+  std::vector<ShapeCheck> checks;
+
+  bool all_pass() const;
+  int passed() const;
+
+  /// Table, then a PASS/FAIL line per check.
+  void print(std::ostream& os) const;
+};
+
+/// Helpers for building checks.
+ShapeCheck check_near(std::string description, double expected, double measured,
+                      double rel_tol, const char* unit = "");
+ShapeCheck check_range(std::string description, double lo, double hi,
+                       double measured, const char* unit = "");
+ShapeCheck check_true(std::string description, std::string expected,
+                      std::string measured, bool pass);
+
+}  // namespace maia::core

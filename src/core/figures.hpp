@@ -1,0 +1,46 @@
+// One generator per table/figure of the paper's evaluation section.
+// This is the library's top-level experiment API: bench binaries print
+// these results, the integration suite asserts their shape checks.
+#pragma once
+
+#include "core/figure.hpp"
+
+namespace maia::core {
+
+// §2 system description.
+FigureResult table1_system();
+
+// §6.1-6.7 microbenchmarks.
+FigureResult fig04_stream();
+FigureResult fig05_latency();
+FigureResult fig06_membw();
+FigureResult fig07_mpi_latency();
+FigureResult fig08_mpi_bandwidth();
+FigureResult fig09_update_gain();
+FigureResult fig10_sendrecv();
+FigureResult fig11_bcast();
+FigureResult fig12_allreduce();
+FigureResult fig13_allgather();
+FigureResult fig14_alltoall();
+FigureResult fig15_omp_sync();
+FigureResult fig16_omp_sched();
+FigureResult fig17_io();
+FigureResult fig18_offload_bw();
+
+// §6.8 NAS Parallel Benchmarks.
+FigureResult fig19_npb_openmp();
+FigureResult fig20_npb_mpi();
+
+// §6.9 applications and offload studies.
+FigureResult fig21_cart3d();
+FigureResult fig22_overflow_native();
+FigureResult fig23_overflow_symmetric();
+FigureResult fig24_loop_collapse();
+FigureResult fig25_mg_modes();
+FigureResult fig26_offload_overhead();
+FigureResult fig27_offload_cost();
+
+/// Every experiment, in paper order.
+std::vector<FigureResult (*)()> all_figures();
+
+}  // namespace maia::core

@@ -1,0 +1,148 @@
+// The application figures: 21 (Cart3D), 22 (OVERFLOW native), 23 (OVERFLOW
+// symmetric mode).
+#include <algorithm>
+
+#include "apps/cart3d.hpp"
+#include "apps/overflow.hpp"
+#include "apps/zones.hpp"
+#include "arch/registry.hpp"
+#include "core/figures.hpp"
+#include "sim/units.hpp"
+
+namespace maia::core {
+namespace {
+
+using arch::DeviceId;
+using sim::cell;
+
+}  // namespace
+
+FigureResult fig21_cart3d() {
+  FigureResult fig;
+  fig.id = "fig21";
+  fig.title = "Performance of Cart3D on host and Phi (OneraM6, 6M cells)";
+  const apps::Cart3dModel model(arch::maia_node());
+  const auto w = apps::onera_m6();
+
+  fig.table.set_header({"configuration", "Gflop/s", "run time"});
+  fig.table.add_row({"host, 16 threads", cell("%.1f", model.gflops(w, DeviceId::kHost, 16)),
+                     sim::format_time(model.seconds(w, DeviceId::kHost, 16))});
+  double best_phi = 0.0;
+  int best_threads = 0;
+  for (int t : {59, 118, 177, 236}) {
+    const double g = model.gflops(w, DeviceId::kPhi0, t);
+    if (g > best_phi) {
+      best_phi = g;
+      best_threads = t;
+    }
+    fig.table.add_row({cell("Phi, %d threads", t), cell("%.1f", g),
+                       sim::format_time(model.seconds(w, DeviceId::kPhi0, t))});
+  }
+
+  fig.checks.push_back(check_near(
+      "host twice the best Phi result", 2.0,
+      model.gflops(w, DeviceId::kHost, 16) / best_phi, 0.2, "x"));
+  fig.checks.push_back(check_true("4 threads/core optimal on Phi", "236 threads",
+                                  cell("%d threads", best_threads),
+                                  best_threads == 236));
+  return fig;
+}
+
+FigureResult fig22_overflow_native() {
+  FigureResult fig;
+  fig.id = "fig22";
+  fig.title = "Performance of OVERFLOW on host and Phi (DLRF6-Medium)";
+  const apps::OverflowModel model(arch::maia_node(),
+                                  fabric::SoftwareStack::kPostUpdate);
+  const auto medium = apps::make_dlrf6_medium();
+
+  fig.table.set_header({"device", "ranks x threads", "s / step"});
+  const std::vector<std::pair<int, int>> host_cfg{
+      {16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}};
+  std::vector<double> host_times;
+  for (auto [r, t] : host_cfg) {
+    const auto s = model.step_time(medium, {{DeviceId::kHost, r, t}});
+    host_times.push_back(s.total);
+    fig.table.add_row({"host", cell("%d x %d", r, t), cell("%.3f", s.total)});
+  }
+  const std::vector<std::pair<int, int>> phi_cfg{
+      {4, 14}, {8, 14}, {4, 28}, {8, 28}};
+  std::vector<double> phi_times;
+  for (auto [r, t] : phi_cfg) {
+    const auto s = model.step_time(medium, {{DeviceId::kPhi0, r, t}});
+    phi_times.push_back(s.total);
+    fig.table.add_row({"Phi0", cell("%d x %d", r, t), cell("%.3f", s.total)});
+  }
+
+  fig.checks.push_back(check_true(
+      "host best at 16x1, worst at 1x16", "endpoints of the sweep",
+      (std::min_element(host_times.begin(), host_times.end()) ==
+           host_times.begin() &&
+       std::max_element(host_times.begin(), host_times.end()) ==
+           host_times.end() - 1)
+          ? "holds"
+          : "violated",
+      std::min_element(host_times.begin(), host_times.end()) ==
+              host_times.begin() &&
+          std::max_element(host_times.begin(), host_times.end()) ==
+              host_times.end() - 1));
+  fig.checks.push_back(check_true(
+      "Phi best at 8x28, worst at 4x14", "endpoints of the sweep",
+      (std::min_element(phi_times.begin(), phi_times.end()) ==
+           phi_times.end() - 1 &&
+       std::max_element(phi_times.begin(), phi_times.end()) == phi_times.begin())
+          ? "holds"
+          : "violated",
+      std::min_element(phi_times.begin(), phi_times.end()) ==
+              phi_times.end() - 1 &&
+          std::max_element(phi_times.begin(), phi_times.end()) ==
+              phi_times.begin()));
+  fig.checks.push_back(check_near("best Phi ~1.8x slower than best host", 1.8,
+                                  phi_times.back() / host_times.front(), 0.3,
+                                  "x"));
+  return fig;
+}
+
+FigureResult fig23_overflow_symmetric() {
+  FigureResult fig;
+  fig.id = "fig23";
+  fig.title = "Performance of OVERFLOW in symmetric mode (DLRF6-Large)";
+  const auto large = apps::make_dlrf6_large();
+  const apps::OverflowModel pre(arch::maia_node(),
+                                fabric::SoftwareStack::kPreUpdate);
+  const apps::OverflowModel post(arch::maia_node(),
+                                 fabric::SoftwareStack::kPostUpdate);
+
+  fig.table.set_header(
+      {"configuration", "pre-update s/step", "post-update s/step", "gain"});
+  const std::vector<std::pair<int, int>> phi_cfg{{4, 28}, {8, 14}, {8, 28}};
+  double best_post = 1e30;
+  double best_gain = 0.0, worst_gain = 1e30;
+  for (auto [r, t] : phi_cfg) {
+    const auto config = apps::OverflowModel::symmetric_config(r, t);
+    const double tp = pre.step_time(large, config).total;
+    const double tq = post.step_time(large, config).total;
+    best_post = std::min(best_post, tq);
+    best_gain = std::max(best_gain, tp / tq);
+    worst_gain = std::min(worst_gain, tp / tq);
+    fig.table.add_row({cell("host 16x1 + 2 Phi %d x %d", r, t), cell("%.3f", tp),
+                       cell("%.3f", tq),
+                       cell("%+.0f%%", (tp / tq - 1.0) * 100.0)});
+  }
+  const double host_only =
+      post.step_time(large, {{DeviceId::kHost, 16, 1}}).total;
+  fig.table.add_row({"host only 16x1", "-", cell("%.3f", host_only), "-"});
+
+  fig.checks.push_back(check_near("symmetric ~1.9x over native host", 1.9,
+                                  host_only / best_post, 0.15, "x"));
+  fig.checks.push_back(check_range("software-update gain 2-28%", 1.0, 1.30,
+                                   best_gain, "x"));
+  const double two_hosts =
+      post.step_time(large, {{DeviceId::kHost, 32, 1}}).total / 2.0;
+  fig.checks.push_back(check_true(
+      "still worse than two hosts", "host1+host2 wins",
+      best_post > two_hosts ? "holds" : "violated", best_post > two_hosts));
+  return fig;
+}
+
+}  // namespace maia::core

@@ -1,0 +1,276 @@
+// The NPB figures: 19 (OpenMP), 20 (MPI), 24 (loop collapse), 25-27 (MG
+// offload modes), and the registry of all figures.
+#include <algorithm>
+
+#include "arch/registry.hpp"
+#include "core/figures.hpp"
+#include "npb/mg_offload.hpp"
+#include "npb/mpi_runner.hpp"
+#include "npb/openmp_runner.hpp"
+#include "npb/signatures.hpp"
+#include "sim/units.hpp"
+
+namespace maia::core {
+namespace {
+
+using arch::DeviceId;
+using sim::cell;
+
+}  // namespace
+
+FigureResult fig19_npb_openmp() {
+  FigureResult fig;
+  fig.id = "fig19";
+  fig.title = "Performance of NPB OpenMP (Class C) on host and Phi";
+  const npb::OpenMpRunner runner(arch::maia_node());
+
+  fig.table.set_header({"benchmark", "host 16", "host 32(HT)", "Phi 59",
+                        "Phi 118", "Phi 177", "Phi 236"});
+  int best_at_three = 0;
+  for (auto b : npb::all_benchmarks()) {
+    std::vector<std::string> row{npb::benchmark_name(b)};
+    row.push_back(cell("%.1f", runner.run(b, DeviceId::kHost, 16).gflops));
+    row.push_back(cell("%.1f", runner.run(b, DeviceId::kHost, 32).gflops));
+    double best = -1;
+    int best_threads = 0;
+    for (int t : npb::OpenMpRunner::phi_thread_counts()) {
+      const double g = runner.run(b, DeviceId::kPhi0, t).gflops;
+      row.push_back(cell("%.1f", g));
+      if (g > best) {
+        best = g;
+        best_threads = t;
+      }
+    }
+    if (best_threads == 177) ++best_at_three;
+    fig.table.add_row(std::move(row));
+  }
+
+  const double mg_host = runner.run(npb::Benchmark::kMG, DeviceId::kHost, 16).gflops;
+  const auto mg_phi = runner.best(npb::Benchmark::kMG, DeviceId::kPhi0);
+  fig.checks.push_back(
+      check_near("MG native host 23.5 Gflop/s", 23.5, mg_host, 0.07, "Gflop/s"));
+  fig.checks.push_back(
+      check_near("MG native Phi 29.9 Gflop/s", 29.9, mg_phi.gflops, 0.07,
+                 "Gflop/s"));
+  fig.checks.push_back(check_true(
+      "3 threads/core best for most benchmarks",
+      ">= 5 of 8 peak at 177 threads", cell("%d of 8", best_at_three),
+      best_at_three >= 5));
+  const double bt = runner.best(npb::Benchmark::kBT, DeviceId::kPhi0).gflops;
+  const double cg = runner.best(npb::Benchmark::kCG, DeviceId::kPhi0).gflops;
+  fig.checks.push_back(check_true("BT highest / CG lowest on Phi",
+                                  "BT > others > CG",
+                                  bt > cg ? "holds" : "violated", bt > cg));
+  int host_wins = 0;
+  for (auto b : npb::all_benchmarks()) {
+    if (b == npb::Benchmark::kMG) continue;
+    if (runner.best(b, DeviceId::kHost).gflops >
+        runner.best(b, DeviceId::kPhi0).gflops) {
+      ++host_wins;
+    }
+  }
+  fig.checks.push_back(check_true("host beats Phi except MG", "7 of 7",
+                                  cell("%d of 7", host_wins), host_wins == 7));
+  return fig;
+}
+
+FigureResult fig20_npb_mpi() {
+  FigureResult fig;
+  fig.id = "fig20";
+  fig.title = "Performance of NPB MPI (Class C) on host and Phi";
+  const npb::MpiRunner runner(arch::maia_node(),
+                              fabric::SoftwareStack::kPostUpdate);
+
+  fig.table.set_header({"benchmark", "ranks", "host 16", "Phi"});
+  for (auto b : npb::all_benchmarks()) {
+    const auto host = runner.run(b, DeviceId::kHost, 16);
+    bool first = true;
+    for (int ranks : runner.valid_rank_counts(b, DeviceId::kPhi0)) {
+      const auto phi = runner.run(b, DeviceId::kPhi0, ranks);
+      fig.table.add_row({first ? npb::benchmark_name(b) : "",
+                         cell("%d", ranks),
+                         first ? cell("%.1f", host.gflops) : "",
+                         phi.out_of_memory ? "OOM" : cell("%.1f", phi.gflops)});
+      first = false;
+    }
+  }
+
+  fig.checks.push_back(check_true(
+      "FT cannot run on Phi (needs ~10 GB, card has 8 GB)", "OOM",
+      runner.run(npb::Benchmark::kFT, DeviceId::kPhi0, 64).out_of_memory
+          ? "OOM"
+          : "ran",
+      runner.run(npb::Benchmark::kFT, DeviceId::kPhi0, 64).out_of_memory));
+  const auto bt_sweep = runner.rank_sweep(npb::Benchmark::kBT, DeviceId::kPhi0);
+  double best_x = 0, best_y = -1;
+  for (const auto& p : bt_sweep.points()) {
+    if (p.y > best_y) {
+      best_y = p.y;
+      best_x = p.x;
+    }
+  }
+  fig.checks.push_back(check_true("BT best at 4 ranks/core (225)", "225 ranks",
+                                  cell("%.0f ranks", best_x), best_x == 225));
+  return fig;
+}
+
+FigureResult fig24_loop_collapse() {
+  FigureResult fig;
+  fig.id = "fig24";
+  fig.title = "Performance gain of OpenMP loop collapse on Phi";
+  const npb::OpenMpRunner runner(arch::maia_node());
+  const auto plain = npb::class_c_workload(npb::Benchmark::kMG);
+  const auto collapsed = npb::class_c_mg_collapsed();
+
+  fig.table.set_header({"threads", "MG plain Gflop/s", "MG collapsed", "gain",
+                        "on OS core (60x)"});
+  double min_gain = 1e30, max_gain = 0.0;
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    const int t = 59 * tpc;
+    const auto p = runner.run_workload(plain, DeviceId::kPhi0, t);
+    const auto c = runner.run_workload(collapsed, DeviceId::kPhi0, t);
+    const auto spill = runner.run_workload(plain, DeviceId::kPhi0, 60 * tpc);
+    const double gain = p.seconds / c.seconds;
+    if (tpc == 4) {
+      min_gain = std::min(min_gain, gain);
+      max_gain = std::max(max_gain, gain);
+    }
+    fig.table.add_row({cell("%d", t), cell("%.1f", plain.signature.flops / p.seconds / 1e9),
+                       cell("%.1f", plain.signature.flops / c.seconds / 1e9),
+                       cell("%+.0f%%", (gain - 1.0) * 100.0),
+                       cell("%.1f", plain.signature.flops / spill.seconds / 1e9)});
+  }
+
+  const auto host_plain = runner.run_workload(plain, DeviceId::kHost, 16);
+  const auto host_coll = runner.run_workload(collapsed, DeviceId::kHost, 16);
+  fig.checks.push_back(check_range(
+      "collapse gains 25-28% on Phi at full threading", 1.15, 1.45, max_gain, "x"));
+  fig.checks.push_back(check_near(
+      "collapse costs ~1% on the host", -1.0,
+      (host_plain.seconds / host_coll.seconds - 1.0) * 100.0, 1.2, "%"));
+  const auto on59 = runner.run_workload(plain, DeviceId::kPhi0, 236);
+  const auto on60 = runner.run_workload(plain, DeviceId::kPhi0, 240);
+  fig.checks.push_back(check_true(
+      "236 threads much better than 240 (OS core)", "59-core runs win",
+      on59.seconds < on60.seconds ? "holds" : "violated",
+      on59.seconds < on60.seconds));
+  return fig;
+}
+
+FigureResult fig25_mg_modes() {
+  FigureResult fig;
+  fig.id = "fig25";
+  fig.title = "MG in 3 modes: native host, native Phi, offload";
+  const auto r = npb::run_mg_modes();
+
+  fig.table.set_header({"mode", "Gflop/s"});
+  fig.table.add_row({"native host (16 threads)", cell("%.1f", r.native_host_gflops)});
+  fig.table.add_row({"native host HT (32 threads)", cell("%.1f", r.native_host_ht_gflops)});
+  fig.table.add_row({cell("native Phi (%d threads)", r.native_phi_threads),
+                     cell("%.1f", r.native_phi_gflops)});
+  for (int v = 0; v < 3; ++v) {
+    fig.table.add_row(
+        {npb::mg_offload_version_name(static_cast<npb::MgOffloadVersion>(v)),
+         cell("%.1f", r.offload_gflops[v])});
+  }
+
+  fig.checks.push_back(check_near("native host 23.5 Gflop/s at 16 threads", 23.5,
+                                  r.native_host_gflops, 0.07, "Gflop/s"));
+  fig.checks.push_back(check_near("HT (32 threads) ~6% below 16 threads", 22.2,
+                                  r.native_host_ht_gflops, 0.07, "Gflop/s"));
+  fig.checks.push_back(check_near("native Phi 29.9 Gflop/s at 177 threads", 29.9,
+                                  r.native_phi_gflops, 0.07, "Gflop/s"));
+  const double best_offload =
+      *std::max_element(r.offload_gflops, r.offload_gflops + 3);
+  fig.checks.push_back(check_true(
+      "all offload versions below both native modes", "offload < native",
+      best_offload < std::min(r.native_host_gflops, r.native_phi_gflops)
+          ? "holds"
+          : "violated",
+      best_offload < std::min(r.native_host_gflops, r.native_phi_gflops)));
+  fig.checks.push_back(check_true(
+      "whole-computation offload is the best offload", "loop < subroutine < whole",
+      (r.offload_gflops[0] < r.offload_gflops[1] &&
+       r.offload_gflops[1] < r.offload_gflops[2])
+          ? "holds"
+          : "violated",
+      r.offload_gflops[0] < r.offload_gflops[1] &&
+          r.offload_gflops[1] < r.offload_gflops[2]));
+  return fig;
+}
+
+FigureResult fig26_offload_overhead() {
+  FigureResult fig;
+  fig.id = "fig26";
+  fig.title = "Overhead in three offload versions for MG";
+  const auto r = npb::run_mg_modes();
+
+  fig.table.set_header(
+      {"version", "host setup", "PCIe transfer", "Phi setup", "total overhead"});
+  for (int v = 0; v < 3; ++v) {
+    const auto& rep = r.reports[v];
+    fig.table.add_row(
+        {npb::mg_offload_version_name(static_cast<npb::MgOffloadVersion>(v)),
+         sim::format_time(rep.host_setup), sim::format_time(rep.transfer),
+         sim::format_time(rep.phi_setup), sim::format_time(rep.overhead())});
+  }
+
+  fig.checks.push_back(check_true(
+      "one-loop offload has the largest overhead", "loop > subroutine > whole",
+      (r.reports[0].overhead() > r.reports[1].overhead() &&
+       r.reports[1].overhead() > r.reports[2].overhead())
+          ? "holds"
+          : "violated",
+      r.reports[0].overhead() > r.reports[1].overhead() &&
+          r.reports[1].overhead() > r.reports[2].overhead()));
+  return fig;
+}
+
+FigureResult fig27_offload_cost() {
+  FigureResult fig;
+  fig.id = "fig27";
+  fig.title = "Cost of three offload versions of MG";
+  const auto r = npb::run_mg_modes();
+
+  fig.table.set_header({"version", "offload invocations", "data transferred"});
+  for (int v = 0; v < 3; ++v) {
+    const auto& rep = r.reports[v];
+    fig.table.add_row(
+        {npb::mg_offload_version_name(static_cast<npb::MgOffloadVersion>(v)),
+         cell("%ld", rep.invocations), sim::format_bytes(rep.total_bytes())});
+  }
+
+  fig.checks.push_back(check_true(
+      "invocations: loop >> subroutine >> whole", "strictly decreasing",
+      (r.reports[0].invocations > r.reports[1].invocations &&
+       r.reports[1].invocations > r.reports[2].invocations)
+          ? "holds"
+          : "violated",
+      r.reports[0].invocations > r.reports[1].invocations &&
+          r.reports[1].invocations > r.reports[2].invocations));
+  fig.checks.push_back(check_true(
+      "data: loop >> subroutine >> whole", "strictly decreasing",
+      (r.reports[0].total_bytes() > r.reports[1].total_bytes() &&
+       r.reports[1].total_bytes() > r.reports[2].total_bytes())
+          ? "holds"
+          : "violated",
+      r.reports[0].total_bytes() > r.reports[1].total_bytes() &&
+          r.reports[1].total_bytes() > r.reports[2].total_bytes()));
+  return fig;
+}
+
+std::vector<FigureResult (*)()> all_figures() {
+  return {
+      table1_system,    fig04_stream,       fig05_latency,
+      fig06_membw,      fig07_mpi_latency,  fig08_mpi_bandwidth,
+      fig09_update_gain, fig10_sendrecv,    fig11_bcast,
+      fig12_allreduce,  fig13_allgather,    fig14_alltoall,
+      fig15_omp_sync,   fig16_omp_sched,    fig17_io,
+      fig18_offload_bw, fig19_npb_openmp,   fig20_npb_mpi,
+      fig21_cart3d,     fig22_overflow_native, fig23_overflow_symmetric,
+      fig24_loop_collapse, fig25_mg_modes,  fig26_offload_overhead,
+      fig27_offload_cost,
+  };
+}
+
+}  // namespace maia::core

@@ -1,0 +1,129 @@
+#include "fabric/mpi_fabric.hpp"
+
+namespace maia::fabric {
+namespace {
+
+// --- Calibration constants (DESIGN.md §4) --------------------------------
+// Software-stack latencies and provider bandwidth caps.  Each constant is a
+// property of the MPSS/Intel-MPI software path, named for the paper
+// observation it reproduces.
+
+// One-way zero-byte latency via CCL-direct (Fig 7).  host-Phi1 adds a QPI
+// crossing; the post-update stack shaved the Phi1 penalty (4.6 -> 4.1 us)
+// and made peer-to-peer slightly slower (6.3 -> 6.6 us).
+constexpr sim::Seconds kLatencyHostPhi0 = 3.3e-6;
+constexpr sim::Seconds kLatencyHostPhi1Pre = 4.6e-6;
+constexpr sim::Seconds kLatencyHostPhi1Post = 4.1e-6;
+constexpr sim::Seconds kLatencyP2pPre = 6.3e-6;
+constexpr sim::Seconds kLatencyP2pPost = 6.6e-6;
+
+// CCL-direct asymptotic bandwidth caps (Fig 8 pre-update plateaus: 1.6 GB/s,
+// 455 MB/s, 444 MB/s at 4 MB).
+constexpr double kCclPreHostPhi0 = 1.63e9;
+constexpr double kCclPreHostPhi1 = 0.458e9;
+constexpr double kCclPreP2p = 0.447e9;
+
+// Post-update CCL improved pipelining below the SCIF threshold (Fig 9:
+// x1-1.5 host-Phi0, x1-1.3 host-Phi1) but slightly degraded peer-to-peer
+// small messages ("bandwidth ... decreased up to a message size of 8KB").
+constexpr double kCclPostHostPhi0 = 2.1e9;
+constexpr double kCclPostHostPhi1 = 0.56e9;
+constexpr double kCclPostP2p = 0.42e9;
+
+// SCIF DMA caps (Fig 8 post-update plateaus: 6 GB/s, 6 GB/s, 899 MB/s).
+constexpr double kScifHostPhi0 = 6.05e9;
+constexpr double kScifHostPhi1 = 6.05e9;
+constexpr double kScifP2p = 0.905e9;
+
+// Extra setup of the rendezvous direct-copy handshake (one RTT) and of
+// programming the SCIF DMA engine.
+constexpr sim::Seconds kScifDmaSetup = 10e-6;
+
+}  // namespace
+
+RouteDecision MpiFabricModel::route(sim::Bytes size) const {
+  if (stack_ == SoftwareStack::kPreUpdate) {
+    // Pre-update software uses the CCL-direct provider for all sizes.
+    return {DaplProvider::kCclDirect,
+            size <= kEagerThreshold ? Protocol::kEager
+                                    : Protocol::kRendezvousDirectCopy};
+  }
+  if (size <= kEagerThreshold) return {DaplProvider::kCclDirect, Protocol::kEager};
+  if (size <= kScifThreshold) {
+    return {DaplProvider::kCclDirect, Protocol::kRendezvousDirectCopy};
+  }
+  return {DaplProvider::kScif, Protocol::kRendezvousDirectCopy};
+}
+
+sim::Seconds MpiFabricModel::latency(Path path) const {
+  const bool pre = stack_ == SoftwareStack::kPreUpdate;
+  switch (path) {
+    case Path::kHostToPhi0:
+      return kLatencyHostPhi0;
+    case Path::kHostToPhi1:
+      return pre ? kLatencyHostPhi1Pre : kLatencyHostPhi1Post;
+    case Path::kPhi0ToPhi1:
+      return pre ? kLatencyP2pPre : kLatencyP2pPost;
+  }
+  return 0.0;
+}
+
+sim::BytesPerSecond MpiFabricModel::provider_cap(DaplProvider provider,
+                                                 Path path) const {
+  const bool pre = stack_ == SoftwareStack::kPreUpdate;
+  if (provider == DaplProvider::kScif) {
+    switch (path) {
+      case Path::kHostToPhi0: return kScifHostPhi0;
+      case Path::kHostToPhi1: return kScifHostPhi1;
+      case Path::kPhi0ToPhi1: return kScifP2p;
+    }
+  }
+  switch (path) {
+    case Path::kHostToPhi0: return pre ? kCclPreHostPhi0 : kCclPostHostPhi0;
+    case Path::kHostToPhi1: return pre ? kCclPreHostPhi1 : kCclPostHostPhi1;
+    case Path::kPhi0ToPhi1: return pre ? kCclPreP2p : kCclPostP2p;
+  }
+  return 0.0;
+}
+
+sim::BytesPerSecond MpiFabricModel::bandwidth_cap(Path path, sim::Bytes size) const {
+  return provider_cap(route(size).provider, path);
+}
+
+sim::Seconds MpiFabricModel::transfer_time(Path path, sim::Bytes size) const {
+  const RouteDecision r = route(size);
+  sim::Seconds t = latency(path);
+  if (r.protocol == Protocol::kRendezvousDirectCopy) {
+    t += latency(path);  // the rendezvous handshake costs one extra one-way
+  }
+  if (r.provider == DaplProvider::kScif) {
+    t += kScifDmaSetup;
+  }
+  if (size > 0) {
+    t += static_cast<double>(size) / provider_cap(r.provider, path);
+  }
+  return t;
+}
+
+sim::BytesPerSecond MpiFabricModel::bandwidth(Path path, sim::Bytes size) const {
+  if (size == 0) return 0.0;
+  return static_cast<double>(size) / transfer_time(path, size);
+}
+
+sim::DataSeries MpiFabricModel::bandwidth_curve(Path path, sim::Bytes from,
+                                                sim::Bytes to) const {
+  sim::DataSeries s(std::string(path_name(path)) + " (" + stack_name(stack_) + ")");
+  for (sim::Bytes size = from; size <= to; size *= 2) {
+    s.add(static_cast<double>(size), bandwidth(path, size));
+  }
+  return s;
+}
+
+sim::DataSeries update_gain_curve(Path path, sim::Bytes from, sim::Bytes to) {
+  const MpiFabricModel pre(SoftwareStack::kPreUpdate);
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  return ratio_series(post.bandwidth_curve(path, from, to),
+                      pre.bandwidth_curve(path, from, to));
+}
+
+}  // namespace maia::fabric

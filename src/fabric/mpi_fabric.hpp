@@ -1,0 +1,78 @@
+// MPI-over-PCIe fabric model: DAPL providers, protocol selection, and the
+// pre-/post-update software stacks (paper §5, Figs 7-9).
+//
+// Mechanisms modelled:
+//  * CCL-direct provider (ofa-v2-mlx4_0-1): messages loop through the
+//    InfiniBand HCA on PCIe bus 0.  Lowest latency; limited bandwidth, and
+//    severely limited to Phi1 (the HCA and Phi1 sit on different sockets,
+//    so every transfer crosses QPI with small DMA windows).
+//  * SCIF provider (ofa-v2-scif0): DMA straight over the PCIe bus; higher
+//    setup cost, much higher bandwidth.
+//  * Pre-update stack: CCL-direct for ALL message sizes.
+//  * Post-update stack: eager/CCL <= 8 KB < rendezvous/CCL <= 256 KB <
+//    rendezvous/SCIF  (the I_MPI_DAPL_DIRECT_COPY_THRESHOLD=8192,262144
+//    setting in the paper).
+#pragma once
+
+#include "fabric/path.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::fabric {
+
+enum class SoftwareStack {
+  kPreUpdate,   // MPSS Gold, Intel MPI 4.1.0.030
+  kPostUpdate,  // MPSS Gold update 3, Intel MPI 4.1.1.036
+};
+
+inline const char* stack_name(SoftwareStack s) {
+  return s == SoftwareStack::kPreUpdate ? "pre-update" : "post-update";
+}
+
+enum class DaplProvider { kCclDirect, kScif };
+
+enum class Protocol { kEager, kRendezvousDirectCopy };
+
+struct RouteDecision {
+  DaplProvider provider = DaplProvider::kCclDirect;
+  Protocol protocol = Protocol::kEager;
+};
+
+class MpiFabricModel {
+ public:
+  explicit MpiFabricModel(SoftwareStack stack) : stack_(stack) {}
+
+  SoftwareStack stack() const { return stack_; }
+
+  /// Provider/protocol the stack selects for a message of `size` bytes.
+  RouteDecision route(sim::Bytes size) const;
+
+  /// Zero-byte one-way MPI latency on `path` (Fig 7).
+  sim::Seconds latency(Path path) const;
+
+  /// One-way time to move `size` bytes on `path`.
+  sim::Seconds transfer_time(Path path, sim::Bytes size) const;
+
+  /// Achieved bandwidth for a message of `size` bytes (Fig 8).
+  sim::BytesPerSecond bandwidth(Path path, sim::Bytes size) const;
+
+  /// Asymptotic bandwidth cap of the provider the stack picks for `size`.
+  sim::BytesPerSecond bandwidth_cap(Path path, sim::Bytes size) const;
+
+  /// Fig-8 curve: bandwidth vs message size (powers of two in [from, to]).
+  sim::DataSeries bandwidth_curve(Path path, sim::Bytes from, sim::Bytes to) const;
+
+  /// Message-size thresholds of the post-update provider switch.
+  static constexpr sim::Bytes kEagerThreshold = 8 * 1024;
+  static constexpr sim::Bytes kScifThreshold = 256 * 1024;
+
+ private:
+  sim::BytesPerSecond provider_cap(DaplProvider provider, Path path) const;
+
+  SoftwareStack stack_;
+};
+
+/// Fig-9: pointwise post/pre bandwidth gain for a path.
+sim::DataSeries update_gain_curve(Path path, sim::Bytes from, sim::Bytes to);
+
+}  // namespace maia::fabric

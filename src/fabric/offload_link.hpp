@@ -1,0 +1,44 @@
+// Offload-mode PCIe DMA transfer model (paper §6.7, Fig 18).
+//
+// The offload runtime moves data with the coprocessor DMA engine directly
+// over PCIe (no DAPL, no HCA).  Effective bandwidth follows the paper's
+// TLP framing arithmetic — 128 B payloads in 20 B wrapping on a Gen2 x16
+// link — times a DMA-engine utilization factor, giving ~6.4 GB/s for large
+// transfers.  host->Phi1 runs ~3% below host->Phi0 (QPI crossing), and
+// there is a reproducible dip at 64 KB where the runtime switches from the
+// single pre-pinned staging buffer to the double-buffered DMA path (the
+// paper observes the dip and leaves it unexplained; the buffer-switch is
+// our model hypothesis, kept explicit here).
+#pragma once
+
+#include "arch/link.hpp"
+#include "fabric/path.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::fabric {
+
+class OffloadLink {
+ public:
+  explicit OffloadLink(const arch::PcieLinkParams& link, Path path)
+      : link_(link), path_(path) {}
+
+  /// Asymptotic DMA bandwidth of this link.
+  sim::BytesPerSecond peak_bandwidth() const;
+
+  /// One-way time to move `size` bytes in offload mode (transfer only; the
+  /// offload *invocation* overhead lives in maia_offload).
+  sim::Seconds transfer_time(sim::Bytes size) const;
+
+  /// Achieved bandwidth for a `size`-byte transfer (Fig 18).
+  sim::BytesPerSecond bandwidth(sim::Bytes size) const;
+
+  /// Fig-18 curve over power-of-two sizes in [from, to].
+  sim::DataSeries bandwidth_curve(sim::Bytes from, sim::Bytes to) const;
+
+ private:
+  arch::PcieLinkParams link_;
+  Path path_;
+};
+
+}  // namespace maia::fabric

@@ -1,0 +1,39 @@
+// Intra-node communication paths across the PCIe fabric.
+#pragma once
+
+#include "arch/node.hpp"
+
+namespace maia::fabric {
+
+/// The three cross-device paths of Fig 7/8.  (Host-internal communication
+/// goes through shared memory and is modelled in the MPI layer.)
+enum class Path {
+  kHostToPhi0,  // one PCIe hop
+  kHostToPhi1,  // PCIe hop + QPI crossing (Phi1 hangs off socket 1)
+  kPhi0ToPhi1,  // peer-to-peer through the root complex, host-assisted
+};
+
+inline const char* path_name(Path p) {
+  switch (p) {
+    case Path::kHostToPhi0: return "host-Phi0";
+    case Path::kHostToPhi1: return "host-Phi1";
+    case Path::kPhi0ToPhi1: return "Phi0-Phi1";
+  }
+  return "?";
+}
+
+/// The path between two devices; devices must differ.
+Path path_between(arch::DeviceId a, arch::DeviceId b);
+
+inline Path path_between(arch::DeviceId a, arch::DeviceId b) {
+  if (a == b) {
+    // Callers must route same-device traffic through shared memory.
+    return Path::kHostToPhi0;
+  }
+  const bool host_involved = (a == arch::DeviceId::kHost || b == arch::DeviceId::kHost);
+  if (!host_involved) return Path::kPhi0ToPhi1;
+  const arch::DeviceId other = (a == arch::DeviceId::kHost) ? b : a;
+  return other == arch::DeviceId::kPhi0 ? Path::kHostToPhi0 : Path::kHostToPhi1;
+}
+
+}  // namespace maia::fabric

@@ -1,0 +1,78 @@
+#include "io/io_model.hpp"
+
+#include <algorithm>
+
+namespace maia::io {
+namespace {
+
+// --- Calibration constants (DESIGN.md §4) --------------------------------
+
+// NFS server/wire rates seen from the host (Fig 17: 295 MB/s read,
+// 210 MB/s write).
+constexpr double kHostNfsRead = 295e6;
+constexpr double kHostNfsWrite = 210e6;
+// Per-request client overhead on the host (RPC + page cache).
+constexpr sim::Seconds kHostPerRequest = 60e-6;
+
+// MPSS virtual TCP/IP stack: cycles to process one MTU-sized packet on a
+// KNC core (checksum, copies, interrupt path — scalar in-order code).
+constexpr double kPhiStackCyclesPerPacket = 19500.0;
+constexpr double kPhiMtuBytes = 1500.0;
+// Reads additionally traverse the RPC read-ahead path, which the MPSS
+// stack handles worse than the write path (Fig 17: 75 vs 80 MB/s on Phi0).
+constexpr double kPhiReadPenalty = 80.0 / 75.0;
+// Phi1's virtual network hops across QPI between root ports.
+constexpr double kPhi1Penalty = 1.05;
+// Per-request overhead on the Phi client (syscall on the slow core).
+constexpr sim::Seconds kPhiPerRequest = 350e-6;
+
+}  // namespace
+
+sim::BytesPerSecond IoModel::peak_bandwidth(arch::DeviceId device,
+                                            IoDirection dir) const {
+  if (device == arch::DeviceId::kHost) {
+    return dir == IoDirection::kRead ? kHostNfsRead : kHostNfsWrite;
+  }
+  const auto& proc = node_.device(device).processor;
+  // Virtual-TCP throughput cap: one packet per stack traversal.
+  double bw = kPhiMtuBytes /
+              (kPhiStackCyclesPerPacket * proc.core.cycle_time() /
+               proc.core.issue_efficiency(proc.core.hardware_threads));
+  if (dir == IoDirection::kRead) bw /= kPhiReadPenalty;
+  if (device == arch::DeviceId::kPhi1) bw /= kPhi1Penalty;
+  // The NFS server itself is still the outer bound.
+  return std::min(bw, dir == IoDirection::kRead ? kHostNfsRead : kHostNfsWrite);
+}
+
+sim::BytesPerSecond IoModel::bandwidth(arch::DeviceId device, IoDirection dir,
+                                       sim::Bytes block) const {
+  if (block == 0) return 0.0;
+  const sim::Seconds per_request =
+      device == arch::DeviceId::kHost ? kHostPerRequest : kPhiPerRequest;
+  const double t =
+      per_request + static_cast<double>(block) / peak_bandwidth(device, dir);
+  return static_cast<double>(block) / t;
+}
+
+sim::BytesPerSecond IoModel::forwarded_bandwidth(arch::DeviceId device,
+                                                 IoDirection dir) const {
+  if (device == arch::DeviceId::kHost) return peak_bandwidth(device, dir);
+  // Data moves Phi <-> host with 4 MB MPI messages over SCIF (the paper's
+  // recommended message size), then host <-> NFS.
+  const auto path = fabric::path_between(device, arch::DeviceId::kHost);
+  const sim::BytesPerSecond pcie =
+      fabric_.bandwidth(path, sim::Bytes{4} * 1024 * 1024);
+  return std::min(pcie, peak_bandwidth(arch::DeviceId::kHost, dir));
+}
+
+sim::DataSeries IoModel::bandwidth_curve(arch::DeviceId device, IoDirection dir,
+                                         sim::Bytes from, sim::Bytes to) const {
+  sim::DataSeries s(std::string(arch::device_name(device)) +
+                    (dir == IoDirection::kRead ? " read" : " write"));
+  for (sim::Bytes b = from; b <= to; b *= 2) {
+    s.add(static_cast<double>(b), bandwidth(device, dir, b) / 1e6);
+  }
+  return s;
+}
+
+}  // namespace maia::io

@@ -1,0 +1,47 @@
+// Sequential I/O model (paper §3.5 and §6.6, Fig 17).
+//
+// The benchmark writes/reads a file through NFS.  On the host the client
+// talks to the NFS server directly.  On a Phi the same mount is re-exported
+// through the MPSS virtual TCP/IP stack over PCIe: every wire packet is
+// processed by a 1.05 GHz in-order core, capping throughput near 80 MB/s
+// regardless of the PCIe link's 6+ GB/s — which is why the paper calls
+// native-Phi I/O "poor" and Intel recommends forwarding I/O through a host
+// rank (the workaround modelled by forwarded_*_bandwidth).
+#pragma once
+
+#include "arch/node.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::io {
+
+enum class IoDirection { kRead, kWrite };
+
+class IoModel {
+ public:
+  IoModel(arch::NodeTopology node, fabric::SoftwareStack stack)
+      : node_(std::move(node)), fabric_(stack) {}
+
+  /// Sustainable sequential bandwidth for `block`-sized operations.
+  sim::BytesPerSecond bandwidth(arch::DeviceId device, IoDirection dir,
+                                sim::Bytes block) const;
+
+  /// Large-block asymptote (what Fig 17 reports).
+  sim::BytesPerSecond peak_bandwidth(arch::DeviceId device, IoDirection dir) const;
+
+  /// The workaround: ship data to a host rank over SCIF with MPI, write
+  /// from there.  Bottleneck is min(PCIe path, host NFS).
+  sim::BytesPerSecond forwarded_bandwidth(arch::DeviceId device,
+                                          IoDirection dir) const;
+
+  /// Fig-17-style block-size sweep.
+  sim::DataSeries bandwidth_curve(arch::DeviceId device, IoDirection dir,
+                                  sim::Bytes from, sim::Bytes to) const;
+
+ private:
+  arch::NodeTopology node_;
+  fabric::MpiFabricModel fabric_;
+};
+
+}  // namespace maia::io

@@ -1,0 +1,60 @@
+// Aggregate and per-core bandwidth models (Figs 4 and 6).
+//
+// Per-core bandwidths by working-set level come straight from the
+// ProcessorModel's sustained-rate tables.  The aggregate model captures two
+// mechanisms:
+//   1. saturation — aggregate bandwidth = min(cores_used x per-core rate,
+//      peak streaming bandwidth of the DRAM system);
+//   2. GDDR5 bank contention — once the number of independent access
+//      streams exceeds the open-bank count (128 on the 5110P), row buffers
+//      thrash and throughput drops (paper Fig 4: 180 -> 140 GB/s past 118
+//      threads).
+#pragma once
+
+#include "arch/processor.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mem {
+
+struct BandwidthModel {
+  arch::ProcessorModel proc;
+  int sockets = 1;
+
+  /// Per-core read / write bandwidth when the per-thread working set
+  /// resides at the level holding `working_set` (Fig 6).
+  sim::BytesPerSecond per_core_read(sim::Bytes working_set) const {
+    return proc.read_bandwidth_per_core(working_set);
+  }
+  sim::BytesPerSecond per_core_write(sim::Bytes working_set) const {
+    return proc.write_bandwidth_per_core(working_set);
+  }
+
+  /// Peak streaming bandwidth of all sockets' memory systems combined.
+  sim::BytesPerSecond peak_stream() const {
+    return proc.memory.peak_stream_bandwidth() * static_cast<double>(sockets);
+  }
+
+  /// Aggregate STREAM-style bandwidth with `threads` total threads placed
+  /// round-robin one per core first (`threads_per_core` = how many land on
+  /// each used core).
+  sim::BytesPerSecond aggregate_stream(int threads, int threads_per_core) const;
+
+  /// Number of independent DRAM access streams `threads` threads present.
+  int independent_streams(int threads) const { return threads; }
+
+  /// Per-core read bandwidth with a fixed element stride (8-byte
+  /// elements): only 8/min(stride,8) of each fetched line is useful, so
+  /// effective bandwidth collapses as 1/stride up to one element per line
+  /// — the arithmetic behind the paper's "if an application has non-unit
+  /// memory strides ... its performance degrades dramatically" (§4.3).
+  sim::BytesPerSecond strided_read(sim::Bytes working_set,
+                                   int stride_elements) const;
+};
+
+/// The Fig-4 STREAM sweep: bandwidth vs thread count for a device.
+sim::DataSeries stream_thread_sweep(const BandwidthModel& model,
+                                    const std::vector<int>& thread_counts,
+                                    int threads_per_core);
+
+}  // namespace maia::mem

@@ -1,0 +1,64 @@
+#include "memsim/cache_sim.hpp"
+
+#include <stdexcept>
+
+namespace maia::mem {
+
+SetAssociativeCache::SetAssociativeCache(sim::Bytes capacity, int line_bytes,
+                                         int associativity)
+    : capacity_(capacity), line_bytes_(line_bytes), ways_(associativity) {
+  if (line_bytes <= 0 || associativity <= 0) {
+    throw std::invalid_argument("cache: line size and associativity must be positive");
+  }
+  const sim::Bytes way_bytes =
+      static_cast<sim::Bytes>(line_bytes) * static_cast<sim::Bytes>(associativity);
+  if (capacity == 0 || capacity % way_bytes != 0) {
+    throw std::invalid_argument("cache: capacity must be a positive multiple of line*ways");
+  }
+  sets_ = static_cast<int>(capacity / way_bytes);
+  table_.resize(static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_));
+}
+
+bool SetAssociativeCache::access(std::uint64_t address) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::uint64_t line = line_of(address);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
+  Way* base = &table_[set * static_cast<std::size_t>(ways_)];
+
+  Way* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.last_use = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->last_use = clock_;
+  ++stats_.misses;
+  return false;
+}
+
+bool SetAssociativeCache::probe(std::uint64_t address) const {
+  const std::uint64_t line = line_of(address);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
+  const Way* base = &table_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void SetAssociativeCache::flush() {
+  for (auto& w : table_) w.valid = false;
+}
+
+}  // namespace maia::mem

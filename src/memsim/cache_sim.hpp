@@ -1,0 +1,70 @@
+// A functional set-associative cache simulator with true-LRU replacement.
+//
+// This is not a timing model by itself: it answers hit/miss questions for
+// an address stream.  The latency walker feeds it pointer-chase patterns to
+// derive the average load latency curves of Fig 5, including the partial-
+// hit transition regions around each capacity boundary that an analytic
+// table lookup cannot produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace maia::mem {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+class SetAssociativeCache {
+ public:
+  /// `capacity` in bytes; must be divisible by line_bytes * associativity.
+  SetAssociativeCache(sim::Bytes capacity, int line_bytes, int associativity);
+
+  /// Probe (and fill on miss) the line containing `address`.
+  /// Returns true on hit.
+  bool access(std::uint64_t address);
+
+  /// Probe without filling (used to model a load that will be satisfied by
+  /// an outer level but not allocated here, e.g. non-temporal access).
+  bool probe(std::uint64_t address) const;
+
+  /// Invalidate everything.
+  void flush();
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  sim::Bytes capacity() const { return capacity_; }
+  int line_bytes() const { return line_bytes_; }
+  int associativity() const { return ways_; }
+  int sets() const { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t line_of(std::uint64_t address) const {
+    return address / static_cast<std::uint64_t>(line_bytes_);
+  }
+
+  sim::Bytes capacity_;
+  int line_bytes_;
+  int ways_;
+  int sets_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> table_;  // sets_ x ways_, row-major
+  CacheStats stats_;
+};
+
+}  // namespace maia::mem

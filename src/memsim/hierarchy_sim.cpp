@@ -1,0 +1,54 @@
+#include "memsim/hierarchy_sim.hpp"
+
+namespace maia::mem {
+
+CacheHierarchySim::CacheHierarchySim(const arch::ProcessorModel& proc,
+                                     int threads_per_core)
+    : proc_(proc), memory_cycles_(proc.memory.load_to_use_cycles) {
+  for (const auto& c : proc.caches) {
+    sim::Bytes capacity = c.capacity;
+    if (c.scope == arch::CacheScope::kPerCore && threads_per_core > 1) {
+      // Hardware threads share the private caches; model the per-thread
+      // share while keeping the line/way geometry.
+      capacity = c.capacity / static_cast<sim::Bytes>(threads_per_core);
+      const sim::Bytes min_cap =
+          static_cast<sim::Bytes>(c.line_bytes) * static_cast<sim::Bytes>(c.associativity);
+      if (capacity < min_cap) capacity = min_cap;
+      // Round to a legal multiple of line*ways.
+      capacity -= capacity % min_cap;
+    }
+    levels_.push_back(std::make_unique<SetAssociativeCache>(
+        capacity, c.line_bytes, c.associativity));
+    level_cycles_.push_back(c.load_to_use_cycles);
+  }
+}
+
+std::size_t CacheHierarchySim::load(std::uint64_t address) {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i]->access(address)) {
+      // Fill the line into all inner levels (they already allocated it via
+      // the misses recorded on the way down).
+      return i;
+    }
+  }
+  return levels_.size();
+}
+
+double CacheHierarchySim::level_cycles(std::size_t level) const {
+  if (level < level_cycles_.size()) return level_cycles_[level];
+  return memory_cycles_;
+}
+
+sim::Seconds CacheHierarchySim::level_latency(std::size_t level) const {
+  return proc_.cycles(level_cycles(level));
+}
+
+void CacheHierarchySim::flush() {
+  for (auto& l : levels_) l->flush();
+}
+
+void CacheHierarchySim::reset_stats() {
+  for (auto& l : levels_) l->reset_stats();
+}
+
+}  // namespace maia::mem

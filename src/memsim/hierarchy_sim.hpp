@@ -1,0 +1,47 @@
+// CacheHierarchySim: a chain of functional caches built from a
+// ProcessorModel, answering "which level services this load?" and costing
+// it in core cycles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/processor.hpp"
+#include "memsim/cache_sim.hpp"
+
+namespace maia::mem {
+
+class CacheHierarchySim {
+ public:
+  /// Build the hierarchy of `proc` as seen by a single thread.  Shared
+  /// caches contribute their full capacity; per-core caches contribute one
+  /// core's worth (hardware threads of the same core share them — pass
+  /// `threads_per_core` > 1 to model the resulting effective-capacity split).
+  explicit CacheHierarchySim(const arch::ProcessorModel& proc,
+                             int threads_per_core = 1);
+
+  /// Perform one load; returns the 0-based level index that serviced it,
+  /// or level_count() when it went to main memory.
+  std::size_t load(std::uint64_t address);
+
+  /// Cost of a load serviced by `level` (level_count() = memory), cycles.
+  double level_cycles(std::size_t level) const;
+
+  /// Cost of a load serviced by `level`, seconds.
+  sim::Seconds level_latency(std::size_t level) const;
+
+  std::size_t level_count() const { return levels_.size(); }
+  const SetAssociativeCache& level(std::size_t i) const { return *levels_[i]; }
+
+  void flush();
+  void reset_stats();
+
+ private:
+  const arch::ProcessorModel proc_;
+  std::vector<std::unique_ptr<SetAssociativeCache>> levels_;
+  std::vector<int> level_cycles_;
+  int memory_cycles_;
+};
+
+}  // namespace maia::mem

@@ -1,0 +1,90 @@
+#include "memsim/latency_walker.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "memsim/hierarchy_sim.hpp"
+#include "sim/rng.hpp"
+
+namespace maia::mem {
+namespace {
+
+/// Sattolo's algorithm: a uniformly random single-cycle permutation, the
+/// standard construction for pointer-chase benchmarks (every line visited
+/// exactly once per lap, no short cycles the prefetcher could learn).
+std::vector<std::uint32_t> single_cycle_permutation(std::size_t n, sim::Rng& rng) {
+  std::vector<std::uint32_t> next(n);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(order[i], order[j]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    next[order[i]] = order[(i + 1) % n];
+  }
+  return next;
+}
+
+}  // namespace
+
+WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) const {
+  const int line = proc_.caches.empty() ? 64 : proc_.caches.front().line_bytes;
+  std::size_t lines = std::max<std::size_t>(working_set / static_cast<sim::Bytes>(line), 2);
+
+  // Bound simulation cost for very large working sets: past several times
+  // the outermost cache the mix is all-memory anyway, so sampling a subset
+  // of lines at the same set-index distribution is faithful.
+  constexpr std::size_t kMaxLines = 1u << 19;  // 32 MiB of 64 B lines
+  std::uint64_t stride = 1;
+  if (lines > kMaxLines) {
+    stride = (lines + kMaxLines - 1) / kMaxLines;
+    lines = kMaxLines;
+  }
+
+  sim::Rng rng(seed_ ^ working_set);
+  const auto next = single_cycle_permutation(lines, rng);
+
+  CacheHierarchySim hier(proc_);
+  std::vector<std::uint64_t> serviced(hier.level_count() + 1, 0);
+
+  auto address_of = [&](std::uint32_t idx) {
+    return static_cast<std::uint64_t>(idx) * stride * static_cast<std::uint64_t>(line);
+  };
+
+  // Warm-up lap: populate the hierarchy.
+  std::uint32_t p = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    hier.load(address_of(p));
+    p = next[p];
+  }
+
+  // Measured laps.
+  const std::size_t accesses = lines * static_cast<std::size_t>(iterations_per_line);
+  double total_cycles = 0.0;
+  for (std::size_t i = 0; i < accesses; ++i) {
+    const std::size_t level = hier.load(address_of(p));
+    ++serviced[level];
+    total_cycles += hier.level_cycles(level);
+    p = next[p];
+  }
+
+  WalkResult result;
+  result.avg_latency = proc_.cycles(total_cycles / static_cast<double>(accesses));
+  result.level_mix.resize(serviced.size());
+  for (std::size_t i = 0; i < serviced.size(); ++i) {
+    result.level_mix[i] =
+        static_cast<double>(serviced[i]) / static_cast<double>(accesses);
+  }
+  return result;
+}
+
+sim::DataSeries LatencyWalker::latency_curve(sim::Bytes from, sim::Bytes to) const {
+  sim::DataSeries curve(proc_.name + " load latency");
+  for (sim::Bytes ws = from; ws <= to; ws *= 2) {
+    curve.add(static_cast<double>(ws), sim::to_nanoseconds(walk(ws).avg_latency));
+  }
+  return curve;
+}
+
+}  // namespace maia::mem

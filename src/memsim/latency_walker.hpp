@@ -1,0 +1,43 @@
+// LatencyWalker: the lmbench/Molka-style memory load-latency benchmark
+// (paper §3.2, Fig 5), executed against the functional cache hierarchy.
+//
+// A cyclic random permutation of cache lines inside the working set is
+// chased for many iterations; the average per-load latency is the weighted
+// mix of the levels that serviced the loads.  Near capacity boundaries the
+// mix is partial, which produces the smooth transitions of the measured
+// curve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/processor.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mem {
+
+struct WalkResult {
+  sim::Seconds avg_latency = 0.0;
+  /// Fraction of loads serviced by each level (last entry = main memory).
+  std::vector<double> level_mix;
+};
+
+class LatencyWalker {
+ public:
+  explicit LatencyWalker(const arch::ProcessorModel& proc, std::uint64_t seed = 1234)
+      : proc_(proc), seed_(seed) {}
+
+  /// Average load latency for a pointer chase over `working_set` bytes.
+  WalkResult walk(sim::Bytes working_set, int iterations_per_line = 4) const;
+
+  /// The full Fig-5 curve: latency at power-of-two working sets from
+  /// `from` to `to` inclusive.
+  sim::DataSeries latency_curve(sim::Bytes from, sim::Bytes to) const;
+
+ private:
+  arch::ProcessorModel proc_;
+  std::uint64_t seed_;
+};
+
+}  // namespace maia::mem

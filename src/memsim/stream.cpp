@@ -1,0 +1,97 @@
+#include "memsim/stream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maia::mem {
+
+const char* stream_kernel_name(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy: return "Copy";
+    case StreamKernel::kScale: return "Scale";
+    case StreamKernel::kAdd: return "Add";
+    case StreamKernel::kTriad: return "Triad";
+  }
+  return "?";
+}
+
+sim::Bytes stream_bytes_per_iteration(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 16;  // one read + one write of 8 B
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 24;  // two reads + one write
+  }
+  return 0;
+}
+
+int stream_flops_per_iteration(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy: return 0;
+    case StreamKernel::kScale: return 1;
+    case StreamKernel::kAdd: return 1;
+    case StreamKernel::kTriad: return 2;
+  }
+  return 0;
+}
+
+StreamArrays::StreamArrays(std::size_t n, double scalar_)
+    : a(n, 1.0), b(n, 2.0), c(n, 0.0), scalar(scalar_) {
+  if (n == 0) throw std::invalid_argument("StreamArrays: empty arrays");
+}
+
+void StreamArrays::run_kernel(StreamKernel k) {
+  const std::size_t n = a.size();
+  switch (k) {
+    case StreamKernel::kCopy:
+      for (std::size_t i = 0; i < n; ++i) c[i] = a[i];
+      break;
+    case StreamKernel::kScale:
+      for (std::size_t i = 0; i < n; ++i) b[i] = scalar * c[i];
+      break;
+    case StreamKernel::kAdd:
+      for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+      break;
+    case StreamKernel::kTriad:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+      break;
+  }
+}
+
+double StreamArrays::run_sequence_and_verify(int iterations) {
+  // Scalar replay of the STREAM value recurrence (the reference check the
+  // original stream.c performs on three representative elements, here on
+  // the whole arrays).
+  double ea = 1.0, eb = 2.0, ec = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    run_kernel(StreamKernel::kCopy);
+    run_kernel(StreamKernel::kScale);
+    run_kernel(StreamKernel::kAdd);
+    run_kernel(StreamKernel::kTriad);
+    ec = ea;
+    eb = scalar * ec;
+    ec = ea + eb;
+    ea = eb + scalar * ec;
+  }
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(a[i] - ea));
+    max_err = std::max(max_err, std::fabs(b[i] - eb));
+    max_err = std::max(max_err, std::fabs(c[i] - ec));
+  }
+  return max_err;
+}
+
+sim::DataSeries StreamModel::triad_sweep(const std::vector<int>& thread_counts) const {
+  sim::DataSeries s(bw.proc.name + " STREAM triad");
+  const int cores = bw.proc.usable_cores() * bw.sockets;
+  for (int t : thread_counts) {
+    const int tpc = cores > 0 ? (t + cores - 1) / cores : 1;
+    s.add(static_cast<double>(t), bw.aggregate_stream(t, tpc) / 1e9);
+  }
+  return s;
+}
+
+}  // namespace maia::mem

@@ -1,0 +1,64 @@
+// STREAM v5-style kernels (paper §3.1, Fig 4).
+//
+// Two halves:
+//   * StreamArrays/run_kernel — the actual Copy/Scale/Add/Triad numerics,
+//     executed for real (unit-tested for correctness: the model's claims
+//     about "what STREAM does" are backed by running code);
+//   * StreamModel — predicted sustainable bandwidth of each kernel on a
+//     modelled device via the BandwidthModel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/bandwidth.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mem {
+
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+const char* stream_kernel_name(StreamKernel k);
+
+/// Bytes moved per loop iteration (reads + writes, 8-byte elements,
+/// write-allocate not counted — STREAM convention).
+sim::Bytes stream_bytes_per_iteration(StreamKernel k);
+
+/// Flops per loop iteration (STREAM convention: copy 0, scale 1, add 1,
+/// triad 2).
+int stream_flops_per_iteration(StreamKernel k);
+
+struct StreamArrays {
+  explicit StreamArrays(std::size_t n, double scalar = 3.0);
+
+  /// Execute one kernel pass over the arrays (a = b op c ...).
+  void run_kernel(StreamKernel k);
+
+  /// Verify array contents against the closed-form expected values after
+  /// `iterations` of the standard STREAM sequence (copy, scale, add, triad
+  /// per iteration).  Returns the max absolute error.
+  double run_sequence_and_verify(int iterations);
+
+  std::vector<double> a, b, c;
+  double scalar;
+};
+
+struct StreamModel {
+  BandwidthModel bw;
+
+  /// Predicted bandwidth of `kernel` with `threads` threads.  STREAM
+  /// reports the same byte count the kernel touches, so the prediction is
+  /// the aggregate streaming rate (kernel-independent to first order).
+  sim::BytesPerSecond predict(StreamKernel kernel, int threads,
+                              int threads_per_core) const {
+    (void)kernel;
+    return bw.aggregate_stream(threads, threads_per_core);
+  }
+
+  /// The Fig-4 sweep: triad bandwidth vs thread count, where thread count
+  /// N on a device with C usable cores implies ceil(N/C) threads/core.
+  sim::DataSeries triad_sweep(const std::vector<int>& thread_counts) const;
+};
+
+}  // namespace maia::mem

@@ -1,0 +1,282 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maia::mpi {
+namespace {
+
+int ceil_log2(int n) {
+  int rounds = 0;
+  int span = 1;
+  while (span < n) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+int Collectives::ranks_per_core(arch::DeviceId device, int nranks) const {
+  const auto& dev = cost_.node().device(device);
+  const int cores = dev.total_cores();
+  return (nranks + cores - 1) / cores;
+}
+
+sim::Seconds Collectives::msg(arch::DeviceId device, int rpc, int pairs,
+                              sim::Bytes size) const {
+  return cost_.intra_device_time(device, rpc, pairs, size);
+}
+
+CollectiveResult Collectives::sendrecv_ring(arch::DeviceId device, int nranks,
+                                            sim::Bytes size) const {
+  CollectiveResult r;
+  r.algorithm = "ring exchange";
+  const int rpc = ranks_per_core(device, nranks);
+  // All nranks pairs are active at once; each rank overlaps its send and
+  // its receive, so the cost is one message time under full contention.
+  r.time = msg(device, rpc, nranks, size);
+  r.buffer_bytes_per_rank = 2 * size;
+  return r;
+}
+
+CollectiveResult Collectives::bcast(arch::DeviceId device, int nranks,
+                                    sim::Bytes size) const {
+  CollectiveResult r;
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  if (size <= kBcastScatterThreshold) {
+    // Binomial tree: round i has 2^i concurrent transfers of the full
+    // payload; the last leaf sees the sum of all rounds.
+    r.algorithm = "binomial tree";
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, std::min(1 << i, nranks / 2 + 1), size);
+    }
+  } else {
+    // van de Geijn: binomial scatter of halving pieces, then ring
+    // allgather of the P slices.
+    r.algorithm = "scatter + ring allgather";
+    sim::Bytes piece = size / 2;
+    for (int i = 0; i < rounds && piece > 0; ++i) {
+      r.time += msg(device, rpc, std::min(1 << i, nranks / 2 + 1), piece);
+      piece /= 2;
+    }
+    const sim::Bytes slice = std::max<sim::Bytes>(size / nranks, 1);
+    for (int step = 0; step < nranks - 1; ++step) {
+      r.time += msg(device, rpc, nranks, slice);
+    }
+  }
+  r.buffer_bytes_per_rank = size;
+  return r;
+}
+
+CollectiveResult Collectives::allreduce(arch::DeviceId device, int nranks,
+                                        sim::Bytes size) const {
+  CollectiveResult r;
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  const bool pow2 = is_power_of_two(nranks);
+  if (size <= kAllreduceRabThreshold) {
+    // Recursive doubling: log2(P) rounds of full-size exchange + local
+    // combine; non-power-of-two sizes pay one preliminary fold-in round.
+    r.algorithm = "recursive doubling";
+    if (!pow2) {
+      r.time += msg(device, rpc, nranks / 2 + 1, size) +
+                cost_.reduce_compute(device, rpc, size);
+    }
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, nranks / 2 + 1, size) +
+                cost_.reduce_compute(device, rpc, size);
+    }
+  } else {
+    // Rabenseifner: reduce-scatter (halving pieces) + allgather (doubling).
+    r.algorithm = "Rabenseifner";
+    if (!pow2) {
+      r.time += msg(device, rpc, nranks / 2 + 1, size) +
+                cost_.reduce_compute(device, rpc, size);
+    }
+    sim::Bytes piece = size / 2;
+    for (int i = 0; i < rounds && piece > 0; ++i) {
+      r.time += msg(device, rpc, nranks / 2 + 1, piece) +
+                cost_.reduce_compute(device, rpc, piece);
+      piece /= 2;
+    }
+    piece = std::max<sim::Bytes>(size / (1 << std::min(rounds, 30)), 1);
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, nranks / 2 + 1, piece);
+      piece *= 2;
+    }
+  }
+  r.buffer_bytes_per_rank = 2 * size;
+  return r;
+}
+
+CollectiveResult Collectives::allgather(arch::DeviceId device, int nranks,
+                                        sim::Bytes size) const {
+  CollectiveResult r;
+  const int rpc = ranks_per_core(device, nranks);
+  if (size < kAllgatherRingThreshold) {
+    // Recursive doubling (Bruck for non-power-of-two): round i moves
+    // 2^i * size bytes; log2(P) messages total.
+    r.algorithm = is_power_of_two(nranks) ? "recursive doubling" : "Bruck";
+    const int rounds = ceil_log2(nranks);
+    long blocks = 1;
+    long remaining = nranks - 1;
+    for (int i = 0; i < rounds; ++i) {
+      const long send_blocks = std::min<long>(blocks, remaining);
+      r.time += msg(device, rpc, nranks / 2 + 1,
+                    static_cast<sim::Bytes>(send_blocks) * size);
+      remaining -= send_blocks;
+      blocks *= 2;
+    }
+  } else {
+    // Ring: P-1 steps, every rank forwarding one block per step.  Compared
+    // with recursive doubling this pays (P-1) per-message overheads instead
+    // of log2(P) — the Fig-13 jump at the switch size.
+    r.algorithm = "ring";
+    for (int step = 0; step < nranks - 1; ++step) {
+      r.time += msg(device, rpc, nranks, size);
+    }
+  }
+  r.buffer_bytes_per_rank =
+      static_cast<sim::Bytes>(nranks) * size + size;  // recv vector + own block
+  return r;
+}
+
+CollectiveResult Collectives::alltoall(arch::DeviceId device, int nranks,
+                                       sim::Bytes size) const {
+  CollectiveResult r;
+  const int rpc = ranks_per_core(device, nranks);
+  // Send + receive vectors plus the library's staging copies and
+  // per-destination eager buffers: the footprint that kills 236-rank runs
+  // past 4 KB on the 8 GB card.
+  r.buffer_bytes_per_rank = sim::Bytes{8} * static_cast<sim::Bytes>(nranks) * size;
+  const auto fit = check_fit(cost_.node(), device, nranks, r.buffer_bytes_per_rank);
+  if (!fit.fits) {
+    r.out_of_memory = true;
+    r.algorithm = "failed (out of memory)";
+    return r;
+  }
+  if (size <= kAlltoallPairwiseThreshold) {
+    // Bruck: log2(P) rounds, each moving ~P/2 blocks, plus a final local
+    // reorder of the P-block vector.
+    r.algorithm = "Bruck";
+    const int rounds = ceil_log2(nranks);
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, nranks / 2 + 1,
+                    static_cast<sim::Bytes>(nranks / 2) * size);
+    }
+    const double copy_bw =
+        cost_.pair_bandwidth(device, rpc, nranks);
+    r.time += static_cast<double>(nranks) * static_cast<double>(size) / copy_bw;
+  } else {
+    // Pairwise exchange: P-1 steps with all P ranks exchanging at once.
+    r.algorithm = "pairwise exchange";
+    for (int step = 0; step < nranks - 1; ++step) {
+      r.time += msg(device, rpc, nranks, size);
+    }
+  }
+  return r;
+}
+
+CollectiveResult Collectives::reduce(arch::DeviceId device, int nranks,
+                                     sim::Bytes size) const {
+  CollectiveResult r;
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  if (size <= kAllreduceRabThreshold) {
+    // Binomial combine tree: round i halves the live ranks; each survivor
+    // receives one full-size message and combines locally.
+    r.algorithm = "binomial combine tree";
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, std::max(nranks >> (i + 1), 1), size) +
+                cost_.reduce_compute(device, rpc, size);
+    }
+  } else {
+    // Large messages: reduce-scatter (halving pieces) + binomial gather of
+    // the reduced pieces to the root — the Rabenseifner-style variant real
+    // libraries switch to, moving 2(P-1)/P of the data instead of
+    // log2(P) full copies.
+    r.algorithm = "reduce-scatter + gather";
+    sim::Bytes piece = size / 2;
+    for (int i = 0; i < rounds && piece > 0; ++i) {
+      r.time += msg(device, rpc, nranks / 2 + 1, piece) +
+                cost_.reduce_compute(device, rpc, piece);
+      piece /= 2;
+    }
+    piece = std::max<sim::Bytes>(size / (1 << std::min(rounds, 30)), 1);
+    for (int i = 0; i < rounds; ++i) {
+      r.time += msg(device, rpc, std::max(nranks >> (i + 1), 1), piece);
+      piece *= 2;
+    }
+  }
+  r.buffer_bytes_per_rank = 2 * size;
+  return r;
+}
+
+CollectiveResult Collectives::gather(arch::DeviceId device, int nranks,
+                                     sim::Bytes size) const {
+  CollectiveResult r;
+  r.algorithm = "binomial gather";
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  // Payloads double toward the root: round i moves 2^i blocks per message.
+  for (int i = 0; i < rounds; ++i) {
+    const auto payload =
+        static_cast<sim::Bytes>(std::min(1 << i, nranks)) * size;
+    r.time += msg(device, rpc, std::max(nranks >> (i + 1), 1), payload);
+  }
+  // The root holds everyone's block.
+  r.buffer_bytes_per_rank = static_cast<sim::Bytes>(nranks) * size;
+  const auto fit = check_fit(cost_.node(), device, 1, r.buffer_bytes_per_rank);
+  if (!fit.fits) {
+    r.out_of_memory = true;
+    r.algorithm = "failed (out of memory at root)";
+    r.time = 0.0;
+  }
+  return r;
+}
+
+CollectiveResult Collectives::scatter(arch::DeviceId device, int nranks,
+                                      sim::Bytes size) const {
+  CollectiveResult r;
+  r.algorithm = "binomial scatter";
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  // The root starts with all blocks; each round halves the bundle.
+  for (int i = rounds; i-- > 0;) {
+    const auto payload =
+        static_cast<sim::Bytes>(std::max((nranks >> (rounds - i)) , 1)) * size;
+    r.time += msg(device, rpc, std::max(1 << (rounds - 1 - i), 1), payload);
+  }
+  r.buffer_bytes_per_rank = static_cast<sim::Bytes>(nranks) * size;
+  return r;
+}
+
+CollectiveResult Collectives::barrier(arch::DeviceId device, int nranks) const {
+  CollectiveResult r;
+  r.algorithm = "dissemination";
+  const int rpc = ranks_per_core(device, nranks);
+  const int rounds = ceil_log2(nranks);
+  for (int i = 0; i < rounds; ++i) {
+    r.time += msg(device, rpc, nranks, 0);
+  }
+  return r;
+}
+
+sim::DataSeries collective_sweep(const Collectives& coll, CollectiveFn fn,
+                                 arch::DeviceId device, int nranks,
+                                 sim::Bytes from, sim::Bytes to,
+                                 const std::string& name) {
+  sim::DataSeries s(name);
+  for (sim::Bytes size = from; size <= to; size *= 2) {
+    const auto result = (coll.*fn)(device, nranks, size);
+    s.add(static_cast<double>(size), result.bandwidth(size));
+  }
+  return s;
+}
+
+}  // namespace maia::mpi

@@ -1,0 +1,102 @@
+// Collective-communication algorithms executed over the cost model.
+//
+// These are the real algorithm structures (binomial trees, recursive
+// doubling, Bruck, ring, pairwise exchange, Rabenseifner) with the size-
+// based selection rules of Intel-MPI-class libraries.  The figure-level
+// phenomena emerge from the algorithms: the Allgather time jump at 2 KB
+// (Fig 13) is the recursive-doubling -> ring switch paying (P-2) extra
+// per-message overheads, and the AlltoAll OOM beyond 4 KB at 236 ranks
+// (Fig 14) is the staging-buffer footprint crossing the 8 GB card's limit.
+#pragma once
+
+#include <string>
+
+#include "mpi/cost_model.hpp"
+#include "mpi/layout.hpp"
+#include "mpi/memory.hpp"
+#include "sim/series.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mpi {
+
+struct CollectiveResult {
+  sim::Seconds time = 0.0;
+  bool out_of_memory = false;
+  std::string algorithm;
+  /// Application + collective staging bytes charged to each rank.
+  sim::Bytes buffer_bytes_per_rank = 0;
+
+  /// Payload bandwidth (bytes of one rank's message per second); zero when
+  /// the run failed.
+  sim::BytesPerSecond bandwidth(sim::Bytes message_size) const {
+    if (out_of_memory || time <= 0.0) return 0.0;
+    return static_cast<double>(message_size) / time;
+  }
+};
+
+class Collectives {
+ public:
+  explicit Collectives(MpiCostModel cost) : cost_(std::move(cost)) {}
+
+  const MpiCostModel& cost_model() const { return cost_; }
+
+  /// The Fig-10 benchmark: every rank sends `size` to its right neighbour
+  /// and receives from its left, all pairs concurrent.
+  CollectiveResult sendrecv_ring(arch::DeviceId device, int nranks,
+                                 sim::Bytes size) const;
+
+  /// MPI_Bcast of `size` bytes from rank 0 (Fig 11).
+  CollectiveResult bcast(arch::DeviceId device, int nranks, sim::Bytes size) const;
+
+  /// MPI_Allreduce of `size` bytes (Fig 12).
+  CollectiveResult allreduce(arch::DeviceId device, int nranks,
+                             sim::Bytes size) const;
+
+  /// MPI_Allgather where each rank contributes `size` bytes (Fig 13).
+  CollectiveResult allgather(arch::DeviceId device, int nranks,
+                             sim::Bytes size) const;
+
+  /// MPI_AlltoAll where each rank sends `size` bytes to every other rank
+  /// (Fig 14).  Subject to the out-of-memory wall.
+  CollectiveResult alltoall(arch::DeviceId device, int nranks,
+                            sim::Bytes size) const;
+
+  /// MPI_Barrier (dissemination algorithm).
+  CollectiveResult barrier(arch::DeviceId device, int nranks) const;
+
+  /// MPI_Reduce of `size` bytes to rank 0 (binomial combine tree).
+  CollectiveResult reduce(arch::DeviceId device, int nranks, sim::Bytes size) const;
+
+  /// MPI_Gather: every rank sends `size` bytes to the root (binomial tree
+  /// with payloads doubling toward the root).
+  CollectiveResult gather(arch::DeviceId device, int nranks, sim::Bytes size) const;
+
+  /// MPI_Scatter: the root distributes `size` bytes to each rank
+  /// (binomial tree with halving payloads).
+  CollectiveResult scatter(arch::DeviceId device, int nranks, sim::Bytes size) const;
+
+  // Algorithm switch points (message size per rank).
+  static constexpr sim::Bytes kBcastScatterThreshold = 16 * 1024;
+  static constexpr sim::Bytes kAllreduceRabThreshold = 16 * 1024;
+  static constexpr sim::Bytes kAllgatherRingThreshold = 2 * 1024;
+  static constexpr sim::Bytes kAlltoallPairwiseThreshold = 256;
+
+ private:
+  int ranks_per_core(arch::DeviceId device, int nranks) const;
+  /// One message among `pairs` concurrent pairs on `device`.
+  sim::Seconds msg(arch::DeviceId device, int rpc, int pairs,
+                   sim::Bytes size) const;
+
+  MpiCostModel cost_;
+};
+
+/// Bandwidth-vs-message-size sweep of one collective for the figure
+/// binaries; x = message size, y = bandwidth (0 where OOM).
+using CollectiveFn = CollectiveResult (Collectives::*)(arch::DeviceId, int,
+                                                       sim::Bytes) const;
+sim::DataSeries collective_sweep(const Collectives& coll, CollectiveFn fn,
+                                 arch::DeviceId device, int nranks,
+                                 sim::Bytes from, sim::Bytes to,
+                                 const std::string& name);
+
+}  // namespace maia::mpi

@@ -1,0 +1,103 @@
+#include "mpi/cost_model.hpp"
+
+#include <algorithm>
+
+namespace maia::mpi {
+namespace {
+
+// --- Calibration constants (DESIGN.md §4) --------------------------------
+
+// One-side software overhead of a message on a Sandy Bridge core.
+constexpr sim::Seconds kHostSideOverhead = 0.5e-6;
+// Cycle inflation of the progress engine on the in-order KNC core at one
+// rank per core (scalar code, no OoO latency hiding, 2.5x slower clock is
+// applied separately via the frequency ratio).
+constexpr double kInOrderStackPenalty = 1.4;
+// Per-pair shared-memory copy bandwidth ceilings.
+constexpr double kHostPairPeak = 4.0e9;
+constexpr double kPhiPairPeak = 2.2e9;
+// Aggregate shared-memory copy ceilings (a double copy of streaming data:
+// roughly half the device's STREAM bandwidth).
+constexpr double kHostShmAggregate = 37.5e9;
+constexpr double kPhiShmAggregate = 104e9;
+
+double oversubscription_factor(int ranks_per_core) {
+  // r ranks per core: 1/r of the issue slots each, and r polling progress
+  // engines thrashing the private caches => ~r^2 growth in per-message
+  // cost (Fig 10: 59 ranks -> 236 ranks costs ~16x).
+  const double r = std::max(1, ranks_per_core);
+  return r * r;
+}
+
+}  // namespace
+
+sim::Seconds MpiCostModel::software_overhead(arch::DeviceId device,
+                                             int ranks_per_core) const {
+  const auto& proc = node_.device(device).processor;
+  double overhead = kHostSideOverhead;
+  // Scale with clock speed relative to the host core.
+  overhead *= 2.6e9 / proc.core.frequency_hz;
+  if (proc.core.issue == arch::IssueModel::kInOrderNoBackToBack) {
+    overhead *= kInOrderStackPenalty;
+  }
+  return overhead * oversubscription_factor(ranks_per_core);
+}
+
+sim::BytesPerSecond MpiCostModel::pair_bandwidth(arch::DeviceId device,
+                                                 int ranks_per_core,
+                                                 int concurrent_pairs) const {
+  const bool host = device == arch::DeviceId::kHost;
+  const double r = std::max(1, ranks_per_core);
+  // Each pair's copy loop runs r^2 slower (issue sharing + cache thrash);
+  // the aggregate ceiling also shrinks by r because the co-resident
+  // polling ranks burn memory bandwidth.
+  const double peak =
+      (host ? kHostPairPeak : kPhiPairPeak) / oversubscription_factor(ranks_per_core);
+  const double aggregate = (host ? kHostShmAggregate : kPhiShmAggregate) / r;
+  const double share =
+      aggregate / static_cast<double>(std::max(1, concurrent_pairs));
+  return std::min(peak, share);
+}
+
+sim::Seconds MpiCostModel::intra_device_time(arch::DeviceId device,
+                                             int ranks_per_core,
+                                             int concurrent_pairs,
+                                             sim::Bytes size) const {
+  const sim::Seconds o = software_overhead(device, ranks_per_core);
+  sim::Seconds t = 2.0 * o;  // send side + receive side
+  if (size > 0) {
+    t += static_cast<double>(size) /
+         pair_bandwidth(device, ranks_per_core, concurrent_pairs);
+  }
+  return t;
+}
+
+sim::Seconds MpiCostModel::cross_device_time(arch::DeviceId from,
+                                             arch::DeviceId to,
+                                             int ranks_per_core,
+                                             sim::Bytes size) const {
+  if (from == to) {
+    return intra_device_time(from, ranks_per_core, 1, size);
+  }
+  const auto path = fabric::path_between(from, to);
+  // The fabric transfer time already contains the DAPL protocol costs; add
+  // the per-side software overheads of the endpoints.
+  return software_overhead(from, ranks_per_core) +
+         fabric_.transfer_time(path, size) +
+         software_overhead(to, ranks_per_core);
+}
+
+sim::Seconds MpiCostModel::reduce_compute(arch::DeviceId device,
+                                          int ranks_per_core,
+                                          sim::Bytes size) const {
+  const auto& proc = node_.device(device).processor;
+  const double elements = static_cast<double>(size) / 8.0;
+  // Reduction arithmetic in the MPI library is unvectorized: one add per
+  // element at the core's scalar issue rate.
+  const double adds_per_second =
+      proc.core.frequency_hz * proc.core.issue_efficiency(1) /
+      static_cast<double>(std::max(1, ranks_per_core));
+  return elements / adds_per_second;
+}
+
+}  // namespace maia::mpi

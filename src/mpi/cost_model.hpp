@@ -1,0 +1,59 @@
+// Point-to-point MPI cost model (LogGP-style): per-message software
+// overhead plus transport time, for intra-device shared memory and for
+// cross-device paths over the PCIe fabric.
+//
+// Mechanisms:
+//  * Software overhead scales with core speed and issue model: the MPI
+//    progress engine is scalar, branchy code, so on a 1.05 GHz in-order
+//    KNC core it costs ~3.5x a Sandy Bridge core's overhead at one rank
+//    per core.  With r ranks per core, overhead grows ~r^2 (each rank gets
+//    1/r of the issue slots AND the polling progress engines of co-resident
+//    ranks thrash the shared L1/L2) — calibrated against Fig 10's
+//    host-vs-236-rank gap of 24-54x.
+//  * Intra-device transport is a double copy through shared memory: per-
+//    pair bandwidth is capped both per pair and by the device's aggregate
+//    streaming bandwidth shared over concurrently communicating pairs.
+#pragma once
+
+#include "arch/node.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mpi {
+
+class MpiCostModel {
+ public:
+  MpiCostModel(arch::NodeTopology node, fabric::SoftwareStack stack)
+      : node_(std::move(node)), fabric_(stack) {}
+
+  const arch::NodeTopology& node() const { return node_; }
+  const fabric::MpiFabricModel& fabric() const { return fabric_; }
+
+  /// Per-message software overhead on one side (send or receive) for a
+  /// rank on `device` with `ranks_per_core` co-resident ranks.
+  sim::Seconds software_overhead(arch::DeviceId device, int ranks_per_core) const;
+
+  /// Per-pair shared-memory bandwidth when `concurrent_pairs` pairs on
+  /// `device` communicate simultaneously.
+  sim::BytesPerSecond pair_bandwidth(arch::DeviceId device, int ranks_per_core,
+                                     int concurrent_pairs) const;
+
+  /// Time for one intra-device message (both side overheads + copy).
+  sim::Seconds intra_device_time(arch::DeviceId device, int ranks_per_core,
+                                 int concurrent_pairs, sim::Bytes size) const;
+
+  /// Time for one cross-device message through the DAPL fabric.
+  sim::Seconds cross_device_time(arch::DeviceId from, arch::DeviceId to,
+                                 int ranks_per_core, sim::Bytes size) const;
+
+  /// Cost of combining `size` bytes of doubles (reduction arithmetic) on a
+  /// rank of `device` — scalar adds at core speed.
+  sim::Seconds reduce_compute(arch::DeviceId device, int ranks_per_core,
+                              sim::Bytes size) const;
+
+ private:
+  arch::NodeTopology node_;
+  fabric::MpiFabricModel fabric_;
+};
+
+}  // namespace maia::mpi

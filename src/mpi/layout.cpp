@@ -1,0 +1,58 @@
+#include "mpi/layout.hpp"
+
+namespace maia::mpi {
+
+RankLayout::RankLayout(std::vector<DeviceGroup> groups)
+    : groups_(std::move(groups)) {
+  if (groups_.empty()) throw std::invalid_argument("RankLayout: no groups");
+  for (const auto& g : groups_) {
+    if (g.nranks <= 0 || g.threads_per_rank <= 0) {
+      throw std::invalid_argument("RankLayout: non-positive rank/thread count");
+    }
+  }
+}
+
+RankLayout RankLayout::on_device(arch::DeviceId device, int nranks,
+                                 int threads_per_rank) {
+  return RankLayout({DeviceGroup{device, nranks, threads_per_rank}});
+}
+
+RankLayout RankLayout::symmetric(std::vector<DeviceGroup> groups) {
+  return RankLayout(std::move(groups));
+}
+
+int RankLayout::total_ranks() const {
+  int total = 0;
+  for (const auto& g : groups_) total += g.nranks;
+  return total;
+}
+
+arch::DeviceId RankLayout::device_of(int rank) const {
+  for (const auto& g : groups_) {
+    if (rank < g.nranks) return g.device;
+    rank -= g.nranks;
+  }
+  throw std::out_of_range("RankLayout: rank outside layout");
+}
+
+int RankLayout::ranks_on(arch::DeviceId device) const {
+  int total = 0;
+  for (const auto& g : groups_) {
+    if (g.device == device) total += g.nranks;
+  }
+  return total;
+}
+
+int RankLayout::contexts_per_core(const arch::NodeTopology& node,
+                                  arch::DeviceId device) const {
+  int contexts = 0;
+  for (const auto& g : groups_) {
+    if (g.device == device) contexts += g.nranks * g.threads_per_rank;
+  }
+  if (contexts == 0) return 0;
+  const auto& dev = node.device(device);
+  const int cores = dev.total_cores();
+  return (contexts + cores - 1) / cores;
+}
+
+}  // namespace maia::mpi

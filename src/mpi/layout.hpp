@@ -1,0 +1,52 @@
+// Rank layouts: where MPI processes live on the node.
+//
+// Homogeneous layouts put all ranks on one device with 1-4 ranks per core
+// (the paper's 59/118/177/236 Phi configurations and 16 on the host).
+// Symmetric layouts span host + Phi0 + Phi1 (the OVERFLOW experiments of
+// Figs 22-23), with a per-device OpenMP thread count under each rank.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "arch/node.hpp"
+
+namespace maia::mpi {
+
+struct DeviceGroup {
+  arch::DeviceId device = arch::DeviceId::kHost;
+  int nranks = 0;
+  /// OpenMP threads under each rank (hybrid MPI+OpenMP; 1 = pure MPI).
+  int threads_per_rank = 1;
+};
+
+class RankLayout {
+ public:
+  /// All ranks on one device.
+  static RankLayout on_device(arch::DeviceId device, int nranks,
+                              int threads_per_rank = 1);
+
+  /// Ranks spread over several devices (symmetric mode).
+  static RankLayout symmetric(std::vector<DeviceGroup> groups);
+
+  int total_ranks() const;
+  const std::vector<DeviceGroup>& groups() const { return groups_; }
+  bool is_homogeneous() const { return groups_.size() == 1; }
+
+  /// Device of rank `r` (ranks are numbered group by group).
+  arch::DeviceId device_of(int rank) const;
+
+  /// Ranks resident on `device`.
+  int ranks_on(arch::DeviceId device) const;
+
+  /// Hardware contexts consumed per core on `device` by this layout
+  /// (ranks x threads_per_rank packed over the device's cores).
+  int contexts_per_core(const arch::NodeTopology& node,
+                        arch::DeviceId device) const;
+
+ private:
+  explicit RankLayout(std::vector<DeviceGroup> groups);
+  std::vector<DeviceGroup> groups_;
+};
+
+}  // namespace maia::mpi

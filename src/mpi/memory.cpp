@@ -1,0 +1,17 @@
+#include "mpi/memory.hpp"
+
+namespace maia::mpi {
+
+MemoryCheck check_fit(const arch::NodeTopology& node, arch::DeviceId device,
+                      int ranks, sim::Bytes bytes_per_rank) {
+  MemoryCheck result;
+  result.available = static_cast<sim::Bytes>(
+      static_cast<double>(node.device(device).memory_capacity) *
+      kUsableMemoryFraction);
+  result.required =
+      static_cast<sim::Bytes>(ranks) * (kRuntimePerRank + bytes_per_rank);
+  result.fits = result.required <= result.available;
+  return result;
+}
+
+}  // namespace maia::mpi

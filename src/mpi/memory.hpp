@@ -1,0 +1,35 @@
+// Per-device memory-footprint accounting.
+//
+// The paper hits two out-of-memory walls on the 8 GB Phi: MPI_AlltoAll at
+// 236 ranks beyond 4 KB messages (Fig 14) and the MPI FT Class C benchmark
+// (Fig 20, "needs minimum of 10 GB").  Both are consequences of the same
+// arithmetic: per-rank MPI runtime footprint x ranks + application/
+// collective buffers against the device capacity minus the OS/filesystem
+// reserve.
+#pragma once
+
+#include "arch/node.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mpi {
+
+/// Resident footprint of one Intel-MPI rank (runtime, connection state,
+/// eager buffers) — famously heavy on MIC.
+constexpr sim::Bytes kRuntimePerRank = sim::Bytes{18} * 1024 * 1024;
+
+/// Fraction of device memory usable by ranks (the rest is the micro-OS,
+/// MPSS services and the virtual-NFS page cache).
+constexpr double kUsableMemoryFraction = 0.85;
+
+struct MemoryCheck {
+  bool fits = true;
+  sim::Bytes required = 0;
+  sim::Bytes available = 0;
+};
+
+/// Can `ranks` ranks, each holding `bytes_per_rank` of application and
+/// collective buffers, run on `device`?
+MemoryCheck check_fit(const arch::NodeTopology& node, arch::DeviceId device,
+                      int ranks, sim::Bytes bytes_per_rank);
+
+}  // namespace maia::mpi

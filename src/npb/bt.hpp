@@ -1,0 +1,27 @@
+// BT — Block-Tridiagonal pseudo-application.
+//
+// ADI iteration: each step solves block-tridiagonal (5x5) systems along
+// every x-, y- and z-line in turn, exactly the reference's x_solve /
+// y_solve / z_solve structure, driving the coupled advection-diffusion
+// system to its manufactured steady state.
+#pragma once
+
+#include "npb/cfd_common.hpp"
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+struct BtResult {
+  std::vector<double> residual_history;  // RMS residual after each step
+  double solution_error = 0.0;           // max |u - exact| at the end
+  int steps = 0;
+};
+
+/// Run `steps` ADI steps with pseudo-time step `dt`.
+BtResult run_bt(const CfdProblem& problem, int steps, double dt,
+                StateGrid* u_out = nullptr);
+
+/// Grid points per edge per class: S=12, W=24, A=64, B=102, C=162.
+std::size_t bt_grid_size(ProblemClass c);
+
+}  // namespace maia::npb

@@ -1,0 +1,302 @@
+#include "npb/cfd_common.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace maia::npb {
+
+// ----------------------------------------------------------------- Vec5 ---
+
+Vec5& Vec5::operator+=(const Vec5& o) {
+  for (std::size_t i = 0; i < 5; ++i) v[i] += o.v[i];
+  return *this;
+}
+Vec5& Vec5::operator-=(const Vec5& o) {
+  for (std::size_t i = 0; i < 5; ++i) v[i] -= o.v[i];
+  return *this;
+}
+Vec5 Vec5::operator+(const Vec5& o) const {
+  Vec5 r = *this;
+  r += o;
+  return r;
+}
+Vec5 Vec5::operator-(const Vec5& o) const {
+  Vec5 r = *this;
+  r -= o;
+  return r;
+}
+Vec5 Vec5::operator*(double s) const {
+  Vec5 r = *this;
+  for (auto& x : r.v) x *= s;
+  return r;
+}
+double Vec5::norm2() const {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+// ----------------------------------------------------------------- Mat5 ---
+
+Mat5 Mat5::identity() { return scaled_identity(1.0); }
+
+Mat5 Mat5::scaled_identity(double s) {
+  Mat5 r;
+  for (std::size_t i = 0; i < 5; ++i) r.at(i, i) = s;
+  return r;
+}
+
+Mat5 Mat5::operator+(const Mat5& o) const {
+  Mat5 r;
+  for (std::size_t i = 0; i < 25; ++i) r.m[i] = m[i] + o.m[i];
+  return r;
+}
+Mat5 Mat5::operator-(const Mat5& o) const {
+  Mat5 r;
+  for (std::size_t i = 0; i < 25; ++i) r.m[i] = m[i] - o.m[i];
+  return r;
+}
+Mat5 Mat5::operator*(double s) const {
+  Mat5 r;
+  for (std::size_t i = 0; i < 25; ++i) r.m[i] = m[i] * s;
+  return r;
+}
+Mat5 Mat5::operator*(const Mat5& o) const {
+  Mat5 r;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      const double a = at(i, k);
+      for (std::size_t j = 0; j < 5; ++j) r.at(i, j) += a * o.at(k, j);
+    }
+  }
+  return r;
+}
+Vec5 Mat5::operator*(const Vec5& x) const {
+  Vec5 r;
+  for (std::size_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) s += at(i, j) * x[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+Vec5 Mat5::solve(const Vec5& b) const {
+  // Gaussian elimination with partial pivoting on an augmented copy.
+  double a[5][6];
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a[i][j] = at(i, j);
+    a[i][5] = b[i];
+  }
+  for (std::size_t col = 0; col < 5; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < 5; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-300) {
+      throw std::runtime_error("Mat5::solve: singular block");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j <= 5; ++j) std::swap(a[col][j], a[pivot][j]);
+    }
+    for (std::size_t r = 0; r < 5; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t j = col; j <= 5; ++j) a[r][j] -= f * a[col][j];
+    }
+  }
+  Vec5 x;
+  for (std::size_t i = 0; i < 5; ++i) x[i] = a[i][5] / a[i][i];
+  return x;
+}
+
+Mat5 Mat5::inverse() const {
+  Mat5 inv;
+  for (std::size_t c = 0; c < 5; ++c) {
+    Vec5 e;
+    e[c] = 1.0;
+    const Vec5 col = solve(e);
+    for (std::size_t r = 0; r < 5; ++r) inv.at(r, c) = col[r];
+  }
+  return inv;
+}
+
+// ----------------------------------------------------------- line solves ---
+
+void solve_block_tridiagonal(const Mat5& lower, const Mat5& diag,
+                             const Mat5& upper, std::vector<Vec5>& rhs) {
+  const std::size_t n = rhs.size();
+  if (n == 0) return;
+  // Forward elimination with block pivots.
+  std::vector<Mat5> c_prime(n);
+  Mat5 pivot = diag;
+  c_prime[0] = pivot.inverse() * upper;
+  rhs[0] = pivot.solve(rhs[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag - lower * c_prime[i - 1];
+    const Mat5 pinv = pivot.inverse();
+    c_prime[i] = pinv * upper;
+    rhs[i] = pinv * (rhs[i] - lower * rhs[i - 1]);
+  }
+  // Back substitution.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    rhs[i] -= c_prime[i] * rhs[i + 1];
+  }
+}
+
+void solve_pentadiagonal(double below2, double below1, double diag,
+                         double above1, double above2,
+                         std::vector<double>& rhs) {
+  const std::size_t n = rhs.size();
+  if (n == 0) return;
+  // Banded Gaussian elimination without pivoting (the ADI operator is
+  // strongly diagonally dominant by construction).  Row i holds entries at
+  // columns i-2 (below2), i-1 (below1), i (diag), i+1 (above1), i+2
+  // (above2); only the sub-diagonals mutate during elimination, tracked in
+  // b1_eff.
+  std::vector<double> d(n, diag), c1(n, above1), c2(n, above2);
+  std::vector<double> b1_eff(n, below1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j + 1 < n) {
+      const double f = b1_eff[j + 1] / d[j];
+      d[j + 1] -= f * c1[j];
+      c1[j + 1] -= f * c2[j];
+      rhs[j + 1] -= f * rhs[j];
+    }
+    if (j + 2 < n) {
+      const double g = below2 / d[j];
+      b1_eff[j + 2] -= g * c1[j];
+      d[j + 2] -= g * c2[j];
+      rhs[j + 2] -= g * rhs[j];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double x = rhs[i];
+    if (i + 1 < n) x -= c1[i] * rhs[i + 1];
+    if (i + 2 < n) x -= c2[i] * rhs[i + 2];
+    rhs[i] = x / d[i];
+  }
+}
+
+// ------------------------------------------------------------ state grid ---
+
+double StateGrid::rms() const {
+  double s = 0.0;
+  for (const auto& v : data_) {
+    for (double x : v.v) s += x * x;
+  }
+  return std::sqrt(s / (static_cast<double>(data_.size()) * 5.0));
+}
+
+double StateGrid::max_abs_diff(const StateGrid& o) const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      m = std::max(m, std::fabs(data_[i][c] - o.data_[i][c]));
+    }
+  }
+  return m;
+}
+
+// -------------------------------------------------------------- problem ---
+
+Vec5 CfdProblem::exact(std::size_t i, std::size_t j, std::size_t k) const {
+  const double x = static_cast<double>(i) * h;
+  const double y = static_cast<double>(j) * h;
+  const double z = static_cast<double>(k) * h;
+  const double pi = std::numbers::pi;
+  Vec5 u;
+  u[0] = 1.0 + 0.1 * std::sin(pi * x) * std::sin(pi * y) * std::sin(pi * z);
+  u[1] = 0.2 * std::sin(pi * x) * std::cos(pi * y);
+  u[2] = 0.2 * std::cos(pi * x) * std::sin(pi * z);
+  u[3] = 0.2 * std::sin(pi * y) * std::sin(pi * z);
+  u[4] = 2.0 + 0.1 * std::cos(pi * x) * std::cos(pi * y) * std::cos(pi * z);
+  return u;
+}
+
+Vec5 CfdProblem::apply_operator(const StateGrid& u, std::size_t i,
+                                std::size_t j, std::size_t k) const {
+  Vec5 out;
+  const double inv2h = 1.0 / (2.0 * h);
+  const double invh2 = diffusion / (h * h);
+  const auto& c = u.at(i, j, k);
+  const std::size_t idx[3] = {i, j, k};
+  for (int dir = 0; dir < 3; ++dir) {
+    std::size_t ip = idx[0], jp = idx[1], kp = idx[2];
+    std::size_t im = idx[0], jm = idx[1], km = idx[2];
+    if (dir == 0) { ++ip; --im; }
+    if (dir == 1) { ++jp; --jm; }
+    if (dir == 2) { ++kp; --km; }
+    const Vec5& up = u.at(ip, jp, kp);
+    const Vec5& um = u.at(im, jm, km);
+    out += advection * ((up - um) * inv2h);
+    out -= (up - c * 2.0 + um) * invh2;
+  }
+  return out;
+}
+
+StateGrid CfdProblem::make_forcing() const {
+  StateGrid ue(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) ue.at(i, j, k) = exact(i, j, k);
+    }
+  }
+  StateGrid f(n);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        f.at(i, j, k) = apply_operator(ue, i, j, k);
+      }
+    }
+  }
+  return f;
+}
+
+StateGrid CfdProblem::residual(const StateGrid& u, const StateGrid& forcing) const {
+  StateGrid r(n);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        r.at(i, j, k) = forcing.at(i, j, k) - apply_operator(u, i, j, k);
+      }
+    }
+  }
+  return r;
+}
+
+StateGrid CfdProblem::initial_guess() const {
+  StateGrid u(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const bool boundary = i == 0 || j == 0 || k == 0 || i == n - 1 ||
+                              j == n - 1 || k == n - 1;
+        if (boundary) u.at(i, j, k) = exact(i, j, k);
+      }
+    }
+  }
+  return u;
+}
+
+CfdProblem make_cfd_problem(std::size_t n) {
+  if (n < 5) throw std::invalid_argument("make_cfd_problem: grid too small");
+  CfdProblem p;
+  p.n = n;
+  p.h = 1.0 / static_cast<double>(n - 1);
+  p.diffusion = 0.05;
+  // A gently coupled advection matrix (diagonal transport plus weak
+  // inter-component coupling, like the linearized Euler Jacobians).
+  p.advection = Mat5::identity() * 0.4;
+  p.advection.at(0, 1) = 0.1;
+  p.advection.at(1, 0) = 0.05;
+  p.advection.at(1, 4) = 0.05;
+  p.advection.at(2, 3) = 0.08;
+  p.advection.at(3, 2) = 0.08;
+  p.advection.at(4, 1) = 0.1;
+  return p;
+}
+
+}  // namespace maia::npb

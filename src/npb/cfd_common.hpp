@@ -1,0 +1,134 @@
+// Shared machinery of the NPB pseudo-applications BT, SP and LU.
+//
+// All three solve the same steady model problem on a cubic grid — a
+// 5-component coupled advection-diffusion system, the compact stand-in for
+// the Navier-Stokes systems of the reference codes — but with the three
+// distinct solver structures that define the benchmarks:
+//   BT: ADI with block-tridiagonal (5x5) line solves,
+//   SP: ADI with scalar pentadiagonal line solves (diagonalized operator
+//       plus 4th-order artificial dissipation),
+//   LU: SSOR with lower/upper block sweeps.
+// The forcing is the discrete operator applied to a manufactured solution,
+// so every solver must converge to that solution to machine precision —
+// the verification tests rely on this.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace maia::npb {
+
+// ----------------------------------------------------------------- Vec5 ---
+
+struct Vec5 {
+  std::array<double, 5> v{};
+
+  double& operator[](std::size_t i) { return v[i]; }
+  double operator[](std::size_t i) const { return v[i]; }
+
+  Vec5& operator+=(const Vec5& o);
+  Vec5& operator-=(const Vec5& o);
+  Vec5 operator+(const Vec5& o) const;
+  Vec5 operator-(const Vec5& o) const;
+  Vec5 operator*(double s) const;
+  double norm2() const;
+};
+
+// ----------------------------------------------------------------- Mat5 ---
+
+struct Mat5 {
+  // Row-major 5x5.
+  std::array<double, 25> m{};
+
+  double& at(std::size_t r, std::size_t c) { return m[r * 5 + c]; }
+  double at(std::size_t r, std::size_t c) const { return m[r * 5 + c]; }
+
+  static Mat5 identity();
+  static Mat5 scaled_identity(double s);
+
+  Mat5 operator+(const Mat5& o) const;
+  Mat5 operator-(const Mat5& o) const;
+  Mat5 operator*(double s) const;
+  Mat5 operator*(const Mat5& o) const;
+  Vec5 operator*(const Vec5& x) const;
+
+  /// Solve this * x = b by Gaussian elimination with partial pivoting.
+  Vec5 solve(const Vec5& b) const;
+  /// Inverse (verification helper).
+  Mat5 inverse() const;
+};
+
+// ------------------------------------------------------------ line solves ---
+
+/// Solve a block-tridiagonal system with constant coefficient blocks:
+///   lower * x[i-1] + diag * x[i] + upper * x[i+1] = rhs[i]
+/// (x[-1] = x[n] = 0).  Thomas algorithm with 5x5 block pivots; `rhs` is
+/// overwritten with the solution.
+void solve_block_tridiagonal(const Mat5& lower, const Mat5& diag,
+                             const Mat5& upper, std::vector<Vec5>& rhs);
+
+/// Solve a scalar pentadiagonal system with constant stencil
+/// {e, c, d, c2, e2} (two below, one below, diagonal, one above, two
+/// above); `rhs` overwritten with the solution.
+void solve_pentadiagonal(double below2, double below1, double diag,
+                         double above1, double above2,
+                         std::vector<double>& rhs);
+
+// ------------------------------------------------------------ state grid ---
+
+class StateGrid {
+ public:
+  StateGrid() = default;
+  explicit StateGrid(std::size_t n) : n_(n), data_(n * n * n) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+  Vec5& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  const Vec5& at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+
+  /// RMS over all points and components.
+  double rms() const;
+  double max_abs_diff(const StateGrid& o) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Vec5> data_;
+};
+
+// -------------------------------------------------------------- problem ---
+
+struct CfdProblem {
+  std::size_t n = 0;   // grid points per edge (boundaries included)
+  double h = 0.0;      // spacing
+  Mat5 advection;      // component-coupling advection matrix
+  double diffusion = 0.0;
+
+  /// Manufactured solution sampled at grid point (i,j,k).
+  Vec5 exact(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// L_h(u) at an interior point: central advection + diffusion.
+  Vec5 apply_operator(const StateGrid& u, std::size_t i, std::size_t j,
+                      std::size_t k) const;
+
+  /// forcing = L_h(exact), so the sampled exact solution is the *exact*
+  /// discrete steady state.
+  StateGrid make_forcing() const;
+
+  /// Residual field r = forcing - L_h(u) at interior points (zero on the
+  /// boundary ring).
+  StateGrid residual(const StateGrid& u, const StateGrid& forcing) const;
+
+  /// u with boundaries set to the exact solution and interior zeroed.
+  StateGrid initial_guess() const;
+};
+
+/// The standard test problem: n^3 grid, gentle coupled advection.
+CfdProblem make_cfd_problem(std::size_t n);
+
+}  // namespace maia::npb

@@ -1,0 +1,53 @@
+// CG — Conjugate Gradient kernel.
+//
+// Estimates the largest eigenvalue of a sparse symmetric positive-definite
+// matrix by inverse power iteration, solving each shifted system with 25
+// unpreconditioned CG steps (the reference structure: outer "zeta"
+// iterations around an inner cgsol).  The matrix is random sparse SPD
+// built from the NPB generator.  The kernel's performance signature is the
+// paper's point: the sparse matvec is indirect-addressed (gather), which
+// is exactly what KNC vectorizes badly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+/// Compressed sparse row symmetric positive-definite matrix.
+struct SparseMatrix {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_start;  // n+1
+  std::vector<std::size_t> col;
+  std::vector<double> val;
+
+  std::size_t nonzeros() const { return val.size(); }
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+  /// Dense copy (tests only; O(n^2) memory).
+  std::vector<double> to_dense() const;
+};
+
+/// Random sparse SPD matrix: ~`nz_per_row` off-diagonals per row plus a
+/// dominant diagonal shift that guarantees positive definiteness.
+SparseMatrix make_sparse_spd(std::size_t n, int nz_per_row, double shift,
+                             double seed = NpbRandom::kDefaultSeed);
+
+struct CgResult {
+  double zeta = 0.0;             // eigenvalue estimate, shift + 1/(x.z)
+  double final_residual = 0.0;   // ||r|| of the last inner solve
+  std::vector<double> zeta_history;
+};
+
+/// `outer` power iterations with `inner` CG steps each.
+CgResult run_cg(const SparseMatrix& a, double shift, int outer, int inner);
+
+/// Plain CG solve of A x = b to tolerance; returns iterations used.
+/// (Building block, exposed for direct verification.)
+int cg_solve(const SparseMatrix& a, const std::vector<double>& b,
+             std::vector<double>& x, int max_iter, double tol,
+             double* residual_out = nullptr);
+
+}  // namespace maia::npb

@@ -1,0 +1,75 @@
+#include "npb/common.hpp"
+
+namespace maia::npb {
+namespace {
+
+constexpr std::uint64_t kMod = 1ull << 46;
+constexpr std::uint64_t kMask = kMod - 1;
+// a = 5^13 = 1220703125.
+constexpr std::uint64_t kA = 1220703125ull;
+
+std::uint64_t mulmod46(std::uint64_t a, std::uint64_t b) {
+  return (static_cast<__uint128_t>(a) * b) & kMask;
+}
+
+}  // namespace
+
+const char* benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::kEP: return "EP";
+    case Benchmark::kCG: return "CG";
+    case Benchmark::kMG: return "MG";
+    case Benchmark::kFT: return "FT";
+    case Benchmark::kIS: return "IS";
+    case Benchmark::kBT: return "BT";
+    case Benchmark::kSP: return "SP";
+    case Benchmark::kLU: return "LU";
+  }
+  return "?";
+}
+
+const char* class_name(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS: return "S";
+    case ProblemClass::kW: return "W";
+    case ProblemClass::kA: return "A";
+    case ProblemClass::kB: return "B";
+    case ProblemClass::kC: return "C";
+  }
+  return "?";
+}
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> kAll = {
+      Benchmark::kEP, Benchmark::kCG, Benchmark::kMG, Benchmark::kFT,
+      Benchmark::kIS, Benchmark::kBT, Benchmark::kSP, Benchmark::kLU,
+  };
+  return kAll;
+}
+
+NpbRandom::NpbRandom(double seed) : x_(static_cast<std::uint64_t>(seed) & kMask) {}
+
+double NpbRandom::next() {
+  x_ = mulmod46(kA, x_);
+  return static_cast<double>(x_) * 0x1.0p-46;
+}
+
+void NpbRandom::fill(std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = next();
+}
+
+void NpbRandom::skip(std::uint64_t n) {
+  // x <- a^n * x mod 2^46 by binary powering.
+  std::uint64_t an = 1;
+  std::uint64_t base = kA;
+  while (n != 0) {
+    if (n & 1) an = mulmod46(an, base);
+    base = mulmod46(base, base);
+    n >>= 1;
+  }
+  x_ = mulmod46(an, x_);
+}
+
+double NpbRandom::state() const { return static_cast<double>(x_); }
+
+}  // namespace maia::npb

@@ -1,0 +1,47 @@
+// NAS Parallel Benchmarks: shared definitions.
+//
+// The eight NPB 3.3 benchmarks (paper §3.6): five kernels (EP, CG, MG, FT,
+// IS) and three pseudo-applications (BT, SP, LU).  This module implements
+// each kernel's real numerics in compact form (verified in tests at small
+// classes) and carries the Class-C workload descriptors the performance
+// figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maia::npb {
+
+enum class Benchmark { kEP, kCG, kMG, kFT, kIS, kBT, kSP, kLU };
+enum class ProblemClass { kS, kW, kA, kB, kC };
+
+const char* benchmark_name(Benchmark b);
+const char* class_name(ProblemClass c);
+const std::vector<Benchmark>& all_benchmarks();
+
+/// NPB pseudo-random number generator: x_{k+1} = a * x_k mod 2^46 with
+/// a = 5^13, returning x / 2^46 in (0, 1).  Exact integer arithmetic —
+/// bit-identical to the reference randlc().
+class NpbRandom {
+ public:
+  static constexpr double kDefaultSeed = 314159265.0;
+  explicit NpbRandom(double seed = kDefaultSeed);
+
+  /// Next uniform deviate in (0,1); advances the state.
+  double next();
+
+  /// Fill `n` deviates (the reference vranlc()).
+  void fill(std::size_t n, double* out);
+
+  /// Jump the state forward by `n` steps in O(log n) (used by EP to give
+  /// each block an independent stream — the reference's randlc powering).
+  void skip(std::uint64_t n);
+
+  double state() const;
+
+ private:
+  std::uint64_t x_;  // 46-bit state
+};
+
+}  // namespace maia::npb

@@ -1,0 +1,37 @@
+// EP — Embarrassingly Parallel kernel.
+//
+// Generates pairs of uniform deviates with the NPB LCG, maps them to
+// (-1,1)^2, accepts pairs inside the unit disc, transforms them into
+// Gaussian deviates (Marsaglia polar method), and tallies the maxima into
+// ten annular bins — the reference benchmark's exact computation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+struct EpResult {
+  double sx = 0.0;                 // sum of Gaussian X deviates
+  double sy = 0.0;                 // sum of Gaussian Y deviates
+  std::array<long, 10> counts{};   // annulus tallies q[0..9]
+  long pairs_accepted = 0;
+
+  long total_counted() const {
+    long total = 0;
+    for (long c : counts) total += c;
+    return total;
+  }
+};
+
+/// Run EP for 2^log2_pairs pairs.  `blocks` splits the stream into
+/// independently seeded chunks (the parallel decomposition of the
+/// reference code); the result is identical for any block count.
+EpResult run_ep(int log2_pairs, int blocks = 1);
+
+/// Pairs per class (log2): S=24, W=25, A=28, B=30, C=32.
+int ep_log2_pairs(ProblemClass c);
+
+}  // namespace maia::npb

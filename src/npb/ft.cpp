@@ -1,0 +1,158 @@
+#include "npb/ft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace maia::npb {
+namespace {
+
+bool power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Signed frequency of index i on an n-periodic grid: 0..n/2, then negative.
+double freq(std::size_t i, std::size_t n) {
+  return i <= n / 2 ? static_cast<double>(i)
+                    : static_cast<double>(i) - static_cast<double>(n);
+}
+
+}  // namespace
+
+void fft1d(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!power_of_two(n)) throw std::invalid_argument("fft1d: size must be 2^k");
+
+  // Bit reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wl(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= scale;
+  }
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) / static_cast<double>(n);
+      s += a[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? s / static_cast<double>(n) : s;
+  }
+  return out;
+}
+
+void fft3d(Field3& f, bool inverse) {
+  const std::size_t n = f.n();
+  std::vector<Complex> line(n);
+
+  // Along k (contiguous).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) line[k] = f.at(i, j, k);
+      fft1d(line, inverse);
+      for (std::size_t k = 0; k < n; ++k) f.at(i, j, k) = line[k];
+    }
+  }
+  // Along j.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) line[j] = f.at(i, j, k);
+      fft1d(line, inverse);
+      for (std::size_t j = 0; j < n; ++j) f.at(i, j, k) = line[j];
+    }
+  }
+  // Along i.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) line[i] = f.at(i, j, k);
+      fft1d(line, inverse);
+      for (std::size_t i = 0; i < n; ++i) f.at(i, j, k) = line[i];
+    }
+  }
+}
+
+Field3 make_ft_initial(std::size_t n, double seed) {
+  if (!power_of_two(n)) throw std::invalid_argument("make_ft_initial: n must be 2^k");
+  Field3 f(n);
+  NpbRandom rng(seed);
+  for (auto& c : f.raw()) {
+    const double re = rng.next();
+    const double im = rng.next();
+    c = Complex(re, im);
+  }
+  return f;
+}
+
+FtResult run_ft(const Field3& initial, int steps, double alpha) {
+  const std::size_t n = initial.n();
+  Field3 u0 = initial;
+  fft3d(u0, false);  // forward transform, once
+
+  FtResult result;
+  for (int t = 1; t <= steps; ++t) {
+    // Evolve in frequency space.
+    Field3 ut(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double ki = freq(i, n);
+          const double kj = freq(j, n);
+          const double kk = freq(k, n);
+          const double k2 = ki * ki + kj * kj + kk * kk;
+          const double decay = std::exp(-4.0 * std::numbers::pi * std::numbers::pi *
+                                        alpha * static_cast<double>(t) * k2);
+          ut.at(i, j, k) = u0.at(i, j, k) * decay;
+        }
+      }
+    }
+    fft3d(ut, true);  // back to physical space
+
+    // Reference checksum: 1024 strided samples.
+    Complex checksum(0.0, 0.0);
+    const std::size_t total = ut.size();
+    for (std::size_t q = 1; q <= 1024; ++q) {
+      const std::size_t idx = (q * 5 + q * q * 3) % total;
+      checksum += ut.raw()[idx];
+    }
+    result.checksums.push_back(checksum / 1024.0);
+  }
+  return result;
+}
+
+std::size_t ft_grid_size(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS: return 16;
+    case ProblemClass::kW: return 32;
+    case ProblemClass::kA: return 64;
+    case ProblemClass::kB: return 256;
+    case ProblemClass::kC: return 512;
+  }
+  return 16;
+}
+
+}  // namespace maia::npb

@@ -1,0 +1,65 @@
+// FT — 3-D Fast Fourier Transform kernel.
+//
+// Solves a 3-D diffusion PDE spectrally, the reference structure: one
+// forward 3-D FFT of a random initial field, then per time step a
+// frequency-space evolution (multiplication by Gaussian decay factors)
+// and an inverse 3-D FFT, with a 1024-element checksum per step.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT.  `inverse` applies the conjugate
+/// transform including the 1/n scale.
+void fft1d(std::vector<Complex>& a, bool inverse);
+
+/// Reference O(n^2) DFT (verification only).
+std::vector<Complex> dft_reference(const std::vector<Complex>& a, bool inverse);
+
+/// Dense cubic complex field of edge n (power of two).
+class Field3 {
+ public:
+  Field3() = default;
+  explicit Field3(std::size_t n) : n_(n), data_(n * n * n) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+  Complex& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  const Complex& at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  std::vector<Complex>& raw() { return data_; }
+  const std::vector<Complex>& raw() const { return data_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// 3-D FFT: 1-D transforms along k, then j, then i.
+void fft3d(Field3& f, bool inverse);
+
+/// Random initial condition from the NPB generator.
+Field3 make_ft_initial(std::size_t n, double seed = NpbRandom::kDefaultSeed);
+
+struct FtResult {
+  std::vector<Complex> checksums;  // one per time step
+};
+
+/// Run `steps` evolution steps with diffusivity `alpha`.
+FtResult run_ft(const Field3& initial, int steps, double alpha = 1e-6);
+
+/// Grid size per class (cubic proxy): S=16, W=32, A=64 for tests;
+/// C is the paper's 512 (descriptor only — not executed in tests).
+std::size_t ft_grid_size(ProblemClass c);
+
+}  // namespace maia::npb

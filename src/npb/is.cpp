@@ -1,0 +1,58 @@
+#include "npb/is.hpp"
+
+#include <stdexcept>
+
+namespace maia::npb {
+
+std::vector<std::uint32_t> make_is_keys(std::size_t n, std::uint32_t max_key,
+                                        double seed) {
+  if (max_key == 0) throw std::invalid_argument("make_is_keys: max_key must be > 0");
+  NpbRandom rng(seed);
+  std::vector<std::uint32_t> keys(n);
+  const double scale = static_cast<double>(max_key) / 4.0;
+  for (auto& k : keys) {
+    // Average of four deviates scaled by max_key/4 (the reference's
+    // create_seq): sum of 4 uniforms in [0,4) * max_key/4 -> [0, max_key).
+    const double x = rng.next() + rng.next() + rng.next() + rng.next();
+    k = static_cast<std::uint32_t>(x * scale);
+    if (k >= max_key) k = max_key - 1;
+  }
+  return keys;
+}
+
+IsResult run_is(const std::vector<std::uint32_t>& keys, std::uint32_t max_key) {
+  IsResult result;
+  std::vector<std::uint32_t> counts(max_key, 0);
+  for (auto k : keys) {
+    if (k >= max_key) throw std::invalid_argument("run_is: key out of range");
+    ++counts[k];
+  }
+  // Exclusive prefix sum -> first position of each key value.
+  std::vector<std::uint32_t> offsets(max_key, 0);
+  std::uint32_t running = 0;
+  for (std::uint32_t v = 0; v < max_key; ++v) {
+    offsets[v] = running;
+    running += counts[v];
+  }
+  result.sorted.resize(keys.size());
+  result.ranks.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t pos = offsets[keys[i]]++;
+    result.sorted[pos] = keys[i];
+    result.ranks[i] = pos;
+  }
+  return result;
+}
+
+IsParams is_params(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS: return {1u << 16, 1u << 11};
+    case ProblemClass::kW: return {1u << 20, 1u << 16};
+    case ProblemClass::kA: return {1u << 23, 1u << 19};
+    case ProblemClass::kB: return {1u << 25, 1u << 21};
+    case ProblemClass::kC: return {1u << 27, 1u << 23};
+  }
+  return {1u << 16, 1u << 11};
+}
+
+}  // namespace maia::npb

@@ -1,0 +1,37 @@
+// IS — Integer Sort kernel.
+//
+// Ranks (bucket/counting sort) a sequence of integer keys drawn from the
+// reference distribution: each key is the scaled average of four uniform
+// deviates from the NPB generator, giving the benchmark's hump-shaped
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+/// Generate `n` keys in [0, max_key) with the reference distribution.
+std::vector<std::uint32_t> make_is_keys(std::size_t n, std::uint32_t max_key,
+                                        double seed = NpbRandom::kDefaultSeed);
+
+struct IsResult {
+  std::vector<std::uint32_t> sorted;
+  /// rank[i] = final position of key i of the input (the benchmark's
+  /// actual output is ranks, not a permuted array).
+  std::vector<std::uint32_t> ranks;
+};
+
+/// Counting sort; stable ranking as in the reference.
+IsResult run_is(const std::vector<std::uint32_t>& keys, std::uint32_t max_key);
+
+/// Key count and key range per class: S=2^16/2^11 ... C=2^27/2^23.
+struct IsParams {
+  std::size_t n;
+  std::uint32_t max_key;
+};
+IsParams is_params(ProblemClass c);
+
+}  // namespace maia::npb

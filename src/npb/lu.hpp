@@ -1,0 +1,28 @@
+// LU — Lower-Upper symmetric Gauss-Seidel (SSOR) pseudo-application.
+//
+// Instead of ADI line solves, each pseudo-time step applies one SSOR
+// sweep: a forward (lower-triangular, jacld/blts in the reference) pass in
+// grid order followed by a backward (upper-triangular, jacu/buts) pass,
+// with 5x5 diagonal block inversions at every point.
+#pragma once
+
+#include "npb/cfd_common.hpp"
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+struct LuResult {
+  std::vector<double> residual_history;
+  double solution_error = 0.0;
+  int steps = 0;
+};
+
+/// Run `steps` SSOR steps with pseudo-time step `dt` and relaxation
+/// `omega`.
+LuResult run_lu(const CfdProblem& problem, int steps, double dt,
+                double omega = 1.0, StateGrid* u_out = nullptr);
+
+/// Grid points per edge per class: S=12, W=33, A=64, B=102, C=162.
+std::size_t lu_grid_size(ProblemClass c);
+
+}  // namespace maia::npb

@@ -1,0 +1,203 @@
+#include "npb/mg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maia::npb {
+namespace {
+
+bool power_of_two(std::size_t n) { return n > 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+double Grid3::wrap(long i, long j, long k) const {
+  const long n = static_cast<long>(n_);
+  i = ((i % n) + n) % n;
+  j = ((j % n) + n) % n;
+  k = ((k % n) + n) % n;
+  return at(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+            static_cast<std::size_t>(k));
+}
+
+double Grid3::norm2() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s / static_cast<double>(data_.size()));
+}
+
+void apply_stencil(const Grid3& in, Grid3& out, const StencilCoeffs& coeffs) {
+  const auto n = static_cast<long>(in.n());
+  if (out.n() != in.n()) out = Grid3(in.n());
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) {
+      for (long k = 0; k < n; ++k) {
+        double sums[4] = {0.0, 0.0, 0.0, 0.0};
+        for (long di = -1; di <= 1; ++di) {
+          for (long dj = -1; dj <= 1; ++dj) {
+            for (long dk = -1; dk <= 1; ++dk) {
+              const int cls = std::abs(static_cast<int>(di != 0)) +
+                              std::abs(static_cast<int>(dj != 0)) +
+                              std::abs(static_cast<int>(dk != 0));
+              sums[cls] += in.wrap(i + di, j + dj, k + dk);
+            }
+          }
+        }
+        out.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k)) =
+            coeffs[0] * sums[0] + coeffs[1] * sums[1] + coeffs[2] * sums[2] +
+            coeffs[3] * sums[3];
+      }
+    }
+  }
+}
+
+void residual(const Grid3& u, const Grid3& v, Grid3& r) {
+  apply_stencil(u, r, kPoissonA);
+  for (std::size_t idx = 0; idx < r.size(); ++idx) {
+    r.raw()[idx] = v.raw()[idx] - r.raw()[idx];
+  }
+}
+
+void smooth(Grid3& u, const Grid3& r) {
+  Grid3 correction;
+  apply_stencil(r, correction, kSmootherC);
+  for (std::size_t idx = 0; idx < u.size(); ++idx) {
+    u.raw()[idx] += correction.raw()[idx];
+  }
+}
+
+void restrict_grid(const Grid3& fine, Grid3& coarse) {
+  const std::size_t nc = fine.n() / 2;
+  if (coarse.n() != nc) coarse = Grid3(nc);
+  // Full weighting: 27-point average with weights 1/2^(class+3).
+  for (std::size_t i = 0; i < nc; ++i) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      for (std::size_t k = 0; k < nc; ++k) {
+        const long fi = static_cast<long>(2 * i);
+        const long fj = static_cast<long>(2 * j);
+        const long fk = static_cast<long>(2 * k);
+        double s = 0.0;
+        for (long di = -1; di <= 1; ++di) {
+          for (long dj = -1; dj <= 1; ++dj) {
+            for (long dk = -1; dk <= 1; ++dk) {
+              const int cls = static_cast<int>(di != 0) +
+                              static_cast<int>(dj != 0) +
+                              static_cast<int>(dk != 0);
+              s += fine.wrap(fi + di, fj + dj, fk + dk) /
+                   static_cast<double>(1 << (cls + 3));
+            }
+          }
+        }
+        coarse.at(i, j, k) = s;
+      }
+    }
+  }
+}
+
+void prolongate_add(const Grid3& coarse, Grid3& fine) {
+  const auto nc = static_cast<long>(coarse.n());
+  if (fine.n() != coarse.n() * 2) {
+    throw std::invalid_argument("prolongate_add: fine grid must be 2x coarse");
+  }
+  for (long i = 0; i < nc; ++i) {
+    for (long j = 0; j < nc; ++j) {
+      for (long k = 0; k < nc; ++k) {
+        // Trilinear: each fine point in the 2x2x2 block owned by (i,j,k)
+        // averages the 2^d nearest coarse points.
+        for (int oi = 0; oi <= 1; ++oi) {
+          for (int oj = 0; oj <= 1; ++oj) {
+            for (int ok = 0; ok <= 1; ++ok) {
+              double s = 0.0;
+              for (int ci = 0; ci <= oi; ++ci) {
+                for (int cj = 0; cj <= oj; ++cj) {
+                  for (int ck = 0; ck <= ok; ++ck) {
+                    s += coarse.wrap(i + ci, j + cj, k + ck);
+                  }
+                }
+              }
+              const double w =
+                  1.0 / static_cast<double>((oi + 1) * (oj + 1) * (ok + 1));
+              fine.at(static_cast<std::size_t>(2 * i + oi),
+                      static_cast<std::size_t>(2 * j + oj),
+                      static_cast<std::size_t>(2 * k + ok)) += w * s;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Grid3 make_mg_rhs(std::size_t n, double seed) {
+  if (!power_of_two(n)) throw std::invalid_argument("make_mg_rhs: n must be 2^k");
+  Grid3 v(n);
+  NpbRandom rng(seed);
+  // Ten +1 charges and ten -1 charges at pseudo-random sites (the
+  // reference uses the 10 largest/smallest of a random field; random
+  // distinct sites preserve the structure).
+  for (int sign = -1; sign <= 1; sign += 2) {
+    for (int c = 0; c < 10; ++c) {
+      const auto i = static_cast<std::size_t>(rng.next() * static_cast<double>(n));
+      const auto j = static_cast<std::size_t>(rng.next() * static_cast<double>(n));
+      const auto k = static_cast<std::size_t>(rng.next() * static_cast<double>(n));
+      v.at(i % n, j % n, k % n) = static_cast<double>(sign);
+    }
+  }
+  return v;
+}
+
+namespace {
+
+void v_cycle(Grid3& u, const Grid3& v) {
+  if (u.n() <= 4) {
+    // Coarsest level: a few smoothing passes.
+    Grid3 r;
+    for (int s = 0; s < 2; ++s) {
+      residual(u, v, r);
+      smooth(u, r);
+    }
+    return;
+  }
+  Grid3 r;
+  residual(u, v, r);
+  Grid3 r_coarse;
+  restrict_grid(r, r_coarse);
+  Grid3 e_coarse(r_coarse.n());
+  v_cycle(e_coarse, r_coarse);
+  prolongate_add(e_coarse, u);
+  residual(u, v, r);
+  smooth(u, r);
+}
+
+}  // namespace
+
+MgResult run_mg(const Grid3& v, int cycles, Grid3* u_out) {
+  MgResult result;
+  Grid3 u(v.n());
+  Grid3 r;
+  residual(u, v, r);
+  result.initial_residual_norm = r.norm2();
+  for (int c = 0; c < cycles; ++c) {
+    v_cycle(u, v);
+    residual(u, v, r);
+    result.residual_history.push_back(r.norm2());
+  }
+  result.final_residual_norm =
+      result.residual_history.empty() ? result.initial_residual_norm
+                                      : result.residual_history.back();
+  if (u_out != nullptr) *u_out = u;
+  return result;
+}
+
+std::size_t mg_grid_size(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS: return 32;
+    case ProblemClass::kW: return 64;
+    case ProblemClass::kA: return 256;
+    case ProblemClass::kB: return 256;
+    case ProblemClass::kC: return 512;
+  }
+  return 32;
+}
+
+}  // namespace maia::npb

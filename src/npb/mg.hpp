@@ -1,0 +1,86 @@
+// MG — Multi-Grid kernel.
+//
+// Approximates the solution of the 3-D discrete Poisson problem A u = v on
+// a periodic cubic grid with V-cycles of the reference structure: residual
+// (resid), full-weighting restriction (rprj3), trilinear prolongation
+// (interp) and the 27-point inverse-like smoother (psinv), using the
+// reference stencil coefficient classes (center / face / edge / corner).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+/// Periodic cubic grid of doubles, edge length `n` (a power of two).
+class Grid3 {
+ public:
+  Grid3() = default;
+  explicit Grid3(std::size_t n) : n_(n), data_(n * n * n, 0.0) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  double at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * n_ + j) * n_ + k];
+  }
+  /// Periodic wrap-around access.
+  double wrap(long i, long j, long k) const;
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+  double norm2() const;
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// 27-point stencil weights by neighbour class: {center, face, edge, corner}.
+using StencilCoeffs = std::array<double, 4>;
+
+/// The reference operator coefficients.
+constexpr StencilCoeffs kPoissonA = {-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0};
+/// The reference smoother coefficients (class >= A variant).
+constexpr StencilCoeffs kSmootherC = {-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
+
+/// out = stencil(in): apply a 27-point class-weighted stencil.
+void apply_stencil(const Grid3& in, Grid3& out, const StencilCoeffs& coeffs);
+
+/// r = v - A u  (reference resid).
+void residual(const Grid3& u, const Grid3& v, Grid3& r);
+
+/// u += smoother(r)  (reference psinv).
+void smooth(Grid3& u, const Grid3& r);
+
+/// Full-weighting restriction to the half-size grid (reference rprj3).
+void restrict_grid(const Grid3& fine, Grid3& coarse);
+
+/// Trilinear prolongation and correction: fine += P(coarse)
+/// (reference interp).
+void prolongate_add(const Grid3& coarse, Grid3& fine);
+
+struct MgResult {
+  double initial_residual_norm = 0.0;
+  double final_residual_norm = 0.0;
+  std::vector<double> residual_history;  // after each V-cycle
+};
+
+/// Build the reference-style right-hand side: +1 at ten pseudo-random
+/// points, -1 at ten others.
+Grid3 make_mg_rhs(std::size_t n, double seed = NpbRandom::kDefaultSeed);
+
+/// Run `cycles` V-cycles on A u = v starting from u = 0.
+MgResult run_mg(const Grid3& v, int cycles, Grid3* u_out = nullptr);
+
+/// Grid size per class: S=32, W=64 (proxy), A/B=256, C=512.
+std::size_t mg_grid_size(ProblemClass c);
+
+}  // namespace maia::npb

@@ -1,0 +1,124 @@
+#include "npb/mg_offload.hpp"
+
+#include "arch/registry.hpp"
+#include "npb/openmp_runner.hpp"
+#include "npb/signatures.hpp"
+
+namespace maia::npb {
+namespace {
+
+// MG Class C transfer anatomy.  The finest 512^3 double grid is ~1.07 GB;
+// "resid" accounts for ~40% of the flops and is called ~20x per V-cycle
+// across levels (20 cycles -> ~400 subroutine calls, level-size-weighted
+// average operand ~0.29 GB in / 0.12 GB out).  The subroutine body splits
+// into ~6 offloadable loops, each re-shipping its operands.
+constexpr double kResidFlopFraction = 0.40;
+constexpr long kSubroutineInvocations = 400;
+constexpr long kLoopInvocationsPerSubroutine = 6;
+constexpr sim::Bytes kSubroutineBytesIn = 290'000'000;
+constexpr sim::Bytes kSubroutineBytesOut = 120'000'000;
+constexpr sim::Bytes kWholeProgramInput = 3'200'000'000;  // u, v, r grids
+constexpr sim::Bytes kWholeProgramOutput = 1'074'000'000;
+constexpr int kTimeSteps = 20;
+
+perf::KernelSignature scaled(const perf::KernelSignature& sig, double fraction,
+                             double invocations) {
+  perf::KernelSignature s = sig;
+  s.flops = sig.flops * fraction / invocations;
+  s.dram_bytes = sig.dram_bytes * fraction / invocations;
+  s.omp_regions = 1;
+  return s;
+}
+
+}  // namespace
+
+const char* mg_offload_version_name(MgOffloadVersion v) {
+  switch (v) {
+    case MgOffloadVersion::kOneLoop: return "offload one OpenMP loop";
+    case MgOffloadVersion::kOneSubroutine: return "offload resid subroutine";
+    case MgOffloadVersion::kWholeComputation: return "offload whole computation";
+  }
+  return "?";
+}
+
+offload::OffloadProgram mg_offload_program(MgOffloadVersion v) {
+  const auto mg = class_c_workload(Benchmark::kMG);
+  offload::OffloadProgram prog;
+  prog.name = mg_offload_version_name(v);
+
+  perf::KernelSignature host_rest = mg.signature;
+  host_rest.flops *= 1.0 - kResidFlopFraction;
+  host_rest.dram_bytes *= 1.0 - kResidFlopFraction;
+
+  switch (v) {
+    case MgOffloadVersion::kOneLoop: {
+      const long inv = kSubroutineInvocations * kLoopInvocationsPerSubroutine;
+      prog.host_work = host_rest;
+      prog.regions.push_back({
+          "resid inner loop",
+          kSubroutineBytesIn,  // each sub-loop re-ships the operand grids
+          kSubroutineBytesOut / kLoopInvocationsPerSubroutine,
+          inv,
+          scaled(mg.signature, kResidFlopFraction, static_cast<double>(inv)),
+      });
+      break;
+    }
+    case MgOffloadVersion::kOneSubroutine: {
+      prog.host_work = host_rest;
+      prog.regions.push_back({
+          "resid subroutine",
+          kSubroutineBytesIn,
+          kSubroutineBytesOut,
+          kSubroutineInvocations,
+          scaled(mg.signature, kResidFlopFraction,
+                 static_cast<double>(kSubroutineInvocations)),
+      });
+      break;
+    }
+    case MgOffloadVersion::kWholeComputation: {
+      // Input generated on the host and shipped once; each step only syncs
+      // the verification checksum.
+      prog.host_work = perf::KernelSignature{};  // nothing stays behind
+      prog.regions.push_back({
+          "initial data", kWholeProgramInput, 0, 1, perf::KernelSignature{}});
+      prog.regions.push_back({
+          "one V-cycle per step",
+          1'000'000,
+          1'000'000,
+          kTimeSteps,
+          scaled(mg.signature, 1.0, static_cast<double>(kTimeSteps)),
+      });
+      prog.regions.push_back({
+          "final solution", 0, kWholeProgramOutput, 1, perf::KernelSignature{}});
+      break;
+    }
+  }
+  return prog;
+}
+
+MgModesResult run_mg_modes(int phi_threads) {
+  const auto node = arch::maia_node();
+  const OpenMpRunner runner(node);
+  const auto mg = class_c_workload(Benchmark::kMG);
+
+  MgModesResult result;
+  result.native_host_gflops =
+      runner.run(Benchmark::kMG, arch::DeviceId::kHost, 16).gflops;
+  result.native_host_ht_gflops =
+      runner.run(Benchmark::kMG, arch::DeviceId::kHost, 32).gflops;
+  const auto best = runner.best(Benchmark::kMG, arch::DeviceId::kPhi0);
+  result.native_phi_gflops = best.gflops;
+  result.native_phi_threads = best.threads;
+
+  const offload::OffloadRuntime offload_rt(node, arch::DeviceId::kPhi0,
+                                           phi_threads, 16);
+  for (int v = 0; v < 3; ++v) {
+    const auto program = mg_offload_program(static_cast<MgOffloadVersion>(v));
+    result.reports[v] = offload_rt.run(program);
+    result.offload_gflops[v] =
+        mg.signature.flops / result.reports[v].total() / 1e9;
+  }
+  return result;
+}
+
+}  // namespace maia::npb

@@ -1,0 +1,41 @@
+// The three MG offload experiments of the paper (§6.9.1.4-6.9.1.7,
+// Figs 25-27):
+//   1. offload ONE OpenMP loop inside "resid"  — most invocations, most
+//      total data (every sub-loop call re-ships its operands);
+//   2. offload the whole "resid" subroutine    — 6x fewer invocations and
+//      transfers;
+//   3. offload the WHOLE computation           — input shipped once,
+//      least data, best offload performance (still below both native
+//      modes).
+#pragma once
+
+#include "npb/common.hpp"
+#include "offload/runtime.hpp"
+
+namespace maia::npb {
+
+enum class MgOffloadVersion {
+  kOneLoop,
+  kOneSubroutine,
+  kWholeComputation,
+};
+
+const char* mg_offload_version_name(MgOffloadVersion v);
+
+/// The offload program of one version (Class C).
+offload::OffloadProgram mg_offload_program(MgOffloadVersion v);
+
+struct MgModesResult {
+  double native_host_gflops = 0.0;      // 16 threads
+  double native_host_ht_gflops = 0.0;   // 32 threads (HyperThreading)
+  double native_phi_gflops = 0.0;       // best thread count
+  int native_phi_threads = 0;
+  double offload_gflops[3] = {0, 0, 0};  // indexed by MgOffloadVersion
+  offload::OffloadReport reports[3];
+};
+
+/// The full Fig-25/26/27 experiment: MG in native host, native Phi and the
+/// three offload versions (offloading to Phi0 with `phi_threads` threads).
+MgModesResult run_mg_modes(int phi_threads = 177);
+
+}  // namespace maia::npb

@@ -1,0 +1,92 @@
+#include "npb/mpi_runner.hpp"
+
+#include <cmath>
+
+#include "mpi/memory.hpp"
+#include "perf/exec_model.hpp"
+
+namespace maia::npb {
+
+std::vector<int> MpiRunner::valid_rank_counts(Benchmark b,
+                                              arch::DeviceId device) const {
+  if (device == arch::DeviceId::kHost) return {16};
+  const auto w = class_c_workload(b);
+  if (w.needs_square) return {64, 121, 169, 225};
+  return {64, 128};
+}
+
+sim::Seconds MpiRunner::comm_time(const NpbWorkload& w, arch::DeviceId device,
+                                  int nranks) const {
+  sim::Seconds t = 0.0;
+  const auto& c = w.comm;
+  if (c.allreduce_count > 0) {
+    t += static_cast<double>(c.allreduce_count) *
+         collectives_.allreduce(device, nranks, c.allreduce_bytes).time;
+  }
+  if (c.p2p_count > 0) {
+    // Halo/pipeline exchanges: surface scales as ranks^(-2/3).
+    const auto bytes = static_cast<sim::Bytes>(
+        static_cast<double>(c.p2p_bytes_base) /
+        std::pow(static_cast<double>(nranks), 2.0 / 3.0));
+    t += static_cast<double>(c.p2p_count) *
+         collectives_.sendrecv_ring(device, nranks, bytes).time;
+  }
+  if (c.alltoall_count > 0) {
+    const auto per_pair = static_cast<sim::Bytes>(
+        static_cast<double>(c.alltoall_total_bytes) /
+        (static_cast<double>(nranks) * static_cast<double>(nranks)));
+    const auto result = collectives_.alltoall(device, nranks, per_pair);
+    if (result.out_of_memory) {
+      return -1.0;  // signalled to run()
+    }
+    t += static_cast<double>(c.alltoall_count) * result.time;
+  }
+  return t;
+}
+
+MpiRun MpiRunner::run(Benchmark b, arch::DeviceId device, int nranks) const {
+  NpbWorkload w = class_c_workload(b);
+  // The MPI versions decompose over rank grids (square/power-of-two), not
+  // over the OpenMP worksharing loop — the trip-count balance term does
+  // not apply.
+  w.signature.parallel_trip = 0;
+  MpiRun r;
+  r.benchmark = b;
+  r.device = device;
+  r.nranks = nranks;
+
+  // Application data + MPI runtime footprint.
+  const auto fit =
+      mpi::check_fit(node_, device, nranks, w.bytes_per_rank(nranks));
+  if (!fit.fits) {
+    r.out_of_memory = true;
+    return r;
+  }
+
+  // Compute: ranks act as the thread team (one thread each).
+  const auto& dev = node_.device(device);
+  const auto breakdown =
+      perf::ExecModel::run(dev.processor, dev.sockets, nranks, w.signature);
+
+  const sim::Seconds comm = comm_time(w, device, nranks);
+  if (comm < 0.0) {
+    r.out_of_memory = true;  // a collective's staging buffers blew the card
+    return r;
+  }
+  r.comm_seconds = comm;
+  r.seconds = breakdown.total + comm;
+  r.gflops = w.signature.flops / r.seconds / 1e9;
+  return r;
+}
+
+sim::DataSeries MpiRunner::rank_sweep(Benchmark b, arch::DeviceId device) const {
+  sim::DataSeries s(std::string(benchmark_name(b)) + " MPI on " +
+                    arch::device_name(device));
+  for (int ranks : valid_rank_counts(b, device)) {
+    const auto r = run(b, device, ranks);
+    s.add(static_cast<double>(ranks), r.out_of_memory ? 0.0 : r.gflops);
+  }
+  return s;
+}
+
+}  // namespace maia::npb

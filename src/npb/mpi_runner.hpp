@@ -1,0 +1,51 @@
+// MPI-version NPB runner (Fig 20): each rank is a process (one thread);
+// computation through the execution model, communication through the
+// simulated collectives, memory through the footprint tracker — which is
+// what makes FT fail on the 8 GB Phi exactly as the paper reports.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/node.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "mpi/collectives.hpp"
+#include "npb/signatures.hpp"
+#include "sim/series.hpp"
+
+namespace maia::npb {
+
+struct MpiRun {
+  Benchmark benchmark;
+  arch::DeviceId device;
+  int nranks = 0;
+  bool out_of_memory = false;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  double comm_seconds = 0.0;
+};
+
+class MpiRunner {
+ public:
+  MpiRunner(arch::NodeTopology node, fabric::SoftwareStack stack)
+      : node_(node), collectives_(mpi::MpiCostModel(std::move(node), stack)) {}
+
+  MpiRun run(Benchmark b, arch::DeviceId device, int nranks) const;
+
+  /// Rank counts the benchmark accepts near the Phi's 59-236 window
+  /// (power-of-two: 64, 128; square: 64, 121, 169, 225), or {16} on host.
+  std::vector<int> valid_rank_counts(Benchmark b, arch::DeviceId device) const;
+
+  /// Fig-20 series: Gflop/s vs rank count (0 where the run fails).
+  sim::DataSeries rank_sweep(Benchmark b, arch::DeviceId device) const;
+
+ private:
+  sim::Seconds comm_time(const NpbWorkload& w, arch::DeviceId device,
+                         int nranks) const;
+
+  arch::NodeTopology node_;
+  mpi::Collectives collectives_;
+};
+
+}  // namespace maia::npb

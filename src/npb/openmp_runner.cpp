@@ -1,0 +1,54 @@
+#include "npb/openmp_runner.hpp"
+
+#include "perf/exec_model.hpp"
+
+namespace maia::npb {
+
+const std::vector<int>& OpenMpRunner::phi_thread_counts() {
+  static const std::vector<int> kCounts = {59, 118, 177, 236};
+  return kCounts;
+}
+
+OpenMpRun OpenMpRunner::run_workload(const NpbWorkload& w,
+                                     arch::DeviceId device, int threads) const {
+  const auto& dev = node_.device(device);
+  const auto breakdown =
+      perf::ExecModel::run(dev.processor, dev.sockets, threads, w.signature);
+  OpenMpRun r;
+  r.benchmark = w.benchmark;
+  r.device = device;
+  r.threads = threads;
+  r.seconds = breakdown.total;
+  r.gflops = breakdown.total > 0.0 ? w.signature.flops / breakdown.total / 1e9 : 0.0;
+  return r;
+}
+
+OpenMpRun OpenMpRunner::run(Benchmark b, arch::DeviceId device,
+                            int threads) const {
+  return run_workload(class_c_workload(b), device, threads);
+}
+
+sim::DataSeries OpenMpRunner::thread_sweep(Benchmark b, arch::DeviceId device,
+                                           const std::vector<int>& threads) const {
+  sim::DataSeries s(std::string(benchmark_name(b)) + " on " +
+                    arch::device_name(device));
+  for (int t : threads) {
+    s.add(static_cast<double>(t), run(b, device, t).gflops);
+  }
+  return s;
+}
+
+OpenMpRun OpenMpRunner::best(Benchmark b, arch::DeviceId device) const {
+  const std::vector<int> counts = device == arch::DeviceId::kHost
+                                      ? std::vector<int>{16}
+                                      : phi_thread_counts();
+  OpenMpRun best_run;
+  best_run.gflops = -1.0;
+  for (int t : counts) {
+    const auto r = run(b, device, t);
+    if (r.gflops > best_run.gflops) best_run = r;
+  }
+  return best_run;
+}
+
+}  // namespace maia::npb

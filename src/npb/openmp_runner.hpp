@@ -1,0 +1,45 @@
+// OpenMP-version NPB runner (Figs 19 and 24): performance of each
+// benchmark on the host and on Phi0 across thread counts.
+#pragma once
+
+#include <vector>
+
+#include "arch/node.hpp"
+#include "npb/signatures.hpp"
+#include "sim/series.hpp"
+
+namespace maia::npb {
+
+struct OpenMpRun {
+  Benchmark benchmark;
+  arch::DeviceId device;
+  int threads = 0;
+  double gflops = 0.0;
+  double seconds = 0.0;
+};
+
+class OpenMpRunner {
+ public:
+  explicit OpenMpRunner(arch::NodeTopology node) : node_(std::move(node)) {}
+
+  /// One run of the Class-C benchmark.
+  OpenMpRun run(Benchmark b, arch::DeviceId device, int threads) const;
+  /// A custom workload (the collapse experiment passes the modified MG).
+  OpenMpRun run_workload(const NpbWorkload& w, arch::DeviceId device,
+                         int threads) const;
+
+  /// Fig-19 series: Gflop/s vs threads on one device.
+  sim::DataSeries thread_sweep(Benchmark b, arch::DeviceId device,
+                               const std::vector<int>& threads) const;
+
+  /// Best Gflop/s over the paper's standard thread counts (host: 16;
+  /// Phi: 59/118/177/236).
+  OpenMpRun best(Benchmark b, arch::DeviceId device) const;
+
+  static const std::vector<int>& phi_thread_counts();
+
+ private:
+  arch::NodeTopology node_;
+};
+
+}  // namespace maia::npb

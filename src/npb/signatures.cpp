@@ -1,0 +1,170 @@
+#include "npb/signatures.hpp"
+
+#include <stdexcept>
+
+#include "omp/loop_balance.hpp"
+
+namespace maia::npb {
+namespace {
+
+using sim::operator""_B;
+
+// Workload characterization notes
+// -------------------------------
+// flops: published NPB Class-C operation totals (EP's count includes the
+//   expansion of log/sqrt into flops).
+// dram_bytes: totals implied by each kernel's array traffic (e.g. MG's
+//   ~3.2 B/flop V-cycle traffic).
+// vector/gather fractions: read off the kernels implemented in this module
+//   (CG's sparse matvec is gather-dominated; LU's pipelined sweeps resist
+//   vectorization; EP is transcendental/branch-heavy).
+// prefetch_efficiency: how well software prefetch sustains streaming on an
+//   in-order core for this access pattern (1.0 = STREAM-like; MG's
+//   multi-level stencils ~0.55; CG's indirect streams ~0.30).
+
+perf::KernelSignature base_signature(const char* name) {
+  perf::KernelSignature s;
+  s.name = name;
+  s.parallel_fraction = 0.995;
+  return s;
+}
+
+}  // namespace
+
+NpbWorkload class_c_workload(Benchmark b) {
+  NpbWorkload w;
+  w.benchmark = b;
+  w.problem_class = ProblemClass::kC;
+  auto& s = w.signature;
+
+  switch (b) {
+    case Benchmark::kEP:
+      s = base_signature("EP.C");
+      s.flops = 3.4e11;  // 2^32 pairs, transcendentals expanded
+      s.dram_bytes = 2e9;
+      s.vector_fraction = 0.20;  // log/sqrt + acceptance branches
+      s.prefetch_efficiency = 1.0;
+      s.parallel_fraction = 0.9999;
+      s.parallel_trip = 1 << 20;
+      s.omp_regions = 20;
+      w.comm = {3, 160_B, 0, 0, 0, 0};
+      w.total_data_bytes = 100'000'000;
+      w.needs_power_of_two = true;
+      break;
+
+    case Benchmark::kCG:
+      s = base_signature("CG.C");
+      s.flops = 3.6e10;
+      s.dram_bytes = 1.1e11;
+      s.vector_fraction = 0.85;
+      s.gather_fraction = 0.85;  // sparse matvec indirect addressing
+      s.prefetch_efficiency = 0.30;
+      s.parallel_trip = 150000;
+      s.omp_regions = 11000;  // 75 outer x 25 inner x ~6 regions
+      w.comm = {3750, 8_B, 3750, 10'000'000, 0, 0};
+      w.total_data_bytes = 1'000'000'000;
+      w.needs_power_of_two = true;
+      break;
+
+    case Benchmark::kMG:
+      s = base_signature("MG.C");
+      s.flops = 1.557e11;  // published MG.C total
+      s.dram_bytes = 5.0e11;
+      s.vector_fraction = 0.95;
+      s.prefetch_efficiency = 0.58;
+      s.parallel_fraction = 0.999;  // the V-cycle parallelizes wall-to-wall
+      s.parallel_trip = 512;  // finest-level outer loop, the collapse lever
+      s.omp_regions = 800;
+      w.comm = {20, 8_B, 1080, 2'100'000, 0, 0};
+      w.total_data_bytes = 3'700'000'000;
+      w.needs_power_of_two = true;
+      break;
+
+    case Benchmark::kFT:
+      s = base_signature("FT.C");
+      s.flops = 7.2e11;
+      s.dram_bytes = 1.3e12;
+      s.vector_fraction = 0.85;
+      s.gather_fraction = 0.10;  // strided transpose access
+      s.prefetch_efficiency = 0.35;
+      s.parallel_trip = 512;
+      s.omp_regions = 400;
+      // Two full-volume transposes per step, 20 steps.
+      w.comm = {20, 8_B, 0, 0, 40, 2'147'483'648};
+      w.total_data_bytes = 6'400'000'000;  // 3 complex 512^3 arrays
+      w.needs_power_of_two = true;
+      break;
+
+    case Benchmark::kIS:
+      s = base_signature("IS.C");
+      s.flops = 2e9;  // integer ops counted as ops
+      s.dram_bytes = 4e9;
+      s.vector_fraction = 0.30;
+      s.gather_fraction = 0.60;  // histogram scatter
+      s.prefetch_efficiency = 0.50;
+      s.parallel_fraction = 0.98;
+      s.parallel_trip = 1 << 20;
+      s.omp_regions = 40;
+      w.comm = {10, 8_B, 0, 0, 10, 536'870'912};
+      w.total_data_bytes = 1'073'741'824;
+      w.needs_power_of_two = true;
+      break;
+
+    case Benchmark::kBT:
+      s = base_signature("BT.C");
+      s.flops = 1.7e12;
+      s.dram_bytes = 8.5e11;  // block solves reuse heavily: ~0.5 B/flop
+      s.vector_fraction = 0.75;
+      s.prefetch_efficiency = 0.75;
+      s.parallel_fraction = 0.998;
+      s.parallel_trip = 160;
+      s.omp_regions = 4000;
+      w.comm = {0, 0, 1200, 5'000'000, 0, 0};
+      w.total_data_bytes = 2'000'000'000;
+      w.needs_square = true;
+      break;
+
+    case Benchmark::kSP:
+      s = base_signature("SP.C");
+      s.flops = 1.46e12;
+      s.dram_bytes = 1.5e12;  // scalar sweeps re-stream the grid
+      s.vector_fraction = 0.80;
+      s.prefetch_efficiency = 0.38;
+      s.parallel_fraction = 0.998;
+      s.parallel_trip = 160;
+      s.omp_regions = 6000;
+      w.comm = {0, 0, 2400, 5'000'000, 0, 0};
+      w.total_data_bytes = 1'700'000'000;
+      w.needs_square = true;
+      break;
+
+    case Benchmark::kLU:
+      s = base_signature("LU.C");
+      s.flops = 1.8e12;
+      s.dram_bytes = 1.4e12;
+      s.vector_fraction = 0.65;  // pipelined wavefront sweeps
+      s.prefetch_efficiency = 0.33;
+      s.parallel_trip = 160;
+      s.omp_regions = 2500;
+      // SSOR pipeline: many small neighbour messages.
+      w.comm = {250, 40_B, 80000, 200'000, 0, 0};
+      w.total_data_bytes = 1'900'000'000;
+      w.needs_power_of_two = true;
+      break;
+  }
+  return w;
+}
+
+NpbWorkload class_c_mg_collapsed() {
+  NpbWorkload w = class_c_workload(Benchmark::kMG);
+  w.signature.name = "MG.C (collapsed)";
+  // COLLAPSE(2) multiplies the worksharing trip count...
+  w.signature.parallel_trip = omp::collapsed_trip({512, 512});
+  // ...at the price of index reconstruction in every iteration (charged to
+  // both pipes so the tax shows regardless of which bound binds).
+  w.signature.flops *= 1.0 + omp::kCollapseIndexOverhead;
+  w.signature.dram_bytes *= 1.0 + omp::kCollapseIndexOverhead;
+  return w;
+}
+
+}  // namespace maia::npb

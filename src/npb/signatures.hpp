@@ -1,0 +1,56 @@
+// Class-C workload descriptors: the performance characterization of each
+// NPB benchmark that the figure-level experiments (Figs 19, 20, 24, 25)
+// consume.
+//
+// Signatures describe the *code*: operation counts from the published NPB
+// totals, instruction mix (vector / gather / scalar fractions) from the
+// kernels implemented in this module, and access-pattern friendliness.
+// Everything machine-specific stays in maia_perf.
+#pragma once
+
+#include "mpi/collectives.hpp"
+#include "npb/common.hpp"
+#include "perf/signature.hpp"
+#include "sim/units.hpp"
+
+namespace maia::npb {
+
+/// Per-iteration MPI communication pattern of the MPI-parallel version.
+struct CommPattern {
+  /// MPI_Allreduce calls per run, of this payload each.
+  long allreduce_count = 0;
+  sim::Bytes allreduce_bytes = 0;
+  /// Neighbour (halo/pipeline) exchanges per run; bytes scale as
+  /// surface/rank: bytes(nranks) = p2p_bytes_base / nranks^(2/3).
+  long p2p_count = 0;
+  sim::Bytes p2p_bytes_base = 0;
+  /// MPI_Alltoall calls per run; per-rank message = a2a_total / nranks^2.
+  long alltoall_count = 0;
+  sim::Bytes alltoall_total_bytes = 0;
+};
+
+struct NpbWorkload {
+  Benchmark benchmark = Benchmark::kEP;
+  ProblemClass problem_class = ProblemClass::kC;
+  perf::KernelSignature signature;  // one full run
+  CommPattern comm;
+  /// Application data resident across all ranks (split evenly).
+  sim::Bytes total_data_bytes = 0;
+  /// MPI-version rank-count constraints.
+  bool needs_power_of_two = false;
+  bool needs_square = false;
+
+  /// Application bytes per rank at `nranks`.
+  sim::Bytes bytes_per_rank(int nranks) const {
+    return total_data_bytes / static_cast<sim::Bytes>(nranks);
+  }
+};
+
+/// The Class-C workload of one benchmark.
+NpbWorkload class_c_workload(Benchmark b);
+
+/// MG with the nested loops collapsed (Fig 24): the parallel trip count
+/// multiplies out and the index-reconstruction tax is added.
+NpbWorkload class_c_mg_collapsed();
+
+}  // namespace maia::npb

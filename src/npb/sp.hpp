@@ -1,0 +1,27 @@
+// SP — Scalar Pentadiagonal pseudo-application.
+//
+// Same ADI structure as BT, but the implicit line operator is
+// diagonalized: each of the five components is solved independently with a
+// scalar pentadiagonal system (central advection-diffusion plus 4th-order
+// artificial dissipation — the term that widens the band from tri to
+// penta, as in the reference).
+#pragma once
+
+#include "npb/cfd_common.hpp"
+#include "npb/common.hpp"
+
+namespace maia::npb {
+
+struct SpResult {
+  std::vector<double> residual_history;
+  double solution_error = 0.0;
+  int steps = 0;
+};
+
+SpResult run_sp(const CfdProblem& problem, int steps, double dt,
+                StateGrid* u_out = nullptr);
+
+/// Grid points per edge per class: S=12, W=36, A=64, B=102, C=162.
+std::size_t sp_grid_size(ProblemClass c);
+
+}  // namespace maia::npb

@@ -1,0 +1,75 @@
+// Offload programming-mode runtime (paper §4.1, §6.9.1.4-6.9.1.7).
+//
+// An offload program alternates host-side work with offloaded regions.
+// Each offload invocation pays (the paper's decomposition):
+//   * setup + data gather/scatter on the host,
+//   * the PCIe DMA transfer (OffloadLink),
+//   * setup + data gather/scatter on the Phi,
+// and then runs its kernel on the coprocessor through ExecModel.  The
+// OffloadReport mirrors Intel's OFFLOAD_REPORT: invocation counts, bytes
+// moved each way, and the time split — the data of Figs 26-27.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/node.hpp"
+#include "fabric/offload_link.hpp"
+#include "perf/exec_model.hpp"
+#include "perf/signature.hpp"
+#include "sim/units.hpp"
+
+namespace maia::offload {
+
+struct OffloadRegion {
+  std::string name;
+  /// Bytes host -> Phi per invocation.
+  sim::Bytes bytes_in = 0;
+  /// Bytes Phi -> host per invocation.
+  sim::Bytes bytes_out = 0;
+  long invocations = 1;
+  /// Coprocessor work per invocation.
+  perf::KernelSignature kernel;
+};
+
+struct OffloadProgram {
+  std::string name;
+  /// Work that stays on the host (per run).
+  perf::KernelSignature host_work;
+  std::vector<OffloadRegion> regions;
+};
+
+struct OffloadReport {
+  long invocations = 0;
+  sim::Bytes bytes_in = 0;
+  sim::Bytes bytes_out = 0;
+  sim::Seconds host_setup = 0.0;   // host-side setup + gather/scatter
+  sim::Seconds transfer = 0.0;     // PCIe DMA
+  sim::Seconds phi_setup = 0.0;    // coprocessor-side setup + scatter
+  sim::Seconds phi_compute = 0.0;  // offloaded kernels
+  sim::Seconds host_compute = 0.0; // non-offloaded work
+
+  sim::Seconds overhead() const { return host_setup + transfer + phi_setup; }
+  sim::Seconds total() const { return overhead() + phi_compute + host_compute; }
+  sim::Bytes total_bytes() const { return bytes_in + bytes_out; }
+};
+
+class OffloadRuntime {
+ public:
+  /// Offload from the node's host to `target` (kPhi0 or kPhi1), running
+  /// each region with `phi_threads` OpenMP threads on the coprocessor and
+  /// host work with `host_threads`.
+  OffloadRuntime(arch::NodeTopology node, arch::DeviceId target,
+                 int phi_threads, int host_threads);
+
+  OffloadReport run(const OffloadProgram& program) const;
+
+ private:
+  arch::NodeTopology node_;
+  arch::DeviceId target_;
+  int phi_threads_;
+  int host_threads_;
+  fabric::OffloadLink link_;
+};
+
+}  // namespace maia::offload

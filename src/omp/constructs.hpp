@@ -1,0 +1,48 @@
+// EPCC-style OpenMP construct overhead model (paper §3.4 and §6.5.1,
+// Fig 15).
+//
+// The benchmark definition (Bull et al.): overhead = Tp - Ts/p for a
+// reference body executed under the construct.  What the model charges:
+//   * team-wide constructs (PARALLEL, FOR, PARALLEL FOR, BARRIER, SINGLE,
+//     REDUCTION): a base dispatch cost plus a per-tree-level cost —
+//     barriers and reductions are log2(T)-depth combining trees;
+//   * mutual-exclusion constructs (CRITICAL, LOCK/UNLOCK, ORDERED, ATOMIC):
+//     the cost of bouncing the lock/data cache line between cores, which
+//     on KNC means a trip around the ring plus in-order runtime code.
+//
+// The Phi multiplier is mechanism, not magic: runtime code is scalar and
+// branchy, so it runs at the in-order core's single-issue rate with no
+// out-of-order latency hiding (~4x more cycles per runtime operation), and
+// the trees are deeper (236 leaves vs 16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "omp/team.hpp"
+#include "sim/units.hpp"
+
+namespace maia::omp {
+
+enum class Construct {
+  kParallel,
+  kFor,
+  kParallelFor,
+  kBarrier,
+  kSingle,
+  kCritical,
+  kLockUnlock,
+  kOrdered,
+  kAtomic,
+  kReduction,
+};
+
+const char* construct_name(Construct c);
+
+/// All constructs in the order Fig 15 lists them.
+const std::vector<Construct>& all_constructs();
+
+/// Overhead of executing `c` once with the team (EPCC definition).
+sim::Seconds construct_overhead(Construct c, const ThreadTeam& team);
+
+}  // namespace maia::omp

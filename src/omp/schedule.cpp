@@ -1,0 +1,117 @@
+#include "omp/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace maia::omp {
+namespace {
+
+// Cycles to fetch-and-add the shared dispatch counter while its line is
+// held exclusively (uncontended base; contention is simulated, not folded
+// into the constant).  The KNC ring plus in-order runtime code makes each
+// dispatch ~4x the cycles of Sandy Bridge's.
+constexpr double kDispatchCyclesOoO = 150.0;
+constexpr double kDispatchCyclesInOrder = 600.0;
+
+}  // namespace
+
+const char* schedule_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kStatic: return "STATIC";
+    case SchedulePolicy::kDynamic: return "DYNAMIC";
+    case SchedulePolicy::kGuided: return "GUIDED";
+  }
+  return "?";
+}
+
+sim::Seconds LoopScheduler::dispatch_cost() const {
+  const auto& core = team_.processor().core;
+  const double cycles = core.issue == arch::IssueModel::kInOrderNoBackToBack
+                            ? kDispatchCyclesInOrder
+                            : kDispatchCyclesOoO;
+  return cycles * core.cycle_time() * team_.os_jitter_factor();
+}
+
+ScheduleResult LoopScheduler::run(std::span<const double> iteration_costs,
+                                  SchedulePolicy policy, long chunk) const {
+  const long trip = static_cast<long>(iteration_costs.size());
+  if (trip == 0) throw std::invalid_argument("LoopScheduler: empty loop");
+  const int threads = team_.nthreads();
+  const sim::Seconds dispatch = dispatch_cost();
+
+  ScheduleResult result;
+  result.iterations_per_thread.assign(threads, 0);
+  const double total =
+      std::accumulate(iteration_costs.begin(), iteration_costs.end(), 0.0);
+  result.ideal = total / static_cast<double>(threads);
+
+  std::vector<double> clock(threads, 0.0);
+
+  if (policy == SchedulePolicy::kStatic) {
+    // Chunked round-robin (OpenMP static): default chunk = ceil(trip/T).
+    if (chunk <= 0) chunk = (trip + threads - 1) / threads;
+    long next = 0;
+    int turn = 0;
+    while (next < trip) {
+      const long end = std::min(next + chunk, trip);
+      const int t = turn % threads;
+      clock[t] += dispatch;  // bounds computation, once per chunk, private
+      for (long i = next; i < end; ++i) clock[t] += iteration_costs[i];
+      result.iterations_per_thread[t] += end - next;
+      ++result.dispatches;
+      next = end;
+      ++turn;
+    }
+  } else {
+    // DYNAMIC / GUIDED: threads race on a shared counter; the counter line
+    // is exclusive during each fetch-and-add, so dequeues serialize.
+    if (chunk <= 0) chunk = 1;
+    long remaining = trip;
+    long next = 0;
+    double counter_free = 0.0;
+    // Min-heap of (thread ready time, thread id): always dispatch to the
+    // thread that asks first.
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
+    for (int t = 0; t < threads; ++t) ready.emplace(0.0, t);
+
+    while (next < trip) {
+      auto [at, t] = ready.top();
+      ready.pop();
+      const double acquire = std::max(at, counter_free);
+      counter_free = acquire + dispatch;
+      long take = chunk;
+      if (policy == SchedulePolicy::kGuided) {
+        // OpenMP guided: size proportional to remaining/threads (the
+        // libgomp rule), floored at the specified chunk.
+        take = std::max<long>(chunk, (remaining + threads - 1) / threads);
+      }
+      take = std::min(take, trip - next);
+      double finish = acquire + dispatch;
+      for (long i = next; i < next + take; ++i) finish += iteration_costs[i];
+      result.iterations_per_thread[t] += take;
+      ++result.dispatches;
+      next += take;
+      remaining -= take;
+      clock[t] = finish;
+      ready.emplace(finish, t);
+    }
+    // Idle threads that never got work still hold clock = 0.
+  }
+
+  result.makespan = *std::max_element(clock.begin(), clock.end());
+  result.earliest_finish = *std::min_element(clock.begin(), clock.end());
+  return result;
+}
+
+ScheduleResult LoopScheduler::run_uniform(long trip, sim::Seconds cost,
+                                          SchedulePolicy policy,
+                                          long chunk) const {
+  std::vector<double> costs(static_cast<std::size_t>(trip), cost);
+  return run(costs, policy, chunk);
+}
+
+}  // namespace maia::omp

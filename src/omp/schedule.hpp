@@ -1,0 +1,58 @@
+// Loop-scheduling simulation (paper §6.5.2, Fig 16).
+//
+// This is an executable model, not a formula: per-thread clocks race to
+// dequeue chunks from a shared dispatch counter whose cache line is held
+// exclusively during each fetch-and-add.  STATIC dispatches once per
+// thread, DYNAMIC once per chunk, GUIDED a shrinking number of times —
+// which is exactly why the measured overhead orders STATIC < GUIDED <
+// DYNAMIC on both architectures, with every dispatch ~4x more expensive in
+// cycles on the in-order Phi (and the cycles 2.5x longer).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "omp/team.hpp"
+#include "sim/units.hpp"
+
+namespace maia::omp {
+
+enum class SchedulePolicy { kStatic, kDynamic, kGuided };
+
+const char* schedule_name(SchedulePolicy p);
+
+struct ScheduleResult {
+  sim::Seconds makespan = 0.0;
+  /// Perfectly balanced, zero-dispatch-cost execution time.
+  sim::Seconds ideal = 0.0;
+  /// EPCC-style overhead: Tp - Ts/p.
+  sim::Seconds overhead() const { return makespan - ideal; }
+  /// Number of dispatches (chunk fetches) performed in total.
+  int dispatches = 0;
+  /// Iterations executed by each thread (sums to the trip count).
+  std::vector<long> iterations_per_thread;
+  sim::Seconds earliest_finish = 0.0;
+};
+
+class LoopScheduler {
+ public:
+  explicit LoopScheduler(const ThreadTeam& team) : team_(team) {}
+
+  /// Simulate a worksharing loop whose iteration i costs
+  /// `iteration_costs[i]` seconds.  `chunk` <= 0 selects the OpenMP
+  /// default (trip/threads for STATIC, 1 for DYNAMIC and GUIDED).
+  ScheduleResult run(std::span<const double> iteration_costs,
+                     SchedulePolicy policy, long chunk = 0) const;
+
+  /// Convenience: `trip` iterations of equal `cost`.
+  ScheduleResult run_uniform(long trip, sim::Seconds cost,
+                             SchedulePolicy policy, long chunk = 0) const;
+
+  /// Cost of one shared-counter dispatch on this team's core.
+  sim::Seconds dispatch_cost() const;
+
+ private:
+  ThreadTeam team_;
+};
+
+}  // namespace maia::omp

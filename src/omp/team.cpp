@@ -1,0 +1,42 @@
+#include "omp/team.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maia::omp {
+namespace {
+
+// Slowdown of a barrier-synchronized team when one of its threads shares a
+// core with the MPSS OS services (calibrated to Fig 24's 60-vs-59-thread
+// gap: runs on 60 cores are ~25-30% slower than on 59).
+constexpr double kOsCoreJitter = 1.30;
+
+}  // namespace
+
+ThreadTeam::ThreadTeam(arch::ProcessorModel proc, int sockets, int nthreads)
+    : proc_(std::move(proc)), sockets_(sockets), nthreads_(nthreads) {
+  if (sockets <= 0 || nthreads <= 0) {
+    throw std::invalid_argument("ThreadTeam: sockets and nthreads must be positive");
+  }
+  const int total_cores = proc_.num_cores * sockets_;
+  const int max_threads = total_cores * proc_.core.hardware_threads;
+  if (nthreads > max_threads) {
+    throw std::invalid_argument("ThreadTeam: more threads than hardware contexts");
+  }
+  threads_per_core_ = (nthreads + total_cores - 1) / total_cores;
+  cores_used_ = (nthreads + threads_per_core_ - 1) / threads_per_core_;
+}
+
+bool ThreadTeam::uses_os_core() const {
+  return cores_used_ > proc_.usable_cores() * sockets_;
+}
+
+double ThreadTeam::os_jitter_factor() const {
+  return uses_os_core() ? kOsCoreJitter : 1.0;
+}
+
+double ThreadTeam::tree_depth() const {
+  return std::max(1.0, std::log2(static_cast<double>(nthreads_)));
+}
+
+}  // namespace maia::omp

@@ -1,0 +1,50 @@
+// ThreadTeam: an OpenMP thread team placed on a device.
+//
+// Placement follows the Intel runtime's compact-balanced policy the paper
+// uses: with N threads on a C-core device, each used core receives
+// ceil(N/C) threads, so 59/118/177/236 threads occupy 59 cores at 1-4
+// threads/core while 60/120/180/240 spill onto the OS service core — the
+// configuration Fig 24 shows to be "much worse".
+#pragma once
+
+#include "arch/processor.hpp"
+#include "sim/units.hpp"
+
+namespace maia::omp {
+
+class ThreadTeam {
+ public:
+  ThreadTeam(arch::ProcessorModel proc, int sockets, int nthreads);
+
+  const arch::ProcessorModel& processor() const { return proc_; }
+  int sockets() const { return sockets_; }
+  int nthreads() const { return nthreads_; }
+  int threads_per_core() const { return threads_per_core_; }
+  int cores_used() const { return cores_used_; }
+
+  /// True when the team spills onto cores the OS reserves for itself.
+  bool uses_os_core() const;
+
+  /// Throughput factor from OS interference: barrier-synchronized code runs
+  /// at the pace of the slowest thread, and a thread sharing the service
+  /// core is repeatedly preempted by MPSS daemons.
+  double os_jitter_factor() const;
+
+  /// Fraction of peak issue rate this team achieves on each used core
+  /// (the in-order no-back-to-back penalty at 1 thread/core).
+  double issue_efficiency() const {
+    return proc_.core.issue_efficiency(threads_per_core_);
+  }
+
+  /// Log2 of the team size, >= 1; the depth of tree barriers/reductions.
+  double tree_depth() const;
+
+ private:
+  arch::ProcessorModel proc_;
+  int sockets_;
+  int nthreads_;
+  int threads_per_core_;
+  int cores_used_;
+};
+
+}  // namespace maia::omp

@@ -1,0 +1,54 @@
+// ExecModel: predicted execution time of a characterized kernel on a
+// modelled device (the paper's "native host" / "native Phi" modes).
+//
+// The prediction combines the mechanisms the paper's conclusions name:
+//   * roofline — time >= max(compute time, memory time);
+//   * vectorization — scalar code runs at the 2-flops/cycle scalar pipes,
+//     gather/scatter-vectorized code at the ISA's (poor, on KNC) gather
+//     efficiency;
+//   * issue model — one thread per core reaches only half of a KNC core's
+//     issue slots (two+ threads needed), while SMT on the host mildly
+//     hurts;
+//   * Amdahl — serial sections run on ONE slow core, which is brutal at
+//     1.05 GHz in-order;
+//   * balance — ceil-division imbalance of the worksharing loop
+//     (the COLLAPSE lever of Fig 24);
+//   * OS-core jitter — teams spilling onto the service core;
+//   * OpenMP region overheads from the construct model.
+#pragma once
+
+#include "arch/processor.hpp"
+#include "omp/team.hpp"
+#include "perf/signature.hpp"
+#include "sim/units.hpp"
+
+namespace maia::perf {
+
+struct ExecBreakdown {
+  sim::Seconds total = 0.0;
+  sim::Seconds compute = 0.0;   // parallel compute component
+  sim::Seconds memory = 0.0;    // parallel memory component
+  sim::Seconds serial = 0.0;    // Amdahl tail
+  sim::Seconds omp_overhead = 0.0;
+  double balance_efficiency = 1.0;
+  double flops_per_second() const { return 0.0; }  // see ExecModel::gflops
+};
+
+class ExecModel {
+ public:
+  /// Time to execute `sig` with an OpenMP team of `threads` on a device of
+  /// `sockets` x `proc`.
+  static ExecBreakdown run(const arch::ProcessorModel& proc, int sockets,
+                           int threads, const KernelSignature& sig);
+
+  /// Convenience: achieved Gflop/s.
+  static double gflops(const arch::ProcessorModel& proc, int sockets,
+                       int threads, const KernelSignature& sig);
+
+  /// Effective per-core flop rate for the signature's instruction mix
+  /// (before threading effects).
+  static double effective_flop_rate(const arch::ProcessorModel& proc,
+                                    const KernelSignature& sig);
+};
+
+}  // namespace maia::perf

@@ -1,0 +1,57 @@
+// KernelSignature: the workload characterization the execution-time
+// predictor consumes.
+//
+// A signature is a static property of the *code + problem size*, measured
+// or counted once (the NPB module derives them from its real kernel
+// implementations); everything machine-dependent happens in ExecModel.
+#pragma once
+
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace maia::perf {
+
+struct KernelSignature {
+  std::string name;
+
+  /// Total floating-point operations per run (or per iteration — the
+  /// caller just has to be consistent).
+  double flops = 0.0;
+  /// Total DRAM traffic (reads + writes) per run, after cache filtering.
+  double dram_bytes = 0.0;
+
+  /// Fraction of flops in vectorizable unit-stride loops.
+  double vector_fraction = 1.0;
+  /// Of the vectorizable flops, the fraction needing gather/scatter
+  /// (indirect addressing — CG's sparse BLAS, OVERFLOW's overset fringes).
+  double gather_fraction = 0.0;
+
+  /// Per-thread working set; decides which cache level feeds the kernel.
+  sim::Bytes working_set_per_thread = 0;
+
+  /// Fraction of the work that parallelizes (Amdahl).
+  double parallel_fraction = 1.0;
+
+  /// Trip count of the parallel (outermost worksharing) loop — the
+  /// ceil-division balance term; <=0 means "large enough to ignore".
+  long parallel_trip = 0;
+
+  /// OpenMP parallel regions entered per run (each charges a fork/join +
+  /// barrier overhead).
+  double omp_regions = 0.0;
+
+  /// Fraction of streaming bandwidth an in-order core can sustain on this
+  /// kernel's access pattern without out-of-order latency hiding (1.0 for
+  /// STREAM-like long unit-stride loops; lower for short stencil loops and
+  /// multi-grid traversals where software prefetch cannot stay ahead).
+  /// Out-of-order hosts are insensitive to it.
+  double prefetch_efficiency = 1.0;
+
+  /// Arithmetic intensity in flop/byte.
+  double intensity() const {
+    return dram_bytes > 0.0 ? flops / dram_bytes : 1e30;
+  }
+};
+
+}  // namespace maia::perf

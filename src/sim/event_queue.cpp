@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace maia::sim {
+
+void EventQueue::schedule_at(Seconds at, Callback fn) {
+  if (at < now_) throw std::logic_error("EventQueue: scheduling into the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+Seconds EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may schedule more events.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    e.fn();
+  }
+  return now_;
+}
+
+Seconds EventQueue::run_until(Seconds deadline) {
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    e.fn();
+  }
+  if (now_ < deadline && heap_.empty()) now_ = deadline;
+  return now_;
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+}
+
+}  // namespace maia::sim

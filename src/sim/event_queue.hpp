@@ -1,0 +1,60 @@
+// A small discrete-event simulation engine.
+//
+// The collective-communication and scheduling models advance per-actor
+// clocks directly where possible (LogGP-style), but genuinely concurrent
+// interactions — dynamic loop chunks contending for a queue, rendezvous
+// handshakes, ring hops — are expressed as events.  Events scheduled at the
+// same timestamp fire in insertion order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace maia::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.  Starts at zero.
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(Seconds at, Callback fn);
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(Seconds delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Number of pending events.
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Run until the queue drains; returns the final simulation time.
+  Seconds run();
+  /// Run until the queue drains or `deadline` passes, whichever is first.
+  Seconds run_until(Seconds deadline);
+
+  /// Drop all pending events and reset the clock.
+  void reset();
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace maia::sim

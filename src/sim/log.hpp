@@ -1,0 +1,22 @@
+// Minimal leveled logger.  Benchmarks run quiet by default; MAIA_LOG=debug
+// (environment) or set_level() turns on model tracing.
+#pragma once
+
+#include <string>
+
+namespace maia::sim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Write one line to stderr if `level` is at or above the active threshold.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace maia::sim

@@ -1,0 +1,88 @@
+#include "sim/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace maia::sim {
+
+std::optional<double> DataSeries::y_at(double x) const {
+  for (const auto& p : points_) {
+    if (p.x == x) return p.y;
+  }
+  return std::nullopt;
+}
+
+double DataSeries::interpolate(double x) const {
+  if (points_.empty()) throw std::logic_error("interpolate: empty series");
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (x <= points_[i].x) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double t = (x - a.x) / (b.x - a.x);
+      return a.y * (1.0 - t) + b.y * t;
+    }
+  }
+  return points_.back().y;
+}
+
+double DataSeries::min_y() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) m = std::min(m, p.y);
+  return m;
+}
+
+double DataSeries::max_y() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) m = std::max(m, p.y);
+  return m;
+}
+
+bool DataSeries::is_non_decreasing(double slack) const {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y < points_[i - 1].y * (1.0 - slack)) return false;
+  }
+  return true;
+}
+
+bool DataSeries::is_non_increasing(double slack) const {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y > points_[i - 1].y * (1.0 + slack)) return false;
+  }
+  return true;
+}
+
+DataSeries ratio_series(const DataSeries& a, const DataSeries& b) {
+  DataSeries out(a.name() + "/" + b.name());
+  for (const auto& p : a.points()) {
+    if (auto by = b.y_at(p.x); by && *by != 0.0) {
+      out.add(p.x, p.y / *by);
+    }
+  }
+  return out;
+}
+
+RatioRange ratio_range(const DataSeries& a, const DataSeries& b) {
+  const DataSeries r = ratio_series(a, b);
+  if (r.empty()) throw std::logic_error("ratio_range: no common x positions");
+  return {r.min_y(), r.max_y()};
+}
+
+std::optional<double> crossover_x(const DataSeries& a, const DataSeries& b) {
+  const DataSeries r = ratio_series(a, b);
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    const bool below = r[i - 1].y < 1.0;
+    const bool above = r[i].y >= 1.0;
+    if (below && above) {
+      // Interpolate where the ratio passes 1.
+      const double t = (1.0 - r[i - 1].y) / (r[i].y - r[i - 1].y);
+      return r[i - 1].x + t * (r[i].x - r[i - 1].x);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace maia::sim

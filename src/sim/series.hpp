@@ -1,0 +1,65 @@
+// DataSeries: the common currency between figure generators, shape checks
+// and bench binaries.  A series is a named list of (x, y) points — e.g.
+// (message size, bandwidth) — plus helpers that implement the "shape"
+// comparisons EXPERIMENTS.md records (ratio ranges, monotonicity,
+// crossover locations).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace maia::sim {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class DataSeries {
+ public:
+  DataSeries() = default;
+  explicit DataSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const Point& operator[](std::size_t i) const { return points_[i]; }
+
+  /// y at the first point with the given x (exact match), if any.
+  std::optional<double> y_at(double x) const;
+  /// Linear interpolation in x; clamps outside the domain.  Requires points
+  /// sorted by ascending x.
+  double interpolate(double x) const;
+
+  double min_y() const;
+  double max_y() const;
+
+  /// True if y never decreases (within `slack` relative tolerance) as x grows.
+  bool is_non_decreasing(double slack = 0.0) const;
+  /// True if y never increases (within `slack` relative tolerance) as x grows.
+  bool is_non_increasing(double slack = 0.0) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Pointwise ratio a.y / b.y at x positions common to both series.
+DataSeries ratio_series(const DataSeries& a, const DataSeries& b);
+
+/// Min and max of the pointwise ratio over common x positions.
+struct RatioRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+RatioRange ratio_range(const DataSeries& a, const DataSeries& b);
+
+/// First x (interpolated) where series a overtakes series b, if any.
+std::optional<double> crossover_x(const DataSeries& a, const DataSeries& b);
+
+}  // namespace maia::sim

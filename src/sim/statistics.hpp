@@ -1,0 +1,41 @@
+// Small online/offline statistics helpers used by benchmark reductions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace maia::sim {
+
+/// Welford online accumulator: mean / variance / min / max without storing
+/// the samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set by linear interpolation between order
+/// statistics (the "exclusive" definition used by most plotting tools).
+/// `q` in [0,1].  The input vector is copied; callers keep their order.
+double percentile(std::vector<double> samples, double q);
+
+/// Geometric mean; all inputs must be positive.
+double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace maia::sim

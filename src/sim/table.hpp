@@ -1,0 +1,35 @@
+// TextTable: aligned console tables for the figure/bench binaries, in the
+// style of the rows the paper reports.  Also emits CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace maia::sim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-print with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Comma-separated form (header first), suitable for plotting scripts.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building cells ("%.2f" etc.).
+std::string cell(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace maia::sim

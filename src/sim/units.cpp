@@ -1,0 +1,61 @@
+#include "sim/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace maia::sim {
+namespace {
+
+std::string format3(double v, const char* unit) {
+  char buf[64];
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, unit);
+  } else if (v >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  // Exact binary multiples print exactly (the paper's "4 KB", "8 GB"); the
+  // exact form is only used while it stays a small number.
+  if (b >= 1_GiB && b % 1_GiB == 0 && b / 1_GiB < 10000)
+    return std::to_string(b / 1_GiB) + " GB";
+  if (b >= 1_MiB && b % 1_MiB == 0 && b / 1_MiB < 10000)
+    return std::to_string(b / 1_MiB) + " MB";
+  if (b >= 1_KiB && b % 1_KiB == 0 && b / 1_KiB < 10000)
+    return std::to_string(b / 1_KiB) + " KB";
+  const auto v = static_cast<double>(b);
+  if (v >= 1e9) return format3(v / 1e9, "GB");
+  if (v >= 1e6) return format3(v / 1e6, "MB");
+  if (v >= 1e3) return format3(v / 1e3, "KB");
+  return std::to_string(b) + " B";
+}
+
+std::string format_time(Seconds s) {
+  const double a = std::fabs(s);
+  if (a < 1e-6) return format3(s * 1e9, "ns");
+  if (a < 1e-3) return format3(s * 1e6, "us");
+  if (a < 1.0) return format3(s * 1e3, "ms");
+  return format3(s, "s");
+}
+
+std::string format_rate(BytesPerSecond r) {
+  if (r >= 1e9) return format3(r / 1e9, "GB/s");
+  if (r >= 1e6) return format3(r / 1e6, "MB/s");
+  if (r >= 1e3) return format3(r / 1e3, "KB/s");
+  return format3(r, "B/s");
+}
+
+std::string format_flops(FlopsPerSecond f) {
+  if (f >= 1e12) return format3(f / 1e12, "Tflop/s");
+  if (f >= 1e9) return format3(f / 1e9, "Gflop/s");
+  return format3(f / 1e6, "Mflop/s");
+}
+
+}  // namespace maia::sim

@@ -1,0 +1,56 @@
+// Strongly-suggestive unit helpers used throughout the model.
+//
+// All simulated time is carried as double seconds and all data sizes as
+// std::uint64_t bytes.  The helpers below keep call sites readable
+// (e.g. `mem.latency(32_KiB)` or `seconds(3.3e-6)`), and the formatting
+// functions render values the way the paper's figures label them
+// (ns / us / ms, B / KB / MB, MB/s / GB/s, Mflop/s / Gflop/s).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace maia::sim {
+
+/// Simulated time in seconds.
+using Seconds = double;
+
+/// Data size in bytes.
+using Bytes = std::uint64_t;
+
+/// Transfer or memory rate in bytes per second.
+using BytesPerSecond = double;
+
+/// Floating-point rate in flop per second.
+using FlopsPerSecond = double;
+
+constexpr Seconds nanoseconds(double v) { return v * 1e-9; }
+constexpr Seconds microseconds(double v) { return v * 1e-6; }
+constexpr Seconds milliseconds(double v) { return v * 1e-3; }
+
+constexpr double to_nanoseconds(Seconds s) { return s * 1e9; }
+constexpr double to_microseconds(Seconds s) { return s * 1e6; }
+constexpr double to_milliseconds(Seconds s) { return s * 1e3; }
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+constexpr BytesPerSecond operator""_MBps(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr BytesPerSecond operator""_GBps(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+constexpr BytesPerSecond operator""_GBps(long double v) { return static_cast<double>(v) * 1e9; }
+
+constexpr FlopsPerSecond operator""_Gflops(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+constexpr FlopsPerSecond operator""_Gflops(long double v) { return static_cast<double>(v) * 1e9; }
+
+/// Render a byte count as the nearest human unit ("4 KB", "2.5 MB").
+std::string format_bytes(Bytes b);
+/// Render a time as ns/us/ms/s with three significant digits.
+std::string format_time(Seconds s);
+/// Render a rate as B/s, KB/s, MB/s or GB/s.
+std::string format_rate(BytesPerSecond r);
+/// Render a flop rate as Mflop/s or Gflop/s.
+std::string format_flops(FlopsPerSecond f);
+
+}  // namespace maia::sim

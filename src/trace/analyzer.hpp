@@ -1,0 +1,58 @@
+// TraceAnalyzer: replay an access trace through the functional cache
+// hierarchy of a modelled processor and quantify its memory behaviour —
+// per-level hit mix, average access cost, DRAM traffic, and two locality
+// metrics that ground the performance-signature parameters:
+//
+//  * sequential_miss_fraction — of the accesses that reach DRAM, the
+//    fraction landing on the line directly after the previous DRAM line.
+//    This is what a software next-line prefetcher (the only kind that
+//    helps an in-order KNC core) can cover: the empirical basis for each
+//    workload's prefetch_efficiency.
+//  * gather_fraction — fraction of reads whose line distance from the
+//    previous read exceeds a page, the footprint of indirect addressing.
+#pragma once
+
+#include "arch/processor.hpp"
+#include "memsim/hierarchy_sim.hpp"
+#include "trace/patterns.hpp"
+
+namespace maia::trace {
+
+struct TraceReport {
+  std::string trace_name;
+  std::string processor_name;
+  std::size_t accesses = 0;
+  /// Fraction serviced by each cache level; last entry = main memory.
+  std::vector<double> level_mix;
+  double avg_cycles_per_access = 0.0;
+  sim::Bytes dram_bytes = 0;  // lines fetched from memory * 64
+  double sequential_miss_fraction = 0.0;
+  double gather_fraction = 0.0;
+
+  double dram_miss_rate() const {
+    return level_mix.empty() ? 0.0 : level_mix.back();
+  }
+};
+
+class TraceAnalyzer {
+ public:
+  /// Analyze against `proc`'s hierarchy as seen by one thread with
+  /// `threads_per_core` residents sharing the private caches.
+  explicit TraceAnalyzer(const arch::ProcessorModel& proc,
+                         int threads_per_core = 1)
+      : proc_(proc), threads_per_core_(threads_per_core) {}
+
+  TraceReport analyze(const AccessTrace& trace) const;
+
+  /// The prefetch_efficiency estimate this trace supports on an in-order
+  /// core: covered (sequential) misses stream at full rate, uncovered ones
+  /// at the exposed-latency rate `uncovered_rate` (fraction of peak).
+  static double estimated_prefetch_efficiency(const TraceReport& report,
+                                              double uncovered_rate = 0.18);
+
+ private:
+  arch::ProcessorModel proc_;
+  int threads_per_core_;
+};
+
+}  // namespace maia::trace

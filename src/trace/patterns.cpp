@@ -1,0 +1,109 @@
+#include "trace/patterns.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "sim/rng.hpp"
+
+namespace maia::trace {
+namespace {
+
+constexpr std::uint64_t kDouble = 8;
+
+}  // namespace
+
+std::size_t AccessTrace::lines_touched() const {
+  std::unordered_set<std::uint64_t> lines;
+  lines.reserve(accesses_.size() / 4 + 8);
+  for (const auto& a : accesses_) lines.insert(a.address / 64);
+  return lines.size();
+}
+
+AccessTrace trace_stream_triad(std::size_t n) {
+  AccessTrace t("stream-triad");
+  const std::uint64_t a0 = 0;
+  const std::uint64_t b0 = n * kDouble;
+  const std::uint64_t c0 = 2 * n * kDouble;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.read(b0 + i * kDouble);
+    t.read(c0 + i * kDouble);
+    t.write(a0 + i * kDouble);
+  }
+  return t;
+}
+
+AccessTrace trace_stencil27(std::size_t n, int sweeps) {
+  AccessTrace t("stencil-27pt");
+  const std::uint64_t in0 = 0;
+  const std::uint64_t out0 = n * n * n * kDouble;
+  auto idx = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return ((i * n + j) * n + k) * kDouble;
+  };
+  for (int sweep = 0; sweep < sweeps; ++sweep)
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        for (int di = -1; di <= 1; ++di) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            // The innermost dimension is contiguous: read the 3-element
+            // row as its span (left to right).
+            for (int dk = -1; dk <= 1; ++dk) {
+              t.read(in0 + idx(i + di, j + dj, k + dk));
+            }
+          }
+        }
+        t.write(out0 + idx(i, j, k));
+      }
+    }
+  }
+  return t;
+}
+
+AccessTrace trace_spmv_gather(std::size_t rows, int nnz_per_row,
+                              std::uint64_t seed) {
+  AccessTrace t("spmv-gather");
+  sim::Rng rng(seed);
+  const std::uint64_t val0 = 0;
+  const std::uint64_t col0 = rows * nnz_per_row * kDouble;
+  const std::uint64_t x0 = col0 + rows * nnz_per_row * 4;
+  const std::uint64_t y0 = x0 + rows * kDouble;
+  std::uint64_t nz = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (int e = 0; e < nnz_per_row; ++e, ++nz) {
+      t.read(val0 + nz * kDouble);          // streaming values
+      t.read(col0 + nz * 4);                // streaming column indices
+      const std::uint64_t col = rng.next_below(rows);
+      t.read(x0 + col * kDouble);           // the gather
+    }
+    t.write(y0 + r * kDouble);
+  }
+  return t;
+}
+
+AccessTrace trace_transpose_walk(std::size_t n) {
+  AccessTrace t("transpose-walk");
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t row = 0; row < n; ++row) {
+      t.read((row * n + col) * kDouble);  // stride n*8
+    }
+  }
+  return t;
+}
+
+AccessTrace trace_pointer_chase(std::size_t lines, std::uint64_t seed) {
+  AccessTrace t("pointer-chase");
+  sim::Rng rng(seed);
+  // Sattolo permutation over lines, then one full lap.
+  std::vector<std::uint32_t> order(lines);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = lines - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(order[i], order[j]);
+  }
+  for (std::size_t i = 0; i < lines; ++i) {
+    t.read(static_cast<std::uint64_t>(order[i]) * 64);
+  }
+  return t;
+}
+
+}  // namespace maia::trace

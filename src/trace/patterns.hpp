@@ -1,0 +1,69 @@
+// Memory-access trace generation for the workloads' characteristic
+// patterns.
+//
+// The performance signatures in maia_npb assign each benchmark a
+// prefetch_efficiency and gather_fraction by inspection of its kernel.
+// This module closes the loop from first principles: it records the actual
+// address streams of the algorithmic patterns (STREAM sweep, MG's 27-point
+// stencil over a V-cycle, CG's CSR gather, FT's strided transpose, the
+// pointer chase) and lets the analyzer replay them through the functional
+// cache hierarchy, quantifying locality and prefetchability instead of
+// asserting them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace maia::trace {
+
+struct Access {
+  std::uint64_t address = 0;
+  bool is_write = false;
+};
+
+class AccessTrace {
+ public:
+  explicit AccessTrace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void read(std::uint64_t address) { accesses_.push_back({address, false}); }
+  void write(std::uint64_t address) { accesses_.push_back({address, true}); }
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+  std::size_t size() const { return accesses_.size(); }
+  bool empty() const { return accesses_.empty(); }
+
+  /// Distinct 64-byte lines touched.
+  std::size_t lines_touched() const;
+  /// Total bytes of distinct lines touched (the working set).
+  sim::Bytes footprint() const { return lines_touched() * 64; }
+
+ private:
+  std::string name_;
+  std::vector<Access> accesses_;
+};
+
+/// STREAM triad over `n` doubles per array: a[i] = b[i] + s*c[i].
+AccessTrace trace_stream_triad(std::size_t n);
+
+/// `sweeps` 27-point stencil sweeps (the MG resid/psinv pattern) over an
+/// n^3 grid of doubles, reading the full neighbourhood, writing the centre
+/// of a second array.  Multiple sweeps expose whole-array temporal reuse.
+AccessTrace trace_stencil27(std::size_t n, int sweeps = 1);
+
+/// CSR sparse matvec y = A x with `rows` rows and `nnz_per_row` random
+/// column gathers per row (the CG pattern).
+AccessTrace trace_spmv_gather(std::size_t rows, int nnz_per_row,
+                              std::uint64_t seed = 42);
+
+/// Column-major walk of an n x n matrix of doubles (the FT transpose
+/// pattern): stride n*8 between consecutive accesses.
+AccessTrace trace_transpose_walk(std::size_t n);
+
+/// Random pointer chase over `lines` cache lines (the latency benchmark).
+AccessTrace trace_pointer_chase(std::size_t lines, std::uint64_t seed = 42);
+
+}  // namespace maia::trace

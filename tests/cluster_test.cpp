@@ -1,0 +1,128 @@
+// Tests for the multi-node extension: the InfiniBand model and the
+// cross-node scaling projections, which must agree with the single-node
+// conclusions (coprocessor-native pays the PCIe-to-HCA penalty on every
+// message, communication-heavy codes stop scaling first).
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "cluster/interconnect.hpp"
+#include "cluster/scaling.hpp"
+
+namespace maia::cluster {
+namespace {
+
+ClusterModel model() { return ClusterModel(arch::maia_node()); }
+
+// ---------------------------------------------------------- interconnect ---
+
+TEST(Interconnect, FdrPortBandwidth) {
+  const IbInterconnect ib(arch::maia_node().hca);
+  // 56 Gb/s with 64b/66b: ~6.8 GB/s.
+  EXPECT_NEAR(ib.port_bandwidth() / 1e9, 6.8, 0.1);
+}
+
+TEST(Interconnect, HypercubeHops) {
+  EXPECT_EQ(IbInterconnect::hops(0, 1), 1);
+  EXPECT_EQ(IbInterconnect::hops(0, 3), 2);
+  EXPECT_EQ(IbInterconnect::hops(0, 127), 7);
+  EXPECT_EQ(IbInterconnect::hops(5, 5), 1);  // floor at one switch
+}
+
+TEST(Interconnect, CoprocessorEndpointsPayThePciePenalty) {
+  const IbInterconnect ib(arch::maia_node().hca);
+  const double host_msg = ib.message_time(4096, 1, false);
+  const double phi_msg = ib.message_time(4096, 1, true);
+  EXPECT_GT(phi_msg, host_msg + 3e-6);  // the host-Phi0 3.3 us, at least
+  // Large messages are capped by the forwarding bandwidth.
+  const double ratio = ib.message_time(16 << 20, 1, true) /
+                       ib.message_time(16 << 20, 1, false);
+  EXPECT_GT(ratio, 2.5);
+}
+
+TEST(Interconnect, LatencyGrowsWithHops) {
+  const IbInterconnect ib(arch::maia_node().hca);
+  EXPECT_LT(ib.message_time(0, 1, false), ib.message_time(0, 7, false));
+}
+
+// -------------------------------------------------------------- scaling ---
+
+TEST(Scaling, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(model().run(npb::Benchmark::kMG, NodeMode::kHostNative, 3),
+               std::invalid_argument);
+}
+
+TEST(Scaling, OneNodeHasNoCommAndFullEfficiency) {
+  const auto r = model().run(npb::Benchmark::kMG, NodeMode::kHostNative, 1);
+  EXPECT_DOUBLE_EQ(r.comm_fraction, 0.0);
+  EXPECT_NEAR(r.efficiency, 1.0, 1e-9);
+}
+
+TEST(Scaling, EfficiencyDecreasesWithNodes) {
+  const auto m = model();
+  double prev = 1.1;
+  for (int n = 1; n <= 128; n *= 4) {
+    const auto r = m.run(npb::Benchmark::kMG, NodeMode::kHostNative, n);
+    EXPECT_LE(r.efficiency, prev + 1e-9) << n;
+    EXPECT_LE(r.efficiency, 1.0 + 1e-9);
+    prev = r.efficiency;
+  }
+}
+
+TEST(Scaling, ThroughputGrowsForComputeHeavyCodes) {
+  // EP is embarrassingly parallel: near-linear to 128 nodes.
+  const auto m = model();
+  const auto curve = m.scaling_curve(npb::Benchmark::kEP, NodeMode::kHostNative);
+  EXPECT_TRUE(curve.is_non_decreasing());
+  const auto r128 = m.run(npb::Benchmark::kEP, NodeMode::kHostNative, 128);
+  EXPECT_GT(r128.efficiency, 0.9);
+}
+
+TEST(Scaling, CommunicationBoundCodesStopScalingFirst) {
+  // CG (latency-bound allreduces) saturates before EP.
+  const auto m = model();
+  const int cg_limit = m.scaling_limit(npb::Benchmark::kCG, NodeMode::kHostNative);
+  const int ep_limit = m.scaling_limit(npb::Benchmark::kEP, NodeMode::kHostNative);
+  EXPECT_LE(cg_limit, ep_limit);
+  const auto cg128 = m.run(npb::Benchmark::kCG, NodeMode::kHostNative, 128);
+  const auto ep128 = m.run(npb::Benchmark::kEP, NodeMode::kHostNative, 128);
+  EXPECT_LT(cg128.efficiency, ep128.efficiency);
+}
+
+TEST(Scaling, CoprocessorNativeScalesWorseThanHostNative) {
+  // Every inter-node message from a Phi rank pays the PCIe forwarding
+  // penalty: at scale the efficiency gap widens (the multi-node
+  // consequence of the paper's §4.4 warning).
+  const auto m = model();
+  for (npb::Benchmark b : {npb::Benchmark::kMG, npb::Benchmark::kCG}) {
+    const auto host = m.run(b, NodeMode::kHostNative, 64);
+    const auto phi = m.run(b, NodeMode::kCoprocessorNative, 64);
+    EXPECT_LT(phi.efficiency, host.efficiency) << npb::benchmark_name(b);
+  }
+}
+
+TEST(Scaling, SymmetricWinsAtSmallScaleForStreamBoundCodes) {
+  // MG is bandwidth-bound and the Phi adds bandwidth: symmetric beats
+  // host-native on few nodes, mirroring Fig 23's single-node 1.9x.
+  const auto m = model();
+  const auto host1 = m.run(npb::Benchmark::kMG, NodeMode::kHostNative, 1);
+  const auto sym1 = m.run(npb::Benchmark::kMG, NodeMode::kSymmetric, 1);
+  EXPECT_GT(sym1.gflops, 1.4 * host1.gflops);
+}
+
+TEST(Scaling, CommFractionGrowsWithNodes) {
+  const auto m = model();
+  const auto r8 = m.run(npb::Benchmark::kCG, NodeMode::kHostNative, 8);
+  const auto r128 = m.run(npb::Benchmark::kCG, NodeMode::kHostNative, 128);
+  EXPECT_GT(r128.comm_fraction, r8.comm_fraction);
+}
+
+TEST(Scaling, CurveCoversPowersOfTwo) {
+  const auto curve =
+      model().scaling_curve(npb::Benchmark::kBT, NodeMode::kHostNative, 32);
+  ASSERT_EQ(curve.size(), 6u);  // 1..32
+  EXPECT_DOUBLE_EQ(curve[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(curve[5].x, 32.0);
+}
+
+}  // namespace
+}  // namespace maia::cluster

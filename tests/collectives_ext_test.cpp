@@ -1,0 +1,110 @@
+// Tests for the extended IMB-style collective set (Reduce / Gather /
+// Scatter — the paper's "one-to-all" and "all-to-one" categories, §3.3)
+// and the strided-bandwidth model behind the paper's non-unit-stride
+// warning (§4.3).
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "memsim/bandwidth.hpp"
+#include "mpi/collectives.hpp"
+#include "sim/units.hpp"
+
+namespace maia {
+namespace {
+
+using arch::DeviceId;
+using sim::operator""_B;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+mpi::Collectives coll() {
+  return mpi::Collectives(
+      mpi::MpiCostModel(arch::maia_node(), fabric::SoftwareStack::kPostUpdate));
+}
+
+TEST(Reduce, NeverCostsMoreThanAllreduce) {
+  // Allreduce = reduce + redistribution: reduce can match (both are
+  // log2(P) combine rounds for small payloads) but never exceed it.
+  const auto c = coll();
+  for (sim::Bytes s : {1_KiB, 256_KiB, 4_MiB}) {
+    EXPECT_LE(c.reduce(DeviceId::kHost, 16, s).time,
+              c.allreduce(DeviceId::kHost, 16, s).time * 1.0001) << s;
+  }
+}
+
+TEST(Reduce, SwitchesToReduceScatterForLargePayloads) {
+  const auto c = coll();
+  EXPECT_EQ(c.reduce(DeviceId::kHost, 16, 1_KiB).algorithm,
+            "binomial combine tree");
+  EXPECT_EQ(c.reduce(DeviceId::kHost, 16, 1_MiB).algorithm,
+            "reduce-scatter + gather");
+}
+
+TEST(Reduce, PhiPaysTheUsualPenalty) {
+  const auto c = coll();
+  EXPECT_GT(c.reduce(DeviceId::kPhi0, 59, 64_KiB).time,
+            c.reduce(DeviceId::kHost, 16, 64_KiB).time);
+}
+
+TEST(Gather, RootFootprintCanExhaustTheCard) {
+  const auto c = coll();
+  // 236 ranks x 64 MB at the root > 8 GB card.
+  EXPECT_TRUE(c.gather(DeviceId::kPhi0, 236, 64_MiB).out_of_memory);
+  EXPECT_FALSE(c.gather(DeviceId::kPhi0, 236, 64_KiB).out_of_memory);
+  EXPECT_FALSE(c.gather(DeviceId::kHost, 16, 64_MiB).out_of_memory);
+}
+
+TEST(Gather, TimeDominatedByTheLastDoublingRound) {
+  const auto c = coll();
+  const double t16 = c.gather(DeviceId::kHost, 16, 64_KiB).time;
+  const double t8 = c.gather(DeviceId::kHost, 8, 64_KiB).time;
+  // Halving the ranks roughly halves the root's receive volume.
+  EXPECT_GT(t16, 1.5 * t8);
+}
+
+TEST(Scatter, MirrorsGatherCost) {
+  const auto c = coll();
+  for (sim::Bytes s : {1_KiB, 64_KiB}) {
+    const double g = c.gather(DeviceId::kHost, 16, s).time;
+    const double sc = c.scatter(DeviceId::kHost, 16, s).time;
+    EXPECT_NEAR(sc / g, 1.0, 0.5) << s;
+  }
+}
+
+TEST(Scatter, GrowsWithRankCount) {
+  const auto c = coll();
+  EXPECT_LT(c.scatter(DeviceId::kPhi0, 59, 16_KiB).time,
+            c.scatter(DeviceId::kPhi0, 236, 16_KiB).time);
+}
+
+// ------------------------------------------------------------- strides ---
+
+TEST(StridedAccess, UnitStrideIsFullBandwidth) {
+  const mem::BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_DOUBLE_EQ(m.strided_read(64_MiB, 1), m.per_core_read(64_MiB));
+}
+
+TEST(StridedAccess, BandwidthCollapsesAsOneOverStride) {
+  const mem::BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  const double unit = m.strided_read(64_MiB, 1);
+  EXPECT_NEAR(m.strided_read(64_MiB, 2) / unit, 0.5, 1e-12);
+  EXPECT_NEAR(m.strided_read(64_MiB, 4) / unit, 0.25, 1e-12);
+  // One element per line is the floor.
+  EXPECT_NEAR(m.strided_read(64_MiB, 8) / unit, 0.125, 1e-12);
+  EXPECT_NEAR(m.strided_read(64_MiB, 64) / unit, 0.125, 1e-12);
+}
+
+TEST(StridedAccess, EightfoldLossDwarfsThePhiPerCoreRate) {
+  // The paper's point: a 504 MB/s per-core rate at unit stride becomes
+  // ~63 MB/s of useful data at stride 8 — "degrades dramatically".
+  const mem::BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_LT(m.strided_read(64_MiB, 8), 70e6);
+}
+
+TEST(StridedAccess, DegenerateStrideClamps) {
+  const mem::BandwidthModel m{arch::sandy_bridge_e5_2670(), 2};
+  EXPECT_DOUBLE_EQ(m.strided_read(64_MiB, 0), m.strided_read(64_MiB, 1));
+}
+
+}  // namespace
+}  // namespace maia

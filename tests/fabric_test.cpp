@@ -1,0 +1,205 @@
+// Tests for the PCIe/DAPL fabric model: latency and bandwidth on the three
+// intra-node paths under both software stacks (Figs 7-9) and the offload
+// DMA transfer model (Fig 18).
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "fabric/offload_link.hpp"
+#include "sim/units.hpp"
+
+namespace maia::fabric {
+namespace {
+
+using sim::operator""_B;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+// ----------------------------------------------------------------- path ---
+
+TEST(PathTest, DeviceMapping) {
+  using arch::DeviceId;
+  EXPECT_EQ(path_between(DeviceId::kHost, DeviceId::kPhi0), Path::kHostToPhi0);
+  EXPECT_EQ(path_between(DeviceId::kPhi0, DeviceId::kHost), Path::kHostToPhi0);
+  EXPECT_EQ(path_between(DeviceId::kHost, DeviceId::kPhi1), Path::kHostToPhi1);
+  EXPECT_EQ(path_between(DeviceId::kPhi1, DeviceId::kPhi0), Path::kPhi0ToPhi1);
+}
+
+// ---------------------------------------------------------------- route ---
+
+TEST(Route, PreUpdateAlwaysUsesCclDirect) {
+  const MpiFabricModel pre(SoftwareStack::kPreUpdate);
+  for (sim::Bytes s : {1_B, 8_KiB, 64_KiB, 1_MiB, 4_MiB}) {
+    EXPECT_EQ(pre.route(s).provider, DaplProvider::kCclDirect) << s;
+  }
+}
+
+TEST(Route, PostUpdateHasThreeStates) {
+  // Paper §5: <=8 KB eager/CCL; <=256 KB rendezvous/CCL; >256 KB SCIF.
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  EXPECT_EQ(post.route(4_KiB).provider, DaplProvider::kCclDirect);
+  EXPECT_EQ(post.route(4_KiB).protocol, Protocol::kEager);
+  EXPECT_EQ(post.route(8_KiB).protocol, Protocol::kEager);
+  EXPECT_EQ(post.route(9_KiB).protocol, Protocol::kRendezvousDirectCopy);
+  EXPECT_EQ(post.route(64_KiB).provider, DaplProvider::kCclDirect);
+  EXPECT_EQ(post.route(256_KiB).provider, DaplProvider::kCclDirect);
+  EXPECT_EQ(post.route(257_KiB).provider, DaplProvider::kScif);
+  EXPECT_EQ(post.route(4_MiB).provider, DaplProvider::kScif);
+}
+
+// -------------------------------------------------------------- latency ---
+
+TEST(Latency, PreUpdateMatchesFig7) {
+  const MpiFabricModel pre(SoftwareStack::kPreUpdate);
+  EXPECT_NEAR(sim::to_microseconds(pre.latency(Path::kHostToPhi0)), 3.3, 0.01);
+  EXPECT_NEAR(sim::to_microseconds(pre.latency(Path::kHostToPhi1)), 4.6, 0.01);
+  EXPECT_NEAR(sim::to_microseconds(pre.latency(Path::kPhi0ToPhi1)), 6.3, 0.01);
+}
+
+TEST(Latency, PostUpdateMatchesFig7) {
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  EXPECT_NEAR(sim::to_microseconds(post.latency(Path::kHostToPhi0)), 3.3, 0.01);
+  EXPECT_NEAR(sim::to_microseconds(post.latency(Path::kHostToPhi1)), 4.1, 0.01);
+  EXPECT_NEAR(sim::to_microseconds(post.latency(Path::kPhi0ToPhi1)), 6.6, 0.01);
+}
+
+TEST(Latency, Phi1PathsAreSlowerThanPhi0) {
+  // Paper: "latencies in the cases involving Phi1 are much higher".
+  for (auto stack : {SoftwareStack::kPreUpdate, SoftwareStack::kPostUpdate}) {
+    const MpiFabricModel m(stack);
+    EXPECT_GT(m.latency(Path::kHostToPhi1), m.latency(Path::kHostToPhi0));
+    EXPECT_GT(m.latency(Path::kPhi0ToPhi1), m.latency(Path::kHostToPhi1));
+  }
+}
+
+// ------------------------------------------------------------ bandwidth ---
+
+TEST(Bandwidth, PreUpdate4MiBMatchesFig8) {
+  const MpiFabricModel pre(SoftwareStack::kPreUpdate);
+  EXPECT_NEAR(pre.bandwidth(Path::kHostToPhi0, 4_MiB) / 1e9, 1.6, 0.1);
+  EXPECT_NEAR(pre.bandwidth(Path::kHostToPhi1, 4_MiB) / 1e6, 455, 15);
+  EXPECT_NEAR(pre.bandwidth(Path::kPhi0ToPhi1, 4_MiB) / 1e6, 444, 15);
+}
+
+TEST(Bandwidth, PostUpdate4MiBMatchesFig8) {
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  EXPECT_NEAR(post.bandwidth(Path::kHostToPhi0, 4_MiB) / 1e9, 6.0, 0.2);
+  EXPECT_NEAR(post.bandwidth(Path::kHostToPhi1, 4_MiB) / 1e9, 6.0, 0.2);
+  EXPECT_NEAR(post.bandwidth(Path::kPhi0ToPhi1, 4_MiB) / 1e6, 899, 25);
+}
+
+TEST(Bandwidth, PostUpdateRemovesPhi1Asymmetry) {
+  // Pre-update: host-Phi0 is ~3.5x host-Phi1.  Post-update: symmetric.
+  const MpiFabricModel pre(SoftwareStack::kPreUpdate);
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  const double pre_ratio = pre.bandwidth(Path::kHostToPhi0, 4_MiB) /
+                           pre.bandwidth(Path::kHostToPhi1, 4_MiB);
+  const double post_ratio = post.bandwidth(Path::kHostToPhi0, 4_MiB) /
+                            post.bandwidth(Path::kHostToPhi1, 4_MiB);
+  EXPECT_GT(pre_ratio, 3.0);
+  EXPECT_NEAR(post_ratio, 1.0, 0.05);
+}
+
+TEST(Bandwidth, MonotonicInMessageSizeWithinAProvider) {
+  for (auto stack : {SoftwareStack::kPreUpdate, SoftwareStack::kPostUpdate}) {
+    const MpiFabricModel m(stack);
+    for (auto path : {Path::kHostToPhi0, Path::kHostToPhi1, Path::kPhi0ToPhi1}) {
+      // Across the SCIF switch there can be a step; within CCL it must rise.
+      const auto curve = m.bandwidth_curve(path, 1_B, 256_KiB);
+      EXPECT_TRUE(curve.is_non_decreasing(0.01))
+          << stack_name(stack) << " " << path_name(path);
+    }
+  }
+}
+
+TEST(Bandwidth, NeverExceedsProviderCap) {
+  const MpiFabricModel post(SoftwareStack::kPostUpdate);
+  for (auto path : {Path::kHostToPhi0, Path::kHostToPhi1, Path::kPhi0ToPhi1}) {
+    for (sim::Bytes s = 1; s <= 16_MiB; s *= 4) {
+      EXPECT_LE(post.bandwidth(path, s), post.bandwidth_cap(path, s) * 1.0001);
+    }
+  }
+}
+
+TEST(Bandwidth, ZeroBytesIsZeroBandwidth) {
+  const MpiFabricModel m(SoftwareStack::kPostUpdate);
+  EXPECT_DOUBLE_EQ(m.bandwidth(Path::kHostToPhi0, 0), 0.0);
+}
+
+// ------------------------------------------------------------- Fig 9 ------
+
+TEST(UpdateGain, SmallMessagesGainModestly) {
+  // Paper: x1-1.5 for host-Phi0, x1-1.3 for host-Phi1 below 256 KB.
+  const auto g0 = update_gain_curve(Path::kHostToPhi0, 1_B, 256_KiB);
+  EXPECT_GE(g0.min_y(), 0.95);
+  EXPECT_LE(g0.max_y(), 1.5);
+  const auto g1 = update_gain_curve(Path::kHostToPhi1, 1_B, 256_KiB);
+  EXPECT_GE(g1.min_y(), 0.95);
+  EXPECT_LE(g1.max_y(), 1.35);
+}
+
+TEST(UpdateGain, ScifRegionGainsLarge) {
+  // Paper: x2-3.8 host-Phi0 and x7-13 host-Phi1 for >= 256 KB messages.
+  const auto g0 = update_gain_curve(Path::kHostToPhi0, 512_KiB, 4_MiB);
+  EXPECT_GE(g0.min_y(), 2.0);
+  EXPECT_LE(g0.max_y(), 3.9);
+  const auto g1 = update_gain_curve(Path::kHostToPhi1, 512_KiB, 4_MiB);
+  EXPECT_GE(g1.min_y(), 7.0);
+  EXPECT_LE(g1.max_y(), 13.5);
+}
+
+TEST(UpdateGain, PeerToPeerDoublesForLargeAndDipsForSmall) {
+  // Paper: P2P bandwidth decreased up to 8 KB, improved x1.8-2 at >=256 KB.
+  const auto g = update_gain_curve(Path::kPhi0ToPhi1, 1_B, 4_MiB);
+  EXPECT_LT(g.interpolate(4096), 1.0);
+  EXPECT_NEAR(g.interpolate(static_cast<double>(4_MiB)), 2.0, 0.15);
+}
+
+// ------------------------------------------------------------- offload ---
+
+TEST(Offload, LargeTransfersReach6Point4GBs) {
+  const auto node = arch::maia_node();
+  const OffloadLink link(node.pcie_phi0, Path::kHostToPhi0);
+  EXPECT_NEAR(link.bandwidth(16_MiB) / 1e9, 6.4, 0.15);  // Fig 18
+}
+
+TEST(Offload, Phi1RunsAFewPercentBelowPhi0) {
+  const auto node = arch::maia_node();
+  const OffloadLink l0(node.pcie_phi0, Path::kHostToPhi0);
+  const OffloadLink l1(node.pcie_phi1, Path::kHostToPhi1);
+  const double ratio = l0.bandwidth(16_MiB) / l1.bandwidth(16_MiB);
+  EXPECT_NEAR(ratio, 1.03, 0.01);  // paper: "about 3% higher"
+}
+
+TEST(Offload, DipAt64KiB) {
+  const auto node = arch::maia_node();
+  const OffloadLink link(node.pcie_phi0, Path::kHostToPhi0);
+  // Fig 18: local fall at 64 KB, recovered by 128 KB.
+  EXPECT_LT(link.bandwidth(64_KiB), link.bandwidth(32_KiB) * 1.10);
+  EXPECT_GT(link.bandwidth(128_KiB), link.bandwidth(64_KiB) * 1.2);
+}
+
+TEST(Offload, BandwidthIsOtherwiseMonotonic) {
+  const auto node = arch::maia_node();
+  const OffloadLink link(node.pcie_phi0, Path::kHostToPhi0);
+  const auto below = link.bandwidth_curve(1_KiB, 32_KiB);
+  const auto above = link.bandwidth_curve(128_KiB, 16_MiB);
+  EXPECT_TRUE(below.is_non_decreasing());
+  EXPECT_TRUE(above.is_non_decreasing());
+}
+
+TEST(Offload, TransferTimeIncludesSetup) {
+  const auto node = arch::maia_node();
+  const OffloadLink link(node.pcie_phi0, Path::kHostToPhi0);
+  EXPECT_GT(sim::to_microseconds(link.transfer_time(0)), 5.0);
+}
+
+TEST(Offload, PeakBelowTlpCeiling) {
+  // The DMA engine cannot beat the 128 B-payload framing limit (6.9 GB/s).
+  const auto node = arch::maia_node();
+  const OffloadLink link(node.pcie_phi0, Path::kHostToPhi0);
+  EXPECT_LT(link.peak_bandwidth(), node.pcie_phi0.effective_bandwidth(128));
+}
+
+}  // namespace
+}  // namespace maia::fabric

@@ -1,0 +1,86 @@
+// Integration suite: every table/figure generator must produce a non-empty
+// table and pass ALL of its paper shape checks.  This is the end-to-end
+// statement that the reproduction holds together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/figures.hpp"
+
+namespace maia::core {
+namespace {
+
+struct FigureCase {
+  const char* name;
+  FigureResult (*fn)();
+};
+
+class FigureSuite : public ::testing::TestWithParam<FigureCase> {};
+
+TEST_P(FigureSuite, AllShapeChecksPass) {
+  const FigureResult fig = GetParam().fn();
+  EXPECT_FALSE(fig.id.empty());
+  EXPECT_GT(fig.table.rows(), 0u);
+  EXPECT_FALSE(fig.checks.empty());
+  for (const auto& c : fig.checks) {
+    EXPECT_TRUE(c.pass) << fig.id << ": " << c.description << " (paper "
+                        << c.expected << ", model " << c.measured << ")";
+  }
+}
+
+TEST_P(FigureSuite, PrintsWithoutCrashing) {
+  const FigureResult fig = GetParam().fn();
+  std::ostringstream os;
+  fig.print(os);
+  EXPECT_NE(os.str().find(fig.id), std::string::npos);
+  EXPECT_NE(os.str().find("checks pass"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFigures, FigureSuite,
+    ::testing::Values(FigureCase{"table1", table1_system},
+                      FigureCase{"fig04", fig04_stream},
+                      FigureCase{"fig05", fig05_latency},
+                      FigureCase{"fig06", fig06_membw},
+                      FigureCase{"fig07", fig07_mpi_latency},
+                      FigureCase{"fig08", fig08_mpi_bandwidth},
+                      FigureCase{"fig09", fig09_update_gain},
+                      FigureCase{"fig10", fig10_sendrecv},
+                      FigureCase{"fig11", fig11_bcast},
+                      FigureCase{"fig12", fig12_allreduce},
+                      FigureCase{"fig13", fig13_allgather},
+                      FigureCase{"fig14", fig14_alltoall},
+                      FigureCase{"fig15", fig15_omp_sync},
+                      FigureCase{"fig16", fig16_omp_sched},
+                      FigureCase{"fig17", fig17_io},
+                      FigureCase{"fig18", fig18_offload_bw},
+                      FigureCase{"fig19", fig19_npb_openmp},
+                      FigureCase{"fig20", fig20_npb_mpi},
+                      FigureCase{"fig21", fig21_cart3d},
+                      FigureCase{"fig22", fig22_overflow_native},
+                      FigureCase{"fig23", fig23_overflow_symmetric},
+                      FigureCase{"fig24", fig24_loop_collapse},
+                      FigureCase{"fig25", fig25_mg_modes},
+                      FigureCase{"fig26", fig26_offload_overhead},
+                      FigureCase{"fig27", fig27_offload_cost}),
+    [](const ::testing::TestParamInfo<FigureCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FigureRegistry, ContainsEveryExperiment) {
+  EXPECT_EQ(all_figures().size(), 25u);
+  for (auto* fn : all_figures()) {
+    EXPECT_NE(fn, nullptr);
+  }
+}
+
+TEST(ShapeCheckHelpers, NearRangeAndTrue) {
+  EXPECT_TRUE(check_near("x", 10.0, 10.4, 0.05).pass);
+  EXPECT_FALSE(check_near("x", 10.0, 12.0, 0.05).pass);
+  EXPECT_TRUE(check_range("x", 1.0, 2.0, 1.5).pass);
+  EXPECT_FALSE(check_range("x", 1.0, 2.0, 2.5).pass);
+  EXPECT_TRUE(check_true("x", "a", "a", true).pass);
+}
+
+}  // namespace
+}  // namespace maia::core

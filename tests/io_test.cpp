@@ -1,0 +1,95 @@
+// Tests for the I/O model (Fig 17): NFS bandwidth on host vs through the
+// MPSS virtual TCP/IP network on the Phis, and the host-forwarding
+// workaround.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "io/io_model.hpp"
+#include "sim/units.hpp"
+
+namespace maia::io {
+namespace {
+
+using arch::DeviceId;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+IoModel model() {
+  return IoModel(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+}
+
+TEST(Io, HostPeaksMatchFig17) {
+  const auto m = model();
+  EXPECT_NEAR(m.peak_bandwidth(DeviceId::kHost, IoDirection::kRead) / 1e6, 295, 5);
+  EXPECT_NEAR(m.peak_bandwidth(DeviceId::kHost, IoDirection::kWrite) / 1e6, 210, 5);
+}
+
+TEST(Io, Phi0PeaksMatchFig17) {
+  const auto m = model();
+  EXPECT_NEAR(m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite) / 1e6, 80, 4);
+  EXPECT_NEAR(m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kRead) / 1e6, 75, 4);
+}
+
+TEST(Io, HostAdvantageRatios) {
+  // Paper: write 2.6x, read 3.9x higher on host than Phi0.
+  const auto m = model();
+  const double wr = m.peak_bandwidth(DeviceId::kHost, IoDirection::kWrite) /
+                    m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite);
+  const double rd = m.peak_bandwidth(DeviceId::kHost, IoDirection::kRead) /
+                    m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kRead);
+  EXPECT_NEAR(wr, 2.6, 0.2);
+  EXPECT_NEAR(rd, 3.9, 0.3);
+}
+
+TEST(Io, PhiWriteBeatsPhiReadUnlikeHost) {
+  // Fig 17's curious inversion: on the host read > write, on the Phi
+  // write > read.
+  const auto m = model();
+  EXPECT_GT(m.peak_bandwidth(DeviceId::kHost, IoDirection::kRead),
+            m.peak_bandwidth(DeviceId::kHost, IoDirection::kWrite));
+  EXPECT_GT(m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite),
+            m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kRead));
+}
+
+TEST(Io, Phi1SlightlySlowerThanPhi0) {
+  const auto m = model();
+  EXPECT_LT(m.peak_bandwidth(DeviceId::kPhi1, IoDirection::kWrite),
+            m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite));
+}
+
+TEST(Io, SmallBlocksArePenalized) {
+  const auto m = model();
+  EXPECT_LT(m.bandwidth(DeviceId::kPhi0, IoDirection::kWrite, 4_KiB),
+            0.5 * m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite));
+}
+
+TEST(Io, BandwidthRisesMonotonicallyWithBlockSize) {
+  const auto m = model();
+  for (auto dev : {DeviceId::kHost, DeviceId::kPhi0}) {
+    const auto curve =
+        m.bandwidth_curve(dev, IoDirection::kWrite, 4_KiB, 64_MiB);
+    EXPECT_TRUE(curve.is_non_decreasing());
+  }
+}
+
+TEST(Io, ZeroBlockIsZero) {
+  EXPECT_DOUBLE_EQ(model().bandwidth(DeviceId::kPhi0, IoDirection::kRead, 0), 0.0);
+}
+
+TEST(Io, ForwardingWorkaroundRestoresHostRates) {
+  // Paper §6.6: ship data to a host rank over SCIF (6 GB/s at 4 MB
+  // messages), write from the host — the NFS server becomes the limit.
+  const auto m = model();
+  const double fw = m.forwarded_bandwidth(DeviceId::kPhi0, IoDirection::kWrite);
+  EXPECT_NEAR(fw / 1e6, 210, 5);
+  EXPECT_GT(fw, 2.0 * m.peak_bandwidth(DeviceId::kPhi0, IoDirection::kWrite));
+}
+
+TEST(Io, ForwardingFromHostIsIdentity) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.forwarded_bandwidth(DeviceId::kHost, IoDirection::kRead),
+                   m.peak_bandwidth(DeviceId::kHost, IoDirection::kRead));
+}
+
+}  // namespace
+}  // namespace maia::io

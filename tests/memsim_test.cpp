@@ -1,0 +1,296 @@
+// Unit and property tests for the memory-system simulator: the functional
+// cache, the hierarchy, the pointer-chase latency walker (Fig 5), the
+// bandwidth models (Figs 4 and 6) and the STREAM kernels.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "memsim/bandwidth.hpp"
+#include "memsim/cache_sim.hpp"
+#include "memsim/hierarchy_sim.hpp"
+#include "memsim/latency_walker.hpp"
+#include "memsim/stream.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mem {
+namespace {
+
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+// ------------------------------------------------------------ cache sim ---
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssociativeCache(1000, 64, 8), std::invalid_argument);
+  EXPECT_THROW(SetAssociativeCache(0, 64, 8), std::invalid_argument);
+  EXPECT_THROW(SetAssociativeCache(4096, 0, 8), std::invalid_argument);
+}
+
+TEST(CacheSim, GeometryArithmetic) {
+  SetAssociativeCache c(32_KiB, 64, 8);
+  EXPECT_EQ(c.sets(), 64);
+  EXPECT_EQ(c.line_bytes(), 64);
+  EXPECT_EQ(c.associativity(), 8);
+}
+
+TEST(CacheSim, FirstTouchMissesThenHits) {
+  SetAssociativeCache c(4096, 64, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(CacheSim, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  SetAssociativeCache c(32_KiB, 64, 8);
+  for (std::uint64_t a = 0; a < 32_KiB; a += 64) c.access(a);
+  c.reset_stats();
+  for (std::uint64_t a = 0; a < 32_KiB; a += 64) c.access(a);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 1.0);
+}
+
+TEST(CacheSim, WorkingSetTwiceCapacityThrashesUnderLru) {
+  // Sequential sweep over 2x capacity with true LRU: every access misses.
+  SetAssociativeCache c(4096, 64, 4);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t a = 0; a < 8192; a += 64) c.access(a);
+  }
+  c.reset_stats();
+  for (std::uint64_t a = 0; a < 8192; a += 64) c.access(a);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.0);
+}
+
+TEST(CacheSim, ConflictMissesWithinOneSet) {
+  // 5 lines mapping to the same set of a 4-way cache evict round-robin.
+  SetAssociativeCache c(4096, 64, 4);  // 16 sets
+  const std::uint64_t set_stride = 64 * 16;
+  for (int i = 0; i < 5; ++i) c.access(set_stride * static_cast<std::uint64_t>(i));
+  // The first line was LRU-evicted by the fifth.
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheSim, LruKeepsRecentlyUsedLine) {
+  SetAssociativeCache c(4096, 64, 4);  // 16 sets
+  const std::uint64_t s = 64 * 16;
+  c.access(0);
+  c.access(s);
+  c.access(2 * s);
+  c.access(3 * s);
+  c.access(0);      // refresh line 0
+  c.access(4 * s);  // evicts line s (LRU), not line 0
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(s));
+}
+
+TEST(CacheSim, ProbeDoesNotAllocate) {
+  SetAssociativeCache c(4096, 64, 4);
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.access(0));  // still a miss: probe didn't fill
+}
+
+TEST(CacheSim, FlushInvalidatesEverything) {
+  SetAssociativeCache c(4096, 64, 4);
+  c.access(0);
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+}
+
+// ------------------------------------------------------------ hierarchy ---
+
+TEST(HierarchySim, HostHierarchyHasThreeLevels) {
+  CacheHierarchySim h(arch::sandy_bridge_e5_2670());
+  EXPECT_EQ(h.level_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.level_cycles(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.level_cycles(3), 210.0);  // memory
+}
+
+TEST(HierarchySim, MissesFallThroughAllLevels) {
+  CacheHierarchySim h(arch::sandy_bridge_e5_2670());
+  EXPECT_EQ(h.load(0), 3u);  // cold: memory
+  EXPECT_EQ(h.load(0), 0u);  // now in L1
+}
+
+TEST(HierarchySim, VictimRemainsInOuterLevel) {
+  // After exceeding L1, lines still hit in L2.
+  CacheHierarchySim h(arch::sandy_bridge_e5_2670());
+  for (std::uint64_t a = 0; a < 64_KiB; a += 64) h.load(a);
+  // Second sweep: everything fits in L2 (256 KiB) even though L1 thrashed.
+  std::size_t l2_or_better = 0;
+  const std::size_t lines = 64_KiB / 64;
+  for (std::uint64_t a = 0; a < 64_KiB; a += 64) {
+    if (h.load(a) <= 1) ++l2_or_better;
+  }
+  EXPECT_EQ(l2_or_better, lines);
+}
+
+TEST(HierarchySim, ThreadsPerCoreShrinkPrivateCaches) {
+  CacheHierarchySim h4(arch::xeon_phi_5110p(), 4);
+  EXPECT_EQ(h4.level(0).capacity(), 8_KiB);   // 32 KiB / 4
+  EXPECT_EQ(h4.level(1).capacity(), 128_KiB); // 512 KiB / 4
+}
+
+// -------------------------------------------------------- latency walker ---
+
+TEST(LatencyWalker, HostCurveMatchesFig5Regions) {
+  LatencyWalker w(arch::sandy_bridge_e5_2670());
+  // Paper Fig 5 plateaus: 1.5 / 4.6 / 15 / 81 ns.
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(16_KiB).avg_latency), 1.5, 0.3);
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(128_KiB).avg_latency), 4.6, 0.9);
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(8_MiB).avg_latency), 15.0, 3.0);
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(128_MiB).avg_latency), 81.0, 8.0);
+}
+
+TEST(LatencyWalker, PhiCurveMatchesFig5Regions) {
+  LatencyWalker w(arch::xeon_phi_5110p());
+  // Paper Fig 5 plateaus: 2.9 / 22.9 / 295 ns.
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(16_KiB).avg_latency), 2.9, 0.5);
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(256_KiB).avg_latency), 22.9, 4.0);
+  EXPECT_NEAR(sim::to_nanoseconds(w.walk(8_MiB).avg_latency), 295.0, 25.0);
+}
+
+TEST(LatencyWalker, LatencyIsMonotonicInWorkingSet) {
+  LatencyWalker w(arch::sandy_bridge_e5_2670());
+  const auto curve = w.latency_curve(8_KiB, 64_MiB);
+  EXPECT_TRUE(curve.is_non_decreasing(0.05));
+}
+
+TEST(LatencyWalker, PhiMemoryLatencyExceedsHostByLargeFactor) {
+  LatencyWalker host(arch::sandy_bridge_e5_2670());
+  LatencyWalker phi(arch::xeon_phi_5110p());
+  const double h = sim::to_nanoseconds(host.walk(64_MiB).avg_latency);
+  const double p = sim::to_nanoseconds(phi.walk(64_MiB).avg_latency);
+  EXPECT_GT(p / h, 3.0);  // paper: 295 vs 81 ns ~ 3.6x
+}
+
+TEST(LatencyWalker, LevelMixSumsToOne) {
+  LatencyWalker w(arch::xeon_phi_5110p());
+  const auto r = w.walk(1_MiB);
+  double sum = 0.0;
+  for (double f : r.level_mix) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LatencyWalker, TransitionRegionMixesTwoLevels) {
+  // At 1.5x L1 capacity the mix should contain both L1 and L2 hits.
+  LatencyWalker w(arch::sandy_bridge_e5_2670());
+  const auto r = w.walk(48_KiB);
+  EXPECT_GT(r.level_mix[0] + r.level_mix[1], 0.95);
+  EXPECT_GT(r.level_mix[1], 0.05);  // some L2 traffic
+}
+
+// ------------------------------------------------------------ bandwidth ---
+
+class BandwidthSweep : public ::testing::TestWithParam<sim::Bytes> {};
+
+TEST_P(BandwidthSweep, ReadExceedsWriteAtEveryLevel) {
+  const BandwidthModel host{arch::sandy_bridge_e5_2670(), 2};
+  const BandwidthModel phi{arch::xeon_phi_5110p(), 1};
+  const sim::Bytes ws = GetParam();
+  EXPECT_GE(host.per_core_read(ws), host.per_core_write(ws));
+  EXPECT_GE(phi.per_core_read(ws), phi.per_core_write(ws));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, BandwidthSweep,
+                         ::testing::Values(16_KiB, 128_KiB, 4_MiB, 64_MiB));
+
+TEST(Bandwidth, HostPerCoreValuesMatchFig6) {
+  const BandwidthModel m{arch::sandy_bridge_e5_2670(), 2};
+  EXPECT_NEAR(m.per_core_read(16_KiB) / 1e9, 12.6, 0.1);
+  EXPECT_NEAR(m.per_core_write(16_KiB) / 1e9, 10.4, 0.1);
+  EXPECT_NEAR(m.per_core_read(64_MiB) / 1e9, 7.5, 0.1);
+  EXPECT_NEAR(m.per_core_write(64_MiB) / 1e9, 7.2, 0.1);
+}
+
+TEST(Bandwidth, PhiPerCoreValuesMatchFig6) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_NEAR(m.per_core_read(16_KiB) / 1e6, 1680, 20);
+  EXPECT_NEAR(m.per_core_write(16_KiB) / 1e6, 1538, 20);
+  EXPECT_NEAR(m.per_core_read(256_KiB) / 1e6, 971, 20);
+  EXPECT_NEAR(m.per_core_read(64_MiB) / 1e6, 504, 20);
+  EXPECT_NEAR(m.per_core_write(64_MiB) / 1e6, 263, 20);
+}
+
+TEST(Bandwidth, PhiStreamSaturatesAt180) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_NEAR(m.aggregate_stream(59, 1) / 1e9, 180.0, 2.0);
+  EXPECT_NEAR(m.aggregate_stream(118, 2) / 1e9, 180.0, 2.0);
+}
+
+TEST(Bandwidth, PhiStreamDropsPast128Streams) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  // Paper Fig 4: beyond 118 threads bandwidth falls to ~140 GB/s.
+  EXPECT_NEAR(m.aggregate_stream(177, 3) / 1e9, 140.0, 2.0);
+  EXPECT_NEAR(m.aggregate_stream(236, 4) / 1e9, 140.0, 2.0);
+}
+
+TEST(Bandwidth, HostStreamSaturatesNear75) {
+  const BandwidthModel m{arch::sandy_bridge_e5_2670(), 2};
+  EXPECT_NEAR(m.aggregate_stream(16, 1) / 1e9, 75.0, 2.0);
+  // No bank-thrash cliff on DDR3.
+  EXPECT_NEAR(m.aggregate_stream(32, 2) / 1e9, 75.0, 2.0);
+}
+
+TEST(Bandwidth, SingleThreadGetsPerCoreRate) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_NEAR(m.aggregate_stream(1, 1) / 1e9, 3.05, 0.1);
+}
+
+TEST(Bandwidth, ZeroThreadsIsZero) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  EXPECT_DOUBLE_EQ(m.aggregate_stream(0, 1), 0.0);
+}
+
+TEST(Bandwidth, AggregateNeverExceedsPeak) {
+  const BandwidthModel m{arch::xeon_phi_5110p(), 1};
+  for (int t = 1; t <= 240; t += 7) {
+    const int tpc = (t + 58) / 59;
+    EXPECT_LE(m.aggregate_stream(t, tpc), m.peak_stream() + 1.0);
+  }
+}
+
+// --------------------------------------------------------------- stream ---
+
+TEST(StreamKernels, BytesAndFlopsPerIteration) {
+  EXPECT_EQ(stream_bytes_per_iteration(StreamKernel::kCopy), 16u);
+  EXPECT_EQ(stream_bytes_per_iteration(StreamKernel::kTriad), 24u);
+  EXPECT_EQ(stream_flops_per_iteration(StreamKernel::kCopy), 0);
+  EXPECT_EQ(stream_flops_per_iteration(StreamKernel::kTriad), 2);
+}
+
+TEST(StreamKernels, SequenceVerifiesToMachinePrecision) {
+  StreamArrays arrays(1024);
+  EXPECT_LT(arrays.run_sequence_and_verify(10), 1e-9);
+}
+
+TEST(StreamKernels, TriadComputesExpectedValues) {
+  StreamArrays arrays(8);
+  arrays.run_kernel(StreamKernel::kTriad);  // a = b + 3*c = 2 + 0 = 2
+  for (double v : arrays.a) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(StreamKernels, EmptyArraysRejected) {
+  EXPECT_THROW(StreamArrays(0), std::invalid_argument);
+}
+
+TEST(StreamModelTest, TriadSweepReproducesFig4Shape) {
+  const StreamModel phi{BandwidthModel{arch::xeon_phi_5110p(), 1}};
+  const auto sweep = phi.triad_sweep({59, 118, 177, 236});
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_NEAR(sweep[0].y, 180.0, 2.0);
+  EXPECT_NEAR(sweep[1].y, 180.0, 2.0);
+  EXPECT_NEAR(sweep[2].y, 140.0, 2.0);
+  EXPECT_NEAR(sweep[3].y, 140.0, 2.0);
+}
+
+TEST(StreamModelTest, PhiBeatsHostOnStream) {
+  // The one clear Phi win in the paper: aggregate STREAM bandwidth.
+  const StreamModel phi{BandwidthModel{arch::xeon_phi_5110p(), 1}};
+  const StreamModel host{BandwidthModel{arch::sandy_bridge_e5_2670(), 2}};
+  EXPECT_GT(phi.predict(StreamKernel::kTriad, 118, 2),
+            2.0 * host.predict(StreamKernel::kTriad, 16, 1));
+}
+
+}  // namespace
+}  // namespace maia::mem

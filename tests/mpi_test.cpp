@@ -1,0 +1,311 @@
+// Tests for the simulated MPI runtime: layouts, the point-to-point cost
+// model, memory accounting, and the collective algorithms behind Figs
+// 10-14.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/cost_model.hpp"
+#include "mpi/layout.hpp"
+#include "mpi/memory.hpp"
+#include "sim/units.hpp"
+
+namespace maia::mpi {
+namespace {
+
+using arch::DeviceId;
+using sim::operator""_B;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+MpiCostModel post_update_cost() {
+  return MpiCostModel(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+}
+
+// --------------------------------------------------------------- layout ---
+
+TEST(Layout, HomogeneousBasics) {
+  const auto l = RankLayout::on_device(DeviceId::kPhi0, 236);
+  EXPECT_EQ(l.total_ranks(), 236);
+  EXPECT_TRUE(l.is_homogeneous());
+  EXPECT_EQ(l.ranks_on(DeviceId::kPhi0), 236);
+  EXPECT_EQ(l.ranks_on(DeviceId::kHost), 0);
+  EXPECT_EQ(l.device_of(0), DeviceId::kPhi0);
+  EXPECT_EQ(l.device_of(235), DeviceId::kPhi0);
+  EXPECT_THROW(l.device_of(236), std::out_of_range);
+}
+
+TEST(Layout, SymmetricSpansDevices) {
+  // The paper's best OVERFLOW symmetric config: 16 host ranks x 1 thread,
+  // 8 ranks x 28 threads on each Phi.
+  const auto l = RankLayout::symmetric({{DeviceId::kHost, 16, 1},
+                                        {DeviceId::kPhi0, 8, 28},
+                                        {DeviceId::kPhi1, 8, 28}});
+  EXPECT_EQ(l.total_ranks(), 32);
+  EXPECT_FALSE(l.is_homogeneous());
+  EXPECT_EQ(l.device_of(15), DeviceId::kHost);
+  EXPECT_EQ(l.device_of(16), DeviceId::kPhi0);
+  EXPECT_EQ(l.device_of(31), DeviceId::kPhi1);
+}
+
+TEST(Layout, ContextsPerCore) {
+  const auto node = arch::maia_node();
+  const auto l = RankLayout::symmetric({{DeviceId::kHost, 16, 1},
+                                        {DeviceId::kPhi0, 8, 28}});
+  EXPECT_EQ(l.contexts_per_core(node, DeviceId::kHost), 1);
+  EXPECT_EQ(l.contexts_per_core(node, DeviceId::kPhi0), 4);  // 224 over 60
+  EXPECT_EQ(l.contexts_per_core(node, DeviceId::kPhi1), 0);
+}
+
+TEST(Layout, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(RankLayout::symmetric({}), std::invalid_argument);
+  EXPECT_THROW(RankLayout::on_device(DeviceId::kHost, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- cost model ---
+
+TEST(CostModel, PhiOverheadScalesWithClockAndIssueModel) {
+  const auto m = post_update_cost();
+  const double host = m.software_overhead(DeviceId::kHost, 1);
+  const double phi = m.software_overhead(DeviceId::kPhi0, 1);
+  // ~2.5x clock ratio x ~1.4 in-order penalty.
+  EXPECT_NEAR(phi / host, 3.47, 0.1);
+}
+
+TEST(CostModel, OversubscriptionIsQuadratic) {
+  const auto m = post_update_cost();
+  const double r1 = m.software_overhead(DeviceId::kPhi0, 1);
+  const double r4 = m.software_overhead(DeviceId::kPhi0, 4);
+  EXPECT_NEAR(r4 / r1, 16.0, 0.01);
+}
+
+TEST(CostModel, PairBandwidthCappedByAggregate) {
+  const auto m = post_update_cost();
+  // One pair gets the per-pair peak; 59 pairs share the aggregate.
+  EXPECT_GT(m.pair_bandwidth(DeviceId::kPhi0, 1, 1),
+            m.pair_bandwidth(DeviceId::kPhi0, 1, 59));
+}
+
+TEST(CostModel, IntraDeviceTimeGrowsWithSize) {
+  const auto m = post_update_cost();
+  EXPECT_LT(m.intra_device_time(DeviceId::kHost, 1, 16, 1_KiB),
+            m.intra_device_time(DeviceId::kHost, 1, 16, 1_MiB));
+}
+
+TEST(CostModel, CrossDeviceUsesFabricLatency) {
+  const auto m = post_update_cost();
+  const double t = m.cross_device_time(DeviceId::kHost, DeviceId::kPhi0, 1, 0);
+  // Fabric zero-byte latency (3.3 us) plus both software overheads.
+  EXPECT_GT(sim::to_microseconds(t), 3.3);
+  EXPECT_LT(sim::to_microseconds(t), 7.0);
+}
+
+TEST(CostModel, CrossDeviceReflectsStackUpdate) {
+  const MpiCostModel pre(arch::maia_node(), fabric::SoftwareStack::kPreUpdate);
+  const MpiCostModel post(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+  const double tpre =
+      pre.cross_device_time(DeviceId::kHost, DeviceId::kPhi1, 1, 4_MiB);
+  const double tpost =
+      post.cross_device_time(DeviceId::kHost, DeviceId::kPhi1, 1, 4_MiB);
+  EXPECT_GT(tpre / tpost, 5.0);  // SCIF 6 GB/s vs CCL 455 MB/s
+}
+
+TEST(CostModel, ReduceComputeSlowerOnPhi) {
+  const auto m = post_update_cost();
+  EXPECT_GT(m.reduce_compute(DeviceId::kPhi0, 1, 1_MiB),
+            m.reduce_compute(DeviceId::kHost, 1, 1_MiB));
+}
+
+// --------------------------------------------------------------- memory ---
+
+TEST(Memory, SmallJobsFit) {
+  const auto node = arch::maia_node();
+  EXPECT_TRUE(check_fit(node, DeviceId::kPhi0, 64, 16_MiB).fits);
+}
+
+TEST(Memory, RuntimeFootprintAloneNearlyFillsCardAt236Ranks) {
+  const auto node = arch::maia_node();
+  const auto check = check_fit(node, DeviceId::kPhi0, 236, 0);
+  EXPECT_TRUE(check.fits);
+  EXPECT_GT(static_cast<double>(check.required) /
+                static_cast<double>(check.available),
+            0.55);
+}
+
+TEST(Memory, HostHasFourTimesTheCapacity) {
+  const auto node = arch::maia_node();
+  const auto host = check_fit(node, DeviceId::kHost, 16, 1_MiB);
+  const auto phi = check_fit(node, DeviceId::kPhi0, 16, 1_MiB);
+  EXPECT_NEAR(static_cast<double>(host.available) /
+                  static_cast<double>(phi.available),
+              4.0, 0.01);
+}
+
+// ---------------------------------------------------------- collectives ---
+
+class CollectiveSizes : public ::testing::TestWithParam<sim::Bytes> {};
+
+TEST_P(CollectiveSizes, HostBeatsPhiOnEveryCollective) {
+  const Collectives coll(post_update_cost());
+  const sim::Bytes size = GetParam();
+  const struct {
+    CollectiveFn fn;
+    const char* name;
+  } kCases[] = {
+      {&Collectives::sendrecv_ring, "sendrecv"},
+      {&Collectives::bcast, "bcast"},
+      {&Collectives::allreduce, "allreduce"},
+      {&Collectives::allgather, "allgather"},
+  };
+  for (const auto& c : kCases) {
+    const auto host = (coll.*c.fn)(DeviceId::kHost, 16, size);
+    const auto phi = (coll.*c.fn)(DeviceId::kPhi0, 59, size);
+    EXPECT_LT(host.time, phi.time) << c.name << " size=" << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1_B, 1_KiB, 64_KiB, 4_MiB));
+
+TEST(SendRecv, HostToPhiRatioMatchesFig10) {
+  // Paper: host 16 ranks beats Phi 59 ranks by 1.3-3.5x, and Phi 236 ranks
+  // by 24-54x.
+  const Collectives coll(post_update_cost());
+  double lo59 = 1e9, hi59 = 0, lo236 = 1e9, hi236 = 0;
+  for (sim::Bytes s = 1; s <= 4_MiB; s *= 4) {
+    const double host = coll.sendrecv_ring(DeviceId::kHost, 16, s).time;
+    const double p59 = coll.sendrecv_ring(DeviceId::kPhi0, 59, s).time;
+    const double p236 = coll.sendrecv_ring(DeviceId::kPhi0, 236, s).time;
+    lo59 = std::min(lo59, p59 / host);
+    hi59 = std::max(hi59, p59 / host);
+    lo236 = std::min(lo236, p236 / host);
+    hi236 = std::max(hi236, p236 / host);
+  }
+  EXPECT_NEAR(lo59, 1.3, 0.3);
+  EXPECT_NEAR(hi59, 3.5, 0.5);
+  EXPECT_GT(lo236, 15.0);
+  EXPECT_LT(hi236, 70.0);
+}
+
+TEST(SendRecv, OneThreadPerCoreIsBestForCommunication) {
+  // Paper: "For communication dominant code, it is beneficial to use only
+  // one thread per core on the Phi."
+  const Collectives coll(post_update_cost());
+  for (sim::Bytes s : {1_KiB, 1_MiB}) {
+    EXPECT_LT(coll.sendrecv_ring(DeviceId::kPhi0, 59, s).time,
+              coll.sendrecv_ring(DeviceId::kPhi0, 118, s).time);
+    EXPECT_LT(coll.sendrecv_ring(DeviceId::kPhi0, 118, s).time,
+              coll.sendrecv_ring(DeviceId::kPhi0, 236, s).time);
+  }
+}
+
+TEST(Bcast, AlgorithmSwitchesAtThreshold) {
+  const Collectives coll(post_update_cost());
+  EXPECT_EQ(coll.bcast(DeviceId::kHost, 16, 1_KiB).algorithm, "binomial tree");
+  EXPECT_EQ(coll.bcast(DeviceId::kHost, 16, 1_MiB).algorithm,
+            "scatter + ring allgather");
+}
+
+TEST(Bcast, TimeIsMonotonicInSizeWithinAlgorithm) {
+  const Collectives coll(post_update_cost());
+  double prev = 0.0;
+  for (sim::Bytes s = 1; s <= 8_KiB; s *= 2) {
+    const double t = coll.bcast(DeviceId::kPhi0, 59, s).time;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Allreduce, UsedByNasaCodesScalesLogarithmically) {
+  const Collectives coll(post_update_cost());
+  const double t16 = coll.allreduce(DeviceId::kHost, 16, 8_KiB).time;
+  const double t4 = coll.allreduce(DeviceId::kHost, 4, 8_KiB).time;
+  EXPECT_NEAR(t16 / t4, 2.0, 0.3);  // log2 16 / log2 4
+}
+
+TEST(Allreduce, NonPowerOfTwoPaysExtraRound) {
+  const Collectives coll(post_update_cost());
+  const double t16 = coll.allreduce(DeviceId::kHost, 16, 4_KiB).time;
+  const double t12 = coll.allreduce(DeviceId::kHost, 12, 4_KiB).time;
+  // 12 ranks: 4 rounds + fold-in; 16 ranks: clean 4 rounds — fewer ranks,
+  // yet more time.
+  EXPECT_GT(t12, t16 * 1.05);
+}
+
+TEST(Allgather, JumpAtTheRingSwitch) {
+  // Paper Fig 13: time grows smoothly to 1 KB, jumps at 2 KB.
+  const Collectives coll(post_update_cost());
+  const double t1k = coll.allgather(DeviceId::kPhi0, 59, 1_KiB).time;
+  const double t2k = coll.allgather(DeviceId::kPhi0, 59, 2_KiB).time;
+  // Doubling payload should less-than-double time within an algorithm;
+  // at the switch it much-more-than-doubles.
+  EXPECT_GT(t2k / t1k, 3.0);
+  const double t512 = coll.allgather(DeviceId::kPhi0, 59, 512_B).time;
+  EXPECT_LT(t1k / t512, 2.5);
+}
+
+TEST(Allgather, AlgorithmNames) {
+  const Collectives coll(post_update_cost());
+  EXPECT_EQ(coll.allgather(DeviceId::kHost, 16, 512_B).algorithm,
+            "recursive doubling");
+  EXPECT_EQ(coll.allgather(DeviceId::kPhi0, 59, 512_B).algorithm, "Bruck");
+  EXPECT_EQ(coll.allgather(DeviceId::kPhi0, 59, 8_KiB).algorithm, "ring");
+}
+
+TEST(Alltoall, RunsOutOfMemoryBeyond4KiBAt236Ranks) {
+  // Paper Fig 14: "For 4 threads per core (236 threads) it could be run
+  // only up to a maximum message size of 4 KB."
+  const Collectives coll(post_update_cost());
+  EXPECT_FALSE(coll.alltoall(DeviceId::kPhi0, 236, 4_KiB).out_of_memory);
+  EXPECT_TRUE(coll.alltoall(DeviceId::kPhi0, 236, 8_KiB).out_of_memory);
+}
+
+TEST(Alltoall, HostDoesNotRunOutOfMemory) {
+  const Collectives coll(post_update_cost());
+  EXPECT_FALSE(coll.alltoall(DeviceId::kHost, 16, 4_MiB).out_of_memory);
+}
+
+TEST(Alltoall, FiftyNineRanksSurviveLargerMessages) {
+  const Collectives coll(post_update_cost());
+  EXPECT_FALSE(coll.alltoall(DeviceId::kPhi0, 59, 64_KiB).out_of_memory);
+}
+
+TEST(Alltoall, OomResultHasZeroBandwidth) {
+  const Collectives coll(post_update_cost());
+  const auto r = coll.alltoall(DeviceId::kPhi0, 236, 64_KiB);
+  EXPECT_TRUE(r.out_of_memory);
+  EXPECT_DOUBLE_EQ(r.bandwidth(64_KiB), 0.0);
+}
+
+TEST(Alltoall, MostHostFavourableCollective) {
+  // Paper: host/Phi ratio for AlltoAll (8-20x at 1 rank/core) is "much
+  // higher than other forms of communication".
+  const Collectives coll(post_update_cost());
+  const sim::Bytes s = 16_KiB;
+  const double ratio_a2a = coll.alltoall(DeviceId::kPhi0, 59, s).time /
+                           coll.alltoall(DeviceId::kHost, 16, s).time;
+  const double ratio_bcast = coll.bcast(DeviceId::kPhi0, 59, s).time /
+                             coll.bcast(DeviceId::kHost, 16, s).time;
+  EXPECT_GT(ratio_a2a, ratio_bcast);
+}
+
+TEST(Barrier, GrowsWithRanksAndWorseOnPhi) {
+  const Collectives coll(post_update_cost());
+  EXPECT_LT(coll.barrier(DeviceId::kPhi0, 59).time,
+            coll.barrier(DeviceId::kPhi0, 236).time);
+  EXPECT_LT(coll.barrier(DeviceId::kHost, 16).time,
+            coll.barrier(DeviceId::kPhi0, 59).time);
+}
+
+TEST(Sweep, ProducesSeriesWithZeroAtOom) {
+  const Collectives coll(post_update_cost());
+  const auto s = collective_sweep(coll, &Collectives::alltoall, DeviceId::kPhi0,
+                                  236, 1_KiB, 16_KiB, "a2a");
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_GT(s[0].y, 0.0);                      // 1 KB runs
+  EXPECT_DOUBLE_EQ(s[4].y, 0.0);               // 16 KB fails
+}
+
+}  // namespace
+}  // namespace maia::mpi

@@ -1,0 +1,389 @@
+// Numerical verification of the NPB kernel implementations: the random
+// stream, EP, CG, MG, FT, IS and the 5x5 block machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "npb/cfd_common.hpp"
+#include "npb/cg.hpp"
+#include "npb/common.hpp"
+#include "npb/ep.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+
+namespace maia::npb {
+namespace {
+
+// ------------------------------------------------------------ NpbRandom ---
+
+TEST(NpbRandom, MatchesReferenceRecurrence) {
+  // x1 = a * seed mod 2^46 computed independently.
+  NpbRandom r(314159265.0);
+  const double expected =
+      static_cast<double>((static_cast<__uint128_t>(1220703125ull) *
+                           314159265ull) &
+                          ((1ull << 46) - 1)) *
+      std::pow(2.0, -46);
+  EXPECT_DOUBLE_EQ(r.next(), expected);
+}
+
+TEST(NpbRandom, DeviatesAreInUnitInterval) {
+  NpbRandom r;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = r.next();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(NpbRandom, SkipMatchesSequentialAdvance) {
+  NpbRandom a, b;
+  for (int i = 0; i < 1000; ++i) a.next();
+  b.skip(1000);
+  EXPECT_DOUBLE_EQ(a.state(), b.state());
+}
+
+TEST(NpbRandom, SkipZeroIsIdentity) {
+  NpbRandom a;
+  const double s = a.state();
+  a.skip(0);
+  EXPECT_DOUBLE_EQ(a.state(), s);
+}
+
+TEST(NpbRandom, FillMatchesNext) {
+  NpbRandom a, b;
+  double buf[16];
+  a.fill(16, buf);
+  for (double x : buf) EXPECT_DOUBLE_EQ(x, b.next());
+}
+
+// -------------------------------------------------------------------- EP ---
+
+TEST(Ep, BlockDecompositionIsExact) {
+  // The parallel decomposition must not change the result at all.
+  const auto one = run_ep(14, 1);
+  const auto four = run_ep(14, 4);
+  const auto seven = run_ep(14, 7);
+  EXPECT_DOUBLE_EQ(one.sx, four.sx);
+  EXPECT_DOUBLE_EQ(one.sy, four.sy);
+  EXPECT_EQ(one.counts, four.counts);
+  EXPECT_DOUBLE_EQ(one.sx, seven.sx);
+  EXPECT_EQ(one.counts, seven.counts);
+}
+
+TEST(Ep, AcceptanceRateIsPiOverFour) {
+  const auto r = run_ep(18);
+  const double rate =
+      static_cast<double>(r.pairs_accepted) / static_cast<double>(1 << 18);
+  EXPECT_NEAR(rate, std::numbers::pi / 4.0, 0.01);
+}
+
+TEST(Ep, GaussianMomentsAreCorrect) {
+  // Sum of N Gaussian deviates ~ N(0, N): |sx| should be O(sqrt(N)).
+  const auto r = run_ep(18);
+  const double n = static_cast<double>(r.pairs_accepted);
+  EXPECT_LT(std::fabs(r.sx), 5.0 * std::sqrt(n));
+  EXPECT_LT(std::fabs(r.sy), 5.0 * std::sqrt(n));
+}
+
+TEST(Ep, AnnulusCountsDecayAndSumToAccepted) {
+  const auto r = run_ep(18);
+  EXPECT_EQ(r.total_counted(), r.pairs_accepted);
+  // Nearly all mass below |t|=4; bin counts strictly decreasing at first.
+  EXPECT_GT(r.counts[0], r.counts[1]);
+  EXPECT_GT(r.counts[1], r.counts[2]);
+  EXPECT_EQ(r.counts[9], 0);
+}
+
+TEST(Ep, ClassSizes) {
+  EXPECT_EQ(ep_log2_pairs(ProblemClass::kS), 24);
+  EXPECT_EQ(ep_log2_pairs(ProblemClass::kC), 32);
+}
+
+TEST(Ep, RejectsBadArguments) {
+  EXPECT_THROW(run_ep(0), std::invalid_argument);
+  EXPECT_THROW(run_ep(14, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- CG ---
+
+TEST(Cg, SparseMatrixIsSymmetric) {
+  const auto a = make_sparse_spd(64, 6, 10.0);
+  const auto d = a.to_dense();
+  for (std::size_t i = 0; i < a.n; ++i) {
+    for (std::size_t j = 0; j < a.n; ++j) {
+      EXPECT_DOUBLE_EQ(d[i * a.n + j], d[j * a.n + i]);
+    }
+  }
+}
+
+TEST(Cg, SparseMultiplyMatchesDense) {
+  const auto a = make_sparse_spd(48, 5, 8.0);
+  const auto d = a.to_dense();
+  std::vector<double> x(a.n);
+  NpbRandom rng(7.0 * 1e8);
+  for (auto& v : x) v = rng.next() - 0.5;
+  std::vector<double> y_sparse;
+  a.multiply(x, y_sparse);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    double y = 0.0;
+    for (std::size_t j = 0; j < a.n; ++j) y += d[i * a.n + j] * x[j];
+    EXPECT_NEAR(y_sparse[i], y, 1e-10);
+  }
+}
+
+TEST(Cg, SolverSolvesTheSystem) {
+  const auto a = make_sparse_spd(96, 6, 12.0);
+  std::vector<double> b(a.n, 1.0);
+  std::vector<double> x;
+  double res = 0.0;
+  cg_solve(a, b, x, 200, 1e-12, &res);
+  EXPECT_LT(res, 1e-10);
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  for (std::size_t i = 0; i < a.n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-8);
+}
+
+TEST(Cg, CgConvergesInAtMostNIterations) {
+  const auto a = make_sparse_spd(32, 4, 6.0);
+  std::vector<double> b(a.n, 1.0), x;
+  const int iters = cg_solve(a, b, x, 1000, 1e-12);
+  EXPECT_LE(iters, static_cast<int>(a.n) + 1);
+}
+
+TEST(Cg, ZetaConvergesToSmallestEigenvalue) {
+  // Inverse power iteration: zeta -> shift + lambda_min(A).  Use a
+  // diagonal matrix with a well-separated smallest eigenvalue so the
+  // convergence ratio (lambda_1/lambda_2 = 0.4) makes 40 outer iterations
+  // decisive.
+  SparseMatrix a;
+  a.n = 16;
+  a.row_start.resize(a.n + 1);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    a.row_start[i + 1] = i + 1;
+    a.col.push_back(i);
+    a.val.push_back(i == 0 ? 2.0 : 5.0 + static_cast<double>(i));
+  }
+  const double shift = 1.5;
+  const auto r = run_cg(a, shift, 40, 50);
+  EXPECT_NEAR(r.zeta, shift + 2.0, 1e-9);
+}
+
+TEST(Cg, ZetaHistoryStabilizes) {
+  // On a random SPD matrix the low eigenvalues cluster, so inverse
+  // iteration converges linearly: require the last step to move zeta by
+  // well under 1%.
+  const auto a = make_sparse_spd(40, 5, 9.0);
+  const auto r = run_cg(a, 2.5, 40, 100);
+  const auto& h = r.zeta_history;
+  ASSERT_GE(h.size(), 3u);
+  EXPECT_NEAR(h[h.size() - 1], h[h.size() - 2], 5e-3 * std::fabs(h.back()));
+}
+
+// -------------------------------------------------------------------- MG ---
+
+TEST(Mg, StencilOnConstantFieldScalesBySumOfWeights) {
+  Grid3 u(8);
+  u.fill(1.0);
+  Grid3 out;
+  apply_stencil(u, out, kPoissonA);
+  // Weight sum: a0 + 6*a1 + 12*a2 + 8*a3 = -8/3 + 0 + 2 + 2/3 = 0.
+  for (double v : out.raw()) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Mg, ResidualOfExactSolutionIsZero) {
+  // If u solves A u = v pointwise, the residual vanishes: use v = A u for
+  // a random u.
+  Grid3 u(8);
+  NpbRandom rng;
+  for (auto& x : u.raw()) x = rng.next();
+  Grid3 v;
+  apply_stencil(u, v, kPoissonA);
+  Grid3 r;
+  residual(u, v, r);
+  EXPECT_NEAR(r.norm2(), 0.0, 1e-14);
+}
+
+TEST(Mg, RestrictionPreservesConstants) {
+  Grid3 fine(16);
+  fine.fill(3.0);
+  Grid3 coarse;
+  restrict_grid(fine, coarse);
+  EXPECT_EQ(coarse.n(), 8u);
+  for (double v : coarse.raw()) EXPECT_NEAR(v, 3.0, 1e-13);
+}
+
+TEST(Mg, ProlongationPreservesConstants) {
+  Grid3 coarse(8);
+  coarse.fill(2.0);
+  Grid3 fine(16);
+  prolongate_add(coarse, fine);
+  for (double v : fine.raw()) EXPECT_NEAR(v, 2.0, 1e-13);
+}
+
+TEST(Mg, ProlongationRejectsMismatchedGrids) {
+  Grid3 coarse(8);
+  Grid3 fine(24);
+  EXPECT_THROW(prolongate_add(coarse, fine), std::invalid_argument);
+}
+
+TEST(Mg, VCyclesReduceResidual) {
+  const Grid3 v = make_mg_rhs(32);
+  const auto result = run_mg(v, 6);
+  ASSERT_EQ(result.residual_history.size(), 6u);
+  // Each V-cycle contracts the residual; require a healthy overall drop.
+  EXPECT_LT(result.final_residual_norm, 0.05 * result.initial_residual_norm);
+  for (std::size_t i = 1; i < result.residual_history.size(); ++i) {
+    EXPECT_LT(result.residual_history[i], result.residual_history[i - 1]);
+  }
+}
+
+TEST(Mg, RhsHasZeroMeanCharges) {
+  const Grid3 v = make_mg_rhs(32);
+  const double sum = std::accumulate(v.raw().begin(), v.raw().end(), 0.0);
+  // +-1 charges can collide, but the net charge stays small.
+  EXPECT_LE(std::fabs(sum), 2.0);
+}
+
+TEST(Mg, ClassGridSizes) {
+  EXPECT_EQ(mg_grid_size(ProblemClass::kS), 32u);
+  EXPECT_EQ(mg_grid_size(ProblemClass::kC), 512u);
+}
+
+// -------------------------------------------------------------------- FT ---
+
+TEST(Ft, FftMatchesReferenceDft) {
+  std::vector<Complex> a(32);
+  NpbRandom rng;
+  for (auto& c : a) c = Complex(rng.next() - 0.5, rng.next() - 0.5);
+  auto fft = a;
+  fft1d(fft, false);
+  const auto dft = dft_reference(a, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(fft[i] - dft[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Ft, InverseRoundTrip) {
+  std::vector<Complex> a(64);
+  NpbRandom rng(271828.0);
+  for (auto& c : a) c = Complex(rng.next(), rng.next());
+  auto b = a;
+  fft1d(b, false);
+  fft1d(b, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Ft, ParsevalHolds) {
+  std::vector<Complex> a(128);
+  NpbRandom rng(99.0 * 1e6);
+  for (auto& c : a) c = Complex(rng.next() - 0.5, rng.next() - 0.5);
+  double time_energy = 0.0;
+  for (const auto& c : a) time_energy += std::norm(c);
+  fft1d(a, false);
+  double freq_energy = 0.0;
+  for (const auto& c : a) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-8 * freq_energy);
+}
+
+TEST(Ft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> a(12);
+  EXPECT_THROW(fft1d(a, false), std::invalid_argument);
+}
+
+TEST(Ft, Fft3dRoundTrip) {
+  Field3 f = make_ft_initial(8);
+  const Field3 original = f;
+  fft3d(f, false);
+  fft3d(f, true);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    max_err = std::max(max_err, std::abs(f.raw()[i] - original.raw()[i]));
+  }
+  EXPECT_LT(max_err, 1e-12);
+}
+
+TEST(Ft, EvolutionDampsHighFrequencies) {
+  // With growing t the field approaches its mean (zero-frequency mode).
+  Field3 f = make_ft_initial(8);
+  const auto result = run_ft(f, 3, 1e-2);
+  ASSERT_EQ(result.checksums.size(), 3u);
+  // The checksum magnitudes shrink toward the DC average as decay grows.
+  // (DC survives, so they do not vanish.)
+  EXPECT_TRUE(std::isfinite(result.checksums[2].real()));
+}
+
+TEST(Ft, ZeroDiffusivityIsIdentity) {
+  Field3 f = make_ft_initial(8);
+  auto copy = f;
+  const auto r = run_ft(f, 1, 0.0);
+  // evolve with alpha=0 == forward+inverse transform only.
+  fft3d(copy, false);
+  fft3d(copy, true);
+  // checksum over unchanged field must match directly computed one.
+  Complex expected(0.0, 0.0);
+  for (std::size_t q = 1; q <= 1024; ++q) {
+    expected += copy.raw()[(q * 5 + q * q * 3) % copy.size()];
+  }
+  expected /= 1024.0;
+  EXPECT_NEAR(std::abs(r.checksums[0] - expected), 0.0, 1e-10);
+}
+
+// -------------------------------------------------------------------- IS ---
+
+TEST(Is, OutputIsSorted) {
+  const auto keys = make_is_keys(1 << 14, 1 << 10);
+  const auto r = run_is(keys, 1 << 10);
+  EXPECT_TRUE(std::is_sorted(r.sorted.begin(), r.sorted.end()));
+}
+
+TEST(Is, OutputIsAPermutation) {
+  const auto keys = make_is_keys(1 << 14, 1 << 10);
+  auto r = run_is(keys, 1 << 10);
+  auto input_sorted = keys;
+  std::sort(input_sorted.begin(), input_sorted.end());
+  EXPECT_EQ(r.sorted, input_sorted);
+}
+
+TEST(Is, RanksPlaceEveryKeyCorrectly) {
+  const auto keys = make_is_keys(1 << 12, 1 << 8);
+  const auto r = run_is(keys, 1 << 8);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(r.sorted[r.ranks[i]], keys[i]);
+  }
+}
+
+TEST(Is, RanksAreAPermutationOfIndices) {
+  const auto keys = make_is_keys(1 << 12, 1 << 8);
+  const auto r = run_is(keys, 1 << 8);
+  std::vector<bool> seen(keys.size(), false);
+  for (auto rank : r.ranks) {
+    ASSERT_LT(rank, keys.size());
+    EXPECT_FALSE(seen[rank]);
+    seen[rank] = true;
+  }
+}
+
+TEST(Is, KeyDistributionIsHumped) {
+  // Average-of-four deviates: the middle half holds most of the mass.
+  const std::uint32_t max_key = 1 << 10;
+  const auto keys = make_is_keys(1 << 16, max_key);
+  long middle = 0;
+  for (auto k : keys) {
+    if (k >= max_key / 4 && k < 3 * max_key / 4) ++middle;
+  }
+  EXPECT_GT(static_cast<double>(middle) / static_cast<double>(keys.size()), 0.85);
+}
+
+TEST(Is, RejectsOutOfRangeKeys) {
+  EXPECT_THROW(run_is({5}, 4), std::invalid_argument);
+  EXPECT_THROW(make_is_keys(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maia::npb

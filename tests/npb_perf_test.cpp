@@ -1,0 +1,260 @@
+// Figure-level behaviour of the NPB performance runners: Fig 19 (OpenMP),
+// Fig 20 (MPI, with the FT out-of-memory wall), Fig 24 (loop collapse) and
+// Figs 25-27 (MG offload modes).
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "npb/mg_offload.hpp"
+#include "npb/mpi_runner.hpp"
+#include "npb/openmp_runner.hpp"
+#include "npb/signatures.hpp"
+
+namespace maia::npb {
+namespace {
+
+using arch::DeviceId;
+
+OpenMpRunner omp_runner() { return OpenMpRunner(arch::maia_node()); }
+MpiRunner mpi_runner() {
+  return MpiRunner(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+}
+
+// ------------------------------------------------------------- Fig 19 ------
+
+TEST(NpbOpenMp, HostBeatsBestPhiForAllButMg) {
+  // Paper: "Except for MG, most of the benchmarks have worse performance
+  // on the Phi than on the host."
+  const auto runner = omp_runner();
+  for (Benchmark b : all_benchmarks()) {
+    const double host = runner.best(b, DeviceId::kHost).gflops;
+    const double phi = runner.best(b, DeviceId::kPhi0).gflops;
+    if (b == Benchmark::kMG) {
+      EXPECT_GT(phi, host) << benchmark_name(b);
+    } else {
+      EXPECT_GT(host, phi) << benchmark_name(b);
+    }
+  }
+}
+
+TEST(NpbOpenMp, BtHighestAndCgLowestOnPhi) {
+  const auto runner = omp_runner();
+  const double bt = runner.best(Benchmark::kBT, DeviceId::kPhi0).gflops;
+  const double cg = runner.best(Benchmark::kCG, DeviceId::kPhi0).gflops;
+  for (Benchmark b : all_benchmarks()) {
+    if (b == Benchmark::kIS) continue;  // integer ops, different unit
+    const double g = runner.best(b, DeviceId::kPhi0).gflops;
+    EXPECT_LE(g, bt * 1.0001) << benchmark_name(b);
+    EXPECT_GE(g, cg * 0.9999) << benchmark_name(b);
+  }
+}
+
+TEST(NpbOpenMp, OneThreadPerCoreIsWorstOnPhi) {
+  // "performance on Phi0 is minimal for 1 thread per core".
+  const auto runner = omp_runner();
+  for (Benchmark b : all_benchmarks()) {
+    const auto sweep =
+        runner.thread_sweep(b, DeviceId::kPhi0, OpenMpRunner::phi_thread_counts());
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      EXPECT_GT(sweep[i].y, sweep[0].y)
+          << benchmark_name(b) << " at " << sweep[i].x;
+    }
+  }
+}
+
+TEST(NpbOpenMp, ThreeThreadsPerCoreUsuallyBest) {
+  // "...maximal for the 3 threads per core for most of the benchmarks."
+  const auto runner = omp_runner();
+  int best_at_three = 0;
+  for (Benchmark b : all_benchmarks()) {
+    const auto sweep =
+        runner.thread_sweep(b, DeviceId::kPhi0, OpenMpRunner::phi_thread_counts());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      if (sweep[i].y > sweep[best].y) best = i;
+    }
+    if (sweep[best].x == 177) ++best_at_three;
+  }
+  EXPECT_GE(best_at_three, 5);
+}
+
+TEST(NpbOpenMp, MgMatchesPaperAbsolutes) {
+  // The one figure with printed numbers: MG native host 23.5 Gflop/s at 16
+  // threads (HT 32: 22.2), native Phi 29.9 at 177 threads.
+  const auto runner = omp_runner();
+  EXPECT_NEAR(runner.run(Benchmark::kMG, DeviceId::kHost, 16).gflops, 23.5, 1.5);
+  const auto ht = runner.run(Benchmark::kMG, DeviceId::kHost, 32);
+  EXPECT_NEAR(ht.gflops, 22.2, 1.5);
+  const auto best = runner.best(Benchmark::kMG, DeviceId::kPhi0);
+  EXPECT_NEAR(best.gflops, 29.9, 2.0);
+  EXPECT_EQ(best.threads, 177);
+}
+
+TEST(NpbOpenMp, Phi0AndPhi1AreIdentical) {
+  const auto runner = omp_runner();
+  EXPECT_DOUBLE_EQ(runner.run(Benchmark::kBT, DeviceId::kPhi0, 177).gflops,
+                   runner.run(Benchmark::kBT, DeviceId::kPhi1, 177).gflops);
+}
+
+// ------------------------------------------------------------- Fig 20 ------
+
+TEST(NpbMpi, RankConstraintsMatchThePaper) {
+  const auto runner = mpi_runner();
+  EXPECT_EQ(runner.valid_rank_counts(Benchmark::kCG, DeviceId::kPhi0),
+            (std::vector<int>{64, 128}));
+  EXPECT_EQ(runner.valid_rank_counts(Benchmark::kBT, DeviceId::kPhi0),
+            (std::vector<int>{64, 121, 169, 225}));
+  EXPECT_EQ(runner.valid_rank_counts(Benchmark::kSP, DeviceId::kPhi0),
+            (std::vector<int>{64, 121, 169, 225}));
+}
+
+TEST(NpbMpi, FtRunsOutOfMemoryOnPhiButNotHost) {
+  // Paper: "The FT benchmark could not be run on Phi because the Phi
+  // memory of 8GB is not enough, as it needs minimum of 10 GB."
+  const auto runner = mpi_runner();
+  EXPECT_TRUE(runner.run(Benchmark::kFT, DeviceId::kPhi0, 64).out_of_memory);
+  EXPECT_TRUE(runner.run(Benchmark::kFT, DeviceId::kPhi0, 128).out_of_memory);
+  EXPECT_FALSE(runner.run(Benchmark::kFT, DeviceId::kHost, 16).out_of_memory);
+}
+
+TEST(NpbMpi, EverythingElseRunsOnPhi) {
+  const auto runner = mpi_runner();
+  for (Benchmark b : all_benchmarks()) {
+    if (b == Benchmark::kFT) continue;
+    for (int ranks : runner.valid_rank_counts(b, DeviceId::kPhi0)) {
+      EXPECT_FALSE(runner.run(b, DeviceId::kPhi0, ranks).out_of_memory)
+          << benchmark_name(b) << " at " << ranks;
+    }
+  }
+}
+
+TEST(NpbMpi, BtPrefersFourRanksPerCore) {
+  // Fig 20: "BT performance is best for 4 threads per core" (225 ranks).
+  const auto runner = mpi_runner();
+  const auto sweep = runner.rank_sweep(Benchmark::kBT, DeviceId::kPhi0);
+  double best_x = 0, best_y = -1;
+  for (const auto& p : sweep.points()) {
+    if (p.y > best_y) {
+      best_y = p.y;
+      best_x = p.x;
+    }
+  }
+  EXPECT_EQ(best_x, 225);
+}
+
+TEST(NpbMpi, HostStillWinsOverPhiMpi) {
+  const auto runner = mpi_runner();
+  for (Benchmark b : {Benchmark::kCG, Benchmark::kLU, Benchmark::kSP}) {
+    const double host = runner.run(b, DeviceId::kHost, 16).gflops;
+    double best_phi = 0;
+    for (int ranks : runner.valid_rank_counts(b, DeviceId::kPhi0)) {
+      best_phi = std::max(best_phi, runner.run(b, DeviceId::kPhi0, ranks).gflops);
+    }
+    EXPECT_GT(host, best_phi) << benchmark_name(b);
+  }
+}
+
+TEST(NpbMpi, CommunicationCostsAreCharged) {
+  const auto runner = mpi_runner();
+  const auto r = runner.run(Benchmark::kCG, DeviceId::kPhi0, 128);
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_LT(r.comm_seconds, r.seconds);
+}
+
+// ------------------------------------------------------------- Fig 24 ------
+
+TEST(LoopCollapse, HelpsPhiAndSlightlyHurtsHost) {
+  // Paper: +25-28% on Phi0, -1% on the host at 16 threads.
+  const auto runner = omp_runner();
+  const auto plain = class_c_workload(Benchmark::kMG);
+  const auto collapsed = class_c_mg_collapsed();
+
+  // Gains compare wall time for the same useful work.
+  const double host_gain =
+      runner.run_workload(plain, DeviceId::kHost, 16).seconds /
+      runner.run_workload(collapsed, DeviceId::kHost, 16).seconds;
+  EXPECT_NEAR(host_gain, 0.99, 0.011);
+
+  const double phi_gain_236 =
+      runner.run_workload(plain, DeviceId::kPhi0, 236).seconds /
+      runner.run_workload(collapsed, DeviceId::kPhi0, 236).seconds;
+  EXPECT_GT(phi_gain_236, 1.20);
+  EXPECT_LT(phi_gain_236, 1.45);
+
+  for (int t : {59, 118, 177}) {
+    const double gain = runner.run_workload(plain, DeviceId::kPhi0, t).seconds /
+                        runner.run_workload(collapsed, DeviceId::kPhi0, t).seconds;
+    EXPECT_GE(gain, 0.98) << t;
+  }
+}
+
+TEST(LoopCollapse, Spilling60thCoreIsMuchWorse) {
+  // Fig 24: 59/118/177/236 threads clearly beat 60/120/180/240.
+  const auto runner = omp_runner();
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    const double on59 =
+        runner.run(Benchmark::kMG, DeviceId::kPhi0, 59 * tpc).gflops;
+    const double on60 =
+        runner.run(Benchmark::kMG, DeviceId::kPhi0, 60 * tpc).gflops;
+    EXPECT_GT(on59, 1.15 * on60) << tpc;
+  }
+}
+
+// ---------------------------------------------------------- Figs 25-27 ------
+
+TEST(MgOffload, NativeModesBeatAllOffloadVersions) {
+  // Fig 25: "the performance of all the offload versions is much lower
+  // than both native host and native Phi modes."
+  const auto r = run_mg_modes();
+  for (double g : r.offload_gflops) {
+    EXPECT_LT(g, r.native_host_gflops);
+    EXPECT_LT(g, r.native_phi_gflops);
+  }
+}
+
+TEST(MgOffload, WholeComputationIsTheBestOffload) {
+  const auto r = run_mg_modes();
+  const double loop = r.offload_gflops[0];
+  const double sub = r.offload_gflops[1];
+  const double whole = r.offload_gflops[2];
+  EXPECT_LT(loop, sub);
+  EXPECT_LT(sub, whole);
+}
+
+TEST(MgOffload, OverheadOrderingMatchesFig26) {
+  const auto r = run_mg_modes();
+  EXPECT_GT(r.reports[0].overhead(), r.reports[1].overhead());
+  EXPECT_GT(r.reports[1].overhead(), r.reports[2].overhead());
+}
+
+TEST(MgOffload, InvocationsAndBytesMatchFig27Ordering) {
+  const auto r = run_mg_modes();
+  EXPECT_GT(r.reports[0].invocations, r.reports[1].invocations);
+  EXPECT_GT(r.reports[1].invocations, r.reports[2].invocations);
+  EXPECT_GT(r.reports[0].total_bytes(), r.reports[1].total_bytes());
+  EXPECT_GT(r.reports[1].total_bytes(), r.reports[2].total_bytes());
+}
+
+TEST(MgOffload, WholeComputationShipsInputOnce) {
+  const auto prog = mg_offload_program(MgOffloadVersion::kWholeComputation);
+  sim::Bytes in = 0;
+  for (const auto& region : prog.regions) {
+    in += static_cast<sim::Bytes>(region.invocations) * region.bytes_in;
+  }
+  // ~3.2 GB of initial grids plus per-step checksum traffic only.
+  EXPECT_LT(in, sim::Bytes{3'300'000'000});
+}
+
+TEST(MgOffload, ReportsAccountTimeComponents) {
+  const auto r = run_mg_modes();
+  for (const auto& report : r.reports) {
+    EXPECT_GT(report.transfer, 0.0);
+    EXPECT_GT(report.phi_setup, 0.0);
+    EXPECT_GT(report.phi_compute, 0.0);
+    EXPECT_NEAR(report.total(),
+                report.overhead() + report.phi_compute + report.host_compute,
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace maia::npb

@@ -1,0 +1,251 @@
+// Tests for the simulated OpenMP runtime: team placement, construct
+// overheads (Fig 15), loop scheduling (Fig 16) and collapse arithmetic
+// (Fig 24).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "arch/registry.hpp"
+#include "omp/constructs.hpp"
+#include "omp/loop_balance.hpp"
+#include "omp/schedule.hpp"
+#include "omp/team.hpp"
+#include "sim/units.hpp"
+
+namespace maia::omp {
+namespace {
+
+ThreadTeam host_team(int threads) {
+  return ThreadTeam(arch::sandy_bridge_e5_2670(), 2, threads);
+}
+ThreadTeam phi_team(int threads) {
+  return ThreadTeam(arch::xeon_phi_5110p(), 1, threads);
+}
+
+// ----------------------------------------------------------------- team ---
+
+TEST(Team, PlacementMatchesPaperConvention) {
+  // 59/118/177/236 threads use 59 cores at 1-4 threads/core.
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    const auto team = phi_team(59 * tpc);
+    EXPECT_EQ(team.threads_per_core(), tpc) << 59 * tpc;
+    EXPECT_EQ(team.cores_used(), 59);
+    EXPECT_FALSE(team.uses_os_core());
+  }
+}
+
+TEST(Team, MultiplesOf60SpillOntoOsCore) {
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    const auto team = phi_team(60 * tpc);
+    EXPECT_EQ(team.cores_used(), 60);
+    EXPECT_TRUE(team.uses_os_core());
+    EXPECT_GT(team.os_jitter_factor(), 1.2);
+  }
+}
+
+TEST(Team, HostTeams) {
+  const auto t16 = host_team(16);
+  EXPECT_EQ(t16.threads_per_core(), 1);
+  EXPECT_EQ(t16.cores_used(), 16);
+  EXPECT_FALSE(t16.uses_os_core());
+  const auto t32 = host_team(32);
+  EXPECT_EQ(t32.threads_per_core(), 2);
+}
+
+TEST(Team, RejectsOversubscriptionBeyondHardware) {
+  EXPECT_THROW(phi_team(241), std::invalid_argument);
+  EXPECT_THROW(host_team(33), std::invalid_argument);
+  EXPECT_THROW(host_team(0), std::invalid_argument);
+}
+
+TEST(Team, IssueEfficiencyReflectsInOrderPipeline) {
+  EXPECT_DOUBLE_EQ(phi_team(59).issue_efficiency(), 0.5);
+  EXPECT_DOUBLE_EQ(phi_team(118).issue_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(host_team(16).issue_efficiency(), 1.0);
+}
+
+// ----------------------------------------------------------- constructs ---
+
+TEST(Constructs, PhiOverheadsAreAnOrderOfMagnitudeHigher) {
+  // Paper Fig 15: "almost all the constructs have almost an order of
+  // magnitude higher overhead on the Phi than on the host."
+  const auto host = host_team(16);
+  const auto phi = phi_team(236);
+  for (Construct c : all_constructs()) {
+    const double ratio = construct_overhead(c, phi) / construct_overhead(c, host);
+    EXPECT_GE(ratio, 7.0) << construct_name(c);
+    EXPECT_LE(ratio, 30.0) << construct_name(c);
+  }
+}
+
+TEST(Constructs, ReductionIsMostExpensiveOnPhi) {
+  const auto phi = phi_team(236);
+  const double reduction = construct_overhead(Construct::kReduction, phi);
+  for (Construct c : all_constructs()) {
+    if (c == Construct::kReduction) continue;
+    EXPECT_GT(reduction, construct_overhead(c, phi)) << construct_name(c);
+  }
+}
+
+TEST(Constructs, ParallelForAndParallelFollowReduction) {
+  // Paper: "The most expensive operation is Reduction, followed by
+  // PARALLEL FOR and PARALLEL, whereas ATOMIC is the least expensive."
+  const auto phi = phi_team(236);
+  const double pf = construct_overhead(Construct::kParallelFor, phi);
+  const double p = construct_overhead(Construct::kParallel, phi);
+  for (Construct c : all_constructs()) {
+    if (c == Construct::kReduction || c == Construct::kParallelFor ||
+        c == Construct::kParallel) {
+      continue;
+    }
+    EXPECT_GT(pf, construct_overhead(c, phi)) << construct_name(c);
+    EXPECT_GT(p, construct_overhead(c, phi)) << construct_name(c);
+  }
+}
+
+TEST(Constructs, AtomicIsCheapestEverywhere) {
+  for (const auto& team : {host_team(16), phi_team(236)}) {
+    const double atomic = construct_overhead(Construct::kAtomic, team);
+    for (Construct c : all_constructs()) {
+      if (c == Construct::kAtomic) continue;
+      EXPECT_LT(atomic, construct_overhead(c, team)) << construct_name(c);
+    }
+  }
+}
+
+TEST(Constructs, HostMagnitudesAreSubMicrosecondToMicrosecond) {
+  const auto host = host_team(16);
+  EXPECT_NEAR(sim::to_microseconds(construct_overhead(Construct::kParallel, host)),
+              1.4, 0.5);
+  EXPECT_NEAR(sim::to_microseconds(construct_overhead(Construct::kAtomic, host)),
+              0.1, 0.05);
+}
+
+TEST(Constructs, OverheadGrowsWithTeamSize) {
+  for (Construct c :
+       {Construct::kParallel, Construct::kBarrier, Construct::kReduction}) {
+    EXPECT_GT(construct_overhead(c, phi_team(236)),
+              construct_overhead(c, phi_team(59)))
+        << construct_name(c);
+  }
+}
+
+// ------------------------------------------------------------- schedule ---
+
+TEST(Schedule, EveryIterationExecutedExactlyOnce) {
+  const LoopScheduler sched(phi_team(177));
+  for (auto policy : {SchedulePolicy::kStatic, SchedulePolicy::kDynamic,
+                      SchedulePolicy::kGuided}) {
+    const auto r = sched.run_uniform(1000, sim::microseconds(0.1), policy);
+    const long total = std::accumulate(r.iterations_per_thread.begin(),
+                                       r.iterations_per_thread.end(), 0L);
+    EXPECT_EQ(total, 1000) << schedule_name(policy);
+  }
+}
+
+TEST(Schedule, StaticLowestDynamicHighestGuidedBetween) {
+  // Paper Fig 16's ordering, on both devices.
+  for (const auto& team : {host_team(16), phi_team(236)}) {
+    const LoopScheduler sched(team);
+    const long trip = 4096;
+    const auto st = sched.run_uniform(trip, sim::microseconds(0.1),
+                                      SchedulePolicy::kStatic);
+    const auto dy = sched.run_uniform(trip, sim::microseconds(0.1),
+                                      SchedulePolicy::kDynamic);
+    const auto gu = sched.run_uniform(trip, sim::microseconds(0.1),
+                                      SchedulePolicy::kGuided);
+    EXPECT_LT(st.overhead(), gu.overhead());
+    EXPECT_LT(gu.overhead(), dy.overhead());
+  }
+}
+
+TEST(Schedule, PhiOverheadOrderOfMagnitudeAboveHost) {
+  const LoopScheduler host(host_team(16));
+  const LoopScheduler phi(phi_team(236));
+  for (auto policy : {SchedulePolicy::kStatic, SchedulePolicy::kDynamic,
+                      SchedulePolicy::kGuided}) {
+    const auto h = host.run_uniform(4096, sim::microseconds(0.1), policy);
+    const auto p = phi.run_uniform(4096, sim::microseconds(0.1), policy);
+    EXPECT_GT(p.overhead() / h.overhead(), 5.0) << schedule_name(policy);
+  }
+}
+
+TEST(Schedule, DynamicDispatchCountEqualsChunkCount) {
+  const LoopScheduler sched(host_team(16));
+  const auto r =
+      sched.run_uniform(1000, sim::microseconds(0.1), SchedulePolicy::kDynamic, 10);
+  EXPECT_EQ(r.dispatches, 100);
+}
+
+TEST(Schedule, GuidedDispatchesFarFewerThanDynamic) {
+  const LoopScheduler sched(phi_team(236));
+  const auto dy =
+      sched.run_uniform(8192, sim::microseconds(0.1), SchedulePolicy::kDynamic);
+  const auto gu =
+      sched.run_uniform(8192, sim::microseconds(0.1), SchedulePolicy::kGuided);
+  EXPECT_LT(gu.dispatches, dy.dispatches / 4);
+}
+
+TEST(Schedule, DynamicBalancesSkewedWorkBetterThanStatic) {
+  // A pathologically imbalanced loop: last 10% of iterations are 50x.
+  std::vector<double> costs(1000, 1e-7);
+  for (std::size_t i = 900; i < 1000; ++i) costs[i] = 5e-6;
+  const LoopScheduler sched(host_team(16));
+  const auto st = sched.run(costs, SchedulePolicy::kStatic);
+  const auto dy = sched.run(costs, SchedulePolicy::kDynamic);
+  EXPECT_LT(dy.makespan, st.makespan);
+}
+
+TEST(Schedule, MakespanAtLeastIdeal) {
+  const LoopScheduler sched(phi_team(118));
+  for (auto policy : {SchedulePolicy::kStatic, SchedulePolicy::kDynamic,
+                      SchedulePolicy::kGuided}) {
+    const auto r = sched.run_uniform(500, sim::microseconds(1), policy);
+    EXPECT_GE(r.makespan, r.ideal);
+  }
+}
+
+TEST(Schedule, EmptyLoopRejected) {
+  const LoopScheduler sched(host_team(4));
+  EXPECT_THROW(sched.run({}, SchedulePolicy::kStatic), std::invalid_argument);
+}
+
+// --------------------------------------------------------- loop balance ---
+
+TEST(LoopBalance, PerfectWhenTripDividesThreads) {
+  EXPECT_DOUBLE_EQ(balance_efficiency(472, 236), 1.0);
+  EXPECT_DOUBLE_EQ(balance_efficiency(236, 236), 1.0);
+}
+
+TEST(LoopBalance, CeilingImbalanceNearThreadCount) {
+  // 256 iterations on 236 threads: 20 threads do 2, the rest 1 ->
+  // efficiency 256/(236*2) ~ 0.54.
+  EXPECT_NEAR(balance_efficiency(256, 236), 256.0 / 472.0, 1e-12);
+}
+
+TEST(LoopBalance, FewerIterationsThanThreads) {
+  EXPECT_NEAR(balance_efficiency(100, 236), 100.0 / 236.0, 1e-12);
+}
+
+TEST(LoopBalance, CollapseRestoresBalance) {
+  // The MG mechanism (Fig 24): collapsing 256 x 256 iterations makes the
+  // trip count >> threads and efficiency ~1.
+  const double before = balance_efficiency(256, 236);
+  const double after = balance_efficiency(collapsed_trip({256, 256}), 236);
+  EXPECT_LT(before, 0.6);
+  EXPECT_GT(after, 0.99);
+}
+
+TEST(LoopBalance, HostAlreadyBalanced) {
+  // On 16 threads a 256-trip loop is balanced: collapse can only add its
+  // index-reconstruction cost.
+  EXPECT_DOUBLE_EQ(balance_efficiency(256, 16), 1.0);
+}
+
+TEST(LoopBalance, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(balance_efficiency(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(balance_efficiency(16, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace maia::omp

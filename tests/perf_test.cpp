@@ -1,0 +1,187 @@
+// Tests for the execution-time predictor: roofline behaviour, the issue
+// and MLP threading model, vectorization and gather penalties, Amdahl,
+// balance and jitter — the mechanisms behind Figs 19-25.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "perf/exec_model.hpp"
+#include "sim/units.hpp"
+
+namespace maia::perf {
+namespace {
+
+using sim::operator""_MiB;
+
+KernelSignature compute_bound() {
+  KernelSignature s;
+  s.name = "compute-bound";
+  s.flops = 1e12;
+  s.dram_bytes = 1e9;  // intensity 1000
+  s.vector_fraction = 1.0;
+  return s;
+}
+
+KernelSignature memory_bound() {
+  KernelSignature s;
+  s.name = "memory-bound";
+  s.flops = 1e10;
+  s.dram_bytes = 1e11;  // intensity 0.1
+  s.vector_fraction = 1.0;
+  return s;
+}
+
+const arch::ProcessorModel kHost = arch::sandy_bridge_e5_2670();
+const arch::ProcessorModel kPhi = arch::xeon_phi_5110p();
+
+// ------------------------------------------------------------- roofline ---
+
+TEST(ExecModel, ComputeBoundNearsPeakOnHost) {
+  const double gf = ExecModel::gflops(kHost, 2, 16, compute_bound());
+  EXPECT_GT(gf, 0.85 * 332.8);
+  EXPECT_LE(gf, 332.8 * 1.001);
+}
+
+TEST(ExecModel, ComputeBoundNearsPeakOnPhiWithEnoughThreads) {
+  const double gf = ExecModel::gflops(kPhi, 1, 177, compute_bound());
+  // 59 usable cores of 16.8 Gflop/s = 991 Gflop/s ceiling.
+  EXPECT_GT(gf, 0.85 * 991.0);
+}
+
+TEST(ExecModel, MemoryBoundTracksStreamBandwidth) {
+  const auto b = ExecModel::run(kHost, 2, 16, memory_bound());
+  EXPECT_GT(b.memory, b.compute);
+  // 1e11 bytes at ~75 GB/s.
+  EXPECT_NEAR(b.total, 1e11 / 75e9, 0.15);
+}
+
+TEST(ExecModel, PhiBeatsHostOnPureStreamKernels) {
+  // The Phi's only decisive win: raw streaming bandwidth (180 vs 75 GB/s).
+  const double host = ExecModel::gflops(kHost, 2, 16, memory_bound());
+  const double phi = ExecModel::gflops(kPhi, 1, 118, memory_bound());
+  EXPECT_GT(phi, 1.5 * host);
+}
+
+// -------------------------------------------------------- threading (Phi) ---
+
+TEST(ExecModel, OneThreadPerCoreHalvesPhiCompute) {
+  const auto one = ExecModel::run(kPhi, 1, 59, compute_bound());
+  const auto two = ExecModel::run(kPhi, 1, 118, compute_bound());
+  EXPECT_NEAR(one.compute / two.compute, 2.0, 0.05);
+}
+
+TEST(ExecModel, ThreeThreadsPerCoreIsBestForMemoryBoundOnPhi) {
+  // Fig 19: "performance on Phi0 is minimal for 1 thread per core and
+  // maximal for the 3 threads per core for most of the benchmarks."
+  const auto sig = memory_bound();
+  const double t1 = ExecModel::gflops(kPhi, 1, 59, sig);
+  const double t2 = ExecModel::gflops(kPhi, 1, 118, sig);
+  const double t3 = ExecModel::gflops(kPhi, 1, 177, sig);
+  const double t4 = ExecModel::gflops(kPhi, 1, 236, sig);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_GT(t3, t4);
+}
+
+TEST(ExecModel, HyperThreadingSlightlyHurtsHostCompute) {
+  // Paper (MG): 32 threads is ~6% below 16 threads on the host.
+  const double t16 = ExecModel::gflops(kHost, 2, 16, compute_bound());
+  const double t32 = ExecModel::gflops(kHost, 2, 32, compute_bound());
+  EXPECT_LT(t32, t16);
+  EXPECT_GT(t32, 0.90 * t16);
+}
+
+TEST(ExecModel, OsCoreSpillHurtsPhi) {
+  // Fig 24: 236 threads (59 cores) much better than 240 (60 cores).
+  const double t236 = ExecModel::gflops(kPhi, 1, 236, memory_bound());
+  const double t240 = ExecModel::gflops(kPhi, 1, 240, memory_bound());
+  EXPECT_GT(t236, 1.15 * t240);
+}
+
+// -------------------------------------------------------- vectorization ---
+
+TEST(ExecModel, ScalarCodeForfeitsTheWideVectorUnits) {
+  auto sig = compute_bound();
+  sig.vector_fraction = 0.0;
+  const double host = ExecModel::gflops(kHost, 2, 16, sig);
+  const double phi = ExecModel::gflops(kPhi, 1, 177, sig);
+  // Scalar peak: host 2 x 8 x 2.6 x 2 = 83 Gflop/s; Phi 59 x 2 x 1.05 =
+  // 124 Gflop/s — the 512-bit units are idle.
+  EXPECT_LT(host, 90.0);
+  EXPECT_LT(phi, 130.0);
+}
+
+TEST(ExecModel, GatherScatterIsWorseOnPhiThanHostRelatively) {
+  // The CG story: indirect addressing wrecks MIC vectorization (the paper
+  // measured only +10% from gather/scatter vectorization).
+  auto unit = compute_bound();
+  auto gath = compute_bound();
+  gath.gather_fraction = 1.0;
+  const double phi_penalty = ExecModel::gflops(kPhi, 1, 177, unit) /
+                             ExecModel::gflops(kPhi, 1, 177, gath);
+  const double host_penalty = ExecModel::gflops(kHost, 2, 16, unit) /
+                              ExecModel::gflops(kHost, 2, 16, gath);
+  EXPECT_GT(phi_penalty, host_penalty);
+}
+
+TEST(ExecModel, EffectiveRateBlendsHarmonically) {
+  KernelSignature half;
+  half.vector_fraction = 0.5;
+  const double rate = ExecModel::effective_flop_rate(kHost, half);
+  const double peak = kHost.core.peak_flops();
+  const double scalar = 2.0 * kHost.core.frequency_hz;
+  const double expected = 1.0 / (0.5 / peak + 0.5 / scalar);
+  EXPECT_NEAR(rate, expected, 1.0);
+}
+
+// ----------------------------------------------------------- Amdahl etc ---
+
+TEST(ExecModel, SerialFractionIsBrutalOnPhi) {
+  // Paper §4.3: "Applications with significant serial regions will suffer
+  // dramatically because of the relatively slow speed of a Phi core."
+  auto sig = compute_bound();
+  sig.parallel_fraction = 0.95;
+  const double host_drop = ExecModel::gflops(kHost, 2, 16, compute_bound()) /
+                           ExecModel::gflops(kHost, 2, 16, sig);
+  const double phi_drop = ExecModel::gflops(kPhi, 1, 177, compute_bound()) /
+                          ExecModel::gflops(kPhi, 1, 177, sig);
+  EXPECT_GT(phi_drop, 2.0 * host_drop);
+}
+
+TEST(ExecModel, ShortParallelLoopsWasteThePhiTeam) {
+  auto sig = compute_bound();
+  sig.parallel_trip = 256;  // vs 236 threads: ~54% balance
+  const double with = ExecModel::gflops(kPhi, 1, 236, sig);
+  const double without = ExecModel::gflops(kPhi, 1, 236, compute_bound());
+  EXPECT_LT(with, 0.62 * without);
+}
+
+TEST(ExecModel, PrefetchEfficiencyOnlyAffectsInOrderCores) {
+  auto sig = memory_bound();
+  sig.prefetch_efficiency = 0.5;
+  const auto host_pe = ExecModel::run(kHost, 2, 16, sig);
+  const auto host_full = ExecModel::run(kHost, 2, 16, memory_bound());
+  EXPECT_NEAR(host_pe.memory, host_full.memory, 1e-9);
+  const auto phi_pe = ExecModel::run(kPhi, 1, 177, sig);
+  const auto phi_full = ExecModel::run(kPhi, 1, 177, memory_bound());
+  EXPECT_NEAR(phi_pe.memory / phi_full.memory, 2.0, 0.01);
+}
+
+TEST(ExecModel, OmpRegionOverheadAccumulates) {
+  auto sig = memory_bound();
+  sig.omp_regions = 1e5;
+  const auto with = ExecModel::run(kPhi, 1, 236, sig);
+  EXPECT_GT(with.omp_overhead, 0.0);
+  EXPECT_GT(with.total, ExecModel::run(kPhi, 1, 236, memory_bound()).total);
+}
+
+TEST(ExecModel, BreakdownComponentsSumConsistently) {
+  auto sig = compute_bound();
+  sig.parallel_fraction = 0.9;
+  sig.omp_regions = 10;
+  const auto b = ExecModel::run(kPhi, 1, 118, sig);
+  EXPECT_GE(b.total,
+            std::max(b.compute, b.memory) + b.serial + b.omp_overhead - 1e-12);
+}
+
+}  // namespace
+}  // namespace maia::perf

@@ -1,0 +1,197 @@
+// Cross-module property tests: invariants that must hold over swept
+// parameter ranges, regardless of calibration values.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "fabric/mpi_fabric.hpp"
+#include "fabric/offload_link.hpp"
+#include "io/io_model.hpp"
+#include "memsim/bandwidth.hpp"
+#include "memsim/latency_walker.hpp"
+#include "mpi/collectives.hpp"
+#include "npb/openmp_runner.hpp"
+#include "offload/runtime.hpp"
+#include "omp/constructs.hpp"
+#include "omp/schedule.hpp"
+#include "perf/exec_model.hpp"
+#include "sim/units.hpp"
+
+namespace maia {
+namespace {
+
+using arch::DeviceId;
+using sim::operator""_B;
+using sim::operator""_KiB;
+using sim::operator""_MiB;
+
+// ----------------------------------------------------- conservation laws ---
+
+TEST(Property, OffloadReportConservesBytes) {
+  // Whatever the program shape, the report's byte totals must equal the
+  // sum over regions of invocations x per-invocation bytes.
+  const offload::OffloadRuntime rt(arch::maia_node(), DeviceId::kPhi0, 177, 16);
+  for (long inv : {1L, 7L, 100L}) {
+    for (sim::Bytes in : {0_B, 4_KiB, 16_MiB}) {
+      offload::OffloadProgram prog;
+      perf::KernelSignature k;
+      k.flops = 1e9;
+      prog.regions.push_back({"r", in, in / 2, inv, k});
+      const auto rep = rt.run(prog);
+      EXPECT_EQ(rep.bytes_in, static_cast<sim::Bytes>(inv) * in);
+      EXPECT_EQ(rep.bytes_out, static_cast<sim::Bytes>(inv) * (in / 2));
+      EXPECT_EQ(rep.invocations, inv);
+    }
+  }
+}
+
+TEST(Property, ScheduleConservesIterationsUnderAllPolicies) {
+  const omp::LoopScheduler sched(omp::ThreadTeam(arch::xeon_phi_5110p(), 1, 118));
+  for (long trip : {1L, 7L, 236L, 1000L}) {
+    for (auto policy : {omp::SchedulePolicy::kStatic, omp::SchedulePolicy::kDynamic,
+                        omp::SchedulePolicy::kGuided}) {
+      for (long chunk : {0L, 1L, 13L}) {
+        const auto r = sched.run_uniform(trip, 1e-7, policy, chunk);
+        long total = 0;
+        for (long c : r.iterations_per_thread) total += c;
+        EXPECT_EQ(total, trip)
+            << omp::schedule_name(policy) << " trip=" << trip << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- monotonicity ---
+
+class MessageSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageSizeSweep, TransferTimesAreMonotonicInSize) {
+  const auto path = static_cast<fabric::Path>(GetParam());
+  // Monotone within each provider regime; the CCL->SCIF switch at 256 KB
+  // may legitimately *reduce* the time (that is why the stack switches).
+  for (auto stack : {fabric::SoftwareStack::kPreUpdate,
+                     fabric::SoftwareStack::kPostUpdate}) {
+    const fabric::MpiFabricModel m(stack);
+    double prev = 0.0;
+    auto prev_provider = m.route(1).provider;
+    for (sim::Bytes s = 1; s <= 16_MiB; s *= 2) {
+      const auto provider = m.route(s).provider;
+      const double t = m.transfer_time(path, s);
+      if (provider == prev_provider) {
+        EXPECT_GE(t, prev) << fabric::stack_name(stack) << " size=" << s;
+      }
+      prev = t;
+      prev_provider = provider;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, MessageSizeSweep, ::testing::Values(0, 1, 2));
+
+TEST(Property, CollectiveTimesMonotonicInRankCount) {
+  const mpi::Collectives coll(
+      mpi::MpiCostModel(arch::maia_node(), fabric::SoftwareStack::kPostUpdate));
+  for (sim::Bytes s : {64_B, 64_KiB}) {
+    double prev = 0.0;
+    for (int ranks : {8, 16, 32, 59}) {
+      const double t = coll.allreduce(DeviceId::kPhi0, ranks, s).time;
+      EXPECT_GE(t, prev * 0.999) << ranks;
+      prev = t;
+    }
+  }
+}
+
+TEST(Property, ExecTimeNeverIncreasesWithMoreCoresAtFixedTpc) {
+  // Adding cores (1 thread each) can only help or saturate.
+  perf::KernelSignature sig;
+  sig.flops = 1e11;
+  sig.dram_bytes = 1e11;
+  const auto host = arch::sandy_bridge_e5_2670();
+  double prev = 1e30;
+  for (int t : {1, 2, 4, 8, 16}) {
+    const double now = perf::ExecModel::run(host, 2, t, sig).total;
+    EXPECT_LE(now, prev * 1.0001) << t;
+    prev = now;
+  }
+}
+
+TEST(Property, LatencyCurveMonotoneOnBothMachines) {
+  for (const auto& proc :
+       {arch::sandy_bridge_e5_2670(), arch::xeon_phi_5110p()}) {
+    const mem::LatencyWalker w(proc);
+    EXPECT_TRUE(w.latency_curve(8_KiB, 32_MiB).is_non_decreasing(0.05))
+        << proc.name;
+  }
+}
+
+// --------------------------------------------------------------- bounds ---
+
+TEST(Property, NothingExceedsThePciePhysicalLimit) {
+  // No modelled PCIe transfer may beat the Gen2 x16 raw link rate.
+  const auto node = arch::maia_node();
+  const double raw = node.pcie_phi0.raw_bandwidth();
+  const fabric::MpiFabricModel post(fabric::SoftwareStack::kPostUpdate);
+  const fabric::OffloadLink link(node.pcie_phi0, fabric::Path::kHostToPhi0);
+  for (sim::Bytes s = 1_KiB; s <= 64_MiB; s *= 2) {
+    EXPECT_LE(post.bandwidth(fabric::Path::kHostToPhi0, s), raw);
+    EXPECT_LE(link.bandwidth(s), raw);
+  }
+}
+
+TEST(Property, NoKernelBeatsPeakFlops) {
+  const auto host = arch::sandy_bridge_e5_2670();
+  const auto phi = arch::xeon_phi_5110p();
+  for (double vf : {0.0, 0.5, 1.0}) {
+    perf::KernelSignature sig;
+    sig.flops = 1e12;
+    sig.dram_bytes = 1.0;
+    sig.vector_fraction = vf;
+    EXPECT_LE(perf::ExecModel::gflops(host, 2, 16, sig), 332.9);
+    EXPECT_LE(perf::ExecModel::gflops(phi, 1, 236, sig), 1008.1);
+  }
+}
+
+TEST(Property, IoNeverBeatsTheNfsServer) {
+  const io::IoModel m(arch::maia_node(), fabric::SoftwareStack::kPostUpdate);
+  for (auto dev : {DeviceId::kHost, DeviceId::kPhi0, DeviceId::kPhi1}) {
+    for (sim::Bytes b = 4_KiB; b <= 64_MiB; b *= 4) {
+      EXPECT_LE(m.bandwidth(dev, io::IoDirection::kRead, b), 295e6 * 1.001);
+      EXPECT_LE(m.bandwidth(dev, io::IoDirection::kWrite, b), 210e6 * 1.001);
+    }
+  }
+}
+
+TEST(Property, ConstructOverheadsArePositiveAndFinite) {
+  for (int threads : {2, 16, 59, 236}) {
+    if (threads > 32) {
+      const omp::ThreadTeam team(arch::xeon_phi_5110p(), 1, threads);
+      for (auto c : omp::all_constructs()) {
+        const double o = omp::construct_overhead(c, team);
+        EXPECT_GT(o, 0.0);
+        EXPECT_LT(o, 1e-3);
+      }
+    } else {
+      const omp::ThreadTeam team(arch::sandy_bridge_e5_2670(), 2, threads);
+      for (auto c : omp::all_constructs()) {
+        const double o = omp::construct_overhead(c, team);
+        EXPECT_GT(o, 0.0);
+        EXPECT_LT(o, 1e-4);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- determinism ---
+
+TEST(Property, FigureGeneratorsAreDeterministic) {
+  const auto a = npb::OpenMpRunner(arch::maia_node())
+                     .run(npb::Benchmark::kMG, DeviceId::kPhi0, 177);
+  const auto b = npb::OpenMpRunner(arch::maia_node())
+                     .run(npb::Benchmark::kMG, DeviceId::kPhi0, 177);
+  EXPECT_DOUBLE_EQ(a.gflops, b.gflops);
+  const mem::LatencyWalker w1(arch::xeon_phi_5110p());
+  const mem::LatencyWalker w2(arch::xeon_phi_5110p());
+  EXPECT_DOUBLE_EQ(w1.walk(1_MiB).avg_latency, w2.walk(1_MiB).avg_latency);
+}
+
+}  // namespace
+}  // namespace maia

@@ -1,0 +1,309 @@
+// Unit tests for the simulation base library: units, RNG, statistics,
+// series utilities, tables, and the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/series.hpp"
+#include "sim/statistics.hpp"
+#include "sim/table.hpp"
+#include "sim/units.hpp"
+
+namespace maia::sim {
+namespace {
+
+// ---------------------------------------------------------------- units ---
+
+TEST(Units, LiteralsProduceExactByteCounts) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_nanoseconds(nanoseconds(81.0)), 81.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(3.3)), 3.3);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(0.5)), 0.5);
+}
+
+TEST(Units, FormatBytesUsesBinaryUnitsForExactMultiples) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4_KiB), "4 KB");
+  EXPECT_EQ(format_bytes(35_MiB), "35 MB");
+  EXPECT_EQ(format_bytes(8_GiB), "8 GB");
+}
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(format_time(nanoseconds(81)), "81.0 ns");
+  EXPECT_EQ(format_time(microseconds(3.3)), "3.30 us");
+  EXPECT_EQ(format_time(milliseconds(12)), "12.0 ms");
+  EXPECT_EQ(format_time(2.0), "2.00 s");
+}
+
+TEST(Units, FormatRatePicksScale) {
+  EXPECT_EQ(format_rate(180e9), "180 GB/s");
+  EXPECT_EQ(format_rate(455e6), "455 MB/s");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(format_flops(23.5e9), "23.5 Gflop/s");
+  EXPECT_EQ(format_flops(301.4e12), "301 Tflop/s");
+}
+
+// ------------------------------------------------------------------ rng ---
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoublesAreInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsNearHalf) {
+  Rng r(123);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.next_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng r(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+// ----------------------------------------------------------- statistics ---
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(GeometricMean, MatchesClosedForm) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- series ---
+
+TEST(DataSeries, InterpolationIsLinearAndClamped) {
+  DataSeries s("bw");
+  s.add(1.0, 10.0);
+  s.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.interpolate(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.interpolate(0.0), 10.0);   // clamp left
+  EXPECT_DOUBLE_EQ(s.interpolate(10.0), 30.0);  // clamp right
+}
+
+TEST(DataSeries, MonotonicityWithSlack) {
+  DataSeries s;
+  s.add(1, 100);
+  s.add(2, 99);  // 1% dip
+  s.add(3, 150);
+  EXPECT_FALSE(s.is_non_decreasing(0.0));
+  EXPECT_TRUE(s.is_non_decreasing(0.02));
+}
+
+TEST(DataSeries, MinMaxY) {
+  DataSeries s;
+  s.add(1, 5);
+  s.add(2, -1);
+  s.add(3, 9);
+  EXPECT_DOUBLE_EQ(s.min_y(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 9.0);
+}
+
+TEST(RatioRangeTest, ComputesPointwiseRatios) {
+  DataSeries a("host"), b("phi");
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x, 10.0 * x);
+    b.add(x, 5.0);
+  }
+  const auto r = ratio_range(a, b);
+  EXPECT_DOUBLE_EQ(r.min, 2.0);
+  EXPECT_DOUBLE_EQ(r.max, 6.0);
+}
+
+TEST(RatioRangeTest, ThrowsWithoutCommonX) {
+  DataSeries a, b;
+  a.add(1, 1);
+  b.add(2, 1);
+  EXPECT_THROW(ratio_range(a, b), std::logic_error);
+}
+
+TEST(CrossoverTest, FindsInterpolatedCrossing) {
+  DataSeries a("a"), b("b");
+  // a: 1 -> 3; b flat at 2 => crossing at x = 1.5
+  a.add(1.0, 1.0);
+  a.add(2.0, 3.0);
+  b.add(1.0, 2.0);
+  b.add(2.0, 2.0);
+  const auto x = crossover_x(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 1.5, 1e-12);
+}
+
+TEST(CrossoverTest, NoneWhenAlwaysBelow) {
+  DataSeries a, b;
+  a.add(1, 1);
+  a.add(2, 1);
+  b.add(1, 2);
+  b.add(2, 2);
+  EXPECT_FALSE(crossover_x(a, b).has_value());
+}
+
+// ---------------------------------------------------------------- table ---
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(Table, CsvEmitsCommaSeparated) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellFormats) {
+  EXPECT_EQ(cell("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(cell("%d x %d", 8, 28), "8 x 28");
+}
+
+// ---------------------------------------------------------- event queue ---
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(q.run(), 2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RejectsSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ResetClearsClockAndEvents) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run();
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace maia::sim

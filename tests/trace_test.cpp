@@ -1,0 +1,176 @@
+// Tests for the trace module: pattern generation, replay through the
+// functional hierarchy, and the locality metrics that ground the
+// performance-signature parameters.
+#include <gtest/gtest.h>
+
+#include "arch/registry.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/patterns.hpp"
+
+namespace maia::trace {
+namespace {
+
+// -------------------------------------------------------------- patterns ---
+
+TEST(Patterns, StreamTriadAccessCounts) {
+  const auto t = trace_stream_triad(1000);
+  EXPECT_EQ(t.size(), 3000u);  // 2 reads + 1 write per element
+  // 3 arrays of 8000 B = 375 lines.
+  EXPECT_EQ(t.lines_touched(), 375u);
+}
+
+TEST(Patterns, Stencil27TouchesTwoArrays) {
+  const std::size_t n = 16;
+  const auto t = trace_stencil27(n);
+  const std::size_t interior = (n - 2) * (n - 2) * (n - 2);
+  EXPECT_EQ(t.size(), interior * 28);  // 27 reads + 1 write
+  // Roughly 2 * n^3 doubles of footprint.
+  EXPECT_NEAR(static_cast<double>(t.footprint()),
+              2.0 * static_cast<double>(n * n * n) * 8.0, 0.15 * 2.0 * n * n * n * 8.0);
+}
+
+TEST(Patterns, SpmvGatherAccessCounts) {
+  const auto t = trace_spmv_gather(500, 10);
+  EXPECT_EQ(t.size(), 500u * 10u * 3u + 500u);
+}
+
+TEST(Patterns, TransposeWalkIsStrided) {
+  const auto t = trace_transpose_walk(64);
+  ASSERT_EQ(t.size(), 64u * 64u);
+  // Consecutive accesses within one column are n*8 bytes apart.
+  EXPECT_EQ(t.accesses()[1].address - t.accesses()[0].address, 64u * 8u);
+}
+
+TEST(Patterns, PointerChaseVisitsEveryLineOnce) {
+  const auto t = trace_pointer_chase(512);
+  EXPECT_EQ(t.size(), 512u);
+  EXPECT_EQ(t.lines_touched(), 512u);
+}
+
+TEST(Patterns, EmptyTraceBehaves) {
+  AccessTrace t("empty");
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.footprint(), 0u);
+}
+
+// -------------------------------------------------------------- analyzer ---
+
+class AnalyzerOnBothMachines : public ::testing::TestWithParam<bool> {
+ protected:
+  arch::ProcessorModel proc() const {
+    return GetParam() ? arch::xeon_phi_5110p() : arch::sandy_bridge_e5_2670();
+  }
+};
+
+TEST_P(AnalyzerOnBothMachines, LevelMixSumsToOne) {
+  const TraceAnalyzer an(proc());
+  const auto r = an.analyze(trace_stream_triad(200000));
+  double sum = 0.0;
+  for (double f : r.level_mix) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_P(AnalyzerOnBothMachines, StreamIsAlmostPerfectlySequential) {
+  const TraceAnalyzer an(proc());
+  // 3 x 1.6 MB arrays: way past L2, so misses stream from DRAM.
+  const auto r = an.analyze(trace_stream_triad(200000));
+  EXPECT_GT(r.sequential_miss_fraction, 0.6);
+  EXPECT_LT(r.gather_fraction, 0.05);
+}
+
+TEST_P(AnalyzerOnBothMachines, SpmvIsGatherHeavy) {
+  const TraceAnalyzer an(proc());
+  const auto r = an.analyze(trace_spmv_gather(200000, 12));
+  EXPECT_GT(r.gather_fraction, 0.2);
+}
+
+TEST(Analyzer, HostL3CoversCgGathersButPhiHasNoL3) {
+  // The paper's CG diagnosis, reproduced from the trace: the x vector
+  // (1.6 MB) fits the host's 20 MB L3, so host DRAM misses are the
+  // streaming val/col arrays (sequential); on the Phi the gathers go to
+  // DRAM and the miss stream turns random.
+  const auto t = trace_spmv_gather(200000, 12);
+  const auto host = TraceAnalyzer(arch::sandy_bridge_e5_2670()).analyze(t);
+  const auto phi = TraceAnalyzer(arch::xeon_phi_5110p()).analyze(t);
+  EXPECT_GT(host.sequential_miss_fraction, 0.8);
+  EXPECT_LT(phi.sequential_miss_fraction, 0.6);
+  EXPECT_GT(phi.dram_miss_rate(), host.dram_miss_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, AnalyzerOnBothMachines, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Phi" : "Host";
+                         });
+
+TEST(Analyzer, CacheResidentTraceNeverTouchesDram) {
+  const TraceAnalyzer an(arch::sandy_bridge_e5_2670());
+  // 1000 lines = 64 KB: fits L2 after the cold pass; replay it twice by
+  // concatenation via two analyses on the same hierarchy is not exposed,
+  // so check the cold-pass mix instead: all misses must be cold (= lines).
+  const auto t = trace_pointer_chase(1000);
+  const auto r = an.analyze(t);
+  EXPECT_NEAR(r.dram_miss_rate(), 1.0, 1e-12);  // cold pass: all DRAM
+  EXPECT_EQ(r.dram_bytes, 1000u * 64u);
+}
+
+TEST(Analyzer, PointerChaseHasNoSequentialMisses) {
+  const TraceAnalyzer an(arch::xeon_phi_5110p());
+  const auto r = an.analyze(trace_pointer_chase(4096));
+  EXPECT_LT(r.sequential_miss_fraction, 0.05);
+}
+
+TEST(Analyzer, ThreadsPerCoreShrinkEffectiveCache) {
+  // The same stencil working set hits less cache when 4 threads share it.
+  const auto phi = arch::xeon_phi_5110p();
+  // Two sweeps over ~221 KB of arrays: the second sweep hits the 512 KB
+  // L2 when a thread owns it alone, misses when four threads share it.
+  const auto t = trace_stencil27(24, 2);
+  const auto alone = TraceAnalyzer(phi, 1).analyze(t);
+  const auto shared = TraceAnalyzer(phi, 4).analyze(t);
+  EXPECT_GT(shared.dram_miss_rate(), alone.dram_miss_rate());
+}
+
+TEST(Analyzer, AvgCyclesTrackTheMix) {
+  const auto host = arch::sandy_bridge_e5_2670();
+  const TraceAnalyzer an(host);
+  const auto small = an.analyze(trace_pointer_chase(256));   // 16 KB
+  const auto large = an.analyze(trace_pointer_chase(1 << 18));  // 16 MB
+  EXPECT_LT(small.avg_cycles_per_access, large.avg_cycles_per_access + 1);
+}
+
+// --------------------------------------------- signature grounding ---------
+
+TEST(SignatureGrounding, PrefetchabilityOrdersStreamAboveStencilAboveSpmv) {
+  // The empirical basis of the maia_npb prefetch_efficiency values:
+  // STREAM-like >= stencil (MG) >> gather (CG).
+  const TraceAnalyzer an(arch::xeon_phi_5110p());
+  const double stream = TraceAnalyzer::estimated_prefetch_efficiency(
+      an.analyze(trace_stream_triad(400000)));
+  const double stencil = TraceAnalyzer::estimated_prefetch_efficiency(
+      an.analyze(trace_stencil27(56)));
+  const double spmv = TraceAnalyzer::estimated_prefetch_efficiency(
+      an.analyze(trace_spmv_gather(300000, 12)));
+  EXPECT_GT(stream, 0.8);
+  EXPECT_GT(stream, stencil);
+  EXPECT_GT(stencil, spmv);
+  EXPECT_LT(spmv, 0.5);
+}
+
+TEST(SignatureGrounding, TransposeDefeatsPrefetchAtLargeN) {
+  // FT's transpose at n rows x 8 B: every access a new page once n*8 > line
+  // coverage — low sequential fraction, like its 0.35 signature value.
+  const TraceAnalyzer an(arch::xeon_phi_5110p());
+  const auto r = an.analyze(trace_transpose_walk(1024));
+  EXPECT_LT(TraceAnalyzer::estimated_prefetch_efficiency(r), 0.5);
+}
+
+TEST(SignatureGrounding, UncoveredRateBoundsTheEstimate) {
+  TraceReport r;
+  r.sequential_miss_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(TraceAnalyzer::estimated_prefetch_efficiency(r, 0.18), 0.18);
+  r.sequential_miss_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(TraceAnalyzer::estimated_prefetch_efficiency(r, 0.18), 1.0);
+}
+
+}  // namespace
+}  // namespace maia::trace
