@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bank_contention.dir/ablation_bank_contention.cpp.o"
+  "CMakeFiles/ablation_bank_contention.dir/ablation_bank_contention.cpp.o.d"
+  "ablation_bank_contention"
+  "ablation_bank_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bank_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

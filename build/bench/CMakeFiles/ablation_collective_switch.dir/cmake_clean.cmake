@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collective_switch.dir/ablation_collective_switch.cpp.o"
+  "CMakeFiles/ablation_collective_switch.dir/ablation_collective_switch.cpp.o.d"
+  "ablation_collective_switch"
+  "ablation_collective_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

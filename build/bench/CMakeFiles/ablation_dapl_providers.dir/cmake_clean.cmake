@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dapl_providers.dir/ablation_dapl_providers.cpp.o"
+  "CMakeFiles/ablation_dapl_providers.dir/ablation_dapl_providers.cpp.o.d"
+  "ablation_dapl_providers"
+  "ablation_dapl_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dapl_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

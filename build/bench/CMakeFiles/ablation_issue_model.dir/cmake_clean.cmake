@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_issue_model.dir/ablation_issue_model.cpp.o"
+  "CMakeFiles/ablation_issue_model.dir/ablation_issue_model.cpp.o.d"
+  "ablation_issue_model"
+  "ablation_issue_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_issue_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

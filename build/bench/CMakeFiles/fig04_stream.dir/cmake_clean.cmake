@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stream.dir/fig04_stream.cpp.o"
+  "CMakeFiles/fig04_stream.dir/fig04_stream.cpp.o.d"
+  "fig04_stream"
+  "fig04_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

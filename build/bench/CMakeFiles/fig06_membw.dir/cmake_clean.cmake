@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_membw.dir/fig06_membw.cpp.o"
+  "CMakeFiles/fig06_membw.dir/fig06_membw.cpp.o.d"
+  "fig06_membw"
+  "fig06_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

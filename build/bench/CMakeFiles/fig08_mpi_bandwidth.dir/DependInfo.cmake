@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_mpi_bandwidth.cpp" "bench/CMakeFiles/fig08_mpi_bandwidth.dir/fig08_mpi_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/fig08_mpi_bandwidth.dir/fig08_mpi_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/maia_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/maia_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/maia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/maia_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/maia_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/maia_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/maia_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/maia_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/maia_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/maia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mpi_bandwidth.dir/fig08_mpi_bandwidth.cpp.o"
+  "CMakeFiles/fig08_mpi_bandwidth.dir/fig08_mpi_bandwidth.cpp.o.d"
+  "fig08_mpi_bandwidth"
+  "fig08_mpi_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mpi_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

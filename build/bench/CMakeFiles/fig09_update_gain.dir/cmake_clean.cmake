@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_update_gain.dir/fig09_update_gain.cpp.o"
+  "CMakeFiles/fig09_update_gain.dir/fig09_update_gain.cpp.o.d"
+  "fig09_update_gain"
+  "fig09_update_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_update_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

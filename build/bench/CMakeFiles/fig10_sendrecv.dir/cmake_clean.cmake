@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sendrecv.dir/fig10_sendrecv.cpp.o"
+  "CMakeFiles/fig10_sendrecv.dir/fig10_sendrecv.cpp.o.d"
+  "fig10_sendrecv"
+  "fig10_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

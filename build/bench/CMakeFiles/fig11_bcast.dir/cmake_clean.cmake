@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bcast.dir/fig11_bcast.cpp.o"
+  "CMakeFiles/fig11_bcast.dir/fig11_bcast.cpp.o.d"
+  "fig11_bcast"
+  "fig11_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

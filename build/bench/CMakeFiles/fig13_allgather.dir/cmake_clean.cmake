@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_allgather.dir/fig13_allgather.cpp.o"
+  "CMakeFiles/fig13_allgather.dir/fig13_allgather.cpp.o.d"
+  "fig13_allgather"
+  "fig13_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

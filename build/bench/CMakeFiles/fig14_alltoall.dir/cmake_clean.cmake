@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_alltoall.dir/fig14_alltoall.cpp.o"
+  "CMakeFiles/fig14_alltoall.dir/fig14_alltoall.cpp.o.d"
+  "fig14_alltoall"
+  "fig14_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

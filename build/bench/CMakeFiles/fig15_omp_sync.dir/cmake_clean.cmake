@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_omp_sync.dir/fig15_omp_sync.cpp.o"
+  "CMakeFiles/fig15_omp_sync.dir/fig15_omp_sync.cpp.o.d"
+  "fig15_omp_sync"
+  "fig15_omp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_omp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

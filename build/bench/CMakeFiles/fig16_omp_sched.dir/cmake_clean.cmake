@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_omp_sched.dir/fig16_omp_sched.cpp.o"
+  "CMakeFiles/fig16_omp_sched.dir/fig16_omp_sched.cpp.o.d"
+  "fig16_omp_sched"
+  "fig16_omp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_omp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

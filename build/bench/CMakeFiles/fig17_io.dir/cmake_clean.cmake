@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_io.dir/fig17_io.cpp.o"
+  "CMakeFiles/fig17_io.dir/fig17_io.cpp.o.d"
+  "fig17_io"
+  "fig17_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

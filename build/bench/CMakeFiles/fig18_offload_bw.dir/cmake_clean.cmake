@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_offload_bw.dir/fig18_offload_bw.cpp.o"
+  "CMakeFiles/fig18_offload_bw.dir/fig18_offload_bw.cpp.o.d"
+  "fig18_offload_bw"
+  "fig18_offload_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_offload_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_offload_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_npb_openmp.dir/fig19_npb_openmp.cpp.o"
+  "CMakeFiles/fig19_npb_openmp.dir/fig19_npb_openmp.cpp.o.d"
+  "fig19_npb_openmp"
+  "fig19_npb_openmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_npb_openmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

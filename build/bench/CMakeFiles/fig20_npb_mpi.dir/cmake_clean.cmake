@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_npb_mpi.dir/fig20_npb_mpi.cpp.o"
+  "CMakeFiles/fig20_npb_mpi.dir/fig20_npb_mpi.cpp.o.d"
+  "fig20_npb_mpi"
+  "fig20_npb_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_npb_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_cart3d.dir/fig21_cart3d.cpp.o"
+  "CMakeFiles/fig21_cart3d.dir/fig21_cart3d.cpp.o.d"
+  "fig21_cart3d"
+  "fig21_cart3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_cart3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

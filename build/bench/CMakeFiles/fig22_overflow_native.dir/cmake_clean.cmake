@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_overflow_native.dir/fig22_overflow_native.cpp.o"
+  "CMakeFiles/fig22_overflow_native.dir/fig22_overflow_native.cpp.o.d"
+  "fig22_overflow_native"
+  "fig22_overflow_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_overflow_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_overflow_symmetric.dir/fig23_overflow_symmetric.cpp.o"
+  "CMakeFiles/fig23_overflow_symmetric.dir/fig23_overflow_symmetric.cpp.o.d"
+  "fig23_overflow_symmetric"
+  "fig23_overflow_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_overflow_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_loop_collapse.dir/fig24_loop_collapse.cpp.o"
+  "CMakeFiles/fig24_loop_collapse.dir/fig24_loop_collapse.cpp.o.d"
+  "fig24_loop_collapse"
+  "fig24_loop_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_loop_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

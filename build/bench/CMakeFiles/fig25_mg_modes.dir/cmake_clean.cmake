@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_mg_modes.dir/fig25_mg_modes.cpp.o"
+  "CMakeFiles/fig25_mg_modes.dir/fig25_mg_modes.cpp.o.d"
+  "fig25_mg_modes"
+  "fig25_mg_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_mg_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

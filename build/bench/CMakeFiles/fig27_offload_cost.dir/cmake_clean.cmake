@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_offload_cost.dir/fig27_offload_cost.cpp.o"
+  "CMakeFiles/fig27_offload_cost.dir/fig27_offload_cost.cpp.o.d"
+  "fig27_offload_cost"
+  "fig27_offload_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_offload_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_simcore.dir/microbench_simcore.cpp.o"
+  "CMakeFiles/microbench_simcore.dir/microbench_simcore.cpp.o.d"
+  "microbench_simcore"
+  "microbench_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

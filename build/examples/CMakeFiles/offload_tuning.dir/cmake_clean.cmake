@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_tuning.dir/offload_tuning.cpp.o"
+  "CMakeFiles/offload_tuning.dir/offload_tuning.cpp.o.d"
+  "offload_tuning"
+  "offload_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

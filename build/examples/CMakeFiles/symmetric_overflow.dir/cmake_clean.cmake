@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_overflow.dir/symmetric_overflow.cpp.o"
+  "CMakeFiles/symmetric_overflow.dir/symmetric_overflow.cpp.o.d"
+  "symmetric_overflow"
+  "symmetric_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

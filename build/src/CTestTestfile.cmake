@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("arch")
+subdirs("memsim")
+subdirs("fabric")
+subdirs("omp")
+subdirs("mpi")
+subdirs("io")
+subdirs("perf")
+subdirs("offload")
+subdirs("npb")
+subdirs("apps")
+subdirs("trace")
+subdirs("cluster")
+subdirs("core")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cart3d.cpp" "src/apps/CMakeFiles/maia_apps.dir/cart3d.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/cart3d.cpp.o.d"
+  "/root/repo/src/apps/euler_kernel.cpp" "src/apps/CMakeFiles/maia_apps.dir/euler_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/euler_kernel.cpp.o.d"
+  "/root/repo/src/apps/loadbalance.cpp" "src/apps/CMakeFiles/maia_apps.dir/loadbalance.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/loadbalance.cpp.o.d"
+  "/root/repo/src/apps/overflow.cpp" "src/apps/CMakeFiles/maia_apps.dir/overflow.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/overflow.cpp.o.d"
+  "/root/repo/src/apps/zone_solver.cpp" "src/apps/CMakeFiles/maia_apps.dir/zone_solver.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/zone_solver.cpp.o.d"
+  "/root/repo/src/apps/zones.cpp" "src/apps/CMakeFiles/maia_apps.dir/zones.cpp.o" "gcc" "src/apps/CMakeFiles/maia_apps.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/maia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/maia_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/maia_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/maia_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/maia_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

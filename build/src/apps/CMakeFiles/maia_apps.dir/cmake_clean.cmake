@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_apps.dir/cart3d.cpp.o"
+  "CMakeFiles/maia_apps.dir/cart3d.cpp.o.d"
+  "CMakeFiles/maia_apps.dir/euler_kernel.cpp.o"
+  "CMakeFiles/maia_apps.dir/euler_kernel.cpp.o.d"
+  "CMakeFiles/maia_apps.dir/loadbalance.cpp.o"
+  "CMakeFiles/maia_apps.dir/loadbalance.cpp.o.d"
+  "CMakeFiles/maia_apps.dir/overflow.cpp.o"
+  "CMakeFiles/maia_apps.dir/overflow.cpp.o.d"
+  "CMakeFiles/maia_apps.dir/zone_solver.cpp.o"
+  "CMakeFiles/maia_apps.dir/zone_solver.cpp.o.d"
+  "CMakeFiles/maia_apps.dir/zones.cpp.o"
+  "CMakeFiles/maia_apps.dir/zones.cpp.o.d"
+  "libmaia_apps.a"
+  "libmaia_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/link.cpp" "src/arch/CMakeFiles/maia_arch.dir/link.cpp.o" "gcc" "src/arch/CMakeFiles/maia_arch.dir/link.cpp.o.d"
+  "/root/repo/src/arch/processor.cpp" "src/arch/CMakeFiles/maia_arch.dir/processor.cpp.o" "gcc" "src/arch/CMakeFiles/maia_arch.dir/processor.cpp.o.d"
+  "/root/repo/src/arch/registry.cpp" "src/arch/CMakeFiles/maia_arch.dir/registry.cpp.o" "gcc" "src/arch/CMakeFiles/maia_arch.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

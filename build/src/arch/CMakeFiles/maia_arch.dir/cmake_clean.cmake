@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_arch.dir/link.cpp.o"
+  "CMakeFiles/maia_arch.dir/link.cpp.o.d"
+  "CMakeFiles/maia_arch.dir/processor.cpp.o"
+  "CMakeFiles/maia_arch.dir/processor.cpp.o.d"
+  "CMakeFiles/maia_arch.dir/registry.cpp.o"
+  "CMakeFiles/maia_arch.dir/registry.cpp.o.d"
+  "libmaia_arch.a"
+  "libmaia_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_cluster.dir/interconnect.cpp.o"
+  "CMakeFiles/maia_cluster.dir/interconnect.cpp.o.d"
+  "CMakeFiles/maia_cluster.dir/scaling.cpp.o"
+  "CMakeFiles/maia_cluster.dir/scaling.cpp.o.d"
+  "libmaia_cluster.a"
+  "libmaia_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

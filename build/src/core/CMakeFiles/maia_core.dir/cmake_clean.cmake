@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_core.dir/figure.cpp.o"
+  "CMakeFiles/maia_core.dir/figure.cpp.o.d"
+  "CMakeFiles/maia_core.dir/figures_apps.cpp.o"
+  "CMakeFiles/maia_core.dir/figures_apps.cpp.o.d"
+  "CMakeFiles/maia_core.dir/figures_micro.cpp.o"
+  "CMakeFiles/maia_core.dir/figures_micro.cpp.o.d"
+  "CMakeFiles/maia_core.dir/figures_npb.cpp.o"
+  "CMakeFiles/maia_core.dir/figures_npb.cpp.o.d"
+  "libmaia_core.a"
+  "libmaia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_fabric.dir/mpi_fabric.cpp.o"
+  "CMakeFiles/maia_fabric.dir/mpi_fabric.cpp.o.d"
+  "CMakeFiles/maia_fabric.dir/offload_link.cpp.o"
+  "CMakeFiles/maia_fabric.dir/offload_link.cpp.o.d"
+  "libmaia_fabric.a"
+  "libmaia_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_io.dir/io_model.cpp.o"
+  "CMakeFiles/maia_io.dir/io_model.cpp.o.d"
+  "libmaia_io.a"
+  "libmaia_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

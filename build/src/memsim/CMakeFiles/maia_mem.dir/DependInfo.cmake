@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/bandwidth.cpp" "src/memsim/CMakeFiles/maia_mem.dir/bandwidth.cpp.o" "gcc" "src/memsim/CMakeFiles/maia_mem.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/memsim/cache_sim.cpp" "src/memsim/CMakeFiles/maia_mem.dir/cache_sim.cpp.o" "gcc" "src/memsim/CMakeFiles/maia_mem.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/memsim/hierarchy_sim.cpp" "src/memsim/CMakeFiles/maia_mem.dir/hierarchy_sim.cpp.o" "gcc" "src/memsim/CMakeFiles/maia_mem.dir/hierarchy_sim.cpp.o.d"
+  "/root/repo/src/memsim/latency_walker.cpp" "src/memsim/CMakeFiles/maia_mem.dir/latency_walker.cpp.o" "gcc" "src/memsim/CMakeFiles/maia_mem.dir/latency_walker.cpp.o.d"
+  "/root/repo/src/memsim/stream.cpp" "src/memsim/CMakeFiles/maia_mem.dir/stream.cpp.o" "gcc" "src/memsim/CMakeFiles/maia_mem.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/maia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

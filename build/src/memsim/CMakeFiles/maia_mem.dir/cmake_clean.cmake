@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_mem.dir/bandwidth.cpp.o"
+  "CMakeFiles/maia_mem.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/maia_mem.dir/cache_sim.cpp.o"
+  "CMakeFiles/maia_mem.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/maia_mem.dir/hierarchy_sim.cpp.o"
+  "CMakeFiles/maia_mem.dir/hierarchy_sim.cpp.o.d"
+  "CMakeFiles/maia_mem.dir/latency_walker.cpp.o"
+  "CMakeFiles/maia_mem.dir/latency_walker.cpp.o.d"
+  "CMakeFiles/maia_mem.dir/stream.cpp.o"
+  "CMakeFiles/maia_mem.dir/stream.cpp.o.d"
+  "libmaia_mem.a"
+  "libmaia_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaia_mem.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/maia_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/maia_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/cost_model.cpp" "src/mpi/CMakeFiles/maia_mpi.dir/cost_model.cpp.o" "gcc" "src/mpi/CMakeFiles/maia_mpi.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mpi/layout.cpp" "src/mpi/CMakeFiles/maia_mpi.dir/layout.cpp.o" "gcc" "src/mpi/CMakeFiles/maia_mpi.dir/layout.cpp.o.d"
+  "/root/repo/src/mpi/memory.cpp" "src/mpi/CMakeFiles/maia_mpi.dir/memory.cpp.o" "gcc" "src/mpi/CMakeFiles/maia_mpi.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/maia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/maia_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

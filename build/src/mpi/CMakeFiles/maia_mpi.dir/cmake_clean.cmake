@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/maia_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/maia_mpi.dir/cost_model.cpp.o"
+  "CMakeFiles/maia_mpi.dir/cost_model.cpp.o.d"
+  "CMakeFiles/maia_mpi.dir/layout.cpp.o"
+  "CMakeFiles/maia_mpi.dir/layout.cpp.o.d"
+  "CMakeFiles/maia_mpi.dir/memory.cpp.o"
+  "CMakeFiles/maia_mpi.dir/memory.cpp.o.d"
+  "libmaia_mpi.a"
+  "libmaia_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/maia_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cfd_common.cpp" "src/npb/CMakeFiles/maia_npb.dir/cfd_common.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/cfd_common.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/maia_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/common.cpp" "src/npb/CMakeFiles/maia_npb.dir/common.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/common.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/maia_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/maia_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/npb/CMakeFiles/maia_npb.dir/is.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/is.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/npb/CMakeFiles/maia_npb.dir/lu.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/lu.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/maia_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/mg_offload.cpp" "src/npb/CMakeFiles/maia_npb.dir/mg_offload.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/mg_offload.cpp.o.d"
+  "/root/repo/src/npb/mpi_runner.cpp" "src/npb/CMakeFiles/maia_npb.dir/mpi_runner.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/mpi_runner.cpp.o.d"
+  "/root/repo/src/npb/openmp_runner.cpp" "src/npb/CMakeFiles/maia_npb.dir/openmp_runner.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/openmp_runner.cpp.o.d"
+  "/root/repo/src/npb/signatures.cpp" "src/npb/CMakeFiles/maia_npb.dir/signatures.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/signatures.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/maia_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/maia_npb.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/maia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/maia_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/maia_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/maia_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/maia_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/maia_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_npb.dir/bt.cpp.o"
+  "CMakeFiles/maia_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/cfd_common.cpp.o"
+  "CMakeFiles/maia_npb.dir/cfd_common.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/cg.cpp.o"
+  "CMakeFiles/maia_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/common.cpp.o"
+  "CMakeFiles/maia_npb.dir/common.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/ep.cpp.o"
+  "CMakeFiles/maia_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/ft.cpp.o"
+  "CMakeFiles/maia_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/is.cpp.o"
+  "CMakeFiles/maia_npb.dir/is.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/lu.cpp.o"
+  "CMakeFiles/maia_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/mg.cpp.o"
+  "CMakeFiles/maia_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/mg_offload.cpp.o"
+  "CMakeFiles/maia_npb.dir/mg_offload.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/mpi_runner.cpp.o"
+  "CMakeFiles/maia_npb.dir/mpi_runner.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/openmp_runner.cpp.o"
+  "CMakeFiles/maia_npb.dir/openmp_runner.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/signatures.cpp.o"
+  "CMakeFiles/maia_npb.dir/signatures.cpp.o.d"
+  "CMakeFiles/maia_npb.dir/sp.cpp.o"
+  "CMakeFiles/maia_npb.dir/sp.cpp.o.d"
+  "libmaia_npb.a"
+  "libmaia_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_offload.dir/runtime.cpp.o"
+  "CMakeFiles/maia_offload.dir/runtime.cpp.o.d"
+  "libmaia_offload.a"
+  "libmaia_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

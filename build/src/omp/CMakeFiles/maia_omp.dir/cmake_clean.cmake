@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_omp.dir/constructs.cpp.o"
+  "CMakeFiles/maia_omp.dir/constructs.cpp.o.d"
+  "CMakeFiles/maia_omp.dir/schedule.cpp.o"
+  "CMakeFiles/maia_omp.dir/schedule.cpp.o.d"
+  "CMakeFiles/maia_omp.dir/team.cpp.o"
+  "CMakeFiles/maia_omp.dir/team.cpp.o.d"
+  "libmaia_omp.a"
+  "libmaia_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_perf.dir/exec_model.cpp.o"
+  "CMakeFiles/maia_perf.dir/exec_model.cpp.o.d"
+  "libmaia_perf.a"
+  "libmaia_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

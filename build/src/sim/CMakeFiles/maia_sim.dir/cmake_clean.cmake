@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/maia_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/maia_sim.dir/log.cpp.o"
+  "CMakeFiles/maia_sim.dir/log.cpp.o.d"
+  "CMakeFiles/maia_sim.dir/series.cpp.o"
+  "CMakeFiles/maia_sim.dir/series.cpp.o.d"
+  "CMakeFiles/maia_sim.dir/statistics.cpp.o"
+  "CMakeFiles/maia_sim.dir/statistics.cpp.o.d"
+  "CMakeFiles/maia_sim.dir/table.cpp.o"
+  "CMakeFiles/maia_sim.dir/table.cpp.o.d"
+  "CMakeFiles/maia_sim.dir/units.cpp.o"
+  "CMakeFiles/maia_sim.dir/units.cpp.o.d"
+  "libmaia_sim.a"
+  "libmaia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

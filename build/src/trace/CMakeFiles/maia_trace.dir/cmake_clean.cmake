@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maia_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/maia_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/maia_trace.dir/patterns.cpp.o"
+  "CMakeFiles/maia_trace.dir/patterns.cpp.o.d"
+  "libmaia_trace.a"
+  "libmaia_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maia_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_cfd_test.dir/npb_cfd_test.cpp.o"
+  "CMakeFiles/npb_cfd_test.dir/npb_cfd_test.cpp.o.d"
+  "npb_cfd_test"
+  "npb_cfd_test.pdb"
+  "npb_cfd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_cfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_perf_test.dir/npb_perf_test.cpp.o"
+  "CMakeFiles/npb_perf_test.dir/npb_perf_test.cpp.o.d"
+  "npb_perf_test"
+  "npb_perf_test.pdb"
+  "npb_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
