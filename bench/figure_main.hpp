@@ -1,8 +1,11 @@
 // Shared main() for the per-figure bench binaries: print the modelled
 // table next to the paper's shape checks; --csv emits the raw table for
-// plotting.  Exit status reflects the checks so CI can gate on shape.
+// plotting; --time appends the figure's wall clock in the same metric
+// (milliseconds of model time) that maia_suite records per figure.
+// Exit status reflects the checks so CI can gate on shape.
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 
@@ -11,12 +14,34 @@
 namespace maia::bench {
 
 inline int run_figure(maia::core::FigureResult (*fn)(), int argc, char** argv) {
-  const maia::core::FigureResult fig = fn();
-  if (argc > 1 && std::strcmp(argv[1], "--csv") == 0) {
-    fig.table.print_csv(std::cout);
-    return fig.all_pass() ? 0 : 1;
+  bool csv = false, timed = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      timed = true;
+    } else {
+      std::cerr << "error: unknown option '" << argv[i]
+                << "' (expected --csv and/or --time)\n";
+      return 2;
+    }
   }
-  fig.print(std::cout);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const maia::core::FigureResult fig = fn();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  if (csv) {
+    fig.table.print_csv(std::cout);
+  } else {
+    fig.print(std::cout);
+  }
+  if (timed) {
+    std::cout << "[time] " << fig.id << ": " << wall_ms << " ms\n";
+  }
   return fig.all_pass() ? 0 : 1;
 }
 

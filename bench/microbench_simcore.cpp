@@ -4,6 +4,10 @@
 // the costs a user pays per modelled experiment.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <future>
+#include <vector>
+
 #include "arch/registry.hpp"
 #include "memsim/cache_sim.hpp"
 #include "memsim/latency_walker.hpp"
@@ -12,7 +16,9 @@
 #include "npb/ft.hpp"
 #include "npb/mg.hpp"
 #include "omp/schedule.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/units.hpp"
 
 namespace {
@@ -79,6 +85,51 @@ void BM_MgVCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MgVCycle);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  // Per-event cost of the arena-backed queue with a realistically fat
+  // (40-byte) capture — the case the slot arena and trivial-relocation
+  // fast path were built for.
+  sim::EventQueue queue;
+  queue.reserve(4096);
+  struct Fat {
+    std::uint64_t a, b, c, d;
+    std::uint64_t* sink;
+  };
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    queue.reset();
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+      Fat fat{i, i + 1, i + 2, i + 3, &sink};
+      queue.schedule_at(static_cast<sim::Seconds>(i & 255),
+                        [fat] { *fat.sink += fat.a + fat.b + fat.c + fat.d; });
+    }
+    queue.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  // Round-trip cost of submit + future.get over a batch of tiny tasks.
+  sim::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::future<std::uint64_t>> futures;
+  futures.reserve(256);
+  for (auto _ : state) {
+    futures.clear();
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      futures.push_back(pool.submit([i] { return i * i; }));
+    }
+    std::uint64_t total = 0;
+    for (auto& f : futures) total += f.get();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
 
 void BM_Fft3d(benchmark::State& state) {
   npb::Field3 f = npb::make_ft_initial(16);

@@ -1,0 +1,140 @@
+// maia_suite: run the full figure/table suite through the parallel
+// experiment engine and record the perf baseline.
+//
+// Default behaviour: run the suite twice — once with --jobs 1 (the serial
+// baseline) and once with --jobs N — verify the two produce byte-identical
+// results, print a per-figure timing table, and write BENCH_suite.json.
+//
+//   maia_suite [--jobs N] [--json PATH] [--parallel-only] [--print-figures]
+//
+//   --jobs N          worker threads for the parallel run
+//                     (default: hardware concurrency)
+//   --json PATH       where to write the benchmark JSON
+//                     (default: BENCH_suite.json; "-" disables)
+//   --parallel-only   skip the serial baseline (faster; no speedup or
+//                     identity report, no JSON)
+//   --print-figures   print every figure's full table and checks, in
+//                     paper order, after the timing summary
+//
+// Exit status: 0 iff every shape check passes (and, unless
+// --parallel-only, serial and parallel results are identical).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/runner.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--json PATH] [--parallel-only] "
+               "[--print-figures]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0 → hardware concurrency
+  std::string json_path = "BENCH_suite.json";
+  bool parallel_only = false;
+  bool print_figures = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "maia_suite: --jobs must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--parallel-only") == 0) {
+      parallel_only = true;
+    } else if (std::strcmp(argv[i], "--print-figures") == 0) {
+      print_figures = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  using maia::core::SuiteResult;
+  using maia::core::SuiteRunner;
+
+  const SuiteRunner parallel_runner(jobs);
+  std::optional<SuiteResult> serial;
+  if (!parallel_only) {
+    std::cout << "Running serial baseline (--jobs 1)...\n" << std::flush;
+    serial = SuiteRunner(1).run();
+  }
+  std::cout << "Running parallel suite (--jobs " << parallel_runner.jobs()
+            << ")...\n"
+            << std::flush;
+  const SuiteResult parallel = parallel_runner.run();
+
+  const SuiteResult& reference = serial ? *serial : parallel;
+
+  maia::sim::TextTable table("Per-figure wall clock");
+  if (serial) {
+    table.set_header({"figure", "serial ms", "parallel ms", "checks"});
+  } else {
+    table.set_header({"figure", "parallel ms", "checks"});
+  }
+  for (std::size_t i = 0; i < parallel.figures.size(); ++i) {
+    const auto& p = parallel.figures[i];
+    std::vector<std::string> row{p.result.id};
+    if (serial) {
+      row.push_back(maia::sim::cell("%.2f", serial->figures[i].wall_seconds * 1e3));
+    }
+    row.push_back(maia::sim::cell("%.2f", p.wall_seconds * 1e3));
+    row.push_back(maia::sim::cell("%d/%d", p.result.passed(),
+                                  static_cast<int>(p.result.checks.size())));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  bool identical = true;
+  if (serial) {
+    identical = maia::core::fingerprint(*serial) == maia::core::fingerprint(parallel);
+    std::cout << "\nserial total:   "
+              << maia::sim::cell("%.3f s", serial->total_wall_seconds)
+              << "\nparallel total: "
+              << maia::sim::cell("%.3f s (%d jobs)", parallel.total_wall_seconds,
+                                 parallel.jobs)
+              << "\nspeedup:        "
+              << maia::sim::cell("%.2fx", serial->total_wall_seconds /
+                                              parallel.total_wall_seconds)
+              << "\nserial vs parallel results: "
+              << (identical ? "IDENTICAL" : "DIVERGED") << "\n";
+  } else {
+    std::cout << "\nparallel total: "
+              << maia::sim::cell("%.3f s (%d jobs)", parallel.total_wall_seconds,
+                                 parallel.jobs)
+              << "\n";
+  }
+  std::cout << "shape checks:   " << reference.checks_passed() << "/"
+            << reference.checks_total() << " pass\n";
+
+  if (serial && json_path != "-") {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "maia_suite: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    maia::core::write_bench_json(json, *serial, parallel, identical);
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (print_figures) {
+    std::cout << "\n";
+    for (const auto& f : parallel.figures) f.result.print(std::cout);
+  }
+
+  return (reference.all_pass() && identical) ? 0 : 1;
+}

@@ -1,5 +1,8 @@
 #include "memsim/cache_sim.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace maia::mem {
@@ -16,33 +19,47 @@ SetAssociativeCache::SetAssociativeCache(sim::Bytes capacity, int line_bytes,
     throw std::invalid_argument("cache: capacity must be a positive multiple of line*ways");
   }
   sets_ = static_cast<int>(capacity / way_bytes);
-  table_.resize(static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_));
+  const auto entries =
+      static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_);
+  tags_.assign(entries, kEmptyTag);
+  age_.assign(entries, 0);
 }
 
 bool SetAssociativeCache::access(std::uint64_t address) {
   ++stats_.accesses;
+  if (clock_ == std::numeric_limits<std::uint32_t>::max()) renormalise_ages();
   ++clock_;
   const std::uint64_t line = line_of(address);
   const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
-  Way* base = &table_[set * static_cast<std::size_t>(ways_)];
+  const std::size_t base = set * static_cast<std::size_t>(ways_);
+  std::uint64_t* tags = &tags_[base];
+  std::uint32_t* ages = &age_[base];
+  const int ways = ways_;
 
-  Way* victim = base;
-  for (int w = 0; w < ways_; ++w) {
-    Way& way = base[w];
-    if (way.valid && way.tag == line) {
-      way.last_use = clock_;
-      ++stats_.hits;
-      return true;
-    }
-    if (!way.valid) {
-      victim = &way;  // prefer an invalid way
-    } else if (victim->valid && way.last_use < victim->last_use) {
-      victim = &way;
-    }
+  // Hot path: a branchless tag scan over one contiguous run (the compiler
+  // vectorises the conditional-move form; an early-exit loop does not).
+  int hit = -1;
+  for (int w = 0; w < ways; ++w) {
+    hit = tags[w] == line ? w : hit;
   }
-  victim->valid = true;
-  victim->tag = line;
-  victim->last_use = clock_;
+  if (hit >= 0) {
+    ages[hit] = clock_;
+    ++stats_.hits;
+    return true;
+  }
+
+  // Miss path: evict the minimum-age way.  Empty ways carry age 0, which
+  // is below any valid stamp, so they are filled before anything is
+  // evicted — same residency outcome as the historical fused scan.
+  int victim = 0;
+  std::uint32_t best = ages[0];
+  for (int w = 1; w < ways; ++w) {
+    const bool lower = ages[w] < best;
+    best = lower ? ages[w] : best;
+    victim = lower ? w : victim;
+  }
+  tags[victim] = line;
+  ages[victim] = clock_;
   ++stats_.misses;
   return false;
 }
@@ -50,15 +67,35 @@ bool SetAssociativeCache::access(std::uint64_t address) {
 bool SetAssociativeCache::probe(std::uint64_t address) const {
   const std::uint64_t line = line_of(address);
   const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
-  const Way* base = &table_[set * static_cast<std::size_t>(ways_)];
+  const std::uint64_t* tags = &tags_[set * static_cast<std::size_t>(ways_)];
   for (int w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == line) return true;
+    if (tags[w] == line) return true;
   }
   return false;
 }
 
 void SetAssociativeCache::flush() {
-  for (auto& w : table_) w.valid = false;
+  std::fill(tags_.begin(), tags_.end(), kEmptyTag);
+  std::fill(age_.begin(), age_.end(), 0);
+  clock_ = 0;
+}
+
+void SetAssociativeCache::renormalise_ages() {
+  // Within each set, only the relative order of ages matters.  Replace the
+  // raw clock stamps by ranks 1..ways (0 stays "never used"), then restart
+  // the clock above every surviving rank.
+  std::vector<int> order(static_cast<std::size_t>(ways_));
+  for (int s = 0; s < sets_; ++s) {
+    std::uint32_t* ages = &age_[static_cast<std::size_t>(s) * static_cast<std::size_t>(ways_)];
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [ages](int a, int b) { return ages[a] < ages[b]; });
+    std::uint32_t rank = 0;
+    for (int idx : order) {
+      ages[idx] = ages[idx] == 0 ? 0 : ++rank;
+    }
+  }
+  clock_ = static_cast<std::uint32_t>(ways_);
 }
 
 }  // namespace maia::mem

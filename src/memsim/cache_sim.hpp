@@ -5,6 +5,14 @@
 // derive the average load latency curves of Fig 5, including the partial-
 // hit transition regions around each capacity boundary that an analytic
 // table lookup cannot produce.
+//
+// Layout notes (this is the simulator's hottest loop): tags and LRU ages
+// live in separate flat arrays (structure-of-arrays), so the hit scan — the
+// overwhelmingly common case — touches only a contiguous run of 8-byte
+// tags.  Replacement ordering uses a per-access clock and 32-bit ages that
+// are renormalised on the rare wraparound; only the miss path reads or
+// compares ages.  Replacement decisions are bit-identical to the previous
+// array-of-structs true-LRU implementation.
 #pragma once
 
 #include <cstdint>
@@ -48,22 +56,25 @@ class SetAssociativeCache {
   int sets() const { return sets_; }
 
  private:
-  struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t last_use = 0;
-    bool valid = false;
-  };
+  /// Tag value marking an empty way; no real line maps to it because tags
+  /// are line numbers (address / line_bytes < 2^64 - 1 for any address).
+  static constexpr std::uint64_t kEmptyTag = ~0ull;
 
   std::uint64_t line_of(std::uint64_t address) const {
     return address / static_cast<std::uint64_t>(line_bytes_);
   }
 
+  /// Compress ages to per-set ranks when the 32-bit clock saturates,
+  /// preserving the exact recency order within every set.
+  void renormalise_ages();
+
   sim::Bytes capacity_;
   int line_bytes_;
   int ways_;
   int sets_;
-  std::uint64_t clock_ = 0;
-  std::vector<Way> table_;  // sets_ x ways_, row-major
+  std::uint32_t clock_ = 0;
+  std::vector<std::uint64_t> tags_;  // sets_ x ways_, row-major; kEmptyTag = invalid
+  std::vector<std::uint32_t> age_;   // parallel to tags_; larger = more recent
   CacheStats stats_;
 };
 

@@ -48,25 +48,36 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) 
   CacheHierarchySim hier(proc_);
   std::vector<std::uint64_t> serviced(hier.level_count() + 1, 0);
 
-  auto address_of = [&](std::uint32_t idx) {
-    return static_cast<std::uint64_t>(idx) * stride * static_cast<std::uint64_t>(line);
-  };
-
-  // Warm-up lap: populate the hierarchy.
-  std::uint32_t p = 0;
-  for (std::size_t i = 0; i < lines; ++i) {
-    hier.load(address_of(p));
-    p = next[p];
+  // Batch the chase: the permutation is a single cycle, so every lap visits
+  // the same addresses in the same order.  Resolve the dependent next[p]
+  // walk once into a flat address array, then replay it linearly — the
+  // simulator's inner loop becomes a sequential scan instead of a
+  // pointer-chase over the permutation table.
+  std::vector<std::uint64_t> lap(lines);
+  {
+    const std::uint64_t byte_stride = stride * static_cast<std::uint64_t>(line);
+    std::uint32_t p = 0;
+    for (std::size_t i = 0; i < lines; ++i) {
+      lap[i] = static_cast<std::uint64_t>(p) * byte_stride;
+      p = next[p];
+    }
   }
 
-  // Measured laps.
+  // Warm-up lap: populate the hierarchy.
+  for (const std::uint64_t address : lap) hier.load(address);
+
+  // Measured laps.  The cycle cost per level is a constant, so count loads
+  // per level and price them once at the end instead of per access.
   const std::size_t accesses = lines * static_cast<std::size_t>(iterations_per_line);
+  for (int it = 0; it < iterations_per_line; ++it) {
+    for (const std::uint64_t address : lap) {
+      ++serviced[hier.load(address)];
+    }
+  }
   double total_cycles = 0.0;
-  for (std::size_t i = 0; i < accesses; ++i) {
-    const std::size_t level = hier.load(address_of(p));
-    ++serviced[level];
-    total_cycles += hier.level_cycles(level);
-    p = next[p];
+  for (std::size_t level = 0; level < serviced.size(); ++level) {
+    total_cycles +=
+        static_cast<double>(serviced[level]) * hier.level_cycles(level);
   }
 
   WalkResult result;

@@ -1,39 +1,89 @@
 #include "sim/event_queue.hpp"
 
-#include <stdexcept>
 #include <utility>
 
 namespace maia::sim {
 
 void EventQueue::schedule_at(Seconds at, Callback fn) {
-  if (at < now_) throw std::logic_error("EventQueue: scheduling into the past");
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  if (at < now_) at = now_;  // documented clamp: time never runs backwards
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+
+  // Hole insertion: walk the new key up the heap, shifting parents down,
+  // and write it exactly once.  Only 24-byte PODs move.
+  Key key{at, next_seq_++, slot};
+  std::size_t i = heap_.size();
+  heap_.push_back(Key{});
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!key.fires_before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
+}
+
+EventQueue::Key EventQueue::pop_earliest() {
+  const Key earliest = heap_.front();
+  const Key last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down_from_root(last);
+  return earliest;
+}
+
+void EventQueue::sift_down_from_root(Key moving) {
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    std::size_t smallest = i;
+    const Key* best = &moving;
+    if (l < n && heap_[l].fires_before(*best)) { smallest = l; best = &heap_[l]; }
+    if (r < n && heap_[r].fires_before(*best)) { smallest = r; best = &heap_[r]; }
+    if (smallest == i) break;
+    heap_[i] = heap_[smallest];
+    i = smallest;
+  }
+  heap_[i] = moving;
 }
 
 Seconds EventQueue::run() {
   while (!heap_.empty()) {
-    // Copy out before pop: the callback may schedule more events.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    now_ = e.at;
-    e.fn();
+    const Key key = pop_earliest();
+    now_ = key.at;
+    // Move the callback out before executing: it may schedule more events
+    // (which may recycle this very slot; the moved-from slot is empty).
+    Callback fn = std::move(slots_[key.slot]);
+    free_slots_.push_back(key.slot);
+    fn();
   }
   return now_;
 }
 
 Seconds EventQueue::run_until(Seconds deadline) {
-  while (!heap_.empty() && heap_.top().at <= deadline) {
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    now_ = e.at;
-    e.fn();
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    const Key key = pop_earliest();
+    now_ = key.at;
+    Callback fn = std::move(slots_[key.slot]);
+    free_slots_.push_back(key.slot);
+    fn();
   }
   if (now_ < deadline && heap_.empty()) now_ = deadline;
   return now_;
 }
 
 void EventQueue::reset() {
-  heap_ = {};
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
   now_ = 0.0;
   next_seq_ = 0;
 }

@@ -5,56 +5,77 @@
 // interactions — dynamic loop chunks contending for a queue, rendezvous
 // handshakes, ring hops — are expressed as events.  Events scheduled at the
 // same timestamp fire in insertion order, which keeps runs deterministic.
+//
+// Performance notes: callbacks are stored in a move-only small-buffer
+// wrapper (no heap allocation for captures up to 48 bytes, and move-only
+// captures are allowed) inside a slot arena that is recycled through a
+// free list, while the binary heap orders plain 24-byte (time, seq, slot)
+// keys — sifting moves PODs, never callbacks.  With reserve(), the
+// steady-state schedule/fire cycle performs no allocation at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/unique_function.hpp"
 #include "sim/units.hpp"
 
 namespace maia::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   /// Current simulation time.  Starts at zero.
   Seconds now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  /// Schedule `fn` at absolute time `at`.  Scheduling into the past is a
+  /// model bug but a recoverable one: `at < now()` is clamped to `now()`,
+  /// so the event fires next, after events already pending at `now()`
+  /// (FIFO among equal timestamps).  Simulated time never runs backwards.
   void schedule_at(Seconds at, Callback fn);
-  /// Schedule `fn` `delay` seconds from now.
+  /// Schedule `fn` `delay` seconds from now (negative delays clamp to now).
   void schedule_in(Seconds delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
 
   /// Number of pending events.
   std::size_t pending() const { return heap_.size(); }
+
+  /// Pre-size the internal storage for `events` pending events.
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+  }
 
   /// Run until the queue drains; returns the final simulation time.
   Seconds run();
   /// Run until the queue drains or `deadline` passes, whichever is first.
   Seconds run_until(Seconds deadline);
 
-  /// Drop all pending events and reset the clock.
+  /// Drop all pending events and reset the clock.  Capacity is kept, so a
+  /// model that resets between rounds pays for the storage once.
   void reset();
 
  private:
-  struct Entry {
+  struct Key {
     Seconds at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    std::uint64_t seq;   // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;  // index into slots_
+
+    bool fires_before(const Key& other) const {
+      if (at != other.at) return at < other.at;
+      return seq < other.seq;
     }
   };
 
+  /// Pop the earliest key off the binary heap into the return value.
+  Key pop_earliest();
+  void sift_down_from_root(Key moving);
+
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Key> heap_;       // binary min-heap on (at, seq)
+  std::vector<Callback> slots_; // callback arena, indexed by Key::slot
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace maia::sim

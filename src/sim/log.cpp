@@ -1,5 +1,6 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,7 +8,10 @@
 namespace maia::sim {
 namespace {
 
-LogLevel g_level = [] {
+// Atomic so the parallel experiment engine can run figure generators that
+// log concurrently with a set_log_level() call (relaxed: the level is a
+// monotonic-ish tuning knob, not a synchronisation point).
+std::atomic<LogLevel> g_level = [] {
   const char* env = std::getenv("MAIA_LOG");
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
@@ -31,11 +35,14 @@ const char* level_name(LogLevel l) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
   std::fprintf(stderr, "[maia %s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,0 +1,174 @@
+// A fixed-size worker pool for running independent model computations —
+// figure generators, parameter sweeps, per-working-set cache walks — in
+// parallel.  The paper's evaluation is embarrassingly parallel (28
+// independent figures), so the experiment engine schedules coarse tasks
+// here and lets nested parallel_for() calls subdivide the heavy ones.
+//
+// Key properties:
+//  * submit() returns a std::future; exceptions thrown by the task are
+//    captured and rethrown from future::get().
+//  * Tasks may submit further tasks.  A task that must wait for subtasks
+//    uses parallel_for() (or run_one() directly), which executes queued
+//    work on the waiting thread instead of blocking — nested fan-out can
+//    never deadlock the pool.
+//  * parallel_for() is safe to call from anywhere: on a thread with no
+//    ambient pool it simply runs the loop serially, so model code written
+//    against it behaves identically in figure binaries (serial), in
+//    `maia_suite --jobs 1` (serial), and under a parallel suite run.
+//  * Determinism: the pool imposes no ordering on task side effects; the
+//    experiment engine only runs pure generators on it, and assembling
+//    results by index keeps output identical to a serial run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/unique_function.hpp"
+
+namespace maia::sim {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a fire-and-forget task.
+  void post(UniqueFunction<void()> task);
+
+  /// Enqueue `fn`; the future reports its value or rethrows its exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using Result = std::invoke_result_t<std::decay_t<F>&>;
+    std::promise<Result> promise;
+    std::future<Result> future = promise.get_future();
+    post([fn = std::forward<F>(fn), promise = std::move(promise)]() mutable {
+      try {
+        if constexpr (std::is_void_v<Result>) {
+          fn();
+          promise.set_value();
+        } else {
+          promise.set_value(fn());
+        }
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    });
+    return future;
+  }
+
+  /// Run one queued task on the calling thread; false if the queue was
+  /// empty.  This is the building block for deadlock-free nested waits.
+  bool run_one();
+
+  /// The pool whose worker is executing the calling thread, or nullptr.
+  static ThreadPool* current();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<UniqueFunction<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for: helpers claim indices from `next` and
+/// bump `completed` after running them.  A helper that starts after the
+/// range is fully claimed touches nothing but this block (which it keeps
+/// alive via shared_ptr), so helpers may safely outlive the call.  A helper
+/// that does claim an index implicitly pins the caller inside
+/// parallel_for() — the caller cannot observe `completed == n` until the
+/// iteration finishes — so dereferencing the loop body through `body` is
+/// safe exactly when it happens.
+struct ParallelForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t n = 0;
+  void (*invoke)(void* body, std::size_t i) = nullptr;
+  void* body = nullptr;
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr first_error;
+
+  /// Claim-and-run until the range drains; returns once nothing is left.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        invoke(body, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Run `fn(0) .. fn(n-1)` with independent iterations, distributing them
+/// over the ambient pool (ThreadPool::current()); the calling thread
+/// participates and helps run other queued tasks while waiting, so this
+/// nests safely.  Without an ambient pool the loop runs serially on the
+/// caller.  The first exception thrown is rethrown once all claimed
+/// iterations have finished.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn fn) {
+  ThreadPool* pool = ThreadPool::current();
+  if (pool == nullptr || pool->size() <= 0 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<detail::ParallelForState>();
+  state->n = n;
+  state->body = &fn;
+  state->invoke = [](void* body, std::size_t i) {
+    (*static_cast<Fn*>(body))(i);
+  };
+
+  // One helper task per worker; each pulls indices until the range drains.
+  for (int h = 0; h < pool->size(); ++h) {
+    pool->post([state] { state->drain(); });
+  }
+  state->drain();  // the caller participates
+
+  // All indices are claimed; wait for in-flight iterations on other
+  // threads, helping with whatever else is queued rather than idling.
+  while (state->completed.load(std::memory_order_acquire) < n) {
+    if (!pool->run_one()) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->all_done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return state->completed.load(std::memory_order_acquire) >= n;
+      });
+    }
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace maia::sim

@@ -1,0 +1,133 @@
+// UniqueFunction: a move-only, small-buffer-optimised callable wrapper.
+//
+// The event queue and the thread pool both store millions of short-lived
+// callbacks; std::function heap-allocates any capture larger than two
+// pointers and requires copyability, which forces shared_ptr gymnastics on
+// promise-carrying tasks.  This wrapper keeps captures up to kInlineBytes
+// in-place (no allocation on the hot path) and accepts move-only captures
+// such as std::promise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace maia::sim {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  /// Captures up to this many bytes live inline; larger ones heap-allocate.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      invoke_ = inline_invoke<Fn>;
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = heap_invoke<Fn>;
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buffer_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    /// Move-construct into `to` and destroy the source.  nullptr means the
+    /// storage is trivially relocatable: a raw byte copy is the move.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static R inline_invoke(void* s, Args&&... args) {
+    return (*std::launder(static_cast<Fn*>(s)))(std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static R heap_invoke(void* s, Args&&... args) {
+    return (**std::launder(static_cast<Fn**>(s)))(std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* from, void* to) {
+              Fn* f = std::launder(static_cast<Fn*>(from));
+              ::new (to) Fn(std::move(*f));
+              f->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* s) { std::launder(static_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      nullptr,  // the stored Fn* itself relocates by byte copy
+      [](void* s) { delete *std::launder(static_cast<Fn**>(s)); },
+  };
+
+  void destroy() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    ops_ = other.ops_;
+    invoke_ = other.invoke_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+      } else {
+        __builtin_memcpy(buffer_, other.buffer_, kInlineBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+  R (*invoke_)(void* storage, Args&&... args) = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace maia::sim

@@ -1,0 +1,73 @@
+// SuiteRunner: the parallel experiment engine must be a pure speed-up —
+// same figures, same tables, same verdicts, any --jobs value.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+
+namespace maia::core {
+namespace {
+
+TEST(SuiteRunnerTest, SerialRunCoversEveryFigureInPaperOrder) {
+  const SuiteResult suite = SuiteRunner(1).run();
+  const auto generators = all_figures();
+  ASSERT_EQ(suite.figures.size(), generators.size());
+  EXPECT_EQ(suite.figures.front().result.id, "table1");
+  EXPECT_EQ(suite.figures.back().result.id, "fig27");
+  std::set<std::string> ids;
+  for (const auto& f : suite.figures) {
+    EXPECT_FALSE(f.result.id.empty());
+    EXPECT_GE(f.wall_seconds, 0.0);
+    ids.insert(f.result.id);
+  }
+  EXPECT_EQ(ids.size(), suite.figures.size()) << "duplicate figure ids";
+  EXPECT_GT(suite.total_wall_seconds, 0.0);
+  EXPECT_EQ(suite.jobs, 1);
+}
+
+TEST(SuiteRunnerTest, ParallelRunIsByteIdenticalToSerial) {
+  // The determinism statement of the engine: a parallel run may only be
+  // faster, never different.  Compares the canonical serialization of
+  // every table cell and every check verdict.
+  const SuiteResult serial = SuiteRunner(1).run();
+  const SuiteResult parallel = SuiteRunner(8).run();
+  ASSERT_EQ(serial.figures.size(), parallel.figures.size());
+  for (std::size_t i = 0; i < serial.figures.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial.figures[i].result),
+              fingerprint(parallel.figures[i].result))
+        << "figure " << serial.figures[i].result.id
+        << " diverged between --jobs 1 and --jobs 8";
+  }
+  EXPECT_EQ(fingerprint(serial), fingerprint(parallel));
+  EXPECT_EQ(serial.checks_passed(), parallel.checks_passed());
+  EXPECT_EQ(serial.checks_total(), parallel.checks_total());
+}
+
+TEST(SuiteRunnerTest, SubsetRunsPreserveRequestedOrder) {
+  const std::vector<FigureResult (*)()> subset = {fig05_latency, table1_system,
+                                                  fig04_stream};
+  const SuiteResult suite = SuiteRunner(2).run(subset);
+  ASSERT_EQ(suite.figures.size(), 3u);
+  EXPECT_EQ(suite.figures[0].result.id, "fig05");
+  EXPECT_EQ(suite.figures[1].result.id, "table1");
+  EXPECT_EQ(suite.figures[2].result.id, "fig04");
+}
+
+TEST(SuiteRunnerTest, FingerprintDetectsAnyCellChange) {
+  FigureResult a;
+  a.id = "figX";
+  a.title = "t";
+  a.table.set_header({"c"});
+  a.table.add_row({"1.00"});
+  FigureResult b = a;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  b.table.add_row({"1.01"});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  b = a;
+  b.checks.push_back(check_range("r", 0.0, 1.0, 0.5, ""));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+}  // namespace
+}  // namespace maia::core

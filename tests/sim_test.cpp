@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -277,11 +278,54 @@ TEST(EventQueueTest, CallbacksMayScheduleMoreEvents) {
   EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueueTest, RejectsSchedulingIntoThePast) {
+TEST(EventQueueTest, ClampsSchedulingIntoThePastToNow) {
   EventQueue q;
   q.schedule_at(5.0, [] {});
   q.run();
-  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::logic_error);
+  ASSERT_DOUBLE_EQ(q.now(), 5.0);
+  // `at < now()` clamps to now(): the event fires, and time never rewinds.
+  double fired_at = -1.0;
+  q.schedule_at(1.0, [&] { fired_at = q.now(); });
+  EXPECT_DOUBLE_EQ(q.run(), 5.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, PastEventsFireAfterEventsAlreadyPendingAtNow) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] {
+    order.push_back(0);
+    q.schedule_at(2.0, [&] { order.push_back(1); });  // same timestamp
+    q.schedule_at(1.0, [&] { order.push_back(2); });  // past: clamps to 2.0
+  });
+  q.run();
+  // The clamped event joins the FIFO at now(), behind the one scheduled
+  // at exactly now() first.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, MoveOnlyCallbacksAreAccepted) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q.schedule_at(1.0, [p = std::move(payload), &seen] { seen = *p + 1; });
+  q.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, SameTimestampFifoSurvivesReset) {
+  EventQueue q;
+  q.schedule_at(3.0, [] {});
+  q.run();
+  q.reset();
+  // Regression: reset() must restart the FIFO sequence counter as well as
+  // the clock, so equal-timestamp insertion order still holds afterwards.
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
 TEST(EventQueueTest, RunUntilStopsAtDeadline) {

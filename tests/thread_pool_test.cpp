@@ -1,0 +1,164 @@
+// Stress and correctness tests for the concurrency layer: the worker
+// pool, nested submission, exception propagation, parallel_for, and the
+// move-only UniqueFunction it is all built on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "sim/unique_function.hpp"
+
+namespace maia::sim {
+namespace {
+
+// ------------------------------------------------------- UniqueFunction ---
+
+TEST(UniqueFunctionTest, InvokesInlineAndHeapCallables) {
+  UniqueFunction<int()> small([] { return 7; });
+  EXPECT_EQ(small(), 7);
+
+  // Force the heap path with a capture larger than the inline buffer.
+  std::array<std::uint64_t, 16> fat{};
+  fat.fill(3);
+  UniqueFunction<int()> big([fat] {
+    return static_cast<int>(std::accumulate(fat.begin(), fat.end(), 0ull));
+  });
+  EXPECT_EQ(big(), 48);
+}
+
+TEST(UniqueFunctionTest, AcceptsMoveOnlyCaptures) {
+  auto p = std::make_unique<int>(5);
+  UniqueFunction<int()> fn([p = std::move(p)] { return *p * 2; });
+  UniqueFunction<int()> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved(), 10);
+}
+
+TEST(UniqueFunctionTest, DestroysNonTrivialCapturesOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    UniqueFunction<void()> fn([counter] {});
+    UniqueFunction<void()> moved = std::move(fn);
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// ----------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&sum, i] {
+      sum.fetch_add(i % 7, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 21; });
+  auto b = pool.submit([] { return std::string("phi"); });
+  EXPECT_EQ(a.get(), 21);
+  EXPECT_EQ(b.get(), "phi");
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto poison = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(poison.get(), std::runtime_error);
+  // The pool must survive a throwing task and keep serving.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitsDoNotDeadlock) {
+  ThreadPool pool(2);
+  // Each outer task submits inner tasks and waits for them by helping —
+  // with only two workers this deadlocks unless waiting threads execute
+  // queued work.
+  std::atomic<int> inner_done{0};
+  std::vector<std::future<void>> outers;
+  outers.reserve(4);
+  for (int o = 0; o < 4; ++o) {
+    outers.push_back(pool.submit([&inner_done] {
+      parallel_for(8, [&inner_done](std::size_t) {
+        inner_done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }));
+  }
+  for (auto& f : outers) f.get();
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
+TEST(ThreadPoolTest, CurrentIsSetOnWorkersOnly) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  ThreadPool pool(1);
+  auto seen = pool.submit([&pool] { return ThreadPool::current() == &pool; });
+  EXPECT_TRUE(seen.get());
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+// --------------------------------------------------------- parallel_for ---
+
+TEST(ParallelForTest, RunsSeriallyWithoutAPool) {
+  std::vector<int> out(64, 0);
+  parallel_for(out.size(), [&out](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceOnAPool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.submit([&hits] {
+      parallel_for(hits.size(), [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }).get();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, RethrowsFirstExceptionAfterCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  auto run = pool.submit([&completed] {
+    parallel_for(16, [&completed](std::size_t i) {
+      if (i == 3) throw std::invalid_argument("bad index");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_THROW(run.get(), std::invalid_argument);
+  EXPECT_EQ(completed.load(), 15);  // every other iteration still ran
+}
+
+TEST(ParallelForTest, DeeplyNestedFanOutCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.submit([&leaves] {
+      parallel_for(4, [&leaves](std::size_t) {
+        parallel_for(4, [&leaves](std::size_t) {
+          leaves.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }).get();
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+}  // namespace
+}  // namespace maia::sim
