@@ -3,36 +3,93 @@
 // plotting; --time appends the figure's wall clock in the same metric
 // (milliseconds of model time) that maia_suite records per figure.
 // Exit status reflects the checks so CI can gate on shape.
+//
+// The [time] line goes to stderr so `figNN --csv --time > data.csv`
+// yields a clean CSV; it used to land on stdout and corrupt piped output.
 #pragma once
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/figures.hpp"
+#include "obs/obs.hpp"
 
 namespace maia::bench {
 
+inline void print_figure_help(const char* argv0, std::ostream& os) {
+  os << "usage: " << argv0 << " [options]\n"
+     << "\n"
+     << "Run one modelled figure of the MAIA suite and check its shape\n"
+     << "against the paper.  Exit 0 iff every check passes.\n"
+     << "\n"
+     << "options:\n"
+     << "  --csv             print the raw table as CSV (for plotting)\n"
+     << "  --time            report wall clock on stderr\n"
+     << "  --metrics FILE    write the metrics registry as JSON (\"-\" = stdout)\n"
+     << "  --trace FILE      record a Chrome trace (chrome://tracing) of the run\n"
+     << "  --help            show this help\n";
+}
+
+/// Write `os`-agnostic JSON to `path`, "-" meaning stdout.  Returns false
+/// (after a stderr diagnostic) when the file cannot be opened.
+template <typename WriteFn>
+inline bool write_json_output(const std::string& path, const char* what,
+                              WriteFn&& write) {
+  if (path == "-") {
+    write(std::cout);
+    return true;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write " << what << " to '" << path << "'\n";
+    return false;
+  }
+  write(os);
+  return true;
+}
+
 inline int run_figure(maia::core::FigureResult (*fn)(), int argc, char** argv) {
   bool csv = false, timed = false;
+  std::string metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--time") == 0) {
       timed = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_figure_help(argv[0], std::cout);
+      return 0;
     } else {
-      std::cerr << "error: unknown option '" << argv[i]
-                << "' (expected --csv and/or --time)\n";
+      std::cerr << "error: unknown option '" << argv[i] << "'\n";
+      print_figure_help(argv[0], std::cerr);
       return 2;
     }
   }
 
+  if (!trace_path.empty()) maia::obs::Tracer::global().set_enabled(true);
+
   const auto t0 = std::chrono::steady_clock::now();
-  const maia::core::FigureResult fig = fn();
+  maia::core::FigureResult fig;
+  {
+    // Root span for the whole generator; renamed once the id is known.
+    maia::obs::ScopedSpan span("figure", "figure");
+    fig = fn();
+    span.rename("figure/" + fig.id);
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 t0)
           .count();
+
+  if (!trace_path.empty()) maia::obs::Tracer::global().set_enabled(false);
 
   if (csv) {
     fig.table.print_csv(std::cout);
@@ -40,8 +97,23 @@ inline int run_figure(maia::core::FigureResult (*fn)(), int argc, char** argv) {
     fig.print(std::cout);
   }
   if (timed) {
-    std::cout << "[time] " << fig.id << ": " << wall_ms << " ms\n";
+    std::cerr << "[time] " << fig.id << ": " << wall_ms << " ms\n";
   }
+
+  if (!metrics_path.empty() &&
+      !write_json_output(metrics_path, "metrics", [](std::ostream& os) {
+        maia::obs::write_metrics_json(os,
+                                      maia::obs::MetricsRegistry::global().snapshot());
+      })) {
+    return 2;
+  }
+  if (!trace_path.empty() &&
+      !write_json_output(trace_path, "trace", [](std::ostream& os) {
+        maia::obs::Tracer::global().write_chrome_json(os);
+      })) {
+    return 2;
+  }
+
   return fig.all_pass() ? 0 : 1;
 }
 

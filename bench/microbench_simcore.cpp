@@ -15,6 +15,7 @@
 #include "npb/ep.hpp"
 #include "npb/ft.hpp"
 #include "npb/mg.hpp"
+#include "obs/obs.hpp"
 #include "omp/schedule.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -130,6 +131,70 @@ void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  // Hot-path cost of one enabled counter increment: a thread-local shard
+  // lookup plus one relaxed fetch_add.
+  obs::set_metrics_enabled(true);
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("microbench.counter");
+  for (auto _ : state) {
+    MAIA_OBS_COUNT(c, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  // The overhead contract for a runtime-disabled site: one relaxed atomic
+  // load and a predictable branch.
+  obs::set_metrics_enabled(false);
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("microbench.counter_off");
+  for (auto _ : state) {
+    MAIA_OBS_COUNT(c, 1);
+  }
+  obs::set_metrics_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  static const obs::Histogram h = obs::MetricsRegistry::global().histogram(
+      "microbench.hist", obs::exponential_bounds(256.0, 4.0, 12));
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    MAIA_OBS_HISTOGRAM(h, static_cast<double>(v));
+    v = v * 2654435761u + 1;  // cheap value churn across buckets
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  // The near-zero-overhead guarantee for tracing left off (the default):
+  // a ScopedSpan is one relaxed enabled() load at construction.
+  obs::Tracer::global().set_enabled(false);
+  for (auto _ : state) {
+    MAIA_OBS_SPAN("microbench", "disabled");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(true);
+  for (auto _ : state) {
+    MAIA_OBS_SPAN("microbench", "enabled");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_Fft3d(benchmark::State& state) {
   npb::Field3 f = npb::make_ft_initial(16);

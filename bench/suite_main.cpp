@@ -6,15 +6,7 @@
 // results, print a per-figure timing table, and write BENCH_suite.json.
 //
 //   maia_suite [--jobs N] [--json PATH] [--parallel-only] [--print-figures]
-//
-//   --jobs N          worker threads for the parallel run
-//                     (default: hardware concurrency)
-//   --json PATH       where to write the benchmark JSON
-//                     (default: BENCH_suite.json; "-" disables)
-//   --parallel-only   skip the serial baseline (faster; no speedup or
-//                     identity report, no JSON)
-//   --print-figures   print every figure's full table and checks, in
-//                     paper order, after the timing summary
+//              [--metrics PATH] [--trace PATH]
 //
 // Exit status: 0 iff every shape check passes (and, unless
 // --parallel-only, serial and parallel results are identical).
@@ -26,15 +18,42 @@
 #include <string>
 
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
 #include "sim/table.hpp"
 
 namespace {
 
+void print_help(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "\n"
+      "Run the full MAIA figure suite through the parallel experiment\n"
+      "engine: once serially (--jobs 1, the baseline) and once with a\n"
+      "thread pool, verify byte-identical results, and record the\n"
+      "per-figure timing baseline.\n"
+      "\n"
+      "options:\n"
+      "  --jobs N          worker threads for the parallel run\n"
+      "                    (default: hardware concurrency)\n"
+      "  --json PATH       where to write the benchmark JSON\n"
+      "                    (default: BENCH_suite.json; \"-\" disables)\n"
+      "  --parallel-only   skip the serial baseline (faster; no speedup or\n"
+      "                    identity report, no JSON)\n"
+      "  --print-figures   print every figure's full table and checks, in\n"
+      "                    paper order, after the timing summary\n"
+      "  --metrics PATH    write the metrics registry (counters, gauges,\n"
+      "                    histograms) as JSON after both runs\n"
+      "  --trace PATH      record a Chrome trace (open in chrome://tracing\n"
+      "                    or Perfetto) of the serial run — one span per\n"
+      "                    figure with nested model-phase spans; with\n"
+      "                    --parallel-only the parallel run is traced\n"
+      "  --help            show this help\n",
+      argv0);
+}
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--json PATH] [--parallel-only] "
-               "[--print-figures]\n",
-               argv0);
+  print_help(argv0, stderr);
   return 2;
 }
 
@@ -43,6 +62,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 → hardware concurrency
   std::string json_path = "BENCH_suite.json";
+  std::string metrics_path, trace_path;
   bool parallel_only = false;
   bool print_figures = false;
 
@@ -55,10 +75,18 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--parallel-only") == 0) {
       parallel_only = true;
     } else if (std::strcmp(argv[i], "--print-figures") == 0) {
       print_figures = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0], stdout);
+      return 0;
     } else {
       return usage(argv[0]);
     }
@@ -67,16 +95,26 @@ int main(int argc, char** argv) {
   using maia::core::SuiteResult;
   using maia::core::SuiteRunner;
 
+  // Trace exactly one run so the export holds one span per figure: the
+  // serial baseline when we have one (clean nesting under the suite span
+  // on a single thread), otherwise the parallel run.
+  const bool tracing = !trace_path.empty();
+  auto& tracer = maia::obs::Tracer::global();
+
   const SuiteRunner parallel_runner(jobs);
   std::optional<SuiteResult> serial;
   if (!parallel_only) {
     std::cout << "Running serial baseline (--jobs 1)...\n" << std::flush;
+    if (tracing) tracer.set_enabled(true);
     serial = SuiteRunner(1).run();
+    if (tracing) tracer.set_enabled(false);
   }
   std::cout << "Running parallel suite (--jobs " << parallel_runner.jobs()
             << ")...\n"
             << std::flush;
+  if (tracing && parallel_only) tracer.set_enabled(true);
   const SuiteResult parallel = parallel_runner.run();
+  if (tracing && parallel_only) tracer.set_enabled(false);
 
   const SuiteResult& reference = serial ? *serial : parallel;
 
@@ -129,6 +167,29 @@ int main(int argc, char** argv) {
     }
     maia::core::write_bench_json(json, *serial, parallel, identical);
     std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "maia_suite: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    maia::obs::write_metrics_json(os,
+                                  maia::obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote " << metrics_path << "\n";
+  }
+  if (tracing) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::fprintf(stderr, "maia_suite: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    tracer.write_chrome_json(os);
+    const auto stats = tracer.stats();
+    std::cout << "wrote " << trace_path << " (" << stats.recorded << " spans";
+    if (stats.dropped > 0) std::cout << ", " << stats.dropped << " dropped";
+    std::cout << ")\n";
   }
 
   if (print_figures) {

@@ -11,6 +11,7 @@
 #include "memsim/latency_walker.hpp"
 #include "memsim/stream.hpp"
 #include "mpi/collectives.hpp"
+#include "obs/obs.hpp"
 #include "omp/constructs.hpp"
 #include "omp/schedule.hpp"
 #include "sim/thread_pool.hpp"
@@ -202,6 +203,7 @@ FigureResult fig07_mpi_latency() {
   fig.table.set_header({"path", "pre-update us", "post-update us"});
   for (auto path : {fabric::Path::kHostToPhi0, fabric::Path::kHostToPhi1,
                     fabric::Path::kPhi0ToPhi1}) {
+    MAIA_OBS_SPAN("fabric", std::string("latency/") + fabric::path_name(path));
     fig.table.add_row({fabric::path_name(path),
                        cell("%.1f", sim::to_microseconds(pre.latency(path))),
                        cell("%.1f", sim::to_microseconds(post.latency(path)))});
@@ -505,9 +507,13 @@ FigureResult fig18_offload_bw() {
   const fabric::OffloadLink link1(node.pcie_phi1, fabric::Path::kHostToPhi1);
 
   fig.table.set_header({"data size", "host->Phi0", "host->Phi1"});
-  for (sim::Bytes s = 4_KiB; s <= 64_MiB; s *= 4) {
-    fig.table.add_row({sim::format_bytes(s), sim::format_rate(link0.bandwidth(s)),
-                       sim::format_rate(link1.bandwidth(s))});
+  {
+    MAIA_OBS_SPAN("offload", "bandwidth_table/host-Phi0+host-Phi1");
+    for (sim::Bytes s = 4_KiB; s <= 64_MiB; s *= 4) {
+      fig.table.add_row({sim::format_bytes(s),
+                         sim::format_rate(link0.bandwidth(s)),
+                         sim::format_rate(link1.bandwidth(s))});
+    }
   }
 
   fig.checks.push_back(check_near("~6.4 GB/s for large transfers", 6.4,

@@ -1,0 +1,175 @@
+#include "core/runner.hpp"
+
+#include <chrono>
+#include <future>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/table.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace maia::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+FigureRun timed_run(FigureResult (*generator)()) {
+  // The figure id is only known once the generator returns, so the span
+  // starts under a placeholder and is renamed before it closes.
+  obs::ScopedSpan span("figure", "figure");
+  // Attribute event-queue activity to this figure: zero the thread-local
+  // accumulator for the duration, restore the caller's tally afterwards
+  // (work-helping can nest one timed_run inside another).
+  const sim::EventQueueStats saved = sim::exchange_event_queue_telemetry({});
+  const auto t0 = std::chrono::steady_clock::now();
+  FigureRun run;
+  run.result = generator();
+  run.wall_seconds = seconds_since(t0);
+  const sim::EventQueueStats stats = sim::exchange_event_queue_telemetry(saved);
+  run.events_dispatched = stats.dispatched;
+  run.peak_event_queue_depth = stats.peak_depth;
+  span.rename("figure/" + run.result.id);
+  return run;
+}
+
+}  // namespace
+
+bool SuiteResult::all_pass() const {
+  for (const auto& f : figures) {
+    if (!f.result.all_pass()) return false;
+  }
+  return true;
+}
+
+int SuiteResult::checks_passed() const {
+  int n = 0;
+  for (const auto& f : figures) n += f.result.passed();
+  return n;
+}
+
+int SuiteResult::checks_total() const {
+  int n = 0;
+  for (const auto& f : figures) n += static_cast<int>(f.result.checks.size());
+  return n;
+}
+
+SuiteRunner::SuiteRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+}
+
+SuiteResult SuiteRunner::run() const { return run(all_figures()); }
+
+SuiteResult SuiteRunner::run(
+    const std::vector<FigureResult (*)()>& generators) const {
+  MAIA_OBS_SPAN_ARGS("suite", "suite",
+                     "{\"jobs\": " + std::to_string(jobs_) + ", \"figures\": " +
+                         std::to_string(generators.size()) + "}");
+  SuiteResult suite;
+  suite.jobs = jobs_;
+  suite.figures.resize(generators.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (jobs_ <= 1) {
+    // Baseline: no pool, no ambient parallelism anywhere.
+    for (std::size_t i = 0; i < generators.size(); ++i) {
+      suite.figures[i] = timed_run(generators[i]);
+    }
+  } else {
+    sim::ThreadPool pool(jobs_);
+    std::vector<std::future<FigureRun>> pending;
+    pending.reserve(generators.size());
+    for (auto* generator : generators) {
+      pending.push_back(pool.submit([generator] { return timed_run(generator); }));
+    }
+    // Results land in paper order regardless of completion order.  The
+    // main thread helps drain the queue instead of blocking, so `--jobs N`
+    // uses N workers plus this thread.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      while (pending[i].wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!pool.run_one()) {
+          pending[i].wait_for(std::chrono::milliseconds(1));
+        }
+      }
+      suite.figures[i] = pending[i].get();
+    }
+  }
+
+  suite.total_wall_seconds = seconds_since(t0);
+  return suite;
+}
+
+std::string fingerprint(const FigureResult& fig) {
+  std::ostringstream os;
+  os << fig.id << '\x1f' << fig.title << '\x1f';
+  fig.table.print_csv(os);
+  for (const auto& c : fig.checks) {
+    os << c.description << '\x1f' << c.expected << '\x1f' << c.measured
+       << '\x1f' << (c.pass ? 'P' : 'F') << '\x1e';
+  }
+  return os.str();
+}
+
+std::string fingerprint(const SuiteResult& suite) {
+  std::string out;
+  for (const auto& f : suite.figures) {
+    out += fingerprint(f.result);
+    out += '\x1d';
+  }
+  return out;
+}
+
+namespace {
+
+void json_figure_array(std::ostream& os, const SuiteResult& suite) {
+  os << "[";
+  for (std::size_t i = 0; i < suite.figures.size(); ++i) {
+    const auto& f = suite.figures[i];
+    os << (i ? "," : "") << "\n    {\"id\": \"" << f.result.id
+       << "\", \"wall_seconds\": " << f.wall_seconds
+       << ", \"checks_passed\": " << f.result.passed()
+       << ", \"checks_total\": " << f.result.checks.size()
+       << ", \"events_dispatched\": " << f.events_dispatched
+       << ", \"peak_event_queue_depth\": " << f.peak_event_queue_depth << "}";
+  }
+  os << "\n  ]";
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const SuiteResult& serial,
+                      const SuiteResult& parallel, bool identical) {
+  const double speedup = parallel.total_wall_seconds > 0.0
+                             ? serial.total_wall_seconds /
+                                   parallel.total_wall_seconds
+                             : 0.0;
+  os << "{\n"
+     << "  \"suite\": \"maia figure suite\",\n"
+     << "  \"figures\": " << serial.figures.size() << ",\n"
+     << "  \"jobs_serial\": " << serial.jobs << ",\n"
+     << "  \"jobs_parallel\": " << parallel.jobs << ",\n"
+     << "  \"total_serial_seconds\": " << serial.total_wall_seconds << ",\n"
+     << "  \"total_parallel_seconds\": " << parallel.total_wall_seconds << ",\n"
+     << "  \"speedup\": " << speedup << ",\n"
+     << "  \"identical_results\": " << (identical ? "true" : "false") << ",\n"
+     << "  \"checks_passed\": " << serial.checks_passed() << ",\n"
+     << "  \"checks_total\": " << serial.checks_total() << ",\n"
+     << "  \"serial_figures\": ";
+  json_figure_array(os, serial);
+  os << ",\n  \"parallel_figures\": ";
+  json_figure_array(os, parallel);
+  os << "\n}\n";
+}
+
+}  // namespace maia::core

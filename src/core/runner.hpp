@@ -1,0 +1,71 @@
+// SuiteRunner: the parallel experiment engine.
+//
+// Executes every registered figure generator — concurrently when asked —
+// while preserving paper-order output, recording per-figure wall time, and
+// guaranteeing that a parallel run produces byte-identical results to a
+// serial one (generators are pure functions; results are assembled by
+// index, never by completion order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+
+namespace maia::core {
+
+/// One executed figure: the result plus its measured wall time and the
+/// event-queue telemetry its generator produced.  The event counts are
+/// exact in a serial run; under work-helping a worker may interleave two
+/// figures, but each timed_run saves and restores the accumulator so a
+/// nested figure never pollutes its host's counts.
+struct FigureRun {
+  FigureResult result;
+  double wall_seconds = 0.0;
+  std::uint64_t events_dispatched = 0;
+  std::size_t peak_event_queue_depth = 0;
+};
+
+struct SuiteResult {
+  std::vector<FigureRun> figures;  // paper order, same as all_figures()
+  double total_wall_seconds = 0.0;
+  int jobs = 1;  // worker threads actually used
+
+  bool all_pass() const;
+  int checks_passed() const;
+  int checks_total() const;
+};
+
+class SuiteRunner {
+ public:
+  /// `jobs` <= 0 selects hardware_concurrency; 1 runs serially with no
+  /// pool at all (the baseline configuration).
+  explicit SuiteRunner(int jobs = 0);
+
+  /// Run every experiment of all_figures().
+  SuiteResult run() const;
+  /// Run an explicit generator list (tests use subsets).
+  SuiteResult run(const std::vector<FigureResult (*)()>& generators) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+/// Canonical serialization of everything a figure reports (id, title,
+/// table cells, check verdicts).  Two runs are "identical" iff their
+/// fingerprints match byte-for-byte; the determinism test and
+/// `maia_suite`'s serial-vs-parallel verification both compare this.
+std::string fingerprint(const FigureResult& fig);
+std::string fingerprint(const SuiteResult& suite);
+
+/// Emit BENCH_suite.json: per-figure and total wall-clock of the serial
+/// and parallel runs, parallel speedup, and the identity verdict.
+void write_bench_json(std::ostream& os, const SuiteResult& serial,
+                      const SuiteResult& parallel, bool identical);
+
+}  // namespace maia::core

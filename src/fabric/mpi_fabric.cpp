@@ -1,7 +1,23 @@
 #include "fabric/mpi_fabric.hpp"
 
+#include "obs/obs.hpp"
+
 namespace maia::fabric {
 namespace {
+
+// Fabric-wide accounting: every modelled message through transfer_time()
+// ticks these, whichever collective or figure drives it.
+const obs::Counter& messages_counter() {
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("fabric.mpi.messages");
+  return c;
+}
+
+const obs::Counter& bytes_counter() {
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("fabric.mpi.bytes");
+  return c;
+}
 
 // --- Calibration constants (DESIGN.md §4) --------------------------------
 // Software-stack latencies and provider bandwidth caps.  Each constant is a
@@ -91,6 +107,8 @@ sim::BytesPerSecond MpiFabricModel::bandwidth_cap(Path path, sim::Bytes size) co
 }
 
 sim::Seconds MpiFabricModel::transfer_time(Path path, sim::Bytes size) const {
+  MAIA_OBS_COUNT(messages_counter(), 1);
+  MAIA_OBS_COUNT(bytes_counter(), size);
   const RouteDecision r = route(size);
   sim::Seconds t = latency(path);
   if (r.protocol == Protocol::kRendezvousDirectCopy) {
@@ -112,6 +130,8 @@ sim::BytesPerSecond MpiFabricModel::bandwidth(Path path, sim::Bytes size) const 
 
 sim::DataSeries MpiFabricModel::bandwidth_curve(Path path, sim::Bytes from,
                                                 sim::Bytes to) const {
+  MAIA_OBS_SPAN("fabric", std::string("bandwidth_curve/") + path_name(path) +
+                              "/" + stack_name(stack_));
   sim::DataSeries s(std::string(path_name(path)) + " (" + stack_name(stack_) + ")");
   for (sim::Bytes size = from; size <= to; size *= 2) {
     s.add(static_cast<double>(size), bandwidth(path, size));
@@ -120,6 +140,7 @@ sim::DataSeries MpiFabricModel::bandwidth_curve(Path path, sim::Bytes from,
 }
 
 sim::DataSeries update_gain_curve(Path path, sim::Bytes from, sim::Bytes to) {
+  MAIA_OBS_SPAN("fabric", std::string("update_gain_curve/") + path_name(path));
   const MpiFabricModel pre(SoftwareStack::kPreUpdate);
   const MpiFabricModel post(SoftwareStack::kPostUpdate);
   return ratio_series(post.bandwidth_curve(path, from, to),

@@ -1,7 +1,21 @@
 #include "fabric/offload_link.hpp"
 
+#include "obs/obs.hpp"
+
 namespace maia::fabric {
 namespace {
+
+const obs::Counter& transfers_counter() {
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("fabric.offload.transfers");
+  return c;
+}
+
+const obs::Counter& offload_bytes_counter() {
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("fabric.offload.bytes");
+  return c;
+}
 
 // DMA engine utilization on top of TLP framing: descriptor fetch and
 // completion handling keep the engine ~93% busy, turning the 6.9 GB/s
@@ -29,6 +43,8 @@ sim::BytesPerSecond OffloadLink::peak_bandwidth() const {
 }
 
 sim::Seconds OffloadLink::transfer_time(sim::Bytes size) const {
+  MAIA_OBS_COUNT(transfers_counter(), 1);
+  MAIA_OBS_COUNT(offload_bytes_counter(), size);
   sim::Seconds t = kDmaSetup;
   if (size >= kBufferSwitchLo && size < kBufferSwitchHi) {
     t += kBufferSwitchCost;
@@ -43,6 +59,7 @@ sim::BytesPerSecond OffloadLink::bandwidth(sim::Bytes size) const {
 }
 
 sim::DataSeries OffloadLink::bandwidth_curve(sim::Bytes from, sim::Bytes to) const {
+  MAIA_OBS_SPAN("offload", std::string("bandwidth_curve/") + path_name(path_));
   sim::DataSeries s(std::string("offload ") + path_name(path_));
   for (sim::Bytes size = from; size <= to; size *= 2) {
     s.add(static_cast<double>(size), bandwidth(size));

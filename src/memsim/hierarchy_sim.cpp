@@ -1,6 +1,39 @@
 #include "memsim/hierarchy_sim.hpp"
 
+#include <string>
+
+#include "obs/obs.hpp"
+
 namespace maia::mem {
+
+namespace {
+
+struct LevelCounters {
+  obs::Counter hits;
+  obs::Counter misses;
+};
+
+/// Handles for up to four cache levels, registered once per process.
+const LevelCounters& level_counters(std::size_t level) {
+  static const std::vector<LevelCounters> counters = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    std::vector<LevelCounters> c;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string prefix = "memsim.L" + std::to_string(i + 1);
+      c.push_back({reg.counter(prefix + ".hits"), reg.counter(prefix + ".misses")});
+    }
+    return c;
+  }();
+  return counters[level < counters.size() ? level : counters.size() - 1];
+}
+
+const obs::Counter& memory_loads_counter() {
+  static const obs::Counter c =
+      obs::MetricsRegistry::global().counter("memsim.memory.loads");
+  return c;
+}
+
+}  // namespace
 
 CacheHierarchySim::CacheHierarchySim(const arch::ProcessorModel& proc,
                                      int threads_per_core)
@@ -49,6 +82,18 @@ void CacheHierarchySim::flush() {
 
 void CacheHierarchySim::reset_stats() {
   for (auto& l : levels_) l->reset_stats();
+}
+
+void CacheHierarchySim::publish_metrics() const {
+  std::uint64_t memory_loads = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const CacheStats& s = levels_[i]->stats();
+    MAIA_OBS_COUNT(level_counters(i).hits, s.hits);
+    MAIA_OBS_COUNT(level_counters(i).misses, s.misses);
+    // A load that misses the outermost level goes to memory.
+    if (i + 1 == levels_.size()) memory_loads = s.misses;
+  }
+  MAIA_OBS_COUNT(memory_loads_counter(), memory_loads);
 }
 
 }  // namespace maia::mem

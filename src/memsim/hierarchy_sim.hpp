@@ -37,6 +37,15 @@ class CacheHierarchySim {
   void flush();
   void reset_stats();
 
+  /// Push every level's accumulated hit/miss counts into the global
+  /// metrics registry ("memsim.L<n>.hits" / ".misses", plus
+  /// "memsim.memory.loads" for loads no cache serviced).  Deliberately a
+  /// batch operation: load() itself stays untouched — the per-access
+  /// counters already live in SetAssociativeCache::stats(), so callers
+  /// publish once per simulation (e.g. per pointer-chase walk) at zero
+  /// hot-path cost.
+  void publish_metrics() const;
+
  private:
   const arch::ProcessorModel proc_;
   std::vector<std::unique_ptr<SetAssociativeCache>> levels_;

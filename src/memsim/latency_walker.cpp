@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "memsim/hierarchy_sim.hpp"
+#include "obs/obs.hpp"
 #include "sim/rng.hpp"
 
 namespace maia::mem {
@@ -29,6 +30,8 @@ std::vector<std::uint32_t> single_cycle_permutation(std::size_t n, sim::Rng& rng
 }  // namespace
 
 WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) const {
+  MAIA_OBS_SPAN_ARGS("memsim", "latency_walk/" + proc_.name,
+                     "{\"working_set\": " + std::to_string(working_set) + "}");
   const int line = proc_.caches.empty() ? 64 : proc_.caches.front().line_bytes;
   std::size_t lines = std::max<std::size_t>(working_set / static_cast<sim::Bytes>(line), 2);
 
@@ -79,6 +82,8 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) 
     total_cycles +=
         static_cast<double>(serviced[level]) * hier.level_cycles(level);
   }
+
+  hier.publish_metrics();
 
   WalkResult result;
   result.avg_latency = proc_.cycles(total_cycles / static_cast<double>(accesses));

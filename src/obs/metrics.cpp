@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace maia::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+std::atomic<std::uint64_t> g_next_registry_serial{1};
+
+/// Atomic fetch-max for doubles (gauges); CAS loop, cold path only when a
+/// new per-thread maximum is observed.
+void atomic_fetch_max(std::atomic<double>& target, double value) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomic add for doubles (histogram sums).
+void atomic_fetch_add(std::atomic<double>& target, double value) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(seen, seen + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::uint32_t find_or_append(std::vector<std::string>& names, std::string name,
+                             const char* kind) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it != names.end()) return static_cast<std::uint32_t>(it - names.begin());
+  if (names.size() >= MetricsRegistry::kMaxPerKind) {
+    throw std::length_error(std::string("MetricsRegistry: too many ") + kind +
+                            " metrics");
+  }
+  names.push_back(std::move(name));
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_bounds(double first, double base, int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = first;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= base;
+  }
+  return bounds;
+}
+
+// ----------------------------------------------------------------- handles
+
+void Counter::add(std::uint64_t n) const {
+  if (reg_ == nullptr) return;
+  reg_->local_shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::record(double value) const {
+  if (reg_ == nullptr) return;
+  atomic_fetch_max(reg_->local_shard().gauges[id_], value);
+}
+
+void Histogram::record(double value) const {
+  if (reg_ == nullptr) return;
+  MetricsRegistry::Shard& shard = reg_->local_shard();
+  MetricsRegistry::HistShard& h = reg_->local_hist(shard, id_);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  h.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  h.total.fetch_add(1, std::memory_order_relaxed);
+  atomic_fetch_add(h.sum, value);
+}
+
+// ---------------------------------------------------------------- registry
+
+MetricsRegistry::MetricsRegistry()
+    : serial_(g_next_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter MetricsRegistry::counter(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counter(this, find_or_append(counter_names_, std::move(name), "counter"));
+}
+
+Gauge MetricsRegistry::gauge(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Gauge(this, find_or_append(gauge_names_, std::move(name), "gauge"));
+}
+
+Histogram MetricsRegistry::histogram(std::string name, std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t id =
+      find_or_append(hist_names_, std::move(name), "histogram");
+  if (id == hist_bounds_.size()) hist_bounds_.push_back(std::move(bounds));
+  return Histogram(this, id);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // One shard per (registry, thread); the cache makes the common case — a
+  // thread recording repeatedly into the same registry — a single compare.
+  thread_local std::uint64_t t_owner_serial = 0;
+  thread_local Shard* t_shard = nullptr;
+  if (t_owner_serial != serial_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    t_shard = shards_.back().get();
+    t_owner_serial = serial_;
+  }
+  return *t_shard;
+}
+
+MetricsRegistry::HistShard& MetricsRegistry::local_hist(Shard& shard,
+                                                        std::uint32_t id) {
+  HistShard* h = shard.hists[id].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    std::vector<double> bounds;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      bounds = hist_bounds_[id];
+    }
+    h = new HistShard(std::move(bounds));
+    shard.hists[id].store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t id = 0; id < counter_names_.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[id], total);
+  }
+
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t id = 0; id < gauge_names_.size(); ++id) {
+    double peak = 0.0;
+    for (const auto& shard : shards_) {
+      peak = std::max(peak, shard->gauges[id].load(std::memory_order_relaxed));
+    }
+    snap.gauges.emplace_back(gauge_names_[id], peak);
+  }
+
+  snap.histograms.reserve(hist_names_.size());
+  for (std::size_t id = 0; id < hist_names_.size(); ++id) {
+    HistogramData data;
+    data.bounds = hist_bounds_[id];
+    data.counts.assign(data.bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      const HistShard* h = shard->hists[id].load(std::memory_order_acquire);
+      if (h == nullptr) continue;
+      for (std::size_t b = 0; b < data.counts.size(); ++b) {
+        data.counts[b] += h->counts[b].load(std::memory_order_relaxed);
+      }
+      data.total += h->total.load(std::memory_order_relaxed);
+      data.sum += h->sum.load(std::memory_order_relaxed);
+    }
+    snap.histograms.emplace_back(hist_names_[id], std::move(data));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"";
+    json_escape(os, snapshot.counters[i].first);
+    os << "\": " << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"";
+    json_escape(os, snapshot.gauges[i].first);
+    os << "\": " << snapshot.gauges[i].second;
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, data] = snapshot.histograms[i];
+    os << (i ? "," : "") << "\n    \"";
+    json_escape(os, name);
+    os << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < data.bounds.size(); ++b) {
+      os << (b ? "," : "") << data.bounds[b];
+    }
+    os << "], \"counts\": [";
+    for (std::size_t b = 0; b < data.counts.size(); ++b) {
+      os << (b ? "," : "") << data.counts[b];
+    }
+    os << "], \"total\": " << data.total << ", \"sum\": " << data.sum << "}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace maia::obs

@@ -1,0 +1,171 @@
+// Thread-sharded metrics registry: counters, high-watermark gauges, and
+// fixed-bucket histograms.
+//
+// Every thread that records gets its own shard, so ThreadPool workers
+// update metrics with a single relaxed atomic add on a cache line no other
+// thread writes — no locks, no contention on the hot path.  snapshot()
+// merges all shards (sum for counters and histogram buckets, max for
+// gauges) under the registry mutex; shards persist after their thread
+// exits, so nothing recorded is ever lost.
+//
+// Handles (Counter / Gauge / Histogram) are cheap value types resolved
+// once at registration; instrumented code keeps them in function-local
+// statics and pays nothing for lookup afterwards.  Recording is always
+// safe; the runtime `metrics_enabled()` switch and the MAIA_OBS_DISABLED
+// compile-time macro (see obs.hpp) exist so disabled builds and runs pay
+// at most a relaxed load + branch per site.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maia::obs {
+
+class MetricsRegistry;
+
+/// Monotonically increasing count; merged across threads by summation.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// High-watermark gauge: record() keeps the per-thread maximum and merge
+/// takes the maximum across threads (peak queue depth, high-tide memory).
+class Gauge {
+ public:
+  Gauge() = default;
+  void record(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+/// overflow bucket counts the rest.  Count and sum ride along so mean and
+/// rates fall out of a snapshot.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+struct HistogramData {
+  std::vector<double> bounds;        // upper bound per finite bucket
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 (last = overflow)
+  std::uint64_t total = 0;
+  double sum = 0.0;
+  double mean() const { return total ? sum / static_cast<double>(total) : 0.0; }
+};
+
+/// A merged, point-in-time view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Value lookup by exact name; zero / empty when absent.
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const HistogramData* histogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or re-open) the named metric.  Registering the same name
+  /// twice returns a handle to the same metric; a histogram's bounds are
+  /// fixed by the first registration.
+  Counter counter(std::string name);
+  Gauge gauge(std::string name);
+  Histogram histogram(std::string name, std::vector<double> bounds);
+
+  /// Merge every shard into one consistent view.
+  MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry that all instrumentation records into.
+  static MetricsRegistry& global();
+
+  /// Registered-metric capacity per kind (shards pre-allocate slots so
+  /// recording never resizes shared storage).
+  static constexpr std::uint32_t kMaxPerKind = 256;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct HistShard {
+    explicit HistShard(std::vector<double> b)
+        : bounds(std::move(b)), counts(bounds.size() + 1) {}
+    const std::vector<double> bounds;  // copied at creation: lock-free reads
+    std::vector<std::atomic<std::uint64_t>> counts;  // bounds + overflow
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxPerKind> counters{};
+    std::array<std::atomic<double>, kMaxPerKind> gauges{};
+    std::array<std::atomic<HistShard*>, kMaxPerKind> hists{};
+    ~Shard() {
+      for (auto& h : hists) delete h.load(std::memory_order_acquire);
+    }
+  };
+
+  Shard& local_shard();
+  HistShard& local_hist(Shard& shard, std::uint32_t id);
+
+  const std::uint64_t serial_;  // distinguishes registries in thread-local caches
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<std::vector<double>> hist_bounds_;
+};
+
+/// Render a snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"bounds": [...], "counts": [...], "total": n,
+/// "sum": s}}}.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Runtime switch consulted by the MAIA_OBS_* macros (default: on).
+/// Recording through handles directly is always allowed; the switch lets
+/// `maia_suite` offer a true null-sink mode for overhead measurements.
+void set_metrics_enabled(bool enabled);
+bool metrics_enabled();
+
+/// Exponential bucket bounds {first, first*base, ...} with `n` buckets —
+/// the standard layout for nanosecond-scale wait/latency histograms.
+std::vector<double> exponential_bounds(double first, double base, int n);
+
+}  // namespace maia::obs

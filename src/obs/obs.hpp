@@ -1,0 +1,74 @@
+// Umbrella header for the observability subsystem: include this from
+// instrumented code and use the macros below.
+//
+// Overhead contract:
+//  * compile-time: defining MAIA_OBS_DISABLED compiles every macro to
+//    nothing — no atomic loads, no clock reads, no code at all;
+//  * runtime: spans check Tracer::global().enabled() (default off) and
+//    metric sites check metrics_enabled() (default on); a disabled site is
+//    one relaxed atomic load and a predictable branch.
+//
+// Instrumented layers record through registry handles held in
+// function-local statics, e.g.:
+//
+//   static const obs::Counter c =
+//       obs::MetricsRegistry::global().counter("fabric.messages");
+//   MAIA_OBS_COUNT(c, 1);
+//
+// and mark phases with spans:
+//
+//   MAIA_OBS_SPAN("fabric", "bandwidth_curve");
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace maia::obs {
+/// False when the whole subsystem is compiled out (MAIA_OBS_DISABLED);
+/// instrumentation uses it to skip clock reads and other site-local prep
+/// the macros themselves cannot see.
+#if defined(MAIA_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+}  // namespace maia::obs
+
+#if defined(MAIA_OBS_DISABLED)
+
+#define MAIA_OBS_COUNT(handle, n) ((void)0)
+#define MAIA_OBS_GAUGE(handle, v) ((void)0)
+#define MAIA_OBS_HISTOGRAM(handle, v) ((void)0)
+#define MAIA_OBS_SPAN(category, name) ((void)0)
+#define MAIA_OBS_SPAN_ARGS(category, name, args_json) ((void)0)
+
+#else
+
+#define MAIA_OBS_COUNT(handle, n)                      \
+  do {                                                 \
+    if (::maia::obs::metrics_enabled()) (handle).add(n); \
+  } while (0)
+
+#define MAIA_OBS_GAUGE(handle, v)                           \
+  do {                                                      \
+    if (::maia::obs::metrics_enabled()) (handle).record(v); \
+  } while (0)
+
+#define MAIA_OBS_HISTOGRAM(handle, v)                       \
+  do {                                                      \
+    if (::maia::obs::metrics_enabled()) (handle).record(v); \
+  } while (0)
+
+#define MAIA_OBS_CONCAT_IMPL(a, b) a##b
+#define MAIA_OBS_CONCAT(a, b) MAIA_OBS_CONCAT_IMPL(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define MAIA_OBS_SPAN(category, name) \
+  ::maia::obs::ScopedSpan MAIA_OBS_CONCAT(maia_obs_span_, __COUNTER__)(category, name)
+
+/// Scoped span with a raw-JSON args object, e.g. "{\"bytes\": 4096}".
+#define MAIA_OBS_SPAN_ARGS(category, name, args_json)                   \
+  ::maia::obs::ScopedSpan MAIA_OBS_CONCAT(maia_obs_span_, __COUNTER__)( \
+      category, name, args_json)
+
+#endif  // MAIA_OBS_DISABLED

@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace maia::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_serial{1};
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+struct Event {
+  std::string name;
+  const char* category;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  std::uint32_t tid;
+  std::string args_json;
+};
+
+}  // namespace
+
+/// One thread's event storage.  The owning thread appends under the ring
+/// mutex (uncontended in steady state); exporters take the same mutex, so
+/// a concurrent snapshot is always consistent.  Spans cost nothing at all
+/// while tracing is disabled, so this lock is never on a measured path.
+struct Tracer::Ring {
+  std::uint32_t tid = 0;
+  mutable std::mutex mutex;
+  std::vector<Event> events;  // ring once size reaches kRingCapacity
+  std::size_t next = 0;       // overwrite cursor
+  std::uint64_t dropped = 0;
+};
+
+Tracer::Tracer()
+    : serial_(g_next_tracer_serial.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(steady_now_ns()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  if (enabled && !enabled_.load(std::memory_order_relaxed)) {
+    epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_ns() const {
+  const std::int64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  const std::int64_t now = steady_now_ns();
+  return now > epoch ? static_cast<std::uint64_t>(now - epoch) : 0;
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  thread_local std::uint64_t t_owner_serial = 0;
+  thread_local Ring* t_ring = nullptr;
+  if (t_owner_serial != serial_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::make_unique<Ring>());
+    rings_.back()->tid = static_cast<std::uint32_t>(rings_.size());
+    t_ring = rings_.back().get();
+    t_owner_serial = serial_;
+  }
+  return *t_ring;
+}
+
+void Tracer::record(std::string name, const char* category, std::uint64_t ts_ns,
+                    std::uint64_t dur_ns, std::string args_json) {
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  Event ev{std::move(name), category, ts_ns, dur_ns, ring.tid,
+           std::move(args_json)};
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(std::move(ev));
+  } else {
+    ring.events[ring.next] = std::move(ev);
+    ring.next = (ring.next + 1) % kRingCapacity;
+    ++ring.dropped;
+  }
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    stats.recorded += ring->events.size();
+    stats.dropped += ring->dropped;
+  }
+  return stats;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      all.insert(all.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  // Chrome requires events sorted by timestamp; at equal timestamps the
+  // enclosing (longer) span must come first for correct nesting.
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.dur_ns > b.dur_ns;
+  });
+
+  // Timestamps are microseconds with three decimals (full nanosecond
+  // precision); printing them at default float precision would quantise
+  // long runs to ~10 us steps and break parent/child containment.
+  const auto us = [](std::uint64_t ns) {
+    std::ostringstream s;
+    s << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000;
+    return s.str();
+  };
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Event& ev = all[i];
+    os << (i ? "," : "") << "\n  {\"name\": \"";
+    json_escape(os, ev.name);
+    os << "\", \"cat\": \"";
+    json_escape(os, ev.category);
+    os << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << ev.tid
+       << ", \"ts\": " << us(ev.ts_ns) << ", \"dur\": " << us(ev.dur_ns)
+       << ", \"args\": " << (ev.args_json.empty() ? "{}" : ev.args_json) << "}";
+  }
+  os << "\n]}\n";
+}
+
+// ------------------------------------------------------------- ScopedSpan
+
+ScopedSpan::ScopedSpan(const char* category, std::string name)
+    : active_(Tracer::global().enabled()) {
+  if (active_) {
+    category_ = category;
+    name_ = std::move(name);
+    t0_ns_ = Tracer::global().now_ns();
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* category, std::string name,
+                       std::string args_json)
+    : active_(Tracer::global().enabled()) {
+  if (active_) {
+    category_ = category;
+    name_ = std::move(name);
+    args_json_ = std::move(args_json);
+    t0_ns_ = Tracer::global().now_ns();
+  }
+}
+
+void ScopedSpan::rename(std::string name) {
+  if (active_) name_ = std::move(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  const std::uint64_t t1 = tracer.now_ns();
+  tracer.record(std::move(name_), category_, t0_ns_,
+                t1 > t0_ns_ ? t1 - t0_ns_ : 0, std::move(args_json_));
+}
+
+}  // namespace maia::obs

@@ -1,0 +1,105 @@
+// Scoped span tracer with Chrome trace-event export.
+//
+// A ScopedSpan stamps steady-clock time at construction and, at scope
+// exit, appends one complete event (name, category, thread, optional JSON
+// args) to its thread's ring buffer inside the process tracer.  The rings
+// have fixed capacity; once full, the oldest events are overwritten and a
+// drop counter keeps the loss visible.
+//
+// write_chrome_json() merges every ring into a catapult-format
+// {"traceEvents": [...]} document that chrome://tracing and Perfetto load
+// directly ("ph":"X" complete events, microsecond timestamps).
+//
+// Tracing is OFF by default.  A disabled ScopedSpan costs one relaxed
+// atomic load and a branch — the null-sink guarantee `maia_suite` relies
+// on — and the MAIA_OBS_DISABLED compile-time switch (obs.hpp) removes
+// even that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maia::obs {
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Turn span recording on or off.  Enabling (re)stamps the trace epoch:
+  /// exported timestamps are relative to the most recent enable.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append one complete event; timestamps are steady-clock nanoseconds
+  /// (epoch-relative).  Called by ScopedSpan, not usually directly.
+  void record(std::string name, const char* category, std::uint64_t ts_ns,
+              std::uint64_t dur_ns, std::string args_json);
+
+  /// Nanoseconds since the trace epoch, on the steady clock.
+  std::uint64_t now_ns() const;
+
+  struct Stats {
+    std::uint64_t recorded = 0;  // events currently held in rings
+    std::uint64_t dropped = 0;   // overwritten by ring wrap-around
+  };
+  Stats stats() const;
+
+  /// Merge all rings, sort by timestamp, emit catapult JSON.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Drop all recorded events (rings stay allocated).
+  void clear();
+
+  /// Events each thread's ring holds before wrapping.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  /// The process-wide tracer all MAIA_OBS_SPAN sites record into.
+  static Tracer& global();
+
+ private:
+  struct Ring;
+  Ring& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t serial_;  // distinguishes tracers in thread-local caches
+  std::atomic<std::int64_t> epoch_ns_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: records [construction, destruction) as one complete event
+/// when the global tracer is enabled at construction time.
+class ScopedSpan {
+ public:
+  /// `category` must be a string literal (kept by pointer); `name` is
+  /// copied.  Figure ids and other dynamic names are fine.
+  ScopedSpan(const char* category, std::string name);
+  ScopedSpan(const char* category, std::string name, std::string args_json);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Replace the span's name before it closes — for scopes whose label is
+  /// only known at the end (a figure generator's id, say).
+  void rename(std::string name);
+
+ private:
+  bool active_;
+  std::uint64_t t0_ns_ = 0;
+  const char* category_ = nullptr;
+  std::string name_;
+  std::string args_json_;
+};
+
+}  // namespace maia::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace maia::offload {
 namespace {
 
@@ -36,6 +38,9 @@ OffloadRuntime::OffloadRuntime(arch::NodeTopology node, arch::DeviceId target,
 }
 
 OffloadReport OffloadRuntime::run(const OffloadProgram& program) const {
+  MAIA_OBS_SPAN("offload", "program/" + program.name);
+  static const obs::Counter invocations =
+      obs::MetricsRegistry::global().counter("offload.invocations");
   OffloadReport report;
 
   const auto& host = node_.host;
@@ -48,7 +53,13 @@ OffloadReport OffloadRuntime::run(const OffloadProgram& program) const {
   }
 
   for (const auto& region : program.regions) {
+    MAIA_OBS_SPAN_ARGS(
+        "offload", "region/" + region.name,
+        "{\"invocations\": " + std::to_string(region.invocations) +
+            ", \"bytes_in\": " + std::to_string(region.bytes_in) +
+            ", \"bytes_out\": " + std::to_string(region.bytes_out) + "}");
     const double n = static_cast<double>(region.invocations);
+    MAIA_OBS_COUNT(invocations, static_cast<std::uint64_t>(region.invocations));
     report.invocations += region.invocations;
     report.bytes_in += static_cast<sim::Bytes>(n) * region.bytes_in;
     report.bytes_out += static_cast<sim::Bytes>(n) * region.bytes_out;

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
-#include <queue>
 #include <stdexcept>
+
+#include "sim/event_queue.hpp"
 
 namespace maia::omp {
 namespace {
@@ -67,38 +68,65 @@ ScheduleResult LoopScheduler::run(std::span<const double> iteration_costs,
     }
   } else {
     // DYNAMIC / GUIDED: threads race on a shared counter; the counter line
-    // is exclusive during each fetch-and-add, so dequeues serialize.
+    // is exclusive during each fetch-and-add, so dequeues serialize.  This
+    // is genuinely concurrent contention, so it runs as a discrete-event
+    // simulation: each thread is an actor whose "ask for work" event fires
+    // at its ready time, claims the next chunk, and reschedules itself at
+    // its finish time.  Events at equal timestamps fire in schedule order,
+    // which keeps the simulation deterministic.
     if (chunk <= 0) chunk = 1;
-    long remaining = trip;
-    long next = 0;
-    double counter_free = 0.0;
-    // Min-heap of (thread ready time, thread id): always dispatch to the
-    // thread that asks first.
-    using Item = std::pair<double, int>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
-    for (int t = 0; t < threads; ++t) ready.emplace(0.0, t);
+    struct DispatchState {
+      std::span<const double> costs;
+      SchedulePolicy policy;
+      int threads;
+      long chunk;
+      sim::Seconds dispatch;
+      long next = 0;
+      long remaining = 0;
+      double counter_free = 0.0;
+      sim::EventQueue queue;
+      ScheduleResult* result;
+      std::vector<double>* clock;
 
-    while (next < trip) {
-      auto [at, t] = ready.top();
-      ready.pop();
-      const double acquire = std::max(at, counter_free);
-      counter_free = acquire + dispatch;
-      long take = chunk;
-      if (policy == SchedulePolicy::kGuided) {
-        // OpenMP guided: size proportional to remaining/threads (the
-        // libgomp rule), floored at the specified chunk.
-        take = std::max<long>(chunk, (remaining + threads - 1) / threads);
+      void request(int t) {
+        const long trip_count = static_cast<long>(costs.size());
+        if (next >= trip_count) return;
+        const double acquire = std::max(queue.now(), counter_free);
+        counter_free = acquire + dispatch;
+        long take = chunk;
+        if (policy == SchedulePolicy::kGuided) {
+          // OpenMP guided: size proportional to remaining/threads (the
+          // libgomp rule), floored at the specified chunk.
+          take = std::max<long>(chunk, (remaining + threads - 1) / threads);
+        }
+        take = std::min(take, trip_count - next);
+        double finish = acquire + dispatch;
+        for (long i = next; i < next + take; ++i) {
+          finish += costs[static_cast<std::size_t>(i)];
+        }
+        result->iterations_per_thread[static_cast<std::size_t>(t)] += take;
+        ++result->dispatches;
+        next += take;
+        remaining -= take;
+        (*clock)[static_cast<std::size_t>(t)] = finish;
+        queue.schedule_at(finish, [this, t] { request(t); });
       }
-      take = std::min(take, trip - next);
-      double finish = acquire + dispatch;
-      for (long i = next; i < next + take; ++i) finish += iteration_costs[i];
-      result.iterations_per_thread[t] += take;
-      ++result.dispatches;
-      next += take;
-      remaining -= take;
-      clock[t] = finish;
-      ready.emplace(finish, t);
+    };
+
+    DispatchState state;
+    state.costs = iteration_costs;
+    state.policy = policy;
+    state.threads = threads;
+    state.chunk = chunk;
+    state.dispatch = dispatch;
+    state.remaining = trip;
+    state.result = &result;
+    state.clock = &clock;
+    state.queue.reserve(static_cast<std::size_t>(threads) + 1);
+    for (int t = 0; t < threads; ++t) {
+      state.queue.schedule_at(0.0, [&state, t] { state.request(t); });
     }
+    state.queue.run();
     // Idle threads that never got work still hold clock = 0.
   }
 

@@ -1,8 +1,42 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace maia::sim {
+
+namespace {
+
+thread_local EventQueueStats t_event_queue_telemetry;
+
+}  // namespace
+
+EventQueueStats exchange_event_queue_telemetry(EventQueueStats next) {
+  const EventQueueStats old = t_event_queue_telemetry;
+  t_event_queue_telemetry = next;
+  return old;
+}
+
+void EventQueue::publish_stats() {
+  const std::uint64_t delta = stats_.dispatched - published_dispatched_;
+  if (delta == 0 && stats_.peak_depth <= published_peak_) return;
+
+  static const obs::Counter dispatched_total =
+      obs::MetricsRegistry::global().counter("sim.event_queue.dispatched");
+  static const obs::Gauge peak_depth =
+      obs::MetricsRegistry::global().gauge("sim.event_queue.peak_depth");
+  MAIA_OBS_COUNT(dispatched_total, delta);
+  MAIA_OBS_GAUGE(peak_depth, static_cast<double>(stats_.peak_depth));
+
+  t_event_queue_telemetry.dispatched += delta;
+  t_event_queue_telemetry.peak_depth =
+      std::max(t_event_queue_telemetry.peak_depth, stats_.peak_depth);
+
+  published_dispatched_ = stats_.dispatched;
+  published_peak_ = stats_.peak_depth;
+}
 
 void EventQueue::schedule_at(Seconds at, Callback fn) {
   if (at < now_) at = now_;  // documented clamp: time never runs backwards
@@ -29,6 +63,7 @@ void EventQueue::schedule_at(Seconds at, Callback fn) {
     i = parent;
   }
   heap_[i] = key;
+  if (heap_.size() > stats_.peak_depth) stats_.peak_depth = heap_.size();
 }
 
 EventQueue::Key EventQueue::pop_earliest() {
@@ -63,8 +98,10 @@ Seconds EventQueue::run() {
     // (which may recycle this very slot; the moved-from slot is empty).
     Callback fn = std::move(slots_[key.slot]);
     free_slots_.push_back(key.slot);
+    ++stats_.dispatched;
     fn();
   }
+  publish_stats();
   return now_;
 }
 
@@ -74,18 +111,24 @@ Seconds EventQueue::run_until(Seconds deadline) {
     now_ = key.at;
     Callback fn = std::move(slots_[key.slot]);
     free_slots_.push_back(key.slot);
+    ++stats_.dispatched;
     fn();
   }
   if (now_ < deadline && heap_.empty()) now_ = deadline;
+  publish_stats();
   return now_;
 }
 
 void EventQueue::reset() {
+  publish_stats();
   heap_.clear();
   slots_.clear();
   free_slots_.clear();
   now_ = 0.0;
   next_seq_ = 0;
+  stats_ = {};
+  published_dispatched_ = 0;
+  published_peak_ = 0;
 }
 
 }  // namespace maia::sim

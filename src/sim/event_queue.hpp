@@ -22,6 +22,21 @@
 
 namespace maia::sim {
 
+/// Dispatch accounting of one queue (and, merged, of a whole run): how
+/// many events fired and the deepest the pending-event heap ever got.
+struct EventQueueStats {
+  std::uint64_t dispatched = 0;
+  std::size_t peak_depth = 0;
+};
+
+/// Per-thread accumulator of EventQueueStats, merged from every queue
+/// that drains on the calling thread.  The suite runner exchanges it
+/// around each figure generator to attribute event-queue work per figure
+/// (exact when the figure runs on one thread, i.e. in the serial
+/// baseline).  Queues also publish the same deltas to the global
+/// obs::MetricsRegistry ("sim.event_queue.*").
+EventQueueStats exchange_event_queue_telemetry(EventQueueStats next);
+
 class EventQueue {
  public:
   using Callback = UniqueFunction<void()>;
@@ -52,10 +67,19 @@ class EventQueue {
   Seconds run_until(Seconds deadline);
 
   /// Drop all pending events and reset the clock.  Capacity is kept, so a
-  /// model that resets between rounds pays for the storage once.
+  /// model that resets between rounds pays for the storage once.  Stats
+  /// accumulated so far are published, then restart from zero.
   void reset();
 
+  /// Lifetime dispatch accounting of this queue (cheap per-instance
+  /// bookkeeping, always on).
+  const EventQueueStats& stats() const { return stats_; }
+
  private:
+  /// Push the delta since the last publish into the metrics registry and
+  /// the calling thread's telemetry accumulator.  Called when a run
+  /// drains; harmless to call repeatedly.
+  void publish_stats();
   struct Key {
     Seconds at;
     std::uint64_t seq;   // tie-break: FIFO among equal timestamps
@@ -73,6 +97,9 @@ class EventQueue {
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  EventQueueStats stats_;
+  std::uint64_t published_dispatched_ = 0;
+  std::size_t published_peak_ = 0;
   std::vector<Key> heap_;       // binary min-heap on (at, seq)
   std::vector<Callback> slots_; // callback arena, indexed by Key::slot
   std::vector<std::uint32_t> free_slots_;

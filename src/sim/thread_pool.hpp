@@ -24,6 +24,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -81,10 +82,20 @@ class ThreadPool {
   static ThreadPool* current();
 
  private:
+  /// A queued task plus its enqueue timestamp (steady-clock ns; zero when
+  /// metrics are disabled, so the dequeue side skips the clock read too).
+  struct Item {
+    UniqueFunction<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
+  /// Run `item.fn`, recording queue-wait and task metrics and (when
+  /// tracing) a "pool" span around the execution.
+  void execute(Item item);
 
   std::vector<std::thread> workers_;
-  std::deque<UniqueFunction<void()>> queue_;
+  std::deque<Item> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   bool stopping_ = false;

@@ -1,0 +1,324 @@
+// Observability subsystem tests: shard merge correctness for counters,
+// gauges and histograms (including under real ThreadPool concurrency —
+// the configuration the TSan job runs), trace-event JSON validity and
+// span nesting, ring overflow accounting, and the disabled-path no-op
+// guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace maia::obs {
+namespace {
+
+// ------------------------------------------------------------- metrics ---
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("test.counter");
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(reg.snapshot().counter("test.counter"), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, GaugeMergesByMaximum) {
+  MetricsRegistry reg;
+  const Gauge g = reg.gauge("test.peak");
+
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([&g, t] {
+      g.record(10.0 * t);
+      g.record(1.0);  // lower values never pull the watermark down
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("test.peak"), 40.0);
+}
+
+TEST(MetricsTest, HistogramBucketsMergeBySummation) {
+  MetricsRegistry reg;
+  const Histogram h = reg.histogram("test.hist", {1.0, 10.0, 100.0});
+
+  // Two threads record the same value set; merged counts must double.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&h] {
+      h.record(0.5);    // bucket 0 (<= 1)
+      h.record(5.0);    // bucket 1 (<= 10)
+      h.record(50.0);   // bucket 2 (<= 100)
+      h.record(500.0);  // overflow
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("test.hist");
+  ASSERT_NE(data, nullptr);
+  ASSERT_EQ(data->counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(data->counts[0], 2u);
+  EXPECT_EQ(data->counts[1], 2u);
+  EXPECT_EQ(data->counts[2], 2u);
+  EXPECT_EQ(data->counts[3], 2u);
+  EXPECT_EQ(data->total, 8u);
+  EXPECT_DOUBLE_EQ(data->sum, 2 * (0.5 + 5.0 + 50.0 + 500.0));
+  EXPECT_DOUBLE_EQ(data->mean(), data->sum / 8.0);
+}
+
+TEST(MetricsTest, ReRegistrationReturnsTheSameMetric) {
+  MetricsRegistry reg;
+  const Counter a = reg.counter("dup");
+  const Counter b = reg.counter("dup");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(reg.snapshot().counter("dup"), 7u);
+
+  // A histogram's bounds are fixed by the first registration.
+  (void)reg.histogram("dup.hist", {1.0, 2.0});
+  const Histogram h2 = reg.histogram("dup.hist", {99.0});
+  h2.record(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("dup.hist");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(data->counts[1], 1u);
+}
+
+TEST(MetricsTest, SnapshotLookupOfAbsentNames) {
+  MetricsRegistry reg;
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("missing"), 0.0);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(MetricsTest, ExponentialBounds) {
+  const auto b = exponential_bounds(256.0, 4.0, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 256.0);
+  EXPECT_DOUBLE_EQ(b[1], 1024.0);
+  EXPECT_DOUBLE_EQ(b[2], 4096.0);
+}
+
+TEST(MetricsTest, RuntimeSwitchMakesMacrosNoOps) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("switched");
+  set_metrics_enabled(false);
+  MAIA_OBS_COUNT(c, 5);
+  set_metrics_enabled(true);
+  MAIA_OBS_COUNT(c, 2);
+  EXPECT_EQ(reg.snapshot().counter("switched"), 2u);
+}
+
+TEST(MetricsTest, JsonExportContainsEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").record(2.5);
+  reg.histogram("h", {1.0}).record(0.5);
+
+  std::ostringstream os;
+  write_metrics_json(os, reg.snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+// Concurrency stress in the exact shape the instrumented hot paths use:
+// ThreadPool workers hammering one counter and one histogram while the
+// main thread snapshots concurrently.  Run under TSan in CI.
+TEST(MetricsTest, ThreadPoolStressMergesExactly) {
+  MetricsRegistry reg;
+  const Counter c = reg.counter("stress.counter");
+  const Histogram h = reg.histogram("stress.hist", exponential_bounds(1.0, 2.0, 8));
+
+  constexpr int kTasks = 256;
+  constexpr int kPerTask = 100;
+  {
+    sim::ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+      done.push_back(pool.submit([&c, &h, t] {
+        for (int i = 0; i < kPerTask; ++i) {
+          c.add(1);
+          h.record(static_cast<double>(t % 16));
+        }
+      }));
+    }
+    // Snapshot while workers are recording: must be race-free (values can
+    // lag, never tear).
+    (void)reg.snapshot();
+    for (auto& f : done) f.get();
+  }
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("stress.counter"), kTasks * kPerTask);
+  const HistogramData* data = snap.histogram("stress.hist");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->total, static_cast<std::uint64_t>(kTasks) * kPerTask);
+}
+
+// --------------------------------------------------------------- tracer ---
+
+/// Extract the value of `key` in the event object that names `name`.
+double event_field(const std::string& json, const std::string& name,
+                   const std::string& key) {
+  const auto at = json.find("\"name\": \"" + name + "\"");
+  EXPECT_NE(at, std::string::npos) << name << " not in trace";
+  const auto end = json.find('}', at);
+  const auto k = json.find("\"" + key + "\": ", at);
+  EXPECT_LT(k, end) << key << " not in event " << name;
+  return std::stod(json.substr(k + key.size() + 4));
+}
+
+TEST(TracerTest, ExportsBalancedNestedSpans) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer("test", "outer");
+    {
+      ScopedSpan inner("test", "inner", "{\"k\": 1}");
+    }
+  }
+  tracer.set_enabled(false);
+
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  tracer.clear();
+
+  // Structure: a traceEvents array of complete ("ph":"X") events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  std::size_t complete = 0;
+  for (auto at = json.find("\"ph\": \"X\""); at != std::string::npos;
+       at = json.find("\"ph\": \"X\"", at + 1)) {
+    ++complete;
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_NE(json.find("{\"k\": 1}"), std::string::npos);
+
+  // The inner span lies inside [ts, ts+dur] of the outer one.
+  const double outer_ts = event_field(json, "outer", "ts");
+  const double outer_dur = event_field(json, "outer", "dur");
+  const double inner_ts = event_field(json, "inner", "ts");
+  const double inner_dur = event_field(json, "inner", "dur");
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+
+  // Sorted for Chrome: outer (equal-or-earlier timestamp, longer) first.
+  EXPECT_LT(json.find("\"name\": \"outer\""), json.find("\"name\": \"inner\""));
+}
+
+TEST(TracerTest, RenameRelabelsTheSpan) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("test", "placeholder");
+    span.rename("final-name");
+  }
+  tracer.set_enabled(false);
+
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  tracer.clear();
+  EXPECT_NE(json.find("\"final-name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"placeholder\""), std::string::npos);
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span("test", "ghost");
+  }
+  EXPECT_EQ(tracer.stats().recorded, 0u);
+}
+
+TEST(TracerTest, RingOverflowCountsDrops) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  constexpr std::uint64_t kExtra = 10;
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + kExtra; ++i) {
+    tracer.record("e", "test", i, 1, "");
+  }
+  tracer.set_enabled(false);
+  const Tracer::Stats stats = tracer.stats();
+  tracer.clear();
+  EXPECT_EQ(stats.recorded, Tracer::kRingCapacity);
+  EXPECT_EQ(stats.dropped, kExtra);
+}
+
+// Spans from ThreadPool workers land in per-thread rings; export merges
+// them with distinct tids.  Run under TSan in CI.
+TEST(TracerTest, ConcurrentSpansFromPoolWorkers) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  constexpr int kTasks = 64;
+  {
+    sim::ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+      done.push_back(pool.submit([] { ScopedSpan span("test", "work"); }));
+    }
+    for (auto& f : done) f.get();
+  }
+  tracer.set_enabled(false);
+  const Tracer::Stats stats = tracer.stats();
+  tracer.clear();
+  // Each task records its span, and the pool itself may add task spans.
+  EXPECT_GE(stats.recorded, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+// ----------------------------------------------- event-queue telemetry ---
+
+TEST(TelemetryTest, EventQueueRunsAccumulateIntoThreadLocal) {
+  const sim::EventQueueStats saved = sim::exchange_event_queue_telemetry({});
+  {
+    sim::EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i) {
+      queue.schedule_at(static_cast<sim::Seconds>(i), [&fired] { ++fired; });
+    }
+    queue.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(queue.stats().dispatched, 5u);
+    EXPECT_EQ(queue.stats().peak_depth, 5u);
+  }
+  const sim::EventQueueStats mine = sim::exchange_event_queue_telemetry(saved);
+  EXPECT_EQ(mine.dispatched, 5u);
+  EXPECT_EQ(mine.peak_depth, 5u);
+}
+
+}  // namespace
+}  // namespace maia::obs
