@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/figures.hpp"
+#include "memsim/latency_walker.hpp"
 #include "obs/obs.hpp"
 
 namespace maia::bench {
@@ -29,6 +30,8 @@ inline void print_figure_help(const char* argv0, std::ostream& os) {
      << "  --csv             print the raw table as CSV (for plotting)\n"
      << "  --time            report wall clock on stderr\n"
      << "  --metrics FILE    write the metrics registry as JSON (\"-\" = stdout)\n"
+     << "  --no-extrapolate  disable the latency walker's steady-state engine\n"
+     << "                    (simulate every lap; results must not change)\n"
      << "  --trace FILE      record a Chrome trace (chrome://tracing) of the run\n"
      << "  --help            show this help\n";
 }
@@ -59,6 +62,8 @@ inline int run_figure(maia::core::FigureResult (*fn)(), int argc, char** argv) {
       csv = true;
     } else if (std::strcmp(argv[i], "--time") == 0) {
       timed = true;
+    } else if (std::strcmp(argv[i], "--no-extrapolate") == 0) {
+      maia::mem::set_walk_extrapolation(false);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {

@@ -41,14 +41,33 @@ void BM_CacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccess);
 
+// The steady-state walk engine with the memo cache bypassed, so every
+// iteration pays for a real evaluation (a memoized walk is just a map
+// lookup and would be meaningless to time).
 void BM_LatencyWalk(benchmark::State& state) {
   const mem::LatencyWalker walker(arch::xeon_phi_5110p());
   const auto ws = static_cast<sim::Bytes>(state.range(0));
+  mem::WalkOptions opts;
+  opts.memoize = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(walker.walk(ws).avg_latency);
+    benchmark::DoNotOptimize(walker.walk(ws, 4, opts).avg_latency);
   }
 }
 BENCHMARK(BM_LatencyWalk)->Arg(64 * 1024)->Arg(4 * 1024 * 1024);
+
+// Brute-force reference: every lap simulated, as under --no-extrapolate.
+// The ratio to BM_LatencyWalk is the steady-state engine's payoff.
+void BM_LatencyWalkBrute(benchmark::State& state) {
+  const mem::LatencyWalker walker(arch::xeon_phi_5110p());
+  const auto ws = static_cast<sim::Bytes>(state.range(0));
+  mem::WalkOptions opts;
+  opts.memoize = false;
+  opts.extrapolate = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.walk(ws, 4, opts).avg_latency);
+  }
+}
+BENCHMARK(BM_LatencyWalkBrute)->Arg(64 * 1024)->Arg(4 * 1024 * 1024);
 
 void BM_AllgatherCost(benchmark::State& state) {
   const mpi::Collectives coll(

@@ -6,18 +6,22 @@
 // results, print a per-figure timing table, and write BENCH_suite.json.
 //
 //   maia_suite [--jobs N] [--json PATH] [--parallel-only] [--print-figures]
-//              [--metrics PATH] [--trace PATH]
+//              [--metrics PATH] [--trace PATH] [--guard ID:SECONDS]
+//              [--no-extrapolate]
 //
-// Exit status: 0 iff every shape check passes (and, unless
-// --parallel-only, serial and parallel results are identical).
+// Exit status: 0 iff every shape check passes, every --guard budget holds,
+// and (unless --parallel-only) serial and parallel results are identical.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/runner.hpp"
+#include "memsim/latency_walker.hpp"
 #include "obs/obs.hpp"
 #include "sim/table.hpp"
 
@@ -44,6 +48,16 @@ void print_help(const char* argv0, std::FILE* out) {
       "                    paper order, after the timing summary\n"
       "  --metrics PATH    write the metrics registry (counters, gauges,\n"
       "                    histograms) as JSON after both runs\n"
+      "  --guard ID:SECS   fail (exit 1) if figure ID's wall clock exceeds\n"
+      "                    SECS seconds; repeatable; checked against the\n"
+      "                    serial baseline (the parallel run under\n"
+      "                    --parallel-only)\n"
+      "  --no-extrapolate  disable the latency walker's steady-state\n"
+      "                    engine (closed form and lap extrapolation) so\n"
+      "                    every lap is simulated; results must not change\n"
+      "                    (MAIA_NO_EXTRAPOLATE does the same from the\n"
+      "                    environment; MAIA_NO_WALK_MEMO disables the\n"
+      "                    walk memo cache)\n"
       "  --trace PATH      record a Chrome trace (open in chrome://tracing\n"
       "                    or Perfetto) of the serial run — one span per\n"
       "                    figure with nested model-phase spans; with\n"
@@ -65,6 +79,11 @@ int main(int argc, char** argv) {
   std::string metrics_path, trace_path;
   bool parallel_only = false;
   bool print_figures = false;
+  struct Guard {
+    std::string id;
+    double seconds;
+  };
+  std::vector<Guard> guards;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -79,6 +98,22 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--guard") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      char* end = nullptr;
+      const double secs = colon == std::string::npos
+                              ? -1.0
+                              : std::strtod(spec.c_str() + colon + 1, &end);
+      if (colon == std::string::npos || colon == 0 || secs <= 0.0 ||
+          (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr, "maia_suite: --guard expects ID:SECONDS, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      guards.push_back({spec.substr(0, colon), secs});
+    } else if (std::strcmp(argv[i], "--no-extrapolate") == 0) {
+      maia::mem::set_walk_extrapolation(false);
     } else if (std::strcmp(argv[i], "--parallel-only") == 0) {
       parallel_only = true;
     } else if (std::strcmp(argv[i], "--print-figures") == 0) {
@@ -108,6 +143,10 @@ int main(int argc, char** argv) {
     if (tracing) tracer.set_enabled(true);
     serial = SuiteRunner(1).run();
     if (tracing) tracer.set_enabled(false);
+    // The walk memo is process-wide; drop it so the parallel run pays the
+    // same walk costs and the speedup below measures the pool, not the
+    // cache.
+    maia::mem::clear_walk_memo();
   }
   std::cout << "Running parallel suite (--jobs " << parallel_runner.jobs()
             << ")...\n"
@@ -159,6 +198,33 @@ int main(int argc, char** argv) {
   std::cout << "shape checks:   " << reference.checks_passed() << "/"
             << reference.checks_total() << " pass\n";
 
+  // Wall-clock guards: regressions in the figure engines (e.g. the fig05
+  // walk engine falling back to brute force) fail the run even when every
+  // shape check still passes.
+  bool guards_ok = true;
+  const char* guard_run = serial ? "serial" : "parallel";
+  for (const auto& g : guards) {
+    bool found = false;
+    for (const auto& f : reference.figures) {
+      if (f.result.id != g.id) continue;
+      found = true;
+      if (f.wall_seconds > g.seconds) {
+        guards_ok = false;
+        std::fprintf(stderr,
+                     "guard FAILED: %s %s wall clock %.3f s exceeds budget %.3f s\n",
+                     g.id.c_str(), guard_run, f.wall_seconds, g.seconds);
+      } else {
+        std::cout << "guard ok:       " << g.id << " " << guard_run << " "
+                  << maia::sim::cell("%.3f s <= %.3f s", f.wall_seconds, g.seconds)
+                  << "\n";
+      }
+    }
+    if (!found) {
+      guards_ok = false;
+      std::fprintf(stderr, "guard FAILED: no figure with id '%s'\n", g.id.c_str());
+    }
+  }
+
   if (serial && json_path != "-") {
     std::ofstream json(json_path);
     if (!json) {
@@ -197,5 +263,5 @@ int main(int argc, char** argv) {
     for (const auto& f : parallel.figures) f.result.print(std::cout);
   }
 
-  return (reference.all_pass() && identical) ? 0 : 1;
+  return (reference.all_pass() && identical && guards_ok) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "memsim/latency_walker.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/table.hpp"
@@ -29,13 +30,18 @@ FigureRun timed_run(FigureResult (*generator)()) {
   // accumulator for the duration, restore the caller's tally afterwards
   // (work-helping can nest one timed_run inside another).
   const sim::EventQueueStats saved = sim::exchange_event_queue_telemetry({});
+  const mem::WalkTelemetry saved_walks = mem::exchange_walk_telemetry({});
   const auto t0 = std::chrono::steady_clock::now();
   FigureRun run;
   run.result = generator();
   run.wall_seconds = seconds_since(t0);
   const sim::EventQueueStats stats = sim::exchange_event_queue_telemetry(saved);
+  const mem::WalkTelemetry walks = mem::exchange_walk_telemetry(saved_walks);
   run.events_dispatched = stats.dispatched;
   run.peak_event_queue_depth = stats.peak_depth;
+  run.walk_laps_simulated = walks.laps_simulated;
+  run.walk_laps_extrapolated = walks.laps_extrapolated;
+  run.walk_memo_hits = walks.memo_hits;
   span.rename("figure/" + run.result.id);
   return run;
 }
@@ -141,7 +147,10 @@ void json_figure_array(std::ostream& os, const SuiteResult& suite) {
        << ", \"checks_passed\": " << f.result.passed()
        << ", \"checks_total\": " << f.result.checks.size()
        << ", \"events_dispatched\": " << f.events_dispatched
-       << ", \"peak_event_queue_depth\": " << f.peak_event_queue_depth << "}";
+       << ", \"peak_event_queue_depth\": " << f.peak_event_queue_depth
+       << ", \"walk_laps_simulated\": " << f.walk_laps_simulated
+       << ", \"walk_laps_extrapolated\": " << f.walk_laps_extrapolated
+       << ", \"walk_memo_hits\": " << f.walk_memo_hits << "}";
   }
   os << "\n  ]";
 }

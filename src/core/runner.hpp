@@ -18,15 +18,21 @@
 namespace maia::core {
 
 /// One executed figure: the result plus its measured wall time and the
-/// event-queue telemetry its generator produced.  The event counts are
-/// exact in a serial run; under work-helping a worker may interleave two
-/// figures, but each timed_run saves and restores the accumulator so a
-/// nested figure never pollutes its host's counts.
+/// event-queue and memory-walk telemetry its generator produced.  The
+/// counts are exact in a serial run; under work-helping a worker may
+/// interleave two figures, but each timed_run saves and restores the
+/// accumulators so a nested figure never pollutes its host's counts.
 struct FigureRun {
   FigureResult result;
   double wall_seconds = 0.0;
   std::uint64_t events_dispatched = 0;
   std::size_t peak_event_queue_depth = 0;
+  /// Latency-walk engine counters (fig05 and anything else that walks):
+  /// laps actually simulated vs accounted by steady-state extrapolation,
+  /// and walks served from the process-wide memo cache.
+  std::uint64_t walk_laps_simulated = 0;
+  std::uint64_t walk_laps_extrapolated = 0;
+  std::uint64_t walk_memo_hits = 0;
 };
 
 struct SuiteResult {

@@ -1,11 +1,59 @@
 #include "memsim/cache_sim.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 namespace maia::mem {
+
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_u64(std::uint64_t v) {
+  std::uint32_t shift = 0;
+  while ((1ull << shift) < v) ++shift;
+  return shift;
+}
+
+/// SplitMix64-style mix, the usual avalanche for fingerprint folding.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+template <int W>
+std::uint64_t replay_binned(SetAssociativeCache& cache,
+                            const std::uint64_t* binned, std::size_t n) {
+  constexpr std::size_t kPrefetchAhead = 16;
+  std::uint64_t hits = 0;
+  const std::size_t fetchable = n > kPrefetchAhead ? n - kPrefetchAhead : 0;
+  std::size_t i = 0;
+  for (; i < fetchable; ++i) {
+    cache.prefetch_set(binned[i + kPrefetchAhead]);
+    hits += cache.access_fixed<W>(binned[i]) ? 1u : 0u;
+  }
+  for (; i < n; ++i) {
+    hits += cache.access_fixed<W>(binned[i]) ? 1u : 0u;
+  }
+  return hits;
+}
+
+/// Instantiate the replay at the associativities the modelled processors
+/// use so the way scans unroll; anything else takes the generic path.
+std::uint64_t replay_dispatch(SetAssociativeCache& cache,
+                              const std::uint64_t* binned, std::size_t n) {
+  switch (cache.associativity()) {
+    case 4: return replay_binned<4>(cache, binned, n);
+    case 8: return replay_binned<8>(cache, binned, n);
+    case 16: return replay_binned<16>(cache, binned, n);
+    case 20: return replay_binned<20>(cache, binned, n);
+    default: return replay_binned<0>(cache, binned, n);
+  }
+}
+
+}  // namespace
 
 SetAssociativeCache::SetAssociativeCache(sim::Bytes capacity, int line_bytes,
                                          int associativity)
@@ -19,55 +67,23 @@ SetAssociativeCache::SetAssociativeCache(sim::Bytes capacity, int line_bytes,
     throw std::invalid_argument("cache: capacity must be a positive multiple of line*ways");
   }
   sets_ = static_cast<int>(capacity / way_bytes);
+  if (is_pow2(static_cast<std::uint64_t>(line_bytes_))) {
+    pow2_line_ = true;
+    line_shift_ = log2_u64(static_cast<std::uint64_t>(line_bytes_));
+  }
+  if (is_pow2(static_cast<std::uint64_t>(sets_))) {
+    pow2_sets_ = true;
+    set_mask_ = static_cast<std::uint64_t>(sets_) - 1;
+  }
   const auto entries =
       static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_);
   tags_.assign(entries, kEmptyTag);
   age_.assign(entries, 0);
 }
 
-bool SetAssociativeCache::access(std::uint64_t address) {
-  ++stats_.accesses;
-  if (clock_ == std::numeric_limits<std::uint32_t>::max()) renormalise_ages();
-  ++clock_;
-  const std::uint64_t line = line_of(address);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
-  const std::size_t base = set * static_cast<std::size_t>(ways_);
-  std::uint64_t* tags = &tags_[base];
-  std::uint32_t* ages = &age_[base];
-  const int ways = ways_;
-
-  // Hot path: a branchless tag scan over one contiguous run (the compiler
-  // vectorises the conditional-move form; an early-exit loop does not).
-  int hit = -1;
-  for (int w = 0; w < ways; ++w) {
-    hit = tags[w] == line ? w : hit;
-  }
-  if (hit >= 0) {
-    ages[hit] = clock_;
-    ++stats_.hits;
-    return true;
-  }
-
-  // Miss path: evict the minimum-age way.  Empty ways carry age 0, which
-  // is below any valid stamp, so they are filled before anything is
-  // evicted — same residency outcome as the historical fused scan.
-  int victim = 0;
-  std::uint32_t best = ages[0];
-  for (int w = 1; w < ways; ++w) {
-    const bool lower = ages[w] < best;
-    best = lower ? ages[w] : best;
-    victim = lower ? w : victim;
-  }
-  tags[victim] = line;
-  ages[victim] = clock_;
-  ++stats_.misses;
-  return false;
-}
-
 bool SetAssociativeCache::probe(std::uint64_t address) const {
   const std::uint64_t line = line_of(address);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
-  const std::uint64_t* tags = &tags_[set * static_cast<std::size_t>(ways_)];
+  const std::uint64_t* tags = &tags_[set_of(line) * static_cast<std::size_t>(ways_)];
   for (int w = 0; w < ways_; ++w) {
     if (tags[w] == line) return true;
   }
@@ -80,18 +96,126 @@ void SetAssociativeCache::flush() {
   clock_ = 0;
 }
 
+void SetAssociativeCache::append_state(std::vector<std::uint64_t>& out) const {
+  // Emit each set's tags sorted most-recent-first.  Sorting by recency
+  // removes everything behaviour does not depend on: the raw clock value
+  // (which grows every lap), and physical way placement (LRU picks victims
+  // by age, never by way index — a thrashing set whose line count is not a
+  // multiple of its associativity rotates lines through ways while
+  // behaving identically).  Recency stamps are unique within a set, so the
+  // sort is canonical; empty ways carry age 0 and the sentinel tag, so
+  // they sort last among themselves.  Untouched sets (all ages zero, never
+  // accessed) are skipped outright: the walker compares snapshots of the
+  // same hierarchy across laps of the same address sequence, so both sides
+  // touch — and emit — the same sets, and a touched set never becomes
+  // untouched.  Small working sets then snapshot in time proportional to
+  // the sets they use, not the simulated cache's full geometry.
+  const auto ways = static_cast<std::size_t>(ways_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_recency(ways);
+  for (int s = 0; s < sets_; ++s) {
+    const std::size_t base = static_cast<std::size_t>(s) * ways;
+    const std::uint64_t* tags = &tags_[base];
+    const std::uint32_t* ages = &age_[base];
+    std::uint32_t max_age = 0;
+    for (std::size_t w = 0; w < ways; ++w) {
+      max_age = ages[w] > max_age ? ages[w] : max_age;
+    }
+    if (max_age == 0) continue;
+    for (std::size_t w = 0; w < ways; ++w) {
+      by_recency[w] = {tags[w] == kEmptyTag
+                           ? ~0ull
+                           : static_cast<std::uint64_t>(max_age - ages[w]),
+                       tags[w]};
+    }
+    std::sort(by_recency.begin(), by_recency.end());
+    for (std::size_t w = 0; w < ways; ++w) {
+      out.push_back(by_recency[w].second);
+    }
+  }
+}
+
+std::uint64_t SetAssociativeCache::access_binned(
+    const std::uint64_t* addrs, std::size_t n,
+    std::vector<std::uint32_t>& scratch_sets,
+    std::vector<std::uint32_t>& scratch_offsets,
+    std::vector<std::uint64_t>& scratch_binned) {
+  // Group consecutive sets so one group's tag/age arrays fit comfortably
+  // in the real core's cache; binning to individual sets would make the
+  // scatter itself a random walk over the binned array (one open write
+  // stream per set), recreating the problem it is meant to solve.  A few
+  // hundred groups keeps the scatter's write streams cache-resident while
+  // each group's replay touches only a few tens of kilobytes.
+  constexpr std::size_t kGroupArrayBytes = 24 * 1024;
+  const auto set_count = static_cast<std::size_t>(sets_);
+  const std::size_t bytes_per_set =
+      static_cast<std::size_t>(ways_) * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  std::size_t sets_per_group = 1;
+  while (sets_per_group < set_count &&
+         sets_per_group * 2 * bytes_per_set <= kGroupArrayBytes) {
+    sets_per_group <<= 1;
+  }
+  std::uint32_t group_shift = 0;
+  while ((1ull << group_shift) < sets_per_group) ++group_shift;
+  const std::size_t groups = (set_count + sets_per_group - 1) >> group_shift;
+
+  if (groups <= 1) return replay_dispatch(*this, addrs, n);
+
+  if (scratch_sets.size() < n) scratch_sets.resize(n);
+  if (scratch_binned.size() < n) scratch_binned.resize(n);
+  if (scratch_offsets.size() < groups) scratch_offsets.resize(groups);
+
+  // Counting sort by set group, stable — original order is kept within
+  // each group, so every set still sees its exact access subsequence.
+  std::fill(scratch_offsets.begin(), scratch_offsets.begin() + groups, 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto g =
+        static_cast<std::uint32_t>(set_of(line_of(addrs[i])) >> group_shift);
+    scratch_sets[i] = g;
+    ++scratch_offsets[g];
+  }
+  std::uint32_t running = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint32_t count = scratch_offsets[g];
+    scratch_offsets[g] = running;
+    running += count;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_binned[scratch_offsets[scratch_sets[i]]++] = addrs[i];
+  }
+
+  return replay_dispatch(*this, scratch_binned.data(), n);
+}
+
+std::uint64_t SetAssociativeCache::state_fingerprint() const {
+  std::vector<std::uint64_t> state;
+  state.reserve(tags_.size() * 2);
+  append_state(state);
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : state) h = mix64(h ^ v);
+  return h;
+}
+
 void SetAssociativeCache::renormalise_ages() {
   // Within each set, only the relative order of ages matters.  Replace the
   // raw clock stamps by ranks 1..ways (0 stays "never used"), then restart
-  // the clock above every surviving rank.
-  std::vector<int> order(static_cast<std::size_t>(ways_));
+  // the clock above every surviving rank.  The index scratch is a member
+  // sized once (this used to allocate a vector per call), and sets no
+  // access ever touched — all ages zero — are skipped outright.
+  if (renorm_order_.size() != static_cast<std::size_t>(ways_)) {
+    renorm_order_.resize(static_cast<std::size_t>(ways_));
+  }
   for (int s = 0; s < sets_; ++s) {
     std::uint32_t* ages = &age_[static_cast<std::size_t>(s) * static_cast<std::size_t>(ways_)];
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(),
+    std::uint32_t max_age = 0;
+    for (int w = 0; w < ways_; ++w) {
+      max_age = ages[w] > max_age ? ages[w] : max_age;
+    }
+    if (max_age == 0) continue;  // untouched set: nothing to compress
+    std::iota(renorm_order_.begin(), renorm_order_.end(), 0);
+    std::sort(renorm_order_.begin(), renorm_order_.end(),
               [ages](int a, int b) { return ages[a] < ages[b]; });
     std::uint32_t rank = 0;
-    for (int idx : order) {
+    for (int idx : renorm_order_) {
       ages[idx] = ages[idx] == 0 ? 0 : ++rank;
     }
   }

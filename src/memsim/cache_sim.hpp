@@ -13,9 +13,17 @@
 // are renormalised on the rare wraparound; only the miss path reads or
 // compares ages.  Replacement decisions are bit-identical to the previous
 // array-of-structs true-LRU implementation.
+//
+// access() lives in this header so the steady-state walk engine
+// (hierarchy_sim.hpp) inlines the whole probe — including the miss path,
+// which thrashing pointer-chase laps take on every access.  Real cache
+// geometries have power-of-two lines and sets, so line and set extraction
+// compile to a shift and a mask; the division fallback keeps arbitrary
+// geometries working.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/units.hpp"
@@ -38,7 +46,85 @@ class SetAssociativeCache {
 
   /// Probe (and fill on miss) the line containing `address`.
   /// Returns true on hit.
-  bool access(std::uint64_t address);
+  bool access(std::uint64_t address) { return access_fixed<0>(address); }
+
+  /// access() with the associativity fixed at compile time (W == 0 falls
+  /// back to the runtime value).  Batch drivers dispatch once per pass on
+  /// associativity() so the way scans below unroll and vectorise; the
+  /// logic is identical for every W.
+  template <int W>
+  bool access_fixed(std::uint64_t address) {
+    ++stats_.accesses;
+    if (clock_ == std::numeric_limits<std::uint32_t>::max()) renormalise_ages();
+    ++clock_;
+    const std::uint64_t line = line_of(address);
+    const int ways = W > 0 ? W : ways_;
+    const std::size_t base = set_of(line) * static_cast<std::size_t>(ways);
+    std::uint64_t* tags = &tags_[base];
+    std::uint32_t* ages = &age_[base];
+
+    // Hot path: a branchless tag scan over one contiguous run (the compiler
+    // vectorises the conditional-move form; an early-exit loop does not).
+    int hit = -1;
+    for (int w = 0; w < ways; ++w) {
+      hit = tags[w] == line ? w : hit;
+    }
+    if (hit >= 0) {
+      ages[hit] = clock_;
+      ++stats_.hits;
+      return true;
+    }
+
+    // Miss path: evict the minimum-age way.  Empty ways carry age 0, which
+    // is below any valid stamp, so they are filled before anything is
+    // evicted — same residency outcome as the historical fused scan.
+    // Thrashing walks take this path on every access, so it stays inline.
+    int victim = 0;
+    std::uint32_t best = ages[0];
+    for (int w = 1; w < ways; ++w) {
+      const bool lower = ages[w] < best;
+      best = lower ? ages[w] : best;
+      victim = lower ? w : victim;
+    }
+    tags[victim] = line;
+    ages[victim] = clock_;
+    ++stats_.misses;
+    return false;
+  }
+
+  /// Hint the hardware to pull this address's set (tags and ages) into the
+  /// real cache.  The walk engine issues these a few iterations ahead of
+  /// access(): the simulated outer levels' tag arrays run to megabytes, and
+  /// the pointer chase touches them at random, so without the hint every
+  /// probe stalls on a real cache miss.  No simulated state changes.
+  void prefetch_set(std::uint64_t address) const {
+    const std::size_t base =
+        set_of(line_of(address)) * static_cast<std::size_t>(ways_);
+    __builtin_prefetch(&tags_[base]);
+    __builtin_prefetch(&age_[base]);
+    if (ways_ > 8) {  // tags span multiple cache lines past 8 ways
+      __builtin_prefetch(&tags_[base + static_cast<std::size_t>(ways_) - 1]);
+      __builtin_prefetch(&age_[base + static_cast<std::size_t>(ways_) - 1]);
+    }
+  }
+
+  /// Access every address of `addrs` with the stream reordered set-major:
+  /// bucket by set index (counting sort, original order kept within each
+  /// bucket), then replay bucket by bucket.  Returns the total hit count.
+  /// A cache's behaviour at one set depends only on that set's access
+  /// subsequence, which binning preserves, so every per-access hit/miss
+  /// outcome — and therefore stats and the resident-lines/recency-order
+  /// state — is identical to calling access() in stream order; only the
+  /// raw clock stamps differ, which nothing observable depends on.  The
+  /// payoff is locality: a bucket's replays touch one set's arrays
+  /// back-to-back instead of hopping randomly across megabytes of
+  /// simulated tags.  Only valid when the caller does not need the miss
+  /// stream in original order, i.e. for the outermost level, whose misses
+  /// just count as memory loads.
+  std::uint64_t access_binned(const std::uint64_t* addrs, std::size_t n,
+                              std::vector<std::uint32_t>& scratch_sets,
+                              std::vector<std::uint32_t>& scratch_offsets,
+                              std::vector<std::uint64_t>& scratch_binned);
 
   /// Probe without filling (used to model a load that will be satisfied by
   /// an outer level but not allocated here, e.g. non-temporal access).
@@ -50,10 +136,42 @@ class SetAssociativeCache {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Account `accesses` loads of which `hits` hit, without simulating them.
+  /// The latency walker uses this when it extrapolates converged laps, so
+  /// stats (and the metrics published from them) stay equal to a
+  /// brute-force run.
+  void credit_stats(std::uint64_t accesses, std::uint64_t hits) {
+    stats_.accesses += accesses;
+    stats_.hits += hits;
+    stats_.misses += accesses - hits;
+  }
+
+  /// Append an order-normalized snapshot of the replacement state: each
+  /// set's resident tags sorted most-recent-first, with empty ways as
+  /// trailing sentinels and untouched sets omitted.  That is exactly the
+  /// cache's functional state — which lines are resident and their per-set
+  /// LRU order are all that hits and victim choice depend on; raw clock
+  /// stamps and physical way placement cancel out.  Equality of snapshots
+  /// therefore implies identical behaviour on any future address stream.
+  void append_state(std::vector<std::uint64_t>& out) const;
+
+  /// 64-bit hash of append_state()'s stream (diagnostics and span args; the
+  /// walk engine compares the full snapshots, so a collision can never
+  /// change results).
+  std::uint64_t state_fingerprint() const;
+
   sim::Bytes capacity() const { return capacity_; }
   int line_bytes() const { return line_bytes_; }
   int associativity() const { return ways_; }
   int sets() const { return sets_; }
+
+  /// Bytes of simulator state (tag + age arrays) this cache's probes touch.
+  /// Drivers use it to decide whether prefetch hints are worth issuing: a
+  /// level whose arrays fit in the real core's cache stays resident after
+  /// the first lap, and hints on it are pure overhead.
+  std::size_t state_bytes() const {
+    return tags_.size() * sizeof(std::uint64_t) + age_.size() * sizeof(std::uint32_t);
+  }
 
  private:
   /// Tag value marking an empty way; no real line maps to it because tags
@@ -61,7 +179,14 @@ class SetAssociativeCache {
   static constexpr std::uint64_t kEmptyTag = ~0ull;
 
   std::uint64_t line_of(std::uint64_t address) const {
-    return address / static_cast<std::uint64_t>(line_bytes_);
+    return pow2_line_ ? address >> line_shift_
+                      : address / static_cast<std::uint64_t>(line_bytes_);
+  }
+
+  std::size_t set_of(std::uint64_t line) const {
+    return static_cast<std::size_t>(
+        pow2_sets_ ? line & set_mask_
+                   : line % static_cast<std::uint64_t>(sets_));
   }
 
   /// Compress ages to per-set ranks when the 32-bit clock saturates,
@@ -72,9 +197,14 @@ class SetAssociativeCache {
   int line_bytes_;
   int ways_;
   int sets_;
+  bool pow2_line_ = false;
+  bool pow2_sets_ = false;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
   std::uint32_t clock_ = 0;
   std::vector<std::uint64_t> tags_;  // sets_ x ways_, row-major; kEmptyTag = invalid
   std::vector<std::uint32_t> age_;   // parallel to tags_; larger = more recent
+  std::vector<int> renorm_order_;    // renormalise scratch, allocated once
   CacheStats stats_;
 };
 

@@ -33,11 +33,57 @@ const obs::Counter& memory_loads_counter() {
   return c;
 }
 
+/// SplitMix64-style avalanche for combining per-level fingerprints.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One level's pass over an address stream: access every entry, append the
+/// misses (in order) to `miss`, return the miss count.  Templated on
+/// associativity so the way scans in access_fixed unroll; W == 0 is the
+/// generic fallback.
+template <int W>
+std::size_t filter_pass(SetAssociativeCache& cache, const std::uint64_t* in,
+                        std::size_t in_n, std::uint64_t* miss,
+                        bool want_prefetch) {
+  constexpr std::size_t kPrefetchAhead = 16;
+  std::size_t miss_n = 0;
+  const std::size_t fetchable =
+      want_prefetch && in_n > kPrefetchAhead ? in_n - kPrefetchAhead : 0;
+  std::size_t k = 0;
+  for (; k < fetchable; ++k) {
+    cache.prefetch_set(in[k + kPrefetchAhead]);
+    const std::uint64_t a = in[k];
+    if (!cache.access_fixed<W>(a)) miss[miss_n++] = a;
+  }
+  for (; k < in_n; ++k) {
+    const std::uint64_t a = in[k];
+    if (!cache.access_fixed<W>(a)) miss[miss_n++] = a;
+  }
+  return miss_n;
+}
+
+std::size_t filter_dispatch(SetAssociativeCache& cache, const std::uint64_t* in,
+                            std::size_t in_n, std::uint64_t* miss,
+                            bool want_prefetch) {
+  switch (cache.associativity()) {
+    case 4: return filter_pass<4>(cache, in, in_n, miss, want_prefetch);
+    case 8: return filter_pass<8>(cache, in, in_n, miss, want_prefetch);
+    case 16: return filter_pass<16>(cache, in, in_n, miss, want_prefetch);
+    case 20: return filter_pass<20>(cache, in, in_n, miss, want_prefetch);
+    default: return filter_pass<0>(cache, in, in_n, miss, want_prefetch);
+  }
+}
+
 }  // namespace
 
 CacheHierarchySim::CacheHierarchySim(const arch::ProcessorModel& proc,
                                      int threads_per_core)
     : proc_(proc), memory_cycles_(proc.memory.load_to_use_cycles) {
+  levels_.reserve(proc.caches.size());
+  level_cycles_.reserve(proc.caches.size());
   for (const auto& c : proc.caches) {
     sim::Bytes capacity = c.capacity;
     if (c.scope == arch::CacheScope::kPerCore && threads_per_core > 1) {
@@ -50,21 +96,70 @@ CacheHierarchySim::CacheHierarchySim(const arch::ProcessorModel& proc,
       // Round to a legal multiple of line*ways.
       capacity -= capacity % min_cap;
     }
-    levels_.push_back(std::make_unique<SetAssociativeCache>(
-        capacity, c.line_bytes, c.associativity));
+    levels_.emplace_back(capacity, c.line_bytes, c.associativity);
     level_cycles_.push_back(c.load_to_use_cycles);
   }
 }
 
-std::size_t CacheHierarchySim::load(std::uint64_t address) {
-  for (std::size_t i = 0; i < levels_.size(); ++i) {
-    if (levels_[i]->access(address)) {
-      // Fill the line into all inner levels (they already allocated it via
-      // the misses recorded on the way down).
-      return i;
+void CacheHierarchySim::run_lap(const std::uint64_t* addresses, std::size_t n,
+                                std::uint64_t* serviced,
+                                std::vector<std::uint64_t>& scratch_a,
+                                std::vector<std::uint64_t>& scratch_b) {
+  // Process the lap level by level.  Each cache is an independent state
+  // machine driven solely by the miss stream of the level above, so feeding
+  // level i the full ordered miss sequence of level i-1 reproduces exactly
+  // the per-load recursion of load() — including every stats count and
+  // every replacement decision — while touching only one level's arrays at
+  // a time.  serviced[i] falls out as the shrink of the stream: entries in
+  // minus misses out.
+  constexpr std::size_t kPrefetchAhead = 16;
+  const std::uint64_t* in = addresses;
+  std::size_t in_n = n;
+  std::vector<std::uint64_t>* bufs[2] = {&scratch_a, &scratch_b};
+  const std::size_t level_n = levels_.size();
+  for (std::size_t i = 0; i < level_n; ++i) {
+    SetAssociativeCache& cache = levels_[i];
+    // The outermost level's misses only count as memory loads — no level
+    // consumes them in order — so for large streams its replay is binned
+    // by set (see access_binned), which turns a random walk over
+    // megabytes of simulated tag/age arrays into per-set bursts.
+    constexpr std::size_t kBinThreshold = 4096;
+    if (i + 1 == level_n && in_n >= kBinThreshold) {
+      const std::uint64_t hits =
+          cache.access_binned(in, in_n, bin_sets_, bin_offsets_, bin_addrs_);
+      serviced[i] += hits;
+      in_n -= static_cast<std::size_t>(hits);
+      break;
     }
+    // Scratch buffers only grow; their size() is capacity, the live count
+    // is tracked here.  That keeps repeated laps free of reallocation and
+    // of resize()'s value-initialisation.
+    std::vector<std::uint64_t>& buf = *bufs[i & 1];
+    if (buf.size() < in_n) buf.resize(in_n);
+    std::uint64_t* miss = buf.data();
+    // Prefetch hints only pay off when the level's arrays overflow the
+    // real core's cache; for resident levels they are pure overhead.
+    constexpr std::size_t kPrefetchWorthwhileBytes = 256 * 1024;
+    const bool want_prefetch = cache.state_bytes() >= kPrefetchWorthwhileBytes;
+    const std::size_t miss_n =
+        filter_dispatch(cache, in, in_n, miss, want_prefetch);
+    serviced[i] += in_n - miss_n;
+    in = miss;
+    in_n = miss_n;
   }
-  return levels_.size();
+  serviced[level_n] += in_n;  // whatever misses the last level goes to memory
+}
+
+void CacheHierarchySim::credit_laps(const std::uint64_t* lap_serviced,
+                                    std::uint64_t laps) {
+  // Level i sees the loads not serviced by any inner level; of those, the
+  // ones it serviced are hits and the rest continue outward as misses.
+  std::uint64_t entering = 0;
+  for (std::size_t i = 0; i <= levels_.size(); ++i) entering += lap_serviced[i];
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    levels_[i].credit_stats(entering * laps, lap_serviced[i] * laps);
+    entering -= lap_serviced[i];
+  }
 }
 
 double CacheHierarchySim::level_cycles(std::size_t level) const {
@@ -76,22 +171,42 @@ sim::Seconds CacheHierarchySim::level_latency(std::size_t level) const {
   return proc_.cycles(level_cycles(level));
 }
 
+void CacheHierarchySim::capture_state(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  for (const auto& l : levels_) l.append_state(out);
+}
+
+std::uint64_t CacheHierarchySim::state_fingerprint() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& l : levels_) h = mix64(h ^ l.state_fingerprint());
+  return h;
+}
+
 void CacheHierarchySim::flush() {
-  for (auto& l : levels_) l->flush();
+  for (auto& l : levels_) l.flush();
 }
 
 void CacheHierarchySim::reset_stats() {
-  for (auto& l : levels_) l->reset_stats();
+  for (auto& l : levels_) l.reset_stats();
 }
 
 void CacheHierarchySim::publish_metrics() const {
   std::uint64_t memory_loads = 0;
   for (std::size_t i = 0; i < levels_.size(); ++i) {
-    const CacheStats& s = levels_[i]->stats();
+    const CacheStats& s = levels_[i].stats();
     MAIA_OBS_COUNT(level_counters(i).hits, s.hits);
     MAIA_OBS_COUNT(level_counters(i).misses, s.misses);
     // A load that misses the outermost level goes to memory.
     if (i + 1 == levels_.size()) memory_loads = s.misses;
+  }
+  MAIA_OBS_COUNT(memory_loads_counter(), memory_loads);
+}
+
+void publish_hierarchy_metrics(const CacheStats* stats, std::size_t levels,
+                               std::uint64_t memory_loads) {
+  for (std::size_t i = 0; i < levels; ++i) {
+    MAIA_OBS_COUNT(level_counters(i).hits, stats[i].hits);
+    MAIA_OBS_COUNT(level_counters(i).misses, stats[i].misses);
   }
   MAIA_OBS_COUNT(memory_loads_counter(), memory_loads);
 }

@@ -1,10 +1,18 @@
 // CacheHierarchySim: a chain of functional caches built from a
 // ProcessorModel, answering "which level services this load?" and costing
 // it in core cycles.
+//
+// The levels live by value in one contiguous array (they used to sit
+// behind unique_ptrs, one pointer chase per level per load), and load()
+// is inline with the L1 probe — including its hit fast path — fused into
+// the caller's loop.  For lap-structured address streams, run_lap()
+// processes a whole block level by level instead of load by load: each
+// level's pass keeps that level's tag/age arrays hot in the real cache
+// and prefetches ahead of the probe, which is where the pointer-chase
+// simulation of Fig 5 spends nearly all of its time.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "arch/processor.hpp"
@@ -22,8 +30,37 @@ class CacheHierarchySim {
                              int threads_per_core = 1);
 
   /// Perform one load; returns the 0-based level index that serviced it,
-  /// or level_count() when it went to main memory.
-  std::size_t load(std::uint64_t address);
+  /// or level_count() when it went to main memory.  The L1 probe — the
+  /// overwhelmingly common service level for resident working sets — is
+  /// inlined straight into the caller.
+  std::size_t load(std::uint64_t address) {
+    const std::size_t n = levels_.size();
+    if (n != 0 && levels_[0].access(address)) return 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (levels_[i].access(address)) return i;
+    }
+    return n;
+  }
+
+  /// Run one full lap of `n` loads, accumulating how many were serviced by
+  /// each level into `serviced` (level_count() + 1 entries; the last is
+  /// main memory).  Exactly equivalent to calling load() on each address in
+  /// order — levels are independent state machines and each level sees the
+  /// same miss stream in the same order — but processed level by level:
+  /// every pass streams one level's arrays with prefetch hints running
+  /// ahead, instead of bouncing between all levels' arrays per load.
+  /// `scratch_a`/`scratch_b` hold the inter-level miss streams and are
+  /// caller-owned so repeated laps reuse their capacity.
+  void run_lap(const std::uint64_t* addresses, std::size_t n,
+               std::uint64_t* serviced, std::vector<std::uint64_t>& scratch_a,
+               std::vector<std::uint64_t>& scratch_b);
+
+  /// Account `laps` repetitions of a lap whose per-level service counts
+  /// were `lap_serviced` (level_count() + 1 entries) without simulating
+  /// them.  Used by the latency walker's extrapolation so per-level
+  /// hit/miss stats — and the metrics published from them — match a
+  /// brute-force run exactly.
+  void credit_laps(const std::uint64_t* lap_serviced, std::uint64_t laps);
 
   /// Cost of a load serviced by `level` (level_count() = memory), cycles.
   double level_cycles(std::size_t level) const;
@@ -32,7 +69,15 @@ class CacheHierarchySim {
   sim::Seconds level_latency(std::size_t level) const;
 
   std::size_t level_count() const { return levels_.size(); }
-  const SetAssociativeCache& level(std::size_t i) const { return *levels_[i]; }
+  const SetAssociativeCache& level(std::size_t i) const { return levels_[i]; }
+
+  /// Append every level's order-normalized replacement state (see
+  /// SetAssociativeCache::append_state).  Snapshot equality across lap
+  /// boundaries is the walker's steady-state certificate.
+  void capture_state(std::vector<std::uint64_t>& out) const;
+
+  /// Combined 64-bit hash of all levels' state (diagnostics/span args).
+  std::uint64_t state_fingerprint() const;
 
   void flush();
   void reset_stats();
@@ -48,9 +93,22 @@ class CacheHierarchySim {
 
  private:
   const arch::ProcessorModel proc_;
-  std::vector<std::unique_ptr<SetAssociativeCache>> levels_;
+  std::vector<SetAssociativeCache> levels_;
   std::vector<int> level_cycles_;
   int memory_cycles_;
+  // Scratch for the outermost level's set-binned replay in run_lap().
+  std::vector<std::uint32_t> bin_sets_;
+  std::vector<std::uint32_t> bin_offsets_;
+  std::vector<std::uint64_t> bin_addrs_;
 };
+
+/// Publish per-level hit/miss counts and the memory-load count into the
+/// same registered counters publish_metrics() uses, without a hierarchy
+/// instance.  The latency walker's closed-form steady-state path computes
+/// these totals directly from the lap sequence and never builds the
+/// hierarchy, but its published metrics must stay bit-identical to a
+/// simulated run's.
+void publish_hierarchy_metrics(const CacheStats* stats, std::size_t levels,
+                               std::uint64_t memory_loads);
 
 }  // namespace maia::mem

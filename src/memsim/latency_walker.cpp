@@ -1,7 +1,13 @@
 #include "memsim/latency_walker.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
 #include "memsim/hierarchy_sim.hpp"
 #include "obs/obs.hpp"
@@ -10,28 +16,334 @@
 namespace maia::mem {
 namespace {
 
-/// Sattolo's algorithm: a uniformly random single-cycle permutation, the
-/// standard construction for pointer-chase benchmarks (every line visited
-/// exactly once per lap, no short cycles the prefetcher could learn).
-std::vector<std::uint32_t> single_cycle_permutation(std::size_t n, sim::Rng& rng) {
-  std::vector<std::uint32_t> next(n);
-  std::vector<std::uint32_t> order(n);
+// ---------------------------------------------------------------------------
+// Process-wide knobs (env-seeded) and per-thread telemetry.
+
+std::atomic<bool>& extrapolation_flag() {
+  static std::atomic<bool> flag(std::getenv("MAIA_NO_EXTRAPOLATE") == nullptr);
+  return flag;
+}
+
+std::atomic<bool>& memoization_flag() {
+  static std::atomic<bool> flag(std::getenv("MAIA_NO_WALK_MEMO") == nullptr);
+  return flag;
+}
+
+thread_local WalkTelemetry g_walk_telemetry;
+
+struct WalkCounters {
+  obs::Counter laps_simulated;
+  obs::Counter laps_extrapolated;
+  obs::Counter memo_hits;
+  obs::Counter memo_misses;
+};
+
+const WalkCounters& walk_counters() {
+  static const WalkCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return WalkCounters{reg.counter("memsim.walk.laps_simulated"),
+                        reg.counter("memsim.walk.laps_extrapolated"),
+                        reg.counter("memsim.memo.hits"),
+                        reg.counter("memsim.memo.misses")};
+  }();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Lap construction.
+//
+// Sattolo's algorithm yields a uniformly random single-cycle permutation —
+// the standard construction for pointer-chase benchmarks (every line
+// visited exactly once per lap, no short cycles a prefetcher could learn).
+// After the shuffle, `order` read cyclically IS the visit sequence: the
+// historical code derived next[order[i]] = order[(i+1) % n] and chased it
+// from line 0, which lands on order[i0], order[i0+1], ... where
+// order[i0] == 0.  Rotating `order` reproduces that chase exactly without
+// materialising next[] or executing the serially dependent pointer walk.
+//
+// The shuffle itself runs in two passes: all Lemire draws first (the RNG
+// consumes words in the original order, so the permutation is unchanged),
+// then the swap replay with the random partner index prefetched ahead —
+// for multi-megabyte laps the partner access misses the real cache on
+// nearly every swap otherwise.
+
+std::shared_ptr<const std::vector<std::uint64_t>> build_lap(
+    std::size_t lines, std::uint64_t rng_seed, std::uint64_t byte_stride) {
+  sim::Rng rng(rng_seed);
+  std::vector<std::uint32_t> order(lines);
   std::iota(order.begin(), order.end(), 0u);
-  for (std::size_t i = n - 1; i > 0; --i) {
-    const auto j = static_cast<std::size_t>(rng.next_below(i));
-    std::swap(order[i], order[j]);
+  std::vector<std::uint32_t> draws(lines > 0 ? lines - 1 : 0);
+  for (std::size_t i = lines - 1; i > 0; --i) {
+    draws[lines - 1 - i] = static_cast<std::uint32_t>(rng.next_below(i));
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    next[order[i]] = order[(i + 1) % n];
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t k = 0; k < draws.size(); ++k) {
+    if (k + kAhead < draws.size()) __builtin_prefetch(&order[draws[k + kAhead]]);
+    std::swap(order[lines - 1 - k], order[draws[k]]);
   }
-  return next;
+
+  std::size_t i0 = 0;
+  while (order[i0] != 0) ++i0;
+
+  auto lap = std::make_shared<std::vector<std::uint64_t>>(lines);
+  std::uint64_t* out = lap->data();
+  for (std::size_t i = i0; i < lines; ++i) {
+    out[i - i0] = static_cast<std::uint64_t>(order[i]) * byte_stride;
+  }
+  const std::size_t tail = lines - i0;
+  for (std::size_t i = 0; i < i0; ++i) {
+    out[tail + i] = static_cast<std::uint64_t>(order[i]) * byte_stride;
+  }
+  return lap;
+}
+
+/// Lap arrays are pure functions of (lines, rng seed, stride) and are
+/// shared across walks: the host and Phi sweeps draw the same seeds at the
+/// same sizes, so each lap is built once per process.  Bounded so unusual
+/// callers cannot grow it without limit.
+std::shared_ptr<const std::vector<std::uint64_t>> cached_lap(
+    std::size_t lines, std::uint64_t rng_seed, std::uint64_t byte_stride) {
+  struct Key {
+    std::size_t lines;
+    std::uint64_t seed;
+    std::uint64_t stride;
+    bool operator==(const Key& o) const {
+      return lines == o.lines && seed == o.seed && stride == o.stride;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.lines;
+      h = h * 0x9e3779b97f4a7c15ull + k.seed;
+      h = h * 0x9e3779b97f4a7c15ull + k.stride;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  static std::mutex mutex;
+  static std::unordered_map<Key, std::shared_ptr<const std::vector<std::uint64_t>>,
+                            KeyHash>
+      cache;
+  constexpr std::size_t kMaxEntries = 64;
+
+  const Key key{lines, rng_seed, byte_stride};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto lap = build_lap(lines, rng_seed, byte_stride);
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = cache.emplace(key, lap);
+  if (!inserted) return it->second;  // racing builder won; use its array
+  if (cache.size() > kMaxEntries) {
+    cache.erase(it);
+    return lap;  // still valid, just not retained
+  }
+  return lap;
+}
+
+// ---------------------------------------------------------------------------
+// Walk memoization.
+
+struct MemoEntry {
+  WalkResult result;
+};
+
+std::mutex& memo_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, MemoEntry>& memo_map() {
+  static std::unordered_map<std::string, MemoEntry> m;
+  return m;
+}
+
+std::string memo_key(const std::string& proc_name, sim::Bytes working_set,
+                     std::uint64_t seed, int iterations_per_line) {
+  return proc_name + '|' + std::to_string(working_set) + '|' +
+         std::to_string(seed) + '|' + std::to_string(iterations_per_line);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form steady-lap evaluation.
+//
+// The lap visits every line exactly once, which pins both the warm-up and
+// the steady state down exactly (see the header comment):
+//   * Warm-up: no line repeats, so every access misses every level; every
+//     level therefore receives the full lap in lap order, and within a set
+//     LRU eviction degenerates to FIFO (ages equal arrival order).  The
+//     survivors of warm-up in a set are its last min(arrivals, ways)
+//     arrivals.
+//   * Steady lap at level i: a set with k distinct steady lines (the lines
+//     that reach level i once inner levels hit) hits all of them when
+//     k <= ways, and misses all of them when k > ways — between consecutive
+//     accesses to a line, the set's other k-1 >= ways steady lines all
+//     intervene.  Misses pass outward in order, so the levels recurse.
+// Lap 1 equals that steady lap iff every hit-set steady line survived
+// warm-up; if one did not, lap 1 misses it (a transient the brute-force
+// walk measures), so the closed form refuses and the caller simulates.
+// The check is also exact in the other direction: a failed check means the
+// lap-1 end state contains a refilled line the warm-up state lacked, so
+// the snapshot engine would not have converged at lap 1 either.
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_u64(std::uint64_t v) {
+  std::uint32_t shift = 0;
+  while ((1ull << shift) < v) ++shift;
+  return shift;
+}
+
+struct SteadyLap {
+  bool ok = false;
+  /// Loads serviced per level per measured lap (last entry = main memory).
+  std::vector<std::uint64_t> serviced;
+  /// Loads entering each level per measured lap (misses of the inner ones).
+  std::vector<std::uint64_t> entering;
+};
+
+SteadyLap analyse_steady_lap(const arch::ProcessorModel& proc,
+                             const std::uint64_t* lap, std::size_t n) {
+  SteadyLap out;
+  const std::size_t level_n = proc.caches.size();
+  out.serviced.assign(level_n + 1, 0);
+  out.entering.assign(level_n, 0);
+
+  // The stream entering the current level, as indices into `lap` (positions
+  // carry both identity and lap order).  Starts as the whole lap.
+  std::vector<std::uint32_t> stream(n);
+  std::iota(stream.begin(), stream.end(), 0u);
+  std::vector<std::uint32_t> next_stream;
+  std::vector<std::uint32_t> setidx(n);
+  std::vector<std::uint8_t> survives(n);
+  std::vector<std::uint32_t> per_set;
+
+  for (std::size_t i = 0; i < level_n; ++i) {
+    const auto& c = proc.caches[i];
+    const auto line_bytes = static_cast<std::uint64_t>(c.line_bytes);
+    const auto ways = static_cast<std::uint64_t>(c.associativity);
+    const std::uint64_t way_bytes = line_bytes * ways;
+    // Leave malformed geometries to the simulator (whose constructor
+    // reports them) and implausibly huge ones to 64-bit indexing.
+    if (way_bytes == 0 || c.capacity == 0 || c.capacity % way_bytes != 0) return out;
+    const std::uint64_t sets = c.capacity / way_bytes;
+    if (sets > 0xffffffffull) return out;
+
+    if (is_pow2(line_bytes) && is_pow2(sets)) {
+      const std::uint32_t line_shift = log2_u64(line_bytes);
+      const std::uint64_t set_mask = sets - 1;
+      for (std::size_t p = 0; p < n; ++p) {
+        setidx[p] = static_cast<std::uint32_t>((lap[p] >> line_shift) & set_mask);
+      }
+    } else {
+      for (std::size_t p = 0; p < n; ++p) {
+        setidx[p] = static_cast<std::uint32_t>((lap[p] / line_bytes) % sets);
+      }
+    }
+
+    // Warm-up arrivals per set (the full lap reaches every level), then
+    // arrival ranks: a line survives warm-up iff it is among the last
+    // `ways` arrivals to its set.
+    per_set.assign(static_cast<std::size_t>(sets), 0);
+    for (std::size_t p = 0; p < n; ++p) ++per_set[setidx[p]];
+    std::vector<std::uint32_t> arrivals(static_cast<std::size_t>(sets), 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint32_t s = setidx[p];
+      survives[p] = static_cast<std::uint8_t>(arrivals[s] + ways >= per_set[s]);
+      ++arrivals[s];
+    }
+
+    // Distinct steady lines per set at this level, counted over the stream
+    // that actually reaches it (each line appears at most once).
+    per_set.assign(static_cast<std::size_t>(sets), 0);
+    for (const std::uint32_t p : stream) ++per_set[setidx[p]];
+
+    out.entering[i] = stream.size();
+    next_stream.clear();
+    std::uint64_t hits = 0;
+    for (const std::uint32_t p : stream) {
+      if (per_set[setidx[p]] <= ways) {
+        if (!survives[p]) return out;  // lap 1 would be transient: simulate
+        ++hits;
+      } else {
+        next_stream.push_back(p);
+      }
+    }
+    out.serviced[i] = hits;
+    stream.swap(next_stream);
+  }
+  out.serviced[level_n] = stream.size();
+  out.ok = true;
+  return out;
 }
 
 }  // namespace
 
-WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) const {
-  MAIA_OBS_SPAN_ARGS("memsim", "latency_walk/" + proc_.name,
-                     "{\"working_set\": " + std::to_string(working_set) + "}");
+void set_walk_extrapolation(bool enabled) {
+  extrapolation_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool walk_extrapolation_enabled() {
+  return extrapolation_flag().load(std::memory_order_relaxed);
+}
+
+void set_walk_memoization(bool enabled) {
+  memoization_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool walk_memoization_enabled() {
+  return memoization_flag().load(std::memory_order_relaxed);
+}
+
+void clear_walk_memo() {
+  std::lock_guard<std::mutex> lock(memo_mutex());
+  memo_map().clear();
+}
+
+WalkTelemetry exchange_walk_telemetry(WalkTelemetry next) {
+  WalkTelemetry out = g_walk_telemetry;
+  g_walk_telemetry = next;
+  return out;
+}
+
+WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line,
+                               const WalkOptions& options) const {
+  const bool memoize = options.memoize && walk_memoization_enabled();
+  const std::string key =
+      memoize ? memo_key(proc_.name, working_set, seed_, iterations_per_line)
+              : std::string();
+  if (memoize) {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    auto it = memo_map().find(key);
+    if (it != memo_map().end()) {
+      ++g_walk_telemetry.memo_hits;
+      MAIA_OBS_COUNT(walk_counters().memo_hits, 1);
+      return it->second.result;
+    }
+  }
+
+  const bool extrapolate = options.extrapolate && walk_extrapolation_enabled();
+  WalkResult result = walk_uncached(working_set, iterations_per_line, extrapolate,
+                                    options.analytic);
+
+  if (memoize) {
+    ++g_walk_telemetry.memo_misses;
+    MAIA_OBS_COUNT(walk_counters().memo_misses, 1);
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    // Bound the cache; results are deterministic, so if a racing walk
+    // inserted first the entry is identical and either copy serves.
+    constexpr std::size_t kMaxEntries = 4096;
+    if (memo_map().size() < kMaxEntries) memo_map().emplace(key, MemoEntry{result});
+  }
+  return result;
+}
+
+WalkResult LatencyWalker::walk_uncached(sim::Bytes working_set,
+                                        int iterations_per_line,
+                                        bool extrapolate, bool analytic) const {
+  obs::ScopedSpan span("memsim", "latency_walk/" + proc_.name,
+                       "{\"working_set\": " + std::to_string(working_set) + "}");
   const int line = proc_.caches.empty() ? 64 : proc_.caches.front().line_bytes;
   std::size_t lines = std::max<std::size_t>(working_set / static_cast<sim::Bytes>(line), 2);
 
@@ -45,38 +357,109 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) 
     lines = kMaxLines;
   }
 
-  sim::Rng rng(seed_ ^ working_set);
-  const auto next = single_cycle_permutation(lines, rng);
+  const std::uint64_t byte_stride = stride * static_cast<std::uint64_t>(line);
+  const auto lap = cached_lap(lines, seed_ ^ working_set, byte_stride);
+  const std::uint64_t* addresses = lap->data();
+
+  // Closed-form steady-lap evaluation: when lap 1 is provably already the
+  // steady lap, the whole walk — counts, stats, metrics — follows from the
+  // lap sequence with no cache simulation.  Exact, so the disable knobs
+  // only exist to force the reference paths.
+  if (extrapolate && analytic) {
+    const SteadyLap steady = analyse_steady_lap(proc_, addresses, lines);
+    if (steady.ok) {
+      const auto iters = static_cast<std::uint64_t>(iterations_per_line);
+      const std::size_t level_n = proc_.caches.size();
+      const std::uint64_t accesses = static_cast<std::uint64_t>(lines) * iters;
+
+      // Per-level stats: the warm-up lap misses everything at every level
+      // (no line repeats within it), then `iters` identical steady laps.
+      std::vector<CacheStats> stats(level_n);
+      for (std::size_t i = 0; i < level_n; ++i) {
+        stats[i].accesses =
+            static_cast<std::uint64_t>(lines) + iters * steady.entering[i];
+        stats[i].hits = iters * steady.serviced[i];
+        stats[i].misses = stats[i].accesses - stats[i].hits;
+      }
+      const std::uint64_t memory_loads =
+          level_n != 0 ? stats[level_n - 1].misses : 0;
+      publish_hierarchy_metrics(stats.data(), level_n, memory_loads);
+
+      // Same integer service totals and the same per-level accumulation
+      // order as the simulated path, so the doubles come out bit-identical.
+      double total_cycles = 0.0;
+      WalkResult result;
+      result.level_mix.resize(level_n + 1);
+      for (std::size_t i = 0; i <= level_n; ++i) {
+        const std::uint64_t serviced_total = steady.serviced[i] * iters;
+        const double cycles = i < level_n
+                                  ? proc_.caches[i].load_to_use_cycles
+                                  : proc_.memory.load_to_use_cycles;
+        total_cycles += static_cast<double>(serviced_total) * cycles;
+        result.level_mix[i] = static_cast<double>(serviced_total) /
+                              static_cast<double>(accesses);
+      }
+      result.avg_latency =
+          proc_.cycles(total_cycles / static_cast<double>(accesses));
+      result.laps_simulated = 0;
+      result.laps_extrapolated = iters;
+      result.convergence_lap = 1;
+
+      g_walk_telemetry.laps_extrapolated += iters;
+      MAIA_OBS_COUNT(walk_counters().laps_extrapolated, iters);
+      span.set_args("{\"working_set\": " + std::to_string(working_set) +
+                    ", \"closed_form\": true, \"laps_simulated\": 0" +
+                    ", \"laps_extrapolated\": " + std::to_string(iters) +
+                    ", \"convergence_lap\": 1}");
+      return result;
+    }
+  }
 
   CacheHierarchySim hier(proc_);
-  std::vector<std::uint64_t> serviced(hier.level_count() + 1, 0);
+  const std::size_t level_n = hier.level_count();
+  std::vector<std::uint64_t> serviced(level_n + 1, 0);
+  std::vector<std::uint64_t> lap_serviced(level_n + 1, 0);
+  std::vector<std::uint64_t> scratch_a, scratch_b;
 
-  // Batch the chase: the permutation is a single cycle, so every lap visits
-  // the same addresses in the same order.  Resolve the dependent next[p]
-  // walk once into a flat address array, then replay it linearly — the
-  // simulator's inner loop becomes a sequential scan instead of a
-  // pointer-chase over the permutation table.
-  std::vector<std::uint64_t> lap(lines);
-  {
-    const std::uint64_t byte_stride = stride * static_cast<std::uint64_t>(line);
-    std::uint32_t p = 0;
-    for (std::size_t i = 0; i < lines; ++i) {
-      lap[i] = static_cast<std::uint64_t>(p) * byte_stride;
-      p = next[p];
-    }
-  }
+  // Warm-up lap: populate the hierarchy.  Its per-level counts are not part
+  // of the measurement (the cache stats still accumulate, as they always
+  // did when load() ran the warm-up).
+  hier.run_lap(addresses, lines, lap_serviced.data(), scratch_a, scratch_b);
 
-  // Warm-up lap: populate the hierarchy.
-  for (const std::uint64_t address : lap) hier.load(address);
+  std::vector<std::uint64_t> prev_state, cur_state;
+  if (extrapolate) hier.capture_state(prev_state);
 
-  // Measured laps.  The cycle cost per level is a constant, so count loads
-  // per level and price them once at the end instead of per access.
-  const std::size_t accesses = lines * static_cast<std::size_t>(iterations_per_line);
+  // Measured laps.  The cycle cost per level is constant, so count loads
+  // per level and price them once at the end instead of per access.  After
+  // each lap the hierarchy's order-normalized state is compared with the
+  // previous lap boundary; on the first repeat the remaining laps are a
+  // verbatim replay, so their counts are credited arithmetically.
+  std::uint64_t laps_simulated = 0;
+  std::uint64_t laps_extrapolated = 0;
+  std::uint64_t convergence_lap = 0;
   for (int it = 0; it < iterations_per_line; ++it) {
-    for (const std::uint64_t address : lap) {
-      ++serviced[hier.load(address)];
+    std::fill(lap_serviced.begin(), lap_serviced.end(), 0);
+    hier.run_lap(addresses, lines, lap_serviced.data(), scratch_a, scratch_b);
+    ++laps_simulated;
+    for (std::size_t i = 0; i <= level_n; ++i) serviced[i] += lap_serviced[i];
+
+    const auto remaining =
+        static_cast<std::uint64_t>(iterations_per_line - 1 - it);
+    if (!extrapolate || remaining == 0) continue;
+    hier.capture_state(cur_state);
+    if (cur_state == prev_state) {
+      for (std::size_t i = 0; i <= level_n; ++i) {
+        serviced[i] += lap_serviced[i] * remaining;
+      }
+      hier.credit_laps(lap_serviced.data(), remaining);
+      laps_extrapolated = remaining;
+      convergence_lap = static_cast<std::uint64_t>(it) + 1;
+      break;
     }
+    prev_state.swap(cur_state);
   }
+
+  const std::size_t accesses = lines * static_cast<std::size_t>(iterations_per_line);
   double total_cycles = 0.0;
   for (std::size_t level = 0; level < serviced.size(); ++level) {
     total_cycles +=
@@ -84,6 +467,16 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) 
   }
 
   hier.publish_metrics();
+  g_walk_telemetry.laps_simulated += laps_simulated;
+  g_walk_telemetry.laps_extrapolated += laps_extrapolated;
+  MAIA_OBS_COUNT(walk_counters().laps_simulated, laps_simulated);
+  MAIA_OBS_COUNT(walk_counters().laps_extrapolated, laps_extrapolated);
+  span.set_args("{\"working_set\": " + std::to_string(working_set) +
+                ", \"laps_simulated\": " + std::to_string(laps_simulated) +
+                ", \"laps_extrapolated\": " + std::to_string(laps_extrapolated) +
+                ", \"convergence_lap\": " + std::to_string(convergence_lap) +
+                ", \"state_fingerprint\": " +
+                std::to_string(hier.state_fingerprint()) + "}");
 
   WalkResult result;
   result.avg_latency = proc_.cycles(total_cycles / static_cast<double>(accesses));
@@ -92,6 +485,9 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line) 
     result.level_mix[i] =
         static_cast<double>(serviced[i]) / static_cast<double>(accesses);
   }
+  result.laps_simulated = laps_simulated;
+  result.laps_extrapolated = laps_extrapolated;
+  result.convergence_lap = convergence_lap;
   return result;
 }
 

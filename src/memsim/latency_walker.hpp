@@ -6,6 +6,39 @@
 // mix of the levels that serviced the loads.  Near capacity boundaries the
 // mix is partial, which produces the smooth transitions of the measured
 // curve.
+//
+// Steady-state engine: the hierarchy is deterministic (true LRU) and every
+// lap replays the same address sequence, so the cache state after each lap
+// is a pure function of the state before it.  States are drawn from a
+// finite set, so the lap-to-lap trajectory must reach a fixed point — and
+// once the order-normalized state after lap k equals the state after lap
+// k-1, every remaining lap reproduces lap k exactly.  walk() snapshots the
+// state at lap boundaries (warm-up counts as lap 0) and, at the first
+// repeat, multiplies that lap's per-level service mix across the remaining
+// iterations instead of simulating them.  The comparison is an exact
+// snapshot compare, so results are bit-identical to the brute-force walk.
+//
+// Closed-form fast path: the lap is a single-cycle permutation, so every
+// line is accessed exactly once per lap.  Two exact consequences follow.
+// First, the warm-up lap has no reuse at all — every access misses every
+// level, so every level receives every line exactly once, in lap order,
+// and warm-up eviction is FIFO (each line touched once means LRU age equals
+// arrival order).  Second, in steady state a set either hits all of its
+// accesses (its distinct steady lines fit in its ways) or misses all of
+// them (each line's reuse distance is the set's other steady lines, at
+// least `ways` of them).  Lap 1 is already that steady lap if and only if
+// every hit-set's steady lines survived warm-up — i.e. each is among the
+// last `ways` arrivals to its set — which is checkable from the lap
+// sequence alone.  When the check passes (it does for every walk away from
+// pathological transition alignments), walk() computes the exact per-level
+// service counts, stats, and metrics with a few linear passes and no cache
+// simulation at all; when it fails, it falls back to the snapshot-comparing
+// simulation above.  Either way the results are bit-identical to brute
+// force.
+//
+// Completed walks are additionally memoized process-wide by (processor,
+// working set, seed, iterations), collapsing repeated walks — fig05's
+// check points, trace tools, tests — to a lookup.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +54,59 @@ struct WalkResult {
   sim::Seconds avg_latency = 0.0;
   /// Fraction of loads serviced by each level (last entry = main memory).
   std::vector<double> level_mix;
+  /// Measured laps actually simulated (excludes the warm-up lap; 0 when
+  /// the closed-form path evaluated the whole walk).
+  std::uint64_t laps_simulated = 0;
+  /// Measured laps accounted via the converged mix instead of simulation.
+  std::uint64_t laps_extrapolated = 0;
+  /// First measured lap whose end state matched the previous lap boundary
+  /// (warm-up = lap 0); 1 for closed-form walks, 0 when the walk never
+  /// converged.
+  std::uint64_t convergence_lap = 0;
 };
+
+/// Per-call overrides for the steady-state machinery.  Both default to the
+/// process-wide knobs (see set_walk_extrapolation / set_walk_memoization),
+/// which in turn honour the MAIA_NO_EXTRAPOLATE and MAIA_NO_WALK_MEMO
+/// environment variables.  Validation runs disable extrapolation to get the
+/// brute-force reference; tests disable memoization to force recomputation.
+struct WalkOptions {
+  bool extrapolate = true;
+  bool memoize = true;
+  /// When false, skip the closed-form steady-lap evaluation and use the
+  /// snapshot-comparing lap simulation even where the closed form applies.
+  /// Tests use this to pin both engines against the brute-force reference
+  /// independently; production callers have no reason to touch it.
+  bool analytic = true;
+};
+
+/// Process-wide enable for lap-periodicity extrapolation (default on, off
+/// when MAIA_NO_EXTRAPOLATE is set in the environment).
+void set_walk_extrapolation(bool enabled);
+bool walk_extrapolation_enabled();
+
+/// Process-wide enable for the walk memo cache (default on, off when
+/// MAIA_NO_WALK_MEMO is set in the environment).
+void set_walk_memoization(bool enabled);
+bool walk_memoization_enabled();
+
+/// Drop all memoized walk results (tests and long-lived tools).
+void clear_walk_memo();
+
+/// Per-thread counters accumulated by every walk on the calling thread;
+/// exchange_walk_telemetry(next) returns the current tally and replaces it
+/// with `next` (mirrors sim::exchange_event_queue_telemetry).  The suite
+/// runner zeroes the tally around each figure and restores the caller's
+/// afterwards, attributing walks to the figure that ran between the two
+/// exchanges.
+struct WalkTelemetry {
+  std::uint64_t laps_simulated = 0;
+  std::uint64_t laps_extrapolated = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+WalkTelemetry exchange_walk_telemetry(WalkTelemetry next = {});
 
 class LatencyWalker {
  public:
@@ -29,13 +114,24 @@ class LatencyWalker {
       : proc_(proc), seed_(seed) {}
 
   /// Average load latency for a pointer chase over `working_set` bytes.
-  WalkResult walk(sim::Bytes working_set, int iterations_per_line = 4) const;
+  WalkResult walk(sim::Bytes working_set, int iterations_per_line = 4) const {
+    return walk(working_set, iterations_per_line, WalkOptions{});
+  }
+
+  /// As above with explicit control over extrapolation and memoization.
+  /// Results are bit-identical across all option combinations; the options
+  /// only choose how much work it takes to produce them.
+  WalkResult walk(sim::Bytes working_set, int iterations_per_line,
+                  const WalkOptions& options) const;
 
   /// The full Fig-5 curve: latency at power-of-two working sets from
   /// `from` to `to` inclusive.
   sim::DataSeries latency_curve(sim::Bytes from, sim::Bytes to) const;
 
  private:
+  WalkResult walk_uncached(sim::Bytes working_set, int iterations_per_line,
+                           bool extrapolate, bool analytic) const;
+
   arch::ProcessorModel proc_;
   std::uint64_t seed_;
 };

@@ -186,6 +186,10 @@ void ScopedSpan::rename(std::string name) {
   if (active_) name_ = std::move(name);
 }
 
+void ScopedSpan::set_args(std::string args_json) {
+  if (active_) args_json_ = std::move(args_json);
+}
+
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   Tracer& tracer = Tracer::global();

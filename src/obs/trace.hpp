@@ -94,6 +94,10 @@ class ScopedSpan {
   /// only known at the end (a figure generator's id, say).
   void rename(std::string name);
 
+  /// Replace the span's JSON args before it closes — for results computed
+  /// inside the span (a walk's convergence lap, say).
+  void set_args(std::string args_json);
+
  private:
   bool active_;
   std::uint64_t t0_ns_ = 0;

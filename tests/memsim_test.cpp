@@ -3,12 +3,18 @@
 // bandwidth models (Figs 4 and 6) and the STREAM kernels.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <string>
+#include <vector>
+
 #include "arch/registry.hpp"
 #include "memsim/bandwidth.hpp"
 #include "memsim/cache_sim.hpp"
 #include "memsim/hierarchy_sim.hpp"
 #include "memsim/latency_walker.hpp"
 #include "memsim/stream.hpp"
+#include "obs/obs.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/units.hpp"
 
 namespace maia::mem {
@@ -178,6 +184,147 @@ TEST(LatencyWalker, TransitionRegionMixesTwoLevels) {
   const auto r = w.walk(48_KiB);
   EXPECT_GT(r.level_mix[0] + r.level_mix[1], 0.95);
   EXPECT_GT(r.level_mix[1], 0.05);  // some L2 traffic
+}
+
+// ---------------------------------------------------- steady-state walk ---
+
+namespace {
+
+/// Restores the process-wide walk knobs on scope exit so a failing
+/// assertion cannot leak a disabled engine into later tests.
+struct WalkKnobGuard {
+  bool extrapolation = walk_extrapolation_enabled();
+  bool memoization = walk_memoization_enabled();
+  ~WalkKnobGuard() {
+    set_walk_extrapolation(extrapolation);
+    set_walk_memoization(memoization);
+  }
+};
+
+}  // namespace
+
+TEST(SteadyStateWalk, BitIdenticalToBruteForceAcrossRegions) {
+  WalkKnobGuard guard;
+  set_walk_extrapolation(true);
+  const arch::ProcessorModel procs[] = {arch::sandy_bridge_e5_2670(),
+                                        arch::xeon_phi_5110p()};
+  // L1-resident through memory-bound, including off-power-of-two sizes in
+  // the transition regions, and odd iteration counts (the engines must not
+  // depend on remaining-lap parity).
+  const sim::Bytes working_sets[] = {8_KiB,  48_KiB, 256_KiB, 1_MiB,
+                                     3_MiB, 16_MiB, 96_MiB};
+  for (const auto& proc : procs) {
+    const LatencyWalker w(proc);
+    for (sim::Bytes ws : working_sets) {
+      for (int iters : {1, 3, 4, 7}) {
+        WalkOptions closed_form;
+        closed_form.memoize = false;
+        WalkOptions lap_compare;
+        lap_compare.memoize = false;
+        lap_compare.analytic = false;
+        WalkOptions brute;
+        brute.memoize = false;
+        brute.extrapolate = false;
+
+        const WalkResult rc = w.walk(ws, iters, closed_form);
+        const WalkResult rl = w.walk(ws, iters, lap_compare);
+        const WalkResult rb = w.walk(ws, iters, brute);
+        const std::string at =
+            proc.name + " ws=" + std::to_string(ws) + " iters=" + std::to_string(iters);
+
+        // Exact equality: both engines must be bit-identical to brute
+        // force, not merely close.
+        EXPECT_EQ(rc.avg_latency, rb.avg_latency) << at;
+        EXPECT_EQ(rl.avg_latency, rb.avg_latency) << at;
+        ASSERT_EQ(rc.level_mix.size(), rb.level_mix.size()) << at;
+        ASSERT_EQ(rl.level_mix.size(), rb.level_mix.size()) << at;
+        for (std::size_t i = 0; i < rb.level_mix.size(); ++i) {
+          EXPECT_EQ(rc.level_mix[i], rb.level_mix[i]) << at << " level " << i;
+          EXPECT_EQ(rl.level_mix[i], rb.level_mix[i]) << at << " level " << i;
+        }
+
+        // Accounting invariants: brute force simulates every lap; the
+        // engines cover all laps between simulation and extrapolation.
+        EXPECT_EQ(rb.laps_extrapolated, 0u) << at;
+        EXPECT_EQ(rb.laps_simulated, static_cast<std::uint64_t>(iters)) << at;
+        EXPECT_EQ(rc.laps_simulated + rc.laps_extrapolated,
+                  static_cast<std::uint64_t>(iters))
+            << at;
+        EXPECT_EQ(rl.laps_simulated + rl.laps_extrapolated,
+                  static_cast<std::uint64_t>(iters))
+            << at;
+      }
+    }
+  }
+}
+
+TEST(SteadyStateWalk, PublishedMetricsMatchBruteForce) {
+  WalkKnobGuard guard;
+  set_walk_extrapolation(true);
+  const LatencyWalker w(arch::sandy_bridge_e5_2670());
+  const char* keys[] = {"memsim.L1.hits",   "memsim.L1.misses",
+                        "memsim.L2.hits",   "memsim.L2.misses",
+                        "memsim.L3.hits",   "memsim.L3.misses",
+                        "memsim.memory.loads"};
+  for (sim::Bytes ws : {32_KiB, 3_MiB, 64_MiB}) {
+    WalkOptions fast;
+    fast.memoize = false;
+    WalkOptions brute;
+    brute.memoize = false;
+    brute.extrapolate = false;
+    const auto before = obs::MetricsRegistry::global().snapshot();
+    w.walk(ws, 5, fast);
+    const auto mid = obs::MetricsRegistry::global().snapshot();
+    w.walk(ws, 5, brute);
+    const auto after = obs::MetricsRegistry::global().snapshot();
+    for (const char* key : keys) {
+      EXPECT_EQ(mid.counter(key) - before.counter(key),
+                after.counter(key) - mid.counter(key))
+          << key << " ws=" << ws;
+    }
+  }
+}
+
+TEST(SteadyStateWalk, MemoCacheIsThreadSafeAndCoherent) {
+  WalkKnobGuard guard;
+  set_walk_extrapolation(true);
+  set_walk_memoization(true);
+  clear_walk_memo();
+  const LatencyWalker host(arch::sandy_bridge_e5_2670());
+  const LatencyWalker phi(arch::xeon_phi_5110p());
+  const LatencyWalker* walkers[] = {&host, &phi};
+  const sim::Bytes sizes[] = {16_KiB, 256_KiB, 1_MiB, 8_MiB};
+
+  // Reference values computed without touching the memo.
+  WalkOptions nomemo;
+  nomemo.memoize = false;
+  std::vector<double> expected;
+  for (const auto* w : walkers) {
+    for (sim::Bytes ws : sizes) {
+      expected.push_back(sim::to_nanoseconds(w->walk(ws, 4, nomemo).avg_latency));
+    }
+  }
+
+  // Hammer the shared memo from the pool: every job walks every key, so
+  // insertions race with lookups on all of them (TSan runs this test).
+  sim::ThreadPool pool(4);
+  std::vector<std::future<bool>> pending;
+  for (int j = 0; j < 32; ++j) {
+    pending.push_back(pool.submit([&] {
+      bool ok = true;
+      std::size_t k = 0;
+      for (const auto* w : walkers) {
+        for (sim::Bytes ws : sizes) {
+          ok = ok &&
+               sim::to_nanoseconds(w->walk(ws, 4).avg_latency) == expected[k];
+          ++k;
+        }
+      }
+      return ok;
+    }));
+  }
+  for (auto& f : pending) EXPECT_TRUE(f.get());
+  clear_walk_memo();
 }
 
 // ------------------------------------------------------------ bandwidth ---
