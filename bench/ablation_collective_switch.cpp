@@ -5,6 +5,7 @@
 // recursive doubling pays log2(P).  Holding the algorithm fixed removes
 // the jump.
 #include <iostream>
+#include <string>
 
 #include "arch/registry.hpp"
 #include "mpi/collectives.hpp"
@@ -28,7 +29,8 @@ int main() {
     const auto r = coll.allgather(DeviceId::kPhi0, 59, s);
     const double growth = prev > 0.0 ? r.time / prev : 0.0;
     if (growth > jump) jump = growth;
-    table.add_row({sim::format_bytes(s), r.algorithm, sim::format_time(r.time),
+    table.add_row({sim::format_bytes(s), std::string(r.algorithm),
+                   sim::format_time(r.time),
                    prev > 0.0 ? sim::cell("%.1fx", growth) : "-"});
     prev = r.time;
   }

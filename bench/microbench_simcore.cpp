@@ -21,6 +21,7 @@
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
 #include "sim/units.hpp"
+#include "svc/engine.hpp"
 
 namespace {
 
@@ -214,6 +215,108 @@ void BM_SpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanEnabled);
+
+// ------------------------------------------------ batch query service ---
+
+svc::QueryEngine& microbench_engine() {
+  static svc::QueryEngine engine = [] {
+    svc::QueryEngine e(arch::maia_node());
+    perf::KernelSignature sig;
+    sig.name = "microbench";
+    sig.flops = 1e11;
+    sig.dram_bytes = 1e9;
+    sig.vector_fraction = 1.0;
+    e.register_kernel(sig);
+    return e;
+  }();
+  return engine;
+}
+
+std::vector<svc::Query> microbench_batch(std::size_t n) {
+  // A realistic mix: a thread sweep's worth of exec, collective and
+  // latency queries, heavy with repeats like the figure grids are.
+  std::vector<svc::Query> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0: {
+        svc::ExecQuery q;
+        q.device = arch::DeviceId::kPhi0;
+        q.threads = static_cast<std::uint16_t>(1 + i % 240);
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+      case 1: {
+        svc::CollectiveQuery q;
+        q.op = svc::CollectiveOp::kAllreduce;
+        q.device = arch::DeviceId::kPhi0;
+        q.ranks = static_cast<std::uint16_t>(1 + i % 240);
+        q.message_bytes = sim::Bytes{64} << (i % 12);
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+      default: {
+        svc::LatencyQuery q;
+        q.device = arch::DeviceId::kPhi0;
+        q.working_set = sim::Bytes{16 * 1024} << (i % 4);
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+    }
+  }
+  return batch;
+}
+
+// Per-query cost of a cache hit: canonicalize + pack + hash + one LRU
+// probe.  This is the service's steady-state hot path.
+void BM_QueryCached(benchmark::State& state) {
+  svc::QueryEngine& engine = microbench_engine();
+  const std::vector<svc::Query> batch = microbench_batch(1024);
+  svc::BatchResults out;
+  engine.clear_cache();
+  engine.evaluate(batch, out);  // warm every key
+  for (auto _ : state) {
+    engine.evaluate(batch, out);
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_QueryCached);
+
+// Per-query cost of a miss: the same path plus a full model evaluation
+// and an LRU insert.  The gap to BM_QueryCached is what each cache hit
+// saves.
+void BM_QueryUncached(benchmark::State& state) {
+  svc::QueryEngine& engine = microbench_engine();
+  const std::vector<svc::Query> batch = microbench_batch(1024);
+  svc::BatchResults out;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.clear_cache();
+    state.ResumeTiming();
+    engine.evaluate(batch, out);
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_QueryUncached);
+
+// Whole-batch throughput through the sharded path with a worker pool,
+// warm caches — the configuration maia_sweep reports as queries/sec.
+void BM_BatchEvaluate(benchmark::State& state) {
+  svc::QueryEngine& engine = microbench_engine();
+  sim::ThreadPool pool(static_cast<int>(state.range(0)));
+  const std::vector<svc::Query> batch = microbench_batch(8192);
+  svc::BatchResults out;
+  engine.clear_cache();
+  engine.evaluate(batch, out, &pool);
+  for (auto _ : state) {
+    engine.evaluate(batch, out, &pool);
+    benchmark::DoNotOptimize(out.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_BatchEvaluate)->Arg(1)->Arg(4);
 
 void BM_Fft3d(benchmark::State& state) {
   npb::Field3 f = npb::make_ft_initial(16);

@@ -1,0 +1,377 @@
+// maia_sweep: the million-query sweep harness for the batch prediction
+// service (svc::QueryEngine).
+//
+// Builds a declarative sweep grid — every NPB Class-C kernel x thread
+// count x execution mode x message size, three queries per scenario (an
+// execution-time prediction, a collective cost, and a load-latency walk) —
+// and answers it twice:
+//   1. the naive serial loop (evaluate_serial: no sharding, no cache), the
+//      correctness reference and the throughput baseline;
+//   2. the sharded engine over a thread pool with per-shard LRU caches.
+// The two result arrays must be byte-identical; the run reports
+// queries/sec for both, the sharded/cached speedup, and the cache hit
+// rate, and writes BENCH_sweep.json.
+//
+//   maia_sweep [--smoke] [--jobs N] [--shards N] [--cache N] [--json PATH]
+//              [--metrics PATH] [--guard METRIC:MIN]
+//
+// Exit status: 0 iff the sharded results are byte-identical to the serial
+// loop and every --guard floor holds.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "npb/signatures.hpp"
+#include "obs/obs.hpp"
+#include "sim/thread_pool.hpp"
+#include "svc/engine.hpp"
+
+namespace {
+
+using namespace maia;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Execution modes of the sweep: where the kernel runs and which software
+/// stack serves its communication (the paper's native/symmetric axes).
+enum class Mode { kHostNative = 0, kPhiPost, kPhiPre, kSymmetric };
+constexpr int kModeCount = 4;
+
+arch::DeviceId mode_device(Mode m) {
+  return m == Mode::kHostNative ? arch::DeviceId::kHost : arch::DeviceId::kPhi0;
+}
+
+fabric::SoftwareStack mode_stack(Mode m) {
+  return m == Mode::kPhiPre ? fabric::SoftwareStack::kPreUpdate
+                            : fabric::SoftwareStack::kPostUpdate;
+}
+
+/// Geometric ladder of 44 message sizes from 16 B to ~4 MiB; strictly
+/// increasing so every size is a distinct canonical key.
+std::vector<sim::Bytes> message_sizes() {
+  constexpr int kCount = 44;
+  const double ratio = std::pow(4.0 * 1024.0 * 1024.0 / 16.0,
+                                1.0 / static_cast<double>(kCount - 1));
+  std::vector<sim::Bytes> sizes;
+  sizes.reserve(kCount);
+  double value = 16.0;
+  sim::Bytes prev = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto s = static_cast<sim::Bytes>(value);
+    if (s <= prev) s = prev + 1;
+    sizes.push_back(s);
+    prev = s;
+    value *= ratio;
+  }
+  return sizes;
+}
+
+/// The collective each kernel exercises in the sweep (its dominant
+/// communication pattern); symmetric mode always asks the cross-device
+/// p2p question instead.
+svc::CollectiveOp kernel_op(std::size_t kernel_index) {
+  static constexpr svc::CollectiveOp kOps[] = {
+      svc::CollectiveOp::kAllreduce,    // EP: final sum reduction
+      svc::CollectiveOp::kSendrecvRing, // CG: halo exchange
+      svc::CollectiveOp::kBcast,        // MG: coarse-grid broadcast
+      svc::CollectiveOp::kAlltoall,     // FT: transpose
+      svc::CollectiveOp::kAllgather,    // IS: key redistribution
+      svc::CollectiveOp::kReduce,       // BT: residual reduction
+      svc::CollectiveOp::kGather,       // SP: solution gather
+      svc::CollectiveOp::kScatter,      // LU: block scatter
+  };
+  return kOps[kernel_index % (sizeof(kOps) / sizeof(kOps[0]))];
+}
+
+/// Pointer-chase working set probed alongside each kernel: a Fig-5-style
+/// ladder from L1-resident to memory-resident, one rung per kernel, so the
+/// sweep exercises every level transition of both hierarchies.
+sim::Bytes kernel_working_set(std::size_t kernel_index) {
+  return sim::Bytes{16 * 1024} << (kernel_index % 8);  // 16 KiB .. 2 MiB
+}
+
+struct Grid {
+  std::vector<svc::Query> queries;
+};
+
+/// Build the sweep: kernels x threads x modes x message sizes, three
+/// queries per scenario.  `thread_step` samples the 1..240 thread axis
+/// (1 = full grid, >1 = smoke).
+Grid build_grid(const std::vector<npb::NpbWorkload>& workloads, int thread_step) {
+  Grid grid;
+  const std::vector<sim::Bytes> sizes = message_sizes();
+  constexpr int kMaxThreads = 240;
+  std::size_t scenario_count = 0;
+  for (int t = 1; t <= kMaxThreads; t += thread_step) ++scenario_count;
+  grid.queries.reserve(workloads.size() * scenario_count * kModeCount *
+                       sizes.size() * 3);
+  for (std::size_t k = 0; k < workloads.size(); ++k) {
+    const auto kernel = static_cast<std::uint16_t>(k);
+    const sim::Bytes ws = kernel_working_set(k);
+    for (int t = 1; t <= kMaxThreads; t += thread_step) {
+      for (int m = 0; m < kModeCount; ++m) {
+        const Mode mode = static_cast<Mode>(m);
+        const arch::DeviceId device = mode_device(mode);
+        for (const sim::Bytes s : sizes) {
+          svc::ExecQuery exec;
+          exec.kernel = kernel;
+          exec.device = device;
+          exec.threads = static_cast<std::uint16_t>(t);
+          grid.queries.push_back(svc::Query::of(exec));
+
+          svc::CollectiveQuery coll;
+          coll.op = mode == Mode::kSymmetric ? svc::CollectiveOp::kCrossP2P
+                                             : kernel_op(k);
+          coll.device = device;
+          coll.ranks = static_cast<std::uint16_t>(t);
+          coll.message_bytes = s;
+          coll.stack = mode_stack(mode);
+          grid.queries.push_back(svc::Query::of(coll));
+
+          svc::LatencyQuery lat;
+          lat.device = device;
+          lat.working_set = ws;
+          lat.iterations = 4;
+          grid.queries.push_back(svc::Query::of(lat));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+void print_help(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "\n"
+      "Answer a ~10^6-query sweep grid through the batch prediction\n"
+      "service twice — the naive serial loop, then the sharded + cached\n"
+      "engine — verify byte-identical results, and report throughput.\n"
+      "\n"
+      "options:\n"
+      "  --smoke           sample the thread axis (1 in 10): ~10^5 queries\n"
+      "  --jobs N          worker threads for the sharded run\n"
+      "                    (default: hardware concurrency)\n"
+      "  --shards N        engine shard count (default: 2x hardware\n"
+      "                    concurrency, power of two)\n"
+      "  --cache N         LRU entries per shard (default: 32768)\n"
+      "  --json PATH       where to write the benchmark JSON\n"
+      "                    (default: BENCH_sweep.json; \"-\" disables)\n"
+      "  --metrics PATH    write the metrics registry as JSON afterwards\n"
+      "  --guard M:MIN     fail (exit 1) if metric M is below MIN; M is\n"
+      "                    one of qps (sharded queries/sec), speedup\n"
+      "                    (sharded vs serial), hit_rate (0..1);\n"
+      "                    repeatable\n"
+      "  --help            show this help\n",
+      argv0);
+}
+
+int usage(const char* argv0) {
+  print_help(argv0, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;
+  int shards = 0;
+  std::size_t cache = 1 << 15;
+  int thread_step = 1;
+  std::string json_path = "BENCH_sweep.json";
+  std::string metrics_path;
+  struct Guard {
+    std::string metric;
+    double min;
+  };
+  std::vector<Guard> guards;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      thread_step = 10;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "maia_sweep: --jobs must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) {
+        std::fprintf(stderr, "maia_sweep: --shards must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "maia_sweep: --cache must be >= 1\n");
+        return 2;
+      }
+      cache = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--guard") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      char* end = nullptr;
+      const double min = colon == std::string::npos
+                             ? -1.0
+                             : std::strtod(spec.c_str() + colon + 1, &end);
+      const std::string metric =
+          colon == std::string::npos ? "" : spec.substr(0, colon);
+      const bool known =
+          metric == "qps" || metric == "speedup" || metric == "hit_rate";
+      if (!known || min <= 0.0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr,
+                     "maia_sweep: --guard expects qps:MIN, speedup:MIN or "
+                     "hit_rate:MIN, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      guards.push_back({metric, min});
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0], stdout);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+
+  // The engine and its kernel registry: the eight NPB Class-C signatures.
+  svc::EngineConfig config;
+  config.shards = shards;
+  config.cache_capacity_per_shard = cache;
+  svc::QueryEngine engine(arch::maia_node(), config);
+  std::vector<npb::NpbWorkload> workloads;
+  for (const npb::Benchmark b : npb::all_benchmarks()) {
+    workloads.push_back(npb::class_c_workload(b));
+    engine.register_kernel(workloads.back().signature);
+  }
+
+  const Grid grid = build_grid(workloads, thread_step);
+  const std::size_t n = grid.queries.size();
+  std::printf("sweep grid: %zu queries (%zu kernels, threads 1..240 step %d, "
+              "%d modes, 44 message sizes, 3 queries/scenario)\n",
+              n, workloads.size(), thread_step, kModeCount);
+
+  // Serial reference + baseline.  The engine computes every query through
+  // uncached model paths (it bypasses the walker's process-wide memo), so
+  // this loop really pays the full model cost per query.
+  std::printf("running naive serial loop...\n");
+  std::fflush(stdout);
+  svc::BatchResults reference;
+  const auto t_serial = std::chrono::steady_clock::now();
+  engine.evaluate_serial(grid.queries, reference);
+  const double serial_seconds = seconds_since(t_serial);
+
+  // Sharded + cached run over the pool.
+  std::printf("running sharded engine (--jobs %d, %d shards, %zu entries/"
+              "shard)...\n",
+              jobs, engine.shard_count(), cache);
+  std::fflush(stdout);
+  svc::BatchResults sharded;
+  engine.clear_cache();
+  sim::ThreadPool pool(jobs);
+  const auto t_sharded = std::chrono::steady_clock::now();
+  engine.evaluate(grid.queries, sharded, &pool);
+  const double sharded_seconds = seconds_since(t_sharded);
+
+  const bool identical = sharded.bitwise_equal(reference);
+  const svc::EngineStats stats = engine.stats();
+  const double serial_qps =
+      serial_seconds > 0.0 ? static_cast<double>(n) / serial_seconds : 0.0;
+  const double qps =
+      sharded_seconds > 0.0 ? static_cast<double>(n) / sharded_seconds : 0.0;
+  const double speedup = sharded_seconds > 0.0 ? serial_seconds / sharded_seconds
+                                               : 0.0;
+
+  std::printf("\nqueries:          %zu\n", n);
+  std::printf("serial:           %.3f s  (%.0f queries/s)\n", serial_seconds,
+              serial_qps);
+  std::printf("sharded + cached: %.3f s  (%.0f queries/s, %d jobs)\n",
+              sharded_seconds, qps, jobs);
+  std::printf("speedup:          %.1fx\n", speedup);
+  std::printf("cache:            %.1f%% hit rate (%llu hits, %llu misses, "
+              "%llu evictions)\n",
+              100.0 * stats.hit_rate(),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("serial vs sharded results: %s\n",
+              identical ? "IDENTICAL" : "DIVERGED");
+
+  bool guards_ok = true;
+  for (const auto& g : guards) {
+    const double value = g.metric == "qps"       ? qps
+                         : g.metric == "speedup" ? speedup
+                                                 : stats.hit_rate();
+    if (value < g.min) {
+      guards_ok = false;
+      std::fprintf(stderr, "guard FAILED: %s %.3f below floor %.3f\n",
+                   g.metric.c_str(), value, g.min);
+    } else {
+      std::printf("guard ok:         %s %.3f >= %.3f\n", g.metric.c_str(), value,
+                  g.min);
+    }
+  }
+
+  if (json_path != "-") {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "maia_sweep: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"suite\": \"maia batch query sweep\",\n"
+         << "  \"queries\": " << n << ",\n"
+         << "  \"smoke\": " << (thread_step > 1 ? "true" : "false") << ",\n"
+         << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+         << ",\n"
+         << "  \"jobs\": " << jobs << ",\n"
+         << "  \"shards\": " << engine.shard_count() << ",\n"
+         << "  \"cache_entries_per_shard\": " << cache << ",\n"
+         << "  \"serial_seconds\": " << serial_seconds << ",\n"
+         << "  \"sharded_seconds\": " << sharded_seconds << ",\n"
+         << "  \"serial_queries_per_second\": " << serial_qps << ",\n"
+         << "  \"queries_per_second\": " << qps << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"cache_hits\": " << stats.cache_hits << ",\n"
+         << "  \"cache_misses\": " << stats.cache_misses << ",\n"
+         << "  \"cache_evictions\": " << stats.evictions << ",\n"
+         << "  \"cache_hit_rate\": " << stats.hit_rate() << ",\n"
+         << "  \"identical_results\": " << (identical ? "true" : "false")
+         << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "maia_sweep: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os, obs::MetricsRegistry::global().snapshot());
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+
+  return identical && guards_ok ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 //   $ ./collective_explorer [ranks-on-phi]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "arch/registry.hpp"
 #include "mpi/collectives.hpp"
@@ -41,10 +42,12 @@ int main(int argc, char** argv) {
     for (sim::Bytes s = 64_B; s <= 4_MiB; s *= 16) {
       const auto h = (coll.*c.fn)(DeviceId::kHost, 16, s);
       const auto p = (coll.*c.fn)(DeviceId::kPhi0, phi_ranks, s);
+      const std::string h_algo(h.algorithm);
+      const std::string p_algo(p.algorithm);
       std::printf("  %-10s %-22s %10s   %-22s %10s %7s\n",
-                  sim::format_bytes(s).c_str(), h.algorithm.c_str(),
+                  sim::format_bytes(s).c_str(), h_algo.c_str(),
                   sim::format_time(h.time).c_str(),
-                  p.out_of_memory ? "OUT OF MEMORY" : p.algorithm.c_str(),
+                  p.out_of_memory ? "OUT OF MEMORY" : p_algo.c_str(),
                   p.out_of_memory ? "-" : sim::format_time(p.time).c_str(),
                   p.out_of_memory ? "-"
                                   : sim::cell("%.0fx", p.time / h.time).c_str());

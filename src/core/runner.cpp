@@ -166,8 +166,11 @@ void write_bench_json(std::ostream& os, const SuiteResult& serial,
   os << "{\n"
      << "  \"suite\": \"maia figure suite\",\n"
      << "  \"figures\": " << serial.figures.size() << ",\n"
+     << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ",\n"
      << "  \"jobs_serial\": " << serial.jobs << ",\n"
      << "  \"jobs_parallel\": " << parallel.jobs << ",\n"
+     << "  \"pool_workers\": " << parallel.jobs << ",\n"
      << "  \"total_serial_seconds\": " << serial.total_wall_seconds << ",\n"
      << "  \"total_parallel_seconds\": " << parallel.total_wall_seconds << ",\n"
      << "  \"speedup\": " << speedup << ",\n"

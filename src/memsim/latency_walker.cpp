@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "memsim/hierarchy_sim.hpp"
@@ -144,9 +146,68 @@ std::shared_ptr<const std::vector<std::uint64_t>> cached_lap(
 
 // ---------------------------------------------------------------------------
 // Walk memoization.
+//
+// Keyed by (processor name, working set, seed, iterations).  Lookups go
+// through a transparent hash with a string_view-borrowing key, so the hit
+// path — the common case once a sweep warms up — builds no strings and
+// touches no heap; only the first walk of a distinct key pays one string
+// copy when the entry is inserted.
 
 struct MemoEntry {
   WalkResult result;
+};
+
+struct MemoKey {
+  std::string proc;
+  sim::Bytes working_set = 0;
+  std::uint64_t seed = 0;
+  int iterations = 0;
+};
+
+/// Borrowed-name twin of MemoKey used for allocation-free find().
+struct MemoKeyView {
+  std::string_view proc;
+  sim::Bytes working_set = 0;
+  std::uint64_t seed = 0;
+  int iterations = 0;
+};
+
+struct MemoKeyHash {
+  using is_transparent = void;
+  static std::size_t mix(std::string_view proc, sim::Bytes ws,
+                         std::uint64_t seed, int iterations) {
+    std::uint64_t h = std::hash<std::string_view>{}(proc);
+    h = h * 0x9e3779b97f4a7c15ull + ws;
+    h = h * 0x9e3779b97f4a7c15ull + seed;
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(iterations);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+  std::size_t operator()(const MemoKey& k) const {
+    return mix(k.proc, k.working_set, k.seed, k.iterations);
+  }
+  std::size_t operator()(const MemoKeyView& k) const {
+    return mix(k.proc, k.working_set, k.seed, k.iterations);
+  }
+};
+
+struct MemoKeyEq {
+  using is_transparent = void;
+  static bool eq(std::string_view ap, sim::Bytes aw, std::uint64_t as, int ai,
+                 std::string_view bp, sim::Bytes bw, std::uint64_t bs, int bi) {
+    return aw == bw && as == bs && ai == bi && ap == bp;
+  }
+  bool operator()(const MemoKey& a, const MemoKey& b) const {
+    return eq(a.proc, a.working_set, a.seed, a.iterations, b.proc,
+              b.working_set, b.seed, b.iterations);
+  }
+  bool operator()(const MemoKey& a, const MemoKeyView& b) const {
+    return eq(a.proc, a.working_set, a.seed, a.iterations, b.proc,
+              b.working_set, b.seed, b.iterations);
+  }
+  bool operator()(const MemoKeyView& a, const MemoKey& b) const {
+    return eq(a.proc, a.working_set, a.seed, a.iterations, b.proc,
+              b.working_set, b.seed, b.iterations);
+  }
 };
 
 std::mutex& memo_mutex() {
@@ -154,15 +215,9 @@ std::mutex& memo_mutex() {
   return m;
 }
 
-std::unordered_map<std::string, MemoEntry>& memo_map() {
-  static std::unordered_map<std::string, MemoEntry> m;
+std::unordered_map<MemoKey, MemoEntry, MemoKeyHash, MemoKeyEq>& memo_map() {
+  static std::unordered_map<MemoKey, MemoEntry, MemoKeyHash, MemoKeyEq> m;
   return m;
-}
-
-std::string memo_key(const std::string& proc_name, sim::Bytes working_set,
-                     std::uint64_t seed, int iterations_per_line) {
-  return proc_name + '|' + std::to_string(working_set) + '|' +
-         std::to_string(seed) + '|' + std::to_string(iterations_per_line);
 }
 
 // ---------------------------------------------------------------------------
@@ -310,12 +365,10 @@ WalkTelemetry exchange_walk_telemetry(WalkTelemetry next) {
 WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line,
                                const WalkOptions& options) const {
   const bool memoize = options.memoize && walk_memoization_enabled();
-  const std::string key =
-      memoize ? memo_key(proc_.name, working_set, seed_, iterations_per_line)
-              : std::string();
+  const MemoKeyView key{proc_.name, working_set, seed_, iterations_per_line};
   if (memoize) {
     std::lock_guard<std::mutex> lock(memo_mutex());
-    auto it = memo_map().find(key);
+    auto it = memo_map().find(key);  // heterogeneous: no string built
     if (it != memo_map().end()) {
       ++g_walk_telemetry.memo_hits;
       MAIA_OBS_COUNT(walk_counters().memo_hits, 1);
@@ -334,7 +387,11 @@ WalkResult LatencyWalker::walk(sim::Bytes working_set, int iterations_per_line,
     // Bound the cache; results are deterministic, so if a racing walk
     // inserted first the entry is identical and either copy serves.
     constexpr std::size_t kMaxEntries = 4096;
-    if (memo_map().size() < kMaxEntries) memo_map().emplace(key, MemoEntry{result});
+    if (memo_map().size() < kMaxEntries) {
+      memo_map().emplace(
+          MemoKey{std::string(key.proc), key.working_set, key.seed, key.iterations},
+          MemoEntry{result});
+    }
   }
   return result;
 }

@@ -21,8 +21,7 @@ bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
 }  // namespace
 
 int Collectives::ranks_per_core(arch::DeviceId device, int nranks) const {
-  const auto& dev = cost_.node().device(device);
-  const int cores = dev.total_cores();
+  const int cores = cost_.device_costs(device).total_cores;
   return (nranks + cores - 1) / cores;
 }
 

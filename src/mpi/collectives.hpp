@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "mpi/cost_model.hpp"
 #include "mpi/layout.hpp"
@@ -22,7 +23,10 @@ namespace maia::mpi {
 struct CollectiveResult {
   sim::Seconds time = 0.0;
   bool out_of_memory = false;
-  std::string algorithm;
+  /// Name of the algorithm the size-based selection rule picked.  Always a
+  /// string literal (static storage), held as a view so building a result
+  /// never allocates — the collective paths are QueryEngine hot paths.
+  std::string_view algorithm;
   /// Application + collective staging bytes charged to each rank.
   sim::Bytes buffer_bytes_per_rank = 0;
 

@@ -1,6 +1,7 @@
 #include "mpi/cost_model.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace maia::mpi {
 namespace {
@@ -31,29 +32,49 @@ double oversubscription_factor(int ranks_per_core) {
 
 }  // namespace
 
+MpiCostModel::MpiCostModel(arch::NodeTopology node, fabric::SoftwareStack stack)
+    : node_(std::move(node)), fabric_(stack) {
+  // Derive the per-device α/β table once: each field repeats the exact
+  // factor sequence the per-call paths historically evaluated, so costs
+  // computed through the table are bit-identical to the legacy ones.
+  for (const arch::DeviceId id :
+       {arch::DeviceId::kHost, arch::DeviceId::kPhi0, arch::DeviceId::kPhi1}) {
+    const auto& dev = node_.device(id);
+    const auto& proc = dev.processor;
+    const bool host = id == arch::DeviceId::kHost;
+    DeviceCostProfile& c = costs_[static_cast<int>(id)];
+    double overhead = kHostSideOverhead;
+    // Scale with clock speed relative to the host core.
+    overhead *= 2.6e9 / proc.core.frequency_hz;
+    if (proc.core.issue == arch::IssueModel::kInOrderNoBackToBack) {
+      overhead *= kInOrderStackPenalty;
+    }
+    c.overhead_base = overhead;
+    c.pair_peak = host ? kHostPairPeak : kPhiPairPeak;
+    c.shm_aggregate = host ? kHostShmAggregate : kPhiShmAggregate;
+    // Reduction arithmetic in the MPI library is unvectorized: one add per
+    // element at the core's scalar issue rate.
+    c.reduce_rate_base = proc.core.frequency_hz * proc.core.issue_efficiency(1);
+    c.total_cores = dev.total_cores();
+  }
+}
+
 sim::Seconds MpiCostModel::software_overhead(arch::DeviceId device,
                                              int ranks_per_core) const {
-  const auto& proc = node_.device(device).processor;
-  double overhead = kHostSideOverhead;
-  // Scale with clock speed relative to the host core.
-  overhead *= 2.6e9 / proc.core.frequency_hz;
-  if (proc.core.issue == arch::IssueModel::kInOrderNoBackToBack) {
-    overhead *= kInOrderStackPenalty;
-  }
-  return overhead * oversubscription_factor(ranks_per_core);
+  return device_costs(device).overhead_base *
+         oversubscription_factor(ranks_per_core);
 }
 
 sim::BytesPerSecond MpiCostModel::pair_bandwidth(arch::DeviceId device,
                                                  int ranks_per_core,
                                                  int concurrent_pairs) const {
-  const bool host = device == arch::DeviceId::kHost;
+  const DeviceCostProfile& c = device_costs(device);
   const double r = std::max(1, ranks_per_core);
   // Each pair's copy loop runs r^2 slower (issue sharing + cache thrash);
   // the aggregate ceiling also shrinks by r because the co-resident
   // polling ranks burn memory bandwidth.
-  const double peak =
-      (host ? kHostPairPeak : kPhiPairPeak) / oversubscription_factor(ranks_per_core);
-  const double aggregate = (host ? kHostShmAggregate : kPhiShmAggregate) / r;
+  const double peak = c.pair_peak / oversubscription_factor(ranks_per_core);
+  const double aggregate = c.shm_aggregate / r;
   const double share =
       aggregate / static_cast<double>(std::max(1, concurrent_pairs));
   return std::min(peak, share);
@@ -90,12 +111,9 @@ sim::Seconds MpiCostModel::cross_device_time(arch::DeviceId from,
 sim::Seconds MpiCostModel::reduce_compute(arch::DeviceId device,
                                           int ranks_per_core,
                                           sim::Bytes size) const {
-  const auto& proc = node_.device(device).processor;
   const double elements = static_cast<double>(size) / 8.0;
-  // Reduction arithmetic in the MPI library is unvectorized: one add per
-  // element at the core's scalar issue rate.
   const double adds_per_second =
-      proc.core.frequency_hz * proc.core.issue_efficiency(1) /
+      device_costs(device).reduce_rate_base /
       static_cast<double>(std::max(1, ranks_per_core));
   return elements / adds_per_second;
 }

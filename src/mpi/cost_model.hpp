@@ -21,13 +21,28 @@
 
 namespace maia::mpi {
 
+/// Per-device constants of the point-to-point cost model, derived once at
+/// construction: the α (per-message software overhead at one rank/core) and
+/// β (copy-bandwidth ceilings) every per-call path scales from.  Keeping
+/// them flat means a cost query reads a few doubles instead of chasing
+/// through NodeTopology -> Device -> ProcessorModel per message.
+struct DeviceCostProfile {
+  double overhead_base = 0.0;     // one-side software overhead, 1 rank/core
+  double pair_peak = 0.0;         // per-pair shared-memory copy ceiling
+  double shm_aggregate = 0.0;     // device-wide shared-memory copy ceiling
+  double reduce_rate_base = 0.0;  // scalar adds/s at 1 rank/core
+  int total_cores = 0;            // cores across the device's sockets
+};
+
 class MpiCostModel {
  public:
-  MpiCostModel(arch::NodeTopology node, fabric::SoftwareStack stack)
-      : node_(std::move(node)), fabric_(stack) {}
+  MpiCostModel(arch::NodeTopology node, fabric::SoftwareStack stack);
 
   const arch::NodeTopology& node() const { return node_; }
   const fabric::MpiFabricModel& fabric() const { return fabric_; }
+  const DeviceCostProfile& device_costs(arch::DeviceId device) const {
+    return costs_[static_cast<int>(device)];
+  }
 
   /// Per-message software overhead on one side (send or receive) for a
   /// rank on `device` with `ranks_per_core` co-resident ranks.
@@ -54,6 +69,7 @@ class MpiCostModel {
  private:
   arch::NodeTopology node_;
   fabric::MpiFabricModel fabric_;
+  DeviceCostProfile costs_[3];  // indexed by DeviceId
 };
 
 }  // namespace maia::mpi

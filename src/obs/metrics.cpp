@@ -1,8 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace maia::obs {
 
@@ -55,6 +58,14 @@ void set_metrics_enabled(bool enabled) {
 
 bool metrics_enabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t metrics_now_ns() {
+  if (!kCompiledIn || !metrics_enabled()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 std::vector<double> exponential_bounds(double first, double base, int n) {

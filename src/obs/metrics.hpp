@@ -164,6 +164,12 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
 void set_metrics_enabled(bool enabled);
 bool metrics_enabled();
 
+/// Steady-clock nanoseconds when metrics are enabled (and compiled in),
+/// else 0 — the shared timestamp helper for duration metrics: a zero stamp
+/// tells the recording side to skip its clock read and histogram update
+/// too, so disabled runs pay no clock syscalls at all.
+std::uint64_t metrics_now_ns();
+
 /// Exponential bucket bounds {first, first*base, ...} with `n` buckets —
 /// the standard layout for nanosecond-scale wait/latency histograms.
 std::vector<double> exponential_bounds(double first, double base, int n);

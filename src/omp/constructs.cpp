@@ -1,18 +1,10 @@
 #include "omp/constructs.hpp"
 
 namespace maia::omp {
-namespace {
-
-struct ConstructCost {
-  // overhead_cycles = base + per_level * log2(T), all in core cycles,
-  // then multiplied by the runtime-code issue penalty of the core.
-  double base_cycles = 0.0;
-  double per_level_cycles = 0.0;
-};
 
 // Base costs calibrated to EPCC measurements on Sandy Bridge at 16 threads
 // (PARALLEL ~1.4 us, BARRIER ~0.9 us, REDUCTION ~1.9 us, ATOMIC ~0.1 us).
-ConstructCost cost_of(Construct c) {
+ConstructCost construct_cost(Construct c) {
   switch (c) {
     case Construct::kParallel: return {2000, 400};
     case Construct::kFor: return {1300, 320};
@@ -29,13 +21,9 @@ ConstructCost cost_of(Construct c) {
   return {};
 }
 
-// Cycle inflation of scalar, branchy runtime code on an in-order core with
-// no out-of-order latency hiding (vs the same code on Sandy Bridge).
 double runtime_issue_penalty(const arch::CoreParams& core) {
   return core.issue == arch::IssueModel::kInOrderNoBackToBack ? 4.0 : 1.0;
 }
-
-}  // namespace
 
 const char* construct_name(Construct c) {
   switch (c) {
@@ -64,7 +52,7 @@ const std::vector<Construct>& all_constructs() {
 }
 
 sim::Seconds construct_overhead(Construct c, const ThreadTeam& team) {
-  const ConstructCost cost = cost_of(c);
+  const ConstructCost cost = construct_cost(c);
   const auto& core = team.processor().core;
   const double cycles =
       (cost.base_cycles + cost.per_level_cycles * team.tree_depth()) *

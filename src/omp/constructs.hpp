@@ -39,6 +39,20 @@ enum class Construct {
 
 const char* construct_name(Construct c);
 
+/// Calibrated cost of one construct, in core cycles before the runtime
+/// issue penalty: overhead_cycles = base + per_level * log2(T).  Exposed so
+/// precomputed profiles (perf::ProcessorProfile) can bake the same numbers
+/// into allocation-free prediction paths.
+struct ConstructCost {
+  double base_cycles = 0.0;
+  double per_level_cycles = 0.0;
+};
+ConstructCost construct_cost(Construct c);
+
+/// Cycle inflation of scalar, branchy runtime code on an in-order core with
+/// no out-of-order latency hiding (vs the same code on Sandy Bridge).
+double runtime_issue_penalty(const arch::CoreParams& core);
+
 /// All constructs in the order Fig 15 lists them.
 const std::vector<Construct>& all_constructs();
 

@@ -4,14 +4,6 @@
 #include <stdexcept>
 
 namespace maia::omp {
-namespace {
-
-// Slowdown of a barrier-synchronized team when one of its threads shares a
-// core with the MPSS OS services (calibrated to Fig 24's 60-vs-59-thread
-// gap: runs on 60 cores are ~25-30% slower than on 59).
-constexpr double kOsCoreJitter = 1.30;
-
-}  // namespace
 
 ThreadTeam::ThreadTeam(arch::ProcessorModel proc, int sockets, int nthreads)
     : proc_(std::move(proc)), sockets_(sockets), nthreads_(nthreads) {
@@ -23,8 +15,9 @@ ThreadTeam::ThreadTeam(arch::ProcessorModel proc, int sockets, int nthreads)
   if (nthreads > max_threads) {
     throw std::invalid_argument("ThreadTeam: more threads than hardware contexts");
   }
-  threads_per_core_ = (nthreads + total_cores - 1) / total_cores;
-  cores_used_ = (nthreads + threads_per_core_ - 1) / threads_per_core_;
+  const TeamShape shape = TeamShape::of(total_cores, nthreads);
+  threads_per_core_ = shape.threads_per_core;
+  cores_used_ = shape.cores_used;
 }
 
 bool ThreadTeam::uses_os_core() const {
@@ -32,7 +25,7 @@ bool ThreadTeam::uses_os_core() const {
 }
 
 double ThreadTeam::os_jitter_factor() const {
-  return uses_os_core() ? kOsCoreJitter : 1.0;
+  return uses_os_core() ? kOsCoreJitterFactor : 1.0;
 }
 
 double ThreadTeam::tree_depth() const {

@@ -12,6 +12,26 @@
 
 namespace maia::omp {
 
+/// Slowdown of a barrier-synchronized team when one of its threads shares a
+/// core with the MPSS OS services (calibrated to Fig 24's 60-vs-59-thread
+/// gap: runs on 60 cores are ~25-30% slower than on 59).
+inline constexpr double kOsCoreJitterFactor = 1.30;
+
+/// The pure placement arithmetic of the compact-balanced policy, separated
+/// from ThreadTeam so allocation-free callers (perf::ExecModel::predict)
+/// can compute it from plain integers without copying a ProcessorModel.
+struct TeamShape {
+  int threads_per_core = 1;
+  int cores_used = 1;
+
+  static constexpr TeamShape of(int total_cores, int nthreads) {
+    TeamShape s;
+    s.threads_per_core = (nthreads + total_cores - 1) / total_cores;
+    s.cores_used = (nthreads + s.threads_per_core - 1) / s.threads_per_core;
+    return s;
+  }
+};
+
 class ThreadTeam {
  public:
   ThreadTeam(arch::ProcessorModel proc, int sockets, int nthreads);

@@ -2,55 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
-#include "omp/constructs.hpp"
 #include "omp/loop_balance.hpp"
 
 namespace maia::perf {
 namespace {
 
-// Memory-level parallelism achieved by an in-order core at 1-4 resident
-// threads: one thread cannot keep enough misses in flight; two or three
-// cover the latency; a fourth starts thrashing the shared L1/L2
-// (reproduces Fig 19's "minimal at 1 thread/core, maximal at 3").
-double in_order_mlp(int threads_per_core) {
-  switch (std::clamp(threads_per_core, 1, 4)) {
-    case 1: return 0.55;
-    case 2: return 0.85;
-    case 3: return 1.00;
-    default: return 0.97;  // 4th thread starts thrashing the shared L1/L2
-  }
-}
-
-// Latency hiding for *scalar* in-order code (dependent chains, branches):
-// unlike the vector pipes, it keeps improving all the way to 4 threads —
-// which is why the barely-vectorized Cart3D peaks at 4 threads/core
-// (Fig 21) while the vectorized NPBs peak at 3 (Fig 19).
-double in_order_scalar_hiding(int threads_per_core) {
-  switch (std::clamp(threads_per_core, 1, 4)) {
-    case 1: return 0.40;
-    case 2: return 0.70;
-    case 3: return 0.88;
-    default: return 1.00;
-  }
-}
-
-// Core flop rate for the signature's mix at a given residency.
-double blended_rate(const arch::ProcessorModel& proc, const KernelSignature& sig,
+// Core flop rate for the signature's mix at a given residency: harmonic
+// blend of the vector, gather and scalar instruction classes, each scaled
+// by its profile ladder.  This is the expression the legacy per-call path
+// evaluated; keeping factor order keeps the doubles bit-identical.
+double blended_rate(const ProcessorProfile& p, const KernelSignature& sig,
                     int tpc) {
-  const auto isa = arch::traits(proc.core.isa);
-  const bool in_order =
-      proc.core.issue == arch::IssueModel::kInOrderNoBackToBack;
-  const double peak = proc.core.peak_flops() * proc.core.issue_efficiency(tpc) *
-                      proc.core.smt_throughput_factor(tpc);
-  const double scalar_peak = proc.core.scalar_flops_per_cycle *
-                             proc.core.frequency_hz *
-                             (in_order ? in_order_scalar_hiding(tpc) : 1.0);
+  const double peak =
+      p.peak_flops_core * p.issue_efficiency[tpc] * p.smt_throughput[tpc];
+  const double scalar_peak = p.scalar_peak_core * p.scalar_hiding[tpc];
   const double unit = sig.vector_fraction * (1.0 - sig.gather_fraction);
   const double gather = sig.vector_fraction * sig.gather_fraction;
   const double scalar = 1.0 - sig.vector_fraction;
   const double time_per_flop = unit / peak +
-                               gather / (peak * isa.gather_scatter_efficiency) +
+                               gather / (peak * p.gather_efficiency) +
                                scalar / scalar_peak;
   return 1.0 / time_per_flop;
 }
@@ -75,18 +47,21 @@ double ExecModel::effective_flop_rate(const arch::ProcessorModel& proc,
   return 1.0 / time_per_flop;
 }
 
-ExecBreakdown ExecModel::run(const arch::ProcessorModel& proc, int sockets,
-                             int threads, const KernelSignature& sig) {
-  const omp::ThreadTeam team(proc, sockets, threads);
-  const int tpc = team.threads_per_core();
-  const int cores = team.cores_used();
-  const bool in_order =
-      proc.core.issue == arch::IssueModel::kInOrderNoBackToBack;
+ExecBreakdown ExecModel::predict(const ProcessorProfile& p, int sockets,
+                                 int threads, const KernelSignature& sig) {
+  sockets = std::max(sockets, 1);
+  const int total_cores = p.num_cores * sockets;
+  threads = std::clamp(threads, 1, total_cores * p.hardware_threads);
+  const omp::TeamShape shape = omp::TeamShape::of(total_cores, threads);
+  const int tpc = std::min(shape.threads_per_core, ProcessorProfile::kMaxResidency);
+  const int cores = shape.cores_used;
+  const double jitter =
+      cores > p.usable_cores * sockets ? p.os_jitter : 1.0;
 
   ExecBreakdown out;
 
   // --- parallel compute ---------------------------------------------------
-  const double per_core_rate = blended_rate(proc, sig, tpc);
+  const double per_core_rate = blended_rate(p, sig, tpc);
   const double par_flops = sig.flops * sig.parallel_fraction;
   out.compute = par_flops / (per_core_rate * static_cast<double>(cores));
 
@@ -95,13 +70,10 @@ ExecBreakdown ExecModel::run(const arch::ProcessorModel& proc, int sockets,
   // independent streams and is modelled in maia_mem; application kernels
   // present fewer concurrent streams and see the MLP curve instead.)
   double agg_bw = std::min(
-      static_cast<double>(cores) * proc.stream_bw_per_core *
-          (in_order ? in_order_mlp(tpc) : 1.0),
-      proc.memory.peak_stream_bandwidth() * static_cast<double>(sockets));
-  if (in_order) agg_bw *= sig.prefetch_efficiency;
-  // Two HT threads per host core contend for fill buffers/TLBs: the ~5%
-  // the paper measures on MG with 32 threads.
-  if (!in_order && tpc > 1) agg_bw *= 0.95;
+      static_cast<double>(cores) * p.stream_bw_per_core * p.mlp[tpc],
+      p.memory_peak_bw * static_cast<double>(sockets));
+  if (p.in_order) agg_bw *= sig.prefetch_efficiency;
+  if (!p.in_order && tpc > 1) agg_bw *= p.smt_bandwidth_factor;
   const double par_bytes = sig.dram_bytes * sig.parallel_fraction;
   out.memory = par_bytes / agg_bw;
 
@@ -111,23 +83,38 @@ ExecBreakdown ExecModel::run(const arch::ProcessorModel& proc, int sockets,
                             : 1.0;
   double parallel_time = std::max(out.compute, out.memory) /
                          std::max(out.balance_efficiency, 1e-9);
-  parallel_time *= team.os_jitter_factor();
+  parallel_time *= jitter;
 
   // --- Amdahl tail: one core, one thread ----------------------------------
-  const double serial_rate = blended_rate(proc, sig, 1);
-  const double serial_bw =
-      proc.stream_bw_per_core * (in_order ? in_order_mlp(1) : 1.0);
+  const double serial_rate = blended_rate(p, sig, 1);
+  const double serial_bw = p.stream_bw_per_core * p.mlp[1];
   const double ser_flops = sig.flops * (1.0 - sig.parallel_fraction);
   const double ser_bytes = sig.dram_bytes * (1.0 - sig.parallel_fraction);
   out.serial = std::max(ser_flops / serial_rate, ser_bytes / serial_bw);
 
   // --- OpenMP runtime -------------------------------------------------------
-  out.omp_overhead =
-      sig.omp_regions *
-      omp::construct_overhead(omp::Construct::kParallelFor, team);
+  const double tree_depth =
+      std::max(1.0, std::log2(static_cast<double>(threads)));
+  const double pf_cycles =
+      (p.omp_pf_base_cycles + p.omp_pf_per_level_cycles * tree_depth) *
+      p.omp_runtime_penalty;
+  out.omp_overhead = sig.omp_regions * (pf_cycles * p.cycle_time * jitter);
 
   out.total = parallel_time + out.serial + out.omp_overhead;
   return out;
+}
+
+ExecBreakdown ExecModel::run(const arch::ProcessorModel& proc, int sockets,
+                             int threads, const KernelSignature& sig) {
+  // Preserve the historical ThreadTeam validation contract for direct
+  // callers; predict() itself clamps instead.
+  if (sockets <= 0 || threads <= 0) {
+    throw std::invalid_argument("ExecModel: sockets and threads must be positive");
+  }
+  if (threads > proc.max_threads() * sockets) {
+    throw std::invalid_argument("ExecModel: more threads than hardware contexts");
+  }
+  return predict(ProcessorProfile::make(proc), sockets, threads, sig);
 }
 
 double ExecModel::gflops(const arch::ProcessorModel& proc, int sockets,

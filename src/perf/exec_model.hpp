@@ -19,6 +19,7 @@
 
 #include "arch/processor.hpp"
 #include "omp/team.hpp"
+#include "perf/processor_profile.hpp"
 #include "perf/signature.hpp"
 #include "sim/units.hpp"
 
@@ -37,9 +38,19 @@ struct ExecBreakdown {
 class ExecModel {
  public:
   /// Time to execute `sig` with an OpenMP team of `threads` on a device of
-  /// `sockets` x `proc`.
+  /// `sockets` x `proc`.  Throws std::invalid_argument for a non-positive
+  /// or oversubscribed team (the historical ThreadTeam contract); derives a
+  /// ProcessorProfile per call, so batch callers should use predict().
   static ExecBreakdown run(const arch::ProcessorModel& proc, int sockets,
                            int threads, const KernelSignature& sig);
+
+  /// The allocation-free, reentrant hot path: identical arithmetic to
+  /// run(), evaluated against a precomputed profile.  Out-of-range teams
+  /// are clamped instead of throwing (batch canonicalization owns range
+  /// policy), and the call touches no heap — safe to hammer from every
+  /// QueryEngine shard at once.
+  static ExecBreakdown predict(const ProcessorProfile& profile, int sockets,
+                               int threads, const KernelSignature& sig);
 
   /// Convenience: achieved Gflop/s.
   static double gflops(const arch::ProcessorModel& proc, int sockets,

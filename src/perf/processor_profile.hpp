@@ -1,0 +1,69 @@
+// ProcessorProfile: every machine-dependent constant the execution-time
+// predictor consumes, hoisted out of ProcessorModel (strings, cache-level
+// vectors) into one flat, trivially copyable block.
+//
+// ExecModel::run historically rebuilt an omp::ThreadTeam per call — which
+// copies the whole ProcessorModel (its name string and cache vector) — and
+// re-derived peak rates from CoreParams on every prediction.  The batch
+// prediction service asks the model millions of questions per second, so
+// the per-query path must not allocate: a profile is derived once per
+// processor and every predict() call against it is pure arithmetic over
+// this struct.
+//
+// Derivation is exact: each field is the same expression the historical
+// per-call path evaluated (same factors, same association), so predictions
+// through a profile are bit-identical to the legacy path — the figure
+// suite's fingerprints do not move.
+#pragma once
+
+#include "arch/processor.hpp"
+
+namespace maia::perf {
+
+struct ProcessorProfile {
+  /// Residency ladders are tabulated for 1..kMaxResidency threads per core
+  /// (KNC has 4 hardware threads; 8 leaves headroom).  Index 0 is unused.
+  static constexpr int kMaxResidency = 8;
+
+  // --- geometry -----------------------------------------------------------
+  int num_cores = 0;
+  int hardware_threads = 1;
+  int usable_cores = 0;  // per socket, after the OS service reserve
+  bool in_order = false;
+
+  // --- clock and pipe rates ----------------------------------------------
+  double frequency_hz = 0.0;
+  double cycle_time = 0.0;        // 1 / frequency_hz
+  double peak_flops_core = 0.0;   // full vector + FMA, one core
+  double scalar_peak_core = 0.0;  // scalar pipes at full clock, one core
+  double gather_efficiency = 1.0; // the ISA's gather/scatter efficiency
+
+  // --- residency ladders (threads-per-core -> factor) ---------------------
+  // issue_efficiency * smt_throughput scale the vector pipes; mlp scales
+  // streaming bandwidth; scalar_hiding scales the scalar pipes.  For
+  // out-of-order cores the memory/scalar ladders are exactly 1.0, so
+  // multiplying by them reproduces the historical untaken branch.
+  double issue_efficiency[kMaxResidency + 1] = {};
+  double smt_throughput[kMaxResidency + 1] = {};
+  double mlp[kMaxResidency + 1] = {};
+  double scalar_hiding[kMaxResidency + 1] = {};
+
+  // --- memory system ------------------------------------------------------
+  double stream_bw_per_core = 0.0;
+  double memory_peak_bw = 0.0;       // one socket's peak STREAM bandwidth
+  double smt_bandwidth_factor = 1.0; // host fill-buffer/TLB contention, tpc > 1
+
+  // --- OpenMP runtime (PARALLEL FOR) --------------------------------------
+  // overhead_cycles = base + per_level * log2(T), times the runtime issue
+  // penalty of the core (scalar branchy code on the in-order pipeline).
+  double omp_pf_base_cycles = 0.0;
+  double omp_pf_per_level_cycles = 0.0;
+  double omp_runtime_penalty = 1.0;
+  double os_jitter = 1.0;  // factor paid when the team spills onto the OS core
+
+  /// Derive the profile of one processor.  Cheap (no allocation), but the
+  /// point is to call it once and reuse the result across queries.
+  static ProcessorProfile make(const arch::ProcessorModel& proc);
+};
+
+}  // namespace maia::perf

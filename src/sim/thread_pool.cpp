@@ -8,13 +8,6 @@ namespace {
 
 thread_local ThreadPool* t_current_pool = nullptr;
 
-std::uint64_t steady_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 obs::Counter tasks_counter() {
   return obs::MetricsRegistry::global().counter("sim.thread_pool.tasks");
 }
@@ -49,8 +42,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(UniqueFunction<void()> task) {
-  Item item{std::move(task), 0};
-  if (obs::kCompiledIn && obs::metrics_enabled()) item.enqueue_ns = steady_ns();
+  Item item{std::move(task), obs::metrics_now_ns()};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(item));
@@ -62,7 +54,7 @@ void ThreadPool::execute(Item item) {
   if (item.enqueue_ns != 0) {
     static const obs::Counter tasks = tasks_counter();
     static const obs::Histogram queue_wait = queue_wait_histogram();
-    const std::uint64_t now = steady_ns();
+    const std::uint64_t now = obs::metrics_now_ns();
     MAIA_OBS_COUNT(tasks, 1);
     MAIA_OBS_HISTOGRAM(queue_wait, static_cast<double>(
                                        now > item.enqueue_ns ? now - item.enqueue_ns : 0));

@@ -142,15 +142,13 @@ struct ParallelForState {
 
 }  // namespace detail
 
-/// Run `fn(0) .. fn(n-1)` with independent iterations, distributing them
-/// over the ambient pool (ThreadPool::current()); the calling thread
-/// participates and helps run other queued tasks while waiting, so this
-/// nests safely.  Without an ambient pool the loop runs serially on the
-/// caller.  The first exception thrown is rethrown once all claimed
-/// iterations have finished.
+/// As parallel_for(n, fn) below, but over an explicit pool instead of the
+/// ambient one.  The caller need not be a pool worker: an external thread
+/// (a main() driving a batch engine, a gtest thread) fans the range out
+/// over `pool` and helps drain it exactly like a worker would.  A null
+/// pool runs the loop serially.
 template <typename Fn>
-void parallel_for(std::size_t n, Fn fn) {
-  ThreadPool* pool = ThreadPool::current();
+void parallel_for(ThreadPool* pool, std::size_t n, Fn fn) {
   if (pool == nullptr || pool->size() <= 0 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -180,6 +178,17 @@ void parallel_for(std::size_t n, Fn fn) {
     }
   }
   if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+/// Run `fn(0) .. fn(n-1)` with independent iterations, distributing them
+/// over the ambient pool (ThreadPool::current()); the calling thread
+/// participates and helps run other queued tasks while waiting, so this
+/// nests safely.  Without an ambient pool the loop runs serially on the
+/// caller.  The first exception thrown is rethrown once all claimed
+/// iterations have finished.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn fn) {
+  parallel_for(ThreadPool::current(), n, std::move(fn));
 }
 
 }  // namespace maia::sim

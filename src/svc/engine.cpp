@@ -1,0 +1,325 @@
+#include "svc/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "perf/exec_model.hpp"
+
+namespace maia::svc {
+namespace {
+
+struct SvcCounters {
+  obs::Counter queries;
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter batches;
+};
+
+const SvcCounters& svc_counters() {
+  static const SvcCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return SvcCounters{reg.counter("svc.queries"), reg.counter("svc.cache.hits"),
+                       reg.counter("svc.cache.misses"),
+                       reg.counter("svc.batches")};
+  }();
+  return c;
+}
+
+int default_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t shards = 8;
+  while (shards < 2u * std::max(hw, 1u)) shards <<= 1;
+  return static_cast<int>(std::min<std::size_t>(shards, 256));
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const arch::NodeTopology& node, EngineConfig config)
+    : node_(node),
+      walkers_{mem::LatencyWalker(node.host.processor),
+               mem::LatencyWalker(node.phi0.processor),
+               mem::LatencyWalker(node.phi1.processor)},
+      coll_post_(mpi::MpiCostModel(node, fabric::SoftwareStack::kPostUpdate)),
+      coll_pre_(mpi::MpiCostModel(node, fabric::SoftwareStack::kPreUpdate)) {
+  for (const arch::DeviceId id :
+       {arch::DeviceId::kHost, arch::DeviceId::kPhi0, arch::DeviceId::kPhi1}) {
+    const int d = static_cast<int>(id);
+    const arch::Device& dev = node_.device(id);
+    profiles_[d] = perf::ProcessorProfile::make(dev.processor);
+    sockets_[d] = dev.sockets;
+    max_threads_[d] = dev.total_threads();
+  }
+  const int shards = config.shards > 0 ? config.shards : default_shards();
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config.cache_capacity_per_shard));
+  }
+}
+
+std::uint16_t QueryEngine::register_kernel(const perf::KernelSignature& sig) {
+  if (kernels_.size() >= 0xffff) {
+    throw std::length_error("QueryEngine: too many kernels");
+  }
+  kernels_.push_back(sig);
+  return static_cast<std::uint16_t>(kernels_.size() - 1);
+}
+
+Query QueryEngine::canonicalize(const Query& q) const {
+  Query c = q;
+  switch (c.kind) {
+    case QueryKind::kExec: {
+      const int d = static_cast<int>(c.exec.device);
+      // The device cannot run more threads than it has hardware contexts,
+      // and ExecModel clamps identically — folding the clamp into the key
+      // is what dedupes a 1..240-thread sweep down to the host's 32.
+      c.exec.threads = static_cast<std::uint16_t>(std::clamp(
+          static_cast<int>(c.exec.threads), 1, max_threads_[d]));
+      if (!kernels_.empty() && c.exec.kernel >= kernels_.size()) {
+        c.exec.kernel = static_cast<std::uint16_t>(kernels_.size() - 1);
+      }
+      break;
+    }
+    case QueryKind::kCollective: {
+      const int d = static_cast<int>(c.coll.device);
+      c.coll.ranks = static_cast<std::uint16_t>(std::clamp(
+          static_cast<int>(c.coll.ranks), 1, max_threads_[d]));
+      // A barrier moves no payload; drop it from the identity.
+      if (c.coll.op == CollectiveOp::kBarrier) c.coll.message_bytes = 0;
+      // Intra-device collectives never touch the PCIe fabric, so the
+      // software stack cannot change their cost; normalizing it halves the
+      // key space.  Only kCrossP2P keeps its stack.
+      if (c.coll.op != CollectiveOp::kCrossP2P) {
+        c.coll.stack = fabric::SoftwareStack::kPostUpdate;
+      }
+      break;
+    }
+    case QueryKind::kLatency: {
+      if (c.lat.iterations == 0) c.lat.iterations = 1;
+      // The walker needs at least two lines to chase.
+      c.lat.working_set = std::max<sim::Bytes>(c.lat.working_set, 128);
+      break;
+    }
+  }
+  return c;
+}
+
+CanonicalKey QueryEngine::pack(const Query& c) {
+  CanonicalKey k;
+  const auto kind = static_cast<std::uint64_t>(c.kind);
+  switch (c.kind) {
+    case QueryKind::kExec: {
+      const auto dev = static_cast<std::uint64_t>(c.exec.device);
+      k.hi = (kind << 56) | (dev << 48) |
+             (static_cast<std::uint64_t>(c.exec.kernel) << 16) |
+             static_cast<std::uint64_t>(c.exec.threads);
+      break;
+    }
+    case QueryKind::kCollective: {
+      const auto dev = static_cast<std::uint64_t>(c.coll.device);
+      k.hi = (kind << 56) | (dev << 48) |
+             (static_cast<std::uint64_t>(c.coll.op) << 40) |
+             (static_cast<std::uint64_t>(c.coll.stack) << 32) |
+             static_cast<std::uint64_t>(c.coll.ranks);
+      k.lo = c.coll.message_bytes;
+      break;
+    }
+    case QueryKind::kLatency: {
+      const auto dev = static_cast<std::uint64_t>(c.lat.device);
+      k.hi = (kind << 56) | (dev << 48) |
+             static_cast<std::uint64_t>(c.lat.iterations);
+      k.lo = c.lat.working_set;
+      break;
+    }
+  }
+  return k;
+}
+
+CanonicalKey QueryEngine::key_of(const Query& q) const {
+  return pack(canonicalize(q));
+}
+
+QueryResult QueryEngine::compute(const Query& q) const {
+  QueryResult r;
+  switch (q.kind) {
+    case QueryKind::kExec: {
+      const ExecQuery& e = q.exec;
+      const int d = static_cast<int>(e.device);
+      const perf::KernelSignature& sig = kernels_.at(e.kernel);
+      const perf::ExecBreakdown b = perf::ExecModel::predict(
+          profiles_[d], sockets_[d], e.threads, sig);
+      r.value = b.total;
+      r.secondary = b.total > 0.0 ? sig.flops / b.total / 1e9 : 0.0;
+      break;
+    }
+    case QueryKind::kCollective: {
+      const CollectiveQuery& c = q.coll;
+      const mpi::Collectives& coll =
+          c.stack == fabric::SoftwareStack::kPreUpdate ? coll_pre_ : coll_post_;
+      mpi::CollectiveResult cr;
+      const int ranks = c.ranks;
+      switch (c.op) {
+        case CollectiveOp::kSendrecvRing:
+          cr = coll.sendrecv_ring(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kBcast:
+          cr = coll.bcast(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kAllreduce:
+          cr = coll.allreduce(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kAllgather:
+          cr = coll.allgather(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kAlltoall:
+          cr = coll.alltoall(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kBarrier:
+          cr = coll.barrier(c.device, ranks);
+          break;
+        case CollectiveOp::kReduce:
+          cr = coll.reduce(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kGather:
+          cr = coll.gather(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kScatter:
+          cr = coll.scatter(c.device, ranks, c.message_bytes);
+          break;
+        case CollectiveOp::kCrossP2P: {
+          // One rank on `device` messaging its PCIe peer through the DAPL
+          // fabric — the stack-sensitive path (Fig 15's provider gap).
+          const arch::DeviceId to = c.device == arch::DeviceId::kHost
+                                        ? arch::DeviceId::kPhi0
+                                        : arch::DeviceId::kHost;
+          cr.time =
+              coll.cost_model().cross_device_time(c.device, to, 1, c.message_bytes);
+          cr.algorithm = "cross-device p2p";
+          break;
+        }
+      }
+      r.value = cr.time;
+      r.secondary = cr.bandwidth(c.message_bytes);
+      r.flags = cr.out_of_memory ? QueryResult::kOutOfMemory : 0u;
+      break;
+    }
+    case QueryKind::kLatency: {
+      const LatencyQuery& l = q.lat;
+      const int d = static_cast<int>(l.device);
+      // The walker's process-wide memo is a cache layer below this service;
+      // compute() bypasses it so the engine's shard caches are the single
+      // caching layer (one place to account hits, and evaluate_serial()
+      // stays a genuinely uncached reference).  Walk results are
+      // bit-identical across option combinations, so this changes cost,
+      // never bits.
+      mem::WalkOptions opts;
+      opts.memoize = false;
+      const mem::WalkResult w = walkers_[d].walk(l.working_set, l.iterations, opts);
+      r.value = w.avg_latency;
+      r.secondary = w.level_mix.empty() ? 0.0 : w.level_mix.back();
+      break;
+    }
+  }
+  return r;
+}
+
+void QueryEngine::evaluate(std::span<const Query> queries, BatchResults& out,
+                           sim::ThreadPool* pool) {
+  const std::size_t n = queries.size();
+  out.resize(n);
+  out.canon_.resize(n);
+  out.keys_.resize(n);
+  out.hashes_.resize(n);
+  if (n == 0) return;
+  if (pool == nullptr) pool = sim::ThreadPool::current();
+  MAIA_OBS_SPAN("svc", "batch_evaluate");
+
+  // Stage 1: canonicalize and key every query, in index blocks.
+  constexpr std::size_t kBlock = 4096;
+  const std::size_t blocks = (n + kBlock - 1) / kBlock;
+  sim::parallel_for(pool, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      out.canon_[i] = canonicalize(queries[i]);
+      out.keys_[i] = pack(out.canon_[i]);
+      out.hashes_[i] = hash_key(out.keys_[i]);
+    }
+  });
+
+  // Stage 2: one task per shard; each scans the key array for its share
+  // and answers from its cache.  The shard mutex is held for the whole
+  // pass — within one batch each shard runs on exactly one task, so the
+  // lock only ever contends with other concurrent batches.
+  const std::size_t nshards = shards_.size();
+  std::atomic<std::uint64_t> batch_hits{0};
+  std::atomic<std::uint64_t> batch_misses{0};
+  sim::parallel_for(pool, nshards, [&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shard_of(out.hashes_[i]) != s) continue;
+      QueryResult r;
+      if (const QueryResult* cached = shard.cache.find(out.keys_[i], out.hashes_[i])) {
+        r = *cached;
+        ++hits;
+      } else {
+        r = compute(out.canon_[i]);
+        shard.cache.insert(out.keys_[i], out.hashes_[i], r);
+        ++misses;
+      }
+      out.values_[i] = r.value;
+      out.secondary_[i] = r.secondary;
+      out.flags_[i] = r.flags;
+    }
+    shard.hits += hits;
+    shard.misses += misses;
+    batch_hits.fetch_add(hits, std::memory_order_relaxed);
+    batch_misses.fetch_add(misses, std::memory_order_relaxed);
+  });
+
+  const SvcCounters& counters = svc_counters();
+  MAIA_OBS_COUNT(counters.batches, 1);
+  MAIA_OBS_COUNT(counters.queries, n);
+  MAIA_OBS_COUNT(counters.hits, batch_hits.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.misses, batch_misses.load(std::memory_order_relaxed));
+}
+
+void QueryEngine::evaluate_serial(std::span<const Query> queries,
+                                  BatchResults& out) const {
+  const std::size_t n = queries.size();
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const QueryResult r = compute(canonicalize(queries[i]));
+    out.values_[i] = r.value;
+    out.secondary_[i] = r.secondary;
+    out.flags_[i] = r.flags;
+  }
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.cache_hits += shard->hits;
+    s.cache_misses += shard->misses;
+    s.evictions += shard->cache.evictions();
+  }
+  s.queries = s.cache_hits + s.cache_misses;
+  return s;
+}
+
+void QueryEngine::clear_cache() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cache.clear();
+    shard->hits = 0;
+    shard->misses = 0;
+  }
+}
+
+}  // namespace maia::svc

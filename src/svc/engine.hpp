@@ -1,0 +1,122 @@
+// QueryEngine: the batch prediction service over the analytical models.
+//
+// evaluate(queries) answers a batch by:
+//   1. canonicalizing every query (clamping + normalization — see
+//      canonicalize()) and packing it into a 128-bit CanonicalKey;
+//   2. sharding the batch by the key hash's high bits across the worker
+//      pool, one task per shard;
+//   3. serving repeats from the shard's open-addressing LRU cache and
+//      computing misses against precomputed model state (ProcessorProfile,
+//      device cost tables, resident latency walkers) — the per-query hot
+//      path touches no heap.
+//
+// Determinism contract: evaluate() output is byte-identical to
+// evaluate_serial(), the naive one-query-at-a-time loop with no sharding
+// and no cache.  This holds by construction: results land at their input
+// index (order independent of scheduling), the models are pure functions
+// of the canonical query, and a cache hit replays the exact bits a fresh
+// computation would produce.  tests/svc_test.cpp enforces it on randomized
+// batches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "arch/node.hpp"
+#include "memsim/latency_walker.hpp"
+#include "mpi/collectives.hpp"
+#include "perf/processor_profile.hpp"
+#include "perf/signature.hpp"
+#include "sim/thread_pool.hpp"
+#include "svc/lru_cache.hpp"
+#include "svc/query.hpp"
+
+namespace maia::svc {
+
+struct EngineConfig {
+  /// Shard count; <= 0 selects 2x hardware_concurrency rounded to a
+  /// power of two (enough shards that a pool's workers rarely collide).
+  int shards = 0;
+  /// Resident entries per shard cache.
+  std::size_t cache_capacity_per_shard = 1 << 15;
+};
+
+struct EngineStats {
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t evictions = 0;
+  double hit_rate() const {
+    return queries ? static_cast<double>(cache_hits) / static_cast<double>(queries)
+                   : 0.0;
+  }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const arch::NodeTopology& node, EngineConfig config = {});
+
+  /// Register a kernel signature; the returned id names it in ExecQuery.
+  /// Not safe to call concurrently with evaluate().
+  std::uint16_t register_kernel(const perf::KernelSignature& sig);
+  std::size_t kernel_count() const { return kernels_.size(); }
+
+  /// The canonical form of `q`: out-of-range fields clamped to the modelled
+  /// hardware and cost-irrelevant fields normalized (a barrier's payload,
+  /// the software stack of intra-device collectives).  Two queries with the
+  /// same canonical form get the same answer by definition.
+  Query canonicalize(const Query& q) const;
+
+  /// canonicalize() packed into the cache identity.
+  CanonicalKey key_of(const Query& q) const;
+
+  /// Answer the batch: results land at the query's input index in `out`.
+  /// Shards fan out over `pool` (or the ambient pool when null; serial
+  /// without one).  Thread-safe: concurrent batches interleave per shard.
+  void evaluate(std::span<const Query> queries, BatchResults& out,
+                sim::ThreadPool* pool = nullptr);
+
+  /// The naive reference loop: no sharding, no cache, one query at a time
+  /// in input order.  evaluate() must match this byte for byte.
+  void evaluate_serial(std::span<const Query> queries, BatchResults& out) const;
+
+  /// Aggregate cache statistics since construction / the last clear.
+  EngineStats stats() const;
+
+  /// Drop all cached results and zero the stats (timed-run hygiene).
+  void clear_cache();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    ShardCache cache;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+  };
+
+  /// Evaluate one canonical query against the models.  Pure and reentrant.
+  QueryResult compute(const Query& canonical) const;
+  static CanonicalKey pack(const Query& canonical);
+  std::size_t shard_of(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash >> 48) % shards_.size();
+  }
+
+  arch::NodeTopology node_;
+  // Per-device precomputed model state, indexed by DeviceId.
+  perf::ProcessorProfile profiles_[3];
+  int sockets_[3] = {1, 1, 1};
+  int max_threads_[3] = {1, 1, 1};
+  mem::LatencyWalker walkers_[3];
+  mpi::Collectives coll_post_;
+  mpi::Collectives coll_pre_;
+  std::vector<perf::KernelSignature> kernels_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace maia::svc

@@ -1,0 +1,150 @@
+// Open-addressing LRU cache: one per QueryEngine shard.
+//
+// Layout: a power-of-two slot table of entry indices probed linearly, over
+// stable structure-of-arrays entry storage (keys / hashes / values / LRU
+// links) preallocated at capacity.  Nothing allocates after construction:
+// a hit is a probe walk plus an intrusive-list splice, an insert at
+// capacity recycles the least-recently-used entry in place.  Deletion uses
+// backward-shift compaction instead of tombstones, so probe chains stay as
+// short as the load factor implies no matter how many evictions have
+// happened — important for a cache that by design evicts forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "svc/query.hpp"
+
+namespace maia::svc {
+
+class ShardCache {
+ public:
+  /// `capacity` = maximum resident entries; the slot table is sized at
+  /// twice that (next power of two), bounding the load factor at 1/2.
+  explicit ShardCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    std::size_t slots = 8;
+    while (slots < capacity_ * 2) slots <<= 1;
+    mask_ = slots - 1;
+    table_.assign(slots, kNil);
+    keys_.resize(capacity_);
+    hashes_.resize(capacity_);
+    values_.resize(capacity_);
+    prev_.resize(capacity_);
+    next_.resize(capacity_);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Pointer to the cached result, refreshed to most-recently-used; null
+  /// on miss.  The pointer is valid until the next insert().
+  const QueryResult* find(const CanonicalKey& key, std::uint64_t hash) {
+    std::size_t slot = hash & mask_;
+    while (table_[slot] != kNil) {
+      const std::uint32_t e = table_[slot];
+      if (keys_[e] == key) {
+        touch(e);
+        return &values_[e];
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Insert a key known to be absent (call after a failed find()).  At
+  /// capacity the least-recently-used entry is evicted.
+  void insert(const CanonicalKey& key, std::uint64_t hash,
+              const QueryResult& value) {
+    std::uint32_t e;
+    if (size_ < capacity_) {
+      e = static_cast<std::uint32_t>(size_++);
+    } else {
+      e = tail_;
+      unlink(e);
+      erase_slot(slot_of(e));
+      ++evictions_;
+    }
+    keys_[e] = key;
+    hashes_[e] = hash;
+    values_[e] = value;
+    std::size_t slot = hash & mask_;
+    while (table_[slot] != kNil) slot = (slot + 1) & mask_;
+    table_[slot] = e;
+    push_front(e);
+  }
+
+  void clear() {
+    table_.assign(table_.size(), kNil);
+    size_ = 0;
+    evictions_ = 0;
+    head_ = tail_ = kNil;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void push_front(std::uint32_t e) {
+    prev_[e] = kNil;
+    next_[e] = head_;
+    if (head_ != kNil) prev_[head_] = e;
+    head_ = e;
+    if (tail_ == kNil) tail_ = e;
+  }
+
+  void unlink(std::uint32_t e) {
+    if (prev_[e] != kNil) next_[prev_[e]] = next_[e];
+    else head_ = next_[e];
+    if (next_[e] != kNil) prev_[next_[e]] = prev_[e];
+    else tail_ = prev_[e];
+  }
+
+  void touch(std::uint32_t e) {
+    if (head_ == e) return;
+    unlink(e);
+    push_front(e);
+  }
+
+  /// The table slot currently holding entry `e` (probe from its home).
+  std::size_t slot_of(std::uint32_t e) const {
+    std::size_t slot = hashes_[e] & mask_;
+    while (table_[slot] != e) slot = (slot + 1) & mask_;
+    return slot;
+  }
+
+  /// Backward-shift deletion: close the hole at `s` by walking the probe
+  /// chain and pulling back every entry whose home slot lies cyclically at
+  /// or before the hole, so lookups never need tombstones.
+  void erase_slot(std::size_t s) {
+    table_[s] = kNil;
+    std::size_t j = s;
+    for (;;) {
+      j = (j + 1) & mask_;
+      const std::uint32_t e = table_[j];
+      if (e == kNil) return;
+      const std::size_t home = hashes_[e] & mask_;
+      if (((j - home) & mask_) >= ((j - s) & mask_)) {
+        table_[s] = e;
+        table_[j] = kNil;
+        s = j;
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::vector<std::uint32_t> table_;  // slot -> entry index, kNil when empty
+  std::vector<CanonicalKey> keys_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<QueryResult> values_;
+  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> next_;
+};
+
+}  // namespace maia::svc

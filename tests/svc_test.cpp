@@ -1,0 +1,379 @@
+// Tests for the batch prediction service: the ShardCache's LRU and
+// backward-shift deletion, query canonicalization and cache keying, and
+// the QueryEngine's determinism contract — sharded + cached evaluate()
+// must be byte-identical to the naive serial loop, on randomized batches,
+// under eviction pressure, and under concurrent batches from several
+// threads sharing one engine and pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "perf/signature.hpp"
+#include "sim/thread_pool.hpp"
+#include "svc/engine.hpp"
+#include "svc/lru_cache.hpp"
+#include "svc/query.hpp"
+
+namespace maia::svc {
+namespace {
+
+// ----------------------------------------------------------- ShardCache ---
+
+CanonicalKey key(std::uint64_t hi, std::uint64_t lo = 0) { return {hi, lo}; }
+
+QueryResult result(double v) {
+  QueryResult r;
+  r.value = v;
+  return r;
+}
+
+TEST(ShardCacheTest, FindsInsertedEntries) {
+  ShardCache cache(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const QueryResult* r = cache.find(key(i), hash_key(key(i)));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->value, static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.find(key(99), hash_key(key(99))), nullptr);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ShardCacheTest, EvictsLeastRecentlyUsed) {
+  ShardCache cache(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  // Touch key 0 so key 1 becomes the LRU entry.
+  ASSERT_NE(cache.find(key(0), hash_key(key(0))), nullptr);
+  cache.insert(key(4), hash_key(key(4)), result(4.0));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(key(1), hash_key(key(1))), nullptr);  // evicted
+  EXPECT_NE(cache.find(key(0), hash_key(key(0))), nullptr);  // saved by touch
+  EXPECT_NE(cache.find(key(4), hash_key(key(4))), nullptr);
+}
+
+TEST(ShardCacheTest, EvictionStreamKeepsOnlyTheLastCapacityKeys) {
+  constexpr std::size_t kCapacity = 8;
+  ShardCache cache(kCapacity);
+  constexpr std::uint64_t kTotal = 100;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_EQ(cache.evictions(), kTotal - kCapacity);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    const QueryResult* r = cache.find(key(i), hash_key(key(i)));
+    if (i < kTotal - kCapacity) {
+      EXPECT_EQ(r, nullptr) << "key " << i << " should have been evicted";
+    } else {
+      ASSERT_NE(r, nullptr) << "key " << i << " should be resident";
+      EXPECT_EQ(r->value, static_cast<double>(i));
+    }
+  }
+}
+
+TEST(ShardCacheTest, BackwardShiftKeepsCollidingChainsReachable) {
+  // All keys share one hash, so they form a single probe chain; evicting
+  // from the middle of it exercises backward-shift compaction.  Every
+  // find() must still resolve by key comparison alone.
+  constexpr std::uint64_t kHash = 5;  // arbitrary; same for all entries
+  ShardCache cache(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key(i), kHash, result(static_cast<double>(i)));
+  }
+  // Touch 0 and 2; inserting two more evicts 1 then 3.
+  ASSERT_NE(cache.find(key(0), kHash), nullptr);
+  ASSERT_NE(cache.find(key(2), kHash), nullptr);
+  cache.insert(key(4), kHash, result(4.0));
+  cache.insert(key(5), kHash, result(5.0));
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.find(key(1), kHash), nullptr);
+  EXPECT_EQ(cache.find(key(3), kHash), nullptr);
+  for (const std::uint64_t i : {0ull, 2ull, 4ull, 5ull}) {
+    const QueryResult* r = cache.find(key(i), kHash);
+    ASSERT_NE(r, nullptr) << "key " << i << " lost after backward shift";
+    EXPECT_EQ(r->value, static_cast<double>(i));
+  }
+}
+
+TEST(ShardCacheTest, ClearResetsSizeAndEvictions) {
+  ShardCache cache(2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.find(key(4), hash_key(key(4))), nullptr);
+  cache.insert(key(7), hash_key(key(7)), result(7.0));
+  EXPECT_NE(cache.find(key(7), hash_key(key(7))), nullptr);
+}
+
+// -------------------------------------------------- engine test fixtures ---
+
+perf::KernelSignature test_kernel(double flops, double bytes) {
+  perf::KernelSignature s;
+  s.name = "svc-test";
+  s.flops = flops;
+  s.dram_bytes = bytes;
+  s.vector_fraction = 0.9;
+  return s;
+}
+
+/// An engine with two registered kernels (one compute-bound, one
+/// memory-bound) over the paper's node.
+QueryEngine make_engine(EngineConfig config = {}) {
+  QueryEngine engine(arch::maia_node(), config);
+  engine.register_kernel(test_kernel(1e11, 1e8));
+  engine.register_kernel(test_kernel(1e9, 1e10));
+  return engine;
+}
+
+/// A reproducible batch mixing all three query kinds, with out-of-range
+/// fields and plenty of duplicates (small value pools) so canonicalization
+/// and the caches both get exercised.
+std::vector<Query> random_batch(std::uint32_t seed, std::size_t n) {
+  std::mt19937 rng(seed);
+  const arch::DeviceId devices[] = {arch::DeviceId::kHost, arch::DeviceId::kPhi0,
+                                    arch::DeviceId::kPhi1};
+  std::vector<Query> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng() % 3) {
+      case 0: {
+        ExecQuery q;
+        q.kernel = static_cast<std::uint16_t>(rng() % 3);  // 2 = out of range
+        q.device = devices[rng() % 3];
+        q.threads = static_cast<std::uint16_t>(rng() % 300);  // 0 and >max
+        batch.push_back(Query::of(q));
+        break;
+      }
+      case 1: {
+        CollectiveQuery q;
+        q.op = static_cast<CollectiveOp>(rng() % 10);
+        q.device = devices[rng() % 3];
+        q.ranks = static_cast<std::uint16_t>(rng() % 300);
+        q.message_bytes = sim::Bytes{1} << (rng() % 20);  // 1 B .. 512 KiB
+        q.stack = (rng() % 2) ? fabric::SoftwareStack::kPreUpdate
+                              : fabric::SoftwareStack::kPostUpdate;
+        batch.push_back(Query::of(q));
+        break;
+      }
+      default: {
+        LatencyQuery q;
+        q.device = devices[rng() % 3];
+        // Small pool of working sets: walks are the expensive queries.
+        q.working_set = sim::Bytes{1024} << (rng() % 6);  // 1 KiB .. 32 KiB
+        q.iterations = static_cast<std::uint16_t>(rng() % 3);  // 0 canonical-clamps
+        batch.push_back(Query::of(q));
+        break;
+      }
+    }
+  }
+  return batch;
+}
+
+// ------------------------------------------------------ canonicalization ---
+
+TEST(QueryEngineTest, CanonicalizeClampsThreadsToHardwareContexts) {
+  const QueryEngine engine = make_engine();
+  const arch::NodeTopology node = arch::maia_node();
+  const int host_max = node.device(arch::DeviceId::kHost).total_threads();
+
+  ExecQuery lo;
+  lo.threads = 0;
+  ExecQuery one;
+  one.threads = 1;
+  EXPECT_EQ(engine.key_of(Query::of(lo)), engine.key_of(Query::of(one)));
+
+  ExecQuery big;
+  big.threads = 9999;
+  ExecQuery max;
+  max.threads = static_cast<std::uint16_t>(host_max);
+  EXPECT_EQ(engine.key_of(Query::of(big)), engine.key_of(Query::of(max)));
+
+  // Distinct in-range thread counts stay distinct.
+  ExecQuery two = one;
+  two.threads = 2;
+  EXPECT_NE(engine.key_of(Query::of(one)), engine.key_of(Query::of(two)));
+}
+
+TEST(QueryEngineTest, CanonicalizeNormalizesIntraDeviceStack) {
+  const QueryEngine engine = make_engine();
+  CollectiveQuery q;
+  q.op = CollectiveOp::kAllreduce;
+  q.ranks = 16;
+  q.message_bytes = 4096;
+  q.stack = fabric::SoftwareStack::kPostUpdate;
+  CollectiveQuery pre = q;
+  pre.stack = fabric::SoftwareStack::kPreUpdate;
+  // Intra-device collectives never touch the fabric: same key.
+  EXPECT_EQ(engine.key_of(Query::of(q)), engine.key_of(Query::of(pre)));
+
+  // kCrossP2P goes through the fabric, so its stack is identity.
+  q.op = CollectiveOp::kCrossP2P;
+  pre.op = CollectiveOp::kCrossP2P;
+  EXPECT_NE(engine.key_of(Query::of(q)), engine.key_of(Query::of(pre)));
+}
+
+TEST(QueryEngineTest, CanonicalizeDropsBarrierPayload) {
+  const QueryEngine engine = make_engine();
+  CollectiveQuery a;
+  a.op = CollectiveOp::kBarrier;
+  a.ranks = 8;
+  a.message_bytes = 64;
+  CollectiveQuery b = a;
+  b.message_bytes = 1 << 20;
+  EXPECT_EQ(engine.key_of(Query::of(a)), engine.key_of(Query::of(b)));
+}
+
+TEST(QueryEngineTest, CanonicalizeFloorsLatencyFields) {
+  const QueryEngine engine = make_engine();
+  LatencyQuery a;
+  a.working_set = 0;
+  a.iterations = 0;
+  LatencyQuery b;
+  b.working_set = 128;
+  b.iterations = 1;
+  EXPECT_EQ(engine.key_of(Query::of(a)), engine.key_of(Query::of(b)));
+}
+
+TEST(QueryEngineTest, EquivalentQueriesGetIdenticalAnswers) {
+  QueryEngine engine = make_engine();
+  ExecQuery big;
+  big.threads = 9999;
+  ExecQuery max;
+  max.threads = static_cast<std::uint16_t>(
+      arch::maia_node().device(arch::DeviceId::kHost).total_threads());
+  const std::vector<Query> pair = {Query::of(big), Query::of(max)};
+  BatchResults out;
+  engine.evaluate_serial(pair, out);
+  EXPECT_EQ(out.values()[0], out.values()[1]);
+  EXPECT_EQ(out.secondary()[0], out.secondary()[1]);
+}
+
+// ---------------------------------------------------------- determinism ---
+
+TEST(QueryEngineTest, ShardedMatchesSerialOnRandomizedBatches) {
+  for (const std::uint32_t seed : {1u, 2u, 3u}) {
+    QueryEngine engine = make_engine();
+    const std::vector<Query> batch = random_batch(seed, 2000);
+    BatchResults reference;
+    engine.evaluate_serial(batch, reference);
+    BatchResults sharded;
+    sim::ThreadPool pool(4);
+    engine.evaluate(batch, sharded, &pool);
+    EXPECT_TRUE(sharded.bitwise_equal(reference)) << "seed " << seed;
+  }
+}
+
+TEST(QueryEngineTest, ShardedMatchesSerialWithoutPool) {
+  QueryEngine engine = make_engine();
+  const std::vector<Query> batch = random_batch(7, 1000);
+  BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  BatchResults out;
+  engine.evaluate(batch, out);  // no pool: serial sharded path
+  EXPECT_TRUE(out.bitwise_equal(reference));
+}
+
+TEST(QueryEngineTest, EvictionPressureDoesNotChangeResults) {
+  // Tiny caches: far fewer entries than distinct keys, so the engine
+  // recomputes under constant eviction.  Answers must not change.
+  EngineConfig config;
+  config.shards = 2;
+  config.cache_capacity_per_shard = 16;
+  QueryEngine engine = make_engine(config);
+  const std::vector<Query> batch = random_batch(11, 3000);
+  BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  BatchResults sharded;
+  sim::ThreadPool pool(4);
+  engine.evaluate(batch, sharded, &pool);
+  EXPECT_TRUE(sharded.bitwise_equal(reference));
+  EXPECT_GT(engine.stats().evictions, 0u);
+}
+
+TEST(QueryEngineTest, RepeatedEvaluationIsStableAcrossCacheStates) {
+  // Same batch three times: cold cache, warm cache, cleared cache.  All
+  // byte-identical — a hit replays exactly what a fresh compute produces.
+  QueryEngine engine = make_engine();
+  const std::vector<Query> batch = random_batch(13, 1500);
+  sim::ThreadPool pool(2);
+  BatchResults cold, warm, cleared;
+  engine.evaluate(batch, cold, &pool);
+  engine.evaluate(batch, warm, &pool);
+  engine.clear_cache();
+  engine.evaluate(batch, cleared, &pool);
+  EXPECT_TRUE(warm.bitwise_equal(cold));
+  EXPECT_TRUE(cleared.bitwise_equal(cold));
+}
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(QueryEngineTest, StatsAccountEveryQuery) {
+  QueryEngine engine = make_engine();
+  const std::vector<Query> batch = random_batch(17, 2000);
+  BatchResults out;
+  engine.evaluate(batch, out);
+  const EngineStats first = engine.stats();
+  EXPECT_EQ(first.queries, batch.size());
+  EXPECT_EQ(first.cache_hits + first.cache_misses, first.queries);
+  EXPECT_GT(first.cache_hits, 0u);  // duplicates guarantee repeats
+
+  // A second pass over the same batch hits for every query.
+  engine.evaluate(batch, out);
+  const EngineStats second = engine.stats();
+  EXPECT_EQ(second.queries, 2 * batch.size());
+  EXPECT_EQ(second.cache_misses, first.cache_misses);
+
+  engine.clear_cache();
+  const EngineStats cleared = engine.stats();
+  EXPECT_EQ(cleared.queries, 0u);
+  EXPECT_EQ(cleared.hit_rate(), 0.0);
+}
+
+// ----------------------------------------------------- concurrent stress ---
+
+TEST(QueryEngineTest, ConcurrentBatchesShareEngineAndPool) {
+  QueryEngine engine = make_engine();
+  sim::ThreadPool pool(4);
+  const std::vector<Query> batch = random_batch(23, 2000);
+  BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<BatchResults> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        engine.evaluate(batch, results[t], &pool);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].bitwise_equal(reference)) << "thread " << t;
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kThreads) * kRounds *
+                               batch.size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+}  // namespace
+}  // namespace maia::svc
