@@ -14,6 +14,13 @@
 //
 //   maia_sweep [--smoke] [--jobs N] [--shards N] [--cache N] [--json PATH]
 //              [--metrics PATH] [--guard METRIC:MIN]
+//              [--snapshot-in PATH] [--snapshot-out PATH]
+//
+// --snapshot-in warms the engine from a persisted cache snapshot before
+// the sharded run (a rejected snapshot — wrong magic/version/calibration,
+// corrupt payload — falls back to a cold start and says why);
+// --snapshot-out persists the shard caches afterwards so the next run
+// starts warm.
 //
 // Exit status: 0 iff the sharded results are byte-identical to the serial
 // loop and every --guard floor holds.
@@ -171,8 +178,13 @@ void print_help(const char* argv0, std::FILE* out) {
       "  --metrics PATH    write the metrics registry as JSON afterwards\n"
       "  --guard M:MIN     fail (exit 1) if metric M is below MIN; M is\n"
       "                    one of qps (sharded queries/sec), speedup\n"
-      "                    (sharded vs serial), hit_rate (0..1);\n"
-      "                    repeatable\n"
+      "                    (sharded vs serial), hit_rate (0..1), or\n"
+      "                    snapshot_hit_rate (hit_rate, but 0 unless a\n"
+      "                    --snapshot-in loaded); repeatable\n"
+      "  --snapshot-in P   warm the caches from snapshot P before the\n"
+      "                    sharded run (invalid/stale snapshots fall back\n"
+      "                    to a cold start)\n"
+      "  --snapshot-out P  persist the shard caches to P afterwards\n"
       "  --help            show this help\n",
       argv0);
 }
@@ -191,6 +203,8 @@ int main(int argc, char** argv) {
   int thread_step = 1;
   std::string json_path = "BENCH_sweep.json";
   std::string metrics_path;
+  std::string snapshot_in;
+  std::string snapshot_out;
   struct Guard {
     std::string metric;
     double min;
@@ -223,6 +237,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-in") == 0 && i + 1 < argc) {
+      snapshot_in = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
+      snapshot_out = argv[++i];
     } else if (std::strcmp(argv[i], "--guard") == 0 && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t colon = spec.rfind(':');
@@ -232,12 +250,12 @@ int main(int argc, char** argv) {
                              : std::strtod(spec.c_str() + colon + 1, &end);
       const std::string metric =
           colon == std::string::npos ? "" : spec.substr(0, colon);
-      const bool known =
-          metric == "qps" || metric == "speedup" || metric == "hit_rate";
+      const bool known = metric == "qps" || metric == "speedup" ||
+                         metric == "hit_rate" || metric == "snapshot_hit_rate";
       if (!known || min <= 0.0 || (end != nullptr && *end != '\0')) {
         std::fprintf(stderr,
-                     "maia_sweep: --guard expects qps:MIN, speedup:MIN or "
-                     "hit_rate:MIN, got '%s'\n",
+                     "maia_sweep: --guard expects qps:MIN, speedup:MIN, "
+                     "hit_rate:MIN or snapshot_hit_rate:MIN, got '%s'\n",
                      spec.c_str());
         return 2;
       }
@@ -283,13 +301,35 @@ int main(int argc, char** argv) {
   engine.evaluate_serial(grid.queries, reference);
   const double serial_seconds = seconds_since(t_serial);
 
+  // Warm start: refill the shard caches from a persisted snapshot.  A
+  // rejected snapshot (stale calibration, corrupt bytes, wrong format) is
+  // a cold start, not an error — the engine never trusts bytes on disk.
+  bool snapshot_loaded = false;
+  svc::SnapshotError snapshot_reason = svc::SnapshotError::kOk;
+  std::uint64_t snapshot_records = 0;
+  engine.clear_cache();
+  if (!snapshot_in.empty()) {
+    const svc::SnapshotLoadResult loaded = engine.load_snapshot(snapshot_in);
+    snapshot_loaded = loaded.ok();
+    snapshot_reason = loaded.error;
+    snapshot_records = loaded.records_loaded;
+    if (loaded.ok()) {
+      std::printf("snapshot: warmed %llu records from %s\n",
+                  static_cast<unsigned long long>(loaded.records_loaded),
+                  snapshot_in.c_str());
+    } else {
+      std::printf("snapshot: REJECTED %s (%s) — cold start\n",
+                  snapshot_in.c_str(),
+                  svc::snapshot_error_name(loaded.error));
+    }
+  }
+
   // Sharded + cached run over the pool.
   std::printf("running sharded engine (--jobs %d, %d shards, %zu entries/"
               "shard)...\n",
               jobs, engine.shard_count(), cache);
   std::fflush(stdout);
   svc::BatchResults sharded;
-  engine.clear_cache();
   sim::ThreadPool pool(jobs);
   const auto t_sharded = std::chrono::steady_clock::now();
   engine.evaluate(grid.queries, sharded, &pool);
@@ -297,6 +337,21 @@ int main(int argc, char** argv) {
 
   const bool identical = sharded.bitwise_equal(reference);
   const svc::EngineStats stats = engine.stats();
+
+  std::uint64_t snapshot_saved_records = 0;
+  if (!snapshot_out.empty()) {
+    const svc::SnapshotSaveResult saved = engine.save_snapshot(snapshot_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "maia_sweep: cannot write snapshot %s (%s)\n",
+                   snapshot_out.c_str(), svc::snapshot_error_name(saved.error));
+      return 1;
+    }
+    snapshot_saved_records = saved.records;
+    std::printf("snapshot: saved %llu records to %s\n",
+                static_cast<unsigned long long>(saved.records),
+                snapshot_out.c_str());
+  }
+
   const double serial_qps =
       serial_seconds > 0.0 ? static_cast<double>(n) / serial_seconds : 0.0;
   const double qps =
@@ -319,11 +374,18 @@ int main(int argc, char** argv) {
   std::printf("serial vs sharded results: %s\n",
               identical ? "IDENTICAL" : "DIVERGED");
 
+  // The sharded run's hit rate, attributable to the snapshot: only a
+  // successfully loaded snapshot may satisfy a snapshot_hit_rate guard —
+  // a rejected one scores 0 so the guard catches silent cold starts.
+  const double snapshot_hit_rate = snapshot_loaded ? stats.hit_rate() : 0.0;
+
   bool guards_ok = true;
   for (const auto& g : guards) {
     const double value = g.metric == "qps"       ? qps
                          : g.metric == "speedup" ? speedup
-                                                 : stats.hit_rate();
+                         : g.metric == "snapshot_hit_rate"
+                             ? snapshot_hit_rate
+                             : stats.hit_rate();
     if (value < g.min) {
       guards_ok = false;
       std::fprintf(stderr, "guard FAILED: %s %.3f below floor %.3f\n",
@@ -358,6 +420,13 @@ int main(int argc, char** argv) {
          << "  \"cache_misses\": " << stats.cache_misses << ",\n"
          << "  \"cache_evictions\": " << stats.evictions << ",\n"
          << "  \"cache_hit_rate\": " << stats.hit_rate() << ",\n"
+         << "  \"snapshot_loaded\": " << (snapshot_loaded ? "true" : "false")
+         << ",\n"
+         << "  \"snapshot_reason\": \"" << svc::snapshot_error_name(snapshot_reason)
+         << "\",\n"
+         << "  \"snapshot_records\": " << snapshot_records << ",\n"
+         << "  \"snapshot_saved_records\": " << snapshot_saved_records << ",\n"
+         << "  \"snapshot_hit_rate\": " << snapshot_hit_rate << ",\n"
          << "  \"identical_results\": " << (identical ? "true" : "false")
          << "\n}\n";
     std::printf("wrote %s\n", json_path.c_str());

@@ -106,5 +106,27 @@ int main() {
   }
   std::printf("sharded vs serial: %s\n",
               sharded.bitwise_equal(reference) ? "IDENTICAL" : "DIVERGED");
+
+  std::printf("\n=== Part 4: a snapshot survives the process ===\n");
+  // Persist the warm caches, stand up a brand-new engine (a restarted
+  // service), and warm it from disk.  The snapshot is keyed by the model
+  // calibration hash, so the restarted engine must register the same
+  // kernels — a mismatch would be rejected and warm nothing.
+  const char* snapshot_path = "sweep_explorer_snapshot.bin";
+  const svc::SnapshotSaveResult saved = engine.save_snapshot(snapshot_path);
+  svc::QueryEngine restarted(arch::maia_node());
+  for (const auto& w : workloads) restarted.register_kernel(w.signature);
+  const svc::SnapshotLoadResult loaded = restarted.load_snapshot(snapshot_path);
+  svc::BatchResults warm;
+  restarted.evaluate(batch, warm, &pool);
+  const svc::EngineStats warm_stats = restarted.stats();
+  std::printf("saved %llu records; restarted engine loaded %llu (%s)\n",
+              static_cast<unsigned long long>(saved.records),
+              static_cast<unsigned long long>(loaded.records_loaded),
+              svc::snapshot_error_name(loaded.error));
+  std::printf("replay on the restarted engine: %.0f%% hit rate, %s\n",
+              100.0 * warm_stats.hit_rate(),
+              warm.bitwise_equal(reference) ? "IDENTICAL" : "DIVERGED");
+  std::remove(snapshot_path);
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "memsim/hierarchy_sim.hpp"
 #include "obs/obs.hpp"
+#include "sim/fingerprint.hpp"
 #include "sim/rng.hpp"
 
 namespace maia::mem {
@@ -554,6 +555,23 @@ sim::DataSeries LatencyWalker::latency_curve(sim::Bytes from, sim::Bytes to) con
     curve.add(static_cast<double>(ws), sim::to_nanoseconds(walk(ws).avg_latency));
   }
   return curve;
+}
+
+std::uint64_t LatencyWalker::calibration_fingerprint() const {
+  sim::Fingerprint fp;
+  fp.add(seed_);
+  fp.add(proc_.core.frequency_hz);
+  fp.add(proc_.num_cores);
+  fp.add(proc_.core.hardware_threads);
+  for (const arch::CacheLevelParams& level : proc_.caches) {
+    fp.add(static_cast<std::uint64_t>(level.capacity));
+    fp.add(level.line_bytes);
+    fp.add(level.associativity);
+    fp.add(level.load_to_use_cycles);
+    fp.add(level.scope == arch::CacheScope::kShared);
+  }
+  fp.add(proc_.memory.load_to_use_cycles);
+  return fp.value();
 }
 
 }  // namespace maia::mem

@@ -128,6 +128,12 @@ class LatencyWalker {
   /// `from` to `to` inclusive.
   sim::DataSeries latency_curve(sim::Bytes from, sim::Bytes to) const;
 
+  /// Hash of everything a walk result depends on: the permutation seed and
+  /// the processor's cache geometry, latencies, and clock.  Equal
+  /// fingerprints <=> bit-identical walks; the persisted result cache
+  /// (svc/snapshot) keys on it.
+  std::uint64_t calibration_fingerprint() const;
+
  private:
   WalkResult walk_uncached(sim::Bytes working_set, int iterations_per_line,
                            bool extrapolate, bool analytic) const;

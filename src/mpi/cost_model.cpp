@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/fingerprint.hpp"
+
 namespace maia::mpi {
 namespace {
 
@@ -116,6 +118,33 @@ sim::Seconds MpiCostModel::reduce_compute(arch::DeviceId device,
       device_costs(device).reduce_rate_base /
       static_cast<double>(std::max(1, ranks_per_core));
   return elements / adds_per_second;
+}
+
+std::uint64_t MpiCostModel::calibration_fingerprint() const {
+  sim::Fingerprint fp;
+  fp.add(static_cast<std::uint64_t>(fabric_.stack()));
+  for (int d = 0; d < 3; ++d) {
+    const DeviceCostProfile& c = costs_[d];
+    fp.add(c.overhead_base);
+    fp.add(c.pair_peak);
+    fp.add(c.shm_aggregate);
+    fp.add(c.reduce_rate_base);
+    fp.add(c.total_cores);
+  }
+  // Probe the fabric curves instead of enumerating its internals: one
+  // sample per provider regime (eager, rendezvous, SCIF) per path pins
+  // every latency, bandwidth-cap, and threshold constant — any change
+  // moves at least one probed value.
+  for (const fabric::Path path : {fabric::Path::kHostToPhi0,
+                                  fabric::Path::kHostToPhi1,
+                                  fabric::Path::kPhi0ToPhi1}) {
+    fp.add(fabric_.latency(path));
+    for (const sim::Bytes size :
+         {sim::Bytes{1024}, sim::Bytes{64 * 1024}, sim::Bytes{4 * 1024 * 1024}}) {
+      fp.add(fabric_.transfer_time(path, size));
+    }
+  }
+  return fp.value();
 }
 
 }  // namespace maia::mpi

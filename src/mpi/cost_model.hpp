@@ -15,6 +15,8 @@
 //    streaming bandwidth shared over concurrently communicating pairs.
 #pragma once
 
+#include <cstdint>
+
 #include "arch/node.hpp"
 #include "fabric/mpi_fabric.hpp"
 #include "sim/units.hpp"
@@ -65,6 +67,13 @@ class MpiCostModel {
   /// rank of `device` — scalar adds at core speed.
   sim::Seconds reduce_compute(arch::DeviceId device, int ranks_per_core,
                               sim::Bytes size) const;
+
+  /// Hash of every constant a collective/p2p cost through this model
+  /// depends on: the per-device α/β table, the software stack, and probes
+  /// of the fabric's latency/transfer curves straddling its provider
+  /// thresholds.  Equal fingerprints <=> bit-identical costs; the
+  /// persisted result cache (svc/snapshot) keys on it.
+  std::uint64_t calibration_fingerprint() const;
 
  private:
   arch::NodeTopology node_;

@@ -4,6 +4,7 @@
 
 #include "omp/constructs.hpp"
 #include "omp/team.hpp"
+#include "sim/fingerprint.hpp"
 
 namespace maia::perf {
 namespace {
@@ -70,6 +71,33 @@ ProcessorProfile ProcessorProfile::make(const arch::ProcessorModel& proc) {
   p.omp_runtime_penalty = omp::runtime_issue_penalty(proc.core);
   p.os_jitter = omp::kOsCoreJitterFactor;
   return p;
+}
+
+std::uint64_t calibration_fingerprint(const ProcessorProfile& p) {
+  sim::Fingerprint fp;
+  fp.add(p.num_cores);
+  fp.add(p.hardware_threads);
+  fp.add(p.usable_cores);
+  fp.add(p.in_order);
+  fp.add(p.frequency_hz);
+  fp.add(p.cycle_time);
+  fp.add(p.peak_flops_core);
+  fp.add(p.scalar_peak_core);
+  fp.add(p.gather_efficiency);
+  for (int t = 1; t <= ProcessorProfile::kMaxResidency; ++t) {
+    fp.add(p.issue_efficiency[t]);
+    fp.add(p.smt_throughput[t]);
+    fp.add(p.mlp[t]);
+    fp.add(p.scalar_hiding[t]);
+  }
+  fp.add(p.stream_bw_per_core);
+  fp.add(p.memory_peak_bw);
+  fp.add(p.smt_bandwidth_factor);
+  fp.add(p.omp_pf_base_cycles);
+  fp.add(p.omp_pf_per_level_cycles);
+  fp.add(p.omp_runtime_penalty);
+  fp.add(p.os_jitter);
+  return fp.value();
 }
 
 }  // namespace maia::perf

@@ -16,6 +16,8 @@
 // suite's fingerprints do not move.
 #pragma once
 
+#include <cstdint>
+
 #include "arch/processor.hpp"
 
 namespace maia::perf {
@@ -65,5 +67,11 @@ struct ProcessorProfile {
   /// point is to call it once and reuse the result across queries.
   static ProcessorProfile make(const arch::ProcessorModel& proc);
 };
+
+/// Hash of every constant an ExecModel prediction through this profile
+/// consumes.  Equal fingerprints <=> bit-identical predictions, which is
+/// what lets a persisted result cache (svc/snapshot) prove it was computed
+/// by this exact calibration.
+std::uint64_t calibration_fingerprint(const ProcessorProfile& profile);
 
 }  // namespace maia::perf

@@ -1,0 +1,50 @@
+// Fingerprint: an order-sensitive FNV-1a accumulator over typed fields,
+// used to fingerprint model calibration state (see svc/snapshot.hpp).
+//
+// The point is *identity*, not cryptography: two model instances hash
+// equal iff every constant fed in is bit-identical, so a persisted cache
+// keyed by the fingerprint can never be replayed against a recalibrated
+// model.  Doubles are hashed by bit pattern (via their IEEE-754 image),
+// which is exactly the determinism contract the QueryEngine already
+// promises — a constant that moves by one ULP is a different calibration.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace maia::sim {
+
+class Fingerprint {
+ public:
+  void add_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;  // FNV-1a 64-bit prime
+    }
+  }
+
+  void add(std::uint64_t v) { add_bytes(&v, sizeof(v)); }
+  void add(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
+  void add(std::uint32_t v) { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) { add(static_cast<std::int64_t>(v)); }
+  void add(bool v) { add(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  void add(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  /// Length-prefixed so {"ab","c"} and {"a","bc"} hash differently.
+  void add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    add_bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+};
+
+}  // namespace maia::sim

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/obs.hpp"
 #include "perf/exec_model.hpp"
+#include "sim/fingerprint.hpp"
 
 namespace maia::svc {
 namespace {
@@ -16,6 +18,10 @@ struct SvcCounters {
   obs::Counter hits;
   obs::Counter misses;
   obs::Counter batches;
+  obs::Counter snapshot_saved;
+  obs::Counter snapshot_loaded;
+  obs::Counter snapshot_rejected;
+  obs::Counter snapshot_records;
 };
 
 const SvcCounters& svc_counters() {
@@ -23,9 +29,24 @@ const SvcCounters& svc_counters() {
     auto& reg = obs::MetricsRegistry::global();
     return SvcCounters{reg.counter("svc.queries"), reg.counter("svc.cache.hits"),
                        reg.counter("svc.cache.misses"),
-                       reg.counter("svc.batches")};
+                       reg.counter("svc.batches"),
+                       reg.counter("svc.snapshot.saved"),
+                       reg.counter("svc.snapshot.loaded"),
+                       reg.counter("svc.snapshot.rejected"),
+                       reg.counter("svc.snapshot.records")};
   }();
   return c;
+}
+
+/// Count one rejection, both in aggregate and under its reason code
+/// (svc.snapshot.rejected.<reason>).  Cold path: the per-reason handle is
+/// registered on demand.
+void count_snapshot_rejection(SnapshotError error) {
+  const SvcCounters& counters = svc_counters();
+  MAIA_OBS_COUNT(counters.snapshot_rejected, 1);
+  const obs::Counter by_reason = obs::MetricsRegistry::global().counter(
+      std::string("svc.snapshot.rejected.") + snapshot_error_name(error));
+  MAIA_OBS_COUNT(by_reason, 1);
 }
 
 int default_shards() {
@@ -320,6 +341,106 @@ void QueryEngine::clear_cache() {
     shard->hits = 0;
     shard->misses = 0;
   }
+}
+
+std::uint64_t QueryEngine::calibration_hash() const {
+  sim::Fingerprint fp;
+  fp.add(std::string_view(node_.name));
+  for (int d = 0; d < 3; ++d) {
+    fp.add(perf::calibration_fingerprint(profiles_[d]));
+    fp.add(sockets_[d]);
+    fp.add(max_threads_[d]);
+    fp.add(walkers_[d].calibration_fingerprint());
+  }
+  fp.add(coll_post_.cost_model().calibration_fingerprint());
+  fp.add(coll_pre_.cost_model().calibration_fingerprint());
+  fp.add(static_cast<std::uint64_t>(kernels_.size()));
+  for (const perf::KernelSignature& k : kernels_) {
+    fp.add(std::string_view(k.name));
+    fp.add(k.flops);
+    fp.add(k.dram_bytes);
+    fp.add(k.vector_fraction);
+    fp.add(k.gather_fraction);
+    fp.add(static_cast<std::uint64_t>(k.working_set_per_thread));
+    fp.add(k.parallel_fraction);
+    fp.add(k.parallel_trip);
+    fp.add(k.omp_regions);
+    fp.add(k.prefetch_efficiency);
+  }
+  return fp.value();
+}
+
+SnapshotSaveResult QueryEngine::save_snapshot(const std::string& path) {
+  MAIA_OBS_SPAN("svc", "snapshot_save");
+  std::vector<std::uint64_t> counts(shards_.size());
+  std::vector<SnapshotRecord> records;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    counts[s] = shard.cache.size();
+    records.reserve(records.size() + shard.cache.size());
+    shard.cache.for_each_lru(
+        [&records](const CanonicalKey& key, const QueryResult& result) {
+          records.push_back(SnapshotRecord{key, result});
+        });
+  }
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return {SnapshotError::kIoError, 0};
+  write_snapshot(os, calibration_hash(), counts, records);
+  os.flush();
+  if (!os) return {SnapshotError::kIoError, 0};
+
+  const SvcCounters& counters = svc_counters();
+  MAIA_OBS_COUNT(counters.snapshot_saved, 1);
+  return {SnapshotError::kOk, records.size()};
+}
+
+SnapshotLoadResult QueryEngine::load_snapshot(const std::string& path) {
+  MAIA_OBS_SPAN("svc", "snapshot_load");
+  SnapshotLoadResult out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    out.error = SnapshotError::kIoError;
+    count_snapshot_rejection(out.error);
+    return out;
+  }
+  SnapshotReadResult parsed = read_snapshot(is, calibration_hash());
+  if (!parsed.ok()) {
+    out.error = parsed.error;
+    count_snapshot_rejection(out.error);
+    return out;
+  }
+  out.records_in_file = parsed.records.size();
+
+  // Re-shard by key hash (the snapshot may come from an engine with a
+  // different shard count), bucketing first so each shard locks once.
+  // Within a destination shard, file order is preserved — each saved
+  // shard's LRU-to-MRU ordering survives, so an at-capacity refill keeps
+  // the most recently used entries.
+  std::vector<std::vector<std::uint32_t>> buckets(shards_.size());
+  std::vector<std::uint64_t> hashes(parsed.records.size());
+  for (std::size_t i = 0; i < parsed.records.size(); ++i) {
+    hashes[i] = hash_key(parsed.records[i].key);
+    buckets[shard_of(hashes[i])].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::uint32_t i : buckets[s]) {
+      const SnapshotRecord& r = parsed.records[i];
+      if (shard.cache.find(r.key, hashes[i]) == nullptr) {
+        shard.cache.insert(r.key, hashes[i], r.result);
+        ++out.records_loaded;
+      }
+    }
+  }
+
+  const SvcCounters& counters = svc_counters();
+  MAIA_OBS_COUNT(counters.snapshot_loaded, 1);
+  MAIA_OBS_COUNT(counters.snapshot_records, out.records_loaded);
+  return out;
 }
 
 }  // namespace maia::svc

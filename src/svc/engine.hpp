@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/node.hpp"
@@ -33,6 +34,7 @@
 #include "sim/thread_pool.hpp"
 #include "svc/lru_cache.hpp"
 #include "svc/query.hpp"
+#include "svc/snapshot.hpp"
 
 namespace maia::svc {
 
@@ -42,6 +44,22 @@ struct EngineConfig {
   int shards = 0;
   /// Resident entries per shard cache.
   std::size_t cache_capacity_per_shard = 1 << 15;
+};
+
+/// Outcome of QueryEngine::save_snapshot().
+struct SnapshotSaveResult {
+  SnapshotError error = SnapshotError::kOk;
+  std::uint64_t records = 0;  ///< cache entries written
+  bool ok() const { return error == SnapshotError::kOk; }
+};
+
+/// Outcome of QueryEngine::load_snapshot().  On rejection (`!ok()`) the
+/// caches are exactly as they were: a bad snapshot warms nothing.
+struct SnapshotLoadResult {
+  SnapshotError error = SnapshotError::kOk;
+  std::uint64_t records_in_file = 0;  ///< records the snapshot carried
+  std::uint64_t records_loaded = 0;   ///< records inserted (not already resident)
+  bool ok() const { return error == SnapshotError::kOk; }
 };
 
 struct EngineStats {
@@ -88,6 +106,31 @@ class QueryEngine {
 
   /// Drop all cached results and zero the stats (timed-run hygiene).
   void clear_cache();
+
+  /// Hash of every calibration constant a cached result depends on: the
+  /// per-device ProcessorProfiles, latency walkers, both MpiCostModels,
+  /// and the registered kernel signatures (an ExecQuery's cached answer is
+  /// only as stable as the signature its kernel id names).  Snapshots are
+  /// keyed on it, so a snapshot taken under any other calibration — or
+  /// another kernel registry — can never warm this engine.
+  std::uint64_t calibration_hash() const;
+
+  /// Persist every resident cache entry to `path` (svc/snapshot.hpp
+  /// format).  Safe to call while other threads evaluate(): each shard is
+  /// drained under its lock, so the snapshot is per-shard consistent.
+  SnapshotSaveResult save_snapshot(const std::string& path);
+
+  /// Warm the shard caches from a snapshot at `path`.  The file is fully
+  /// validated (magic -> version -> endianness -> calibration hash -> CRC)
+  /// and rejected wholesale on any mismatch — loading never crashes, never
+  /// trusts bytes on disk, and a stale or corrupt snapshot leaves the
+  /// engine cold rather than serving wrong numbers.  Records re-shard by
+  /// key hash, so shard-count and cache-capacity differences from the
+  /// saving engine are fine (at capacity the least-recent records of the
+  /// snapshot are dropped).  Loaded entries are not counted as hits or
+  /// misses.  Thread-safe against concurrent evaluate() and against other
+  /// engines loading the same file.
+  SnapshotLoadResult load_snapshot(const std::string& path);
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
 

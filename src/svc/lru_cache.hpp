@@ -83,6 +83,15 @@ class ShardCache {
     head_ = tail_ = kNil;
   }
 
+  /// Visit every resident entry from least- to most-recently used — the
+  /// order that, replayed through insert(), reproduces this cache's
+  /// recency ranking (snapshot drain/refill).  `fn(key, value)` must not
+  /// mutate the cache.
+  template <typename Fn>
+  void for_each_lru(Fn&& fn) const {
+    for (std::uint32_t e = tail_; e != kNil; e = prev_[e]) fn(keys_[e], values_[e]);
+  }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 

@@ -4,6 +4,9 @@
 // must be byte-identical to the naive serial loop, on randomized batches,
 // under eviction pressure, and under concurrent batches from several
 // threads sharing one engine and pool.
+//
+// Randomized cases seed from the logged, MAIA_TEST_SEED-overridable base
+// seed (tests/test_seed.hpp), so any failure reproduces exactly.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 #include "svc/engine.hpp"
 #include "svc/lru_cache.hpp"
 #include "svc/query.hpp"
+#include "test_seed.hpp"
 
 namespace maia::svc {
 namespace {
@@ -265,7 +269,8 @@ TEST(QueryEngineTest, EquivalentQueriesGetIdenticalAnswers) {
 // ---------------------------------------------------------- determinism ---
 
 TEST(QueryEngineTest, ShardedMatchesSerialOnRandomizedBatches) {
-  for (const std::uint32_t seed : {1u, 2u, 3u}) {
+  for (const std::uint32_t salt : {1u, 2u, 3u}) {
+    const std::uint32_t seed = test::case_seed(salt);
     QueryEngine engine = make_engine();
     const std::vector<Query> batch = random_batch(seed, 2000);
     BatchResults reference;
@@ -279,7 +284,7 @@ TEST(QueryEngineTest, ShardedMatchesSerialOnRandomizedBatches) {
 
 TEST(QueryEngineTest, ShardedMatchesSerialWithoutPool) {
   QueryEngine engine = make_engine();
-  const std::vector<Query> batch = random_batch(7, 1000);
+  const std::vector<Query> batch = random_batch(test::case_seed(7), 1000);
   BatchResults reference;
   engine.evaluate_serial(batch, reference);
   BatchResults out;
@@ -294,7 +299,7 @@ TEST(QueryEngineTest, EvictionPressureDoesNotChangeResults) {
   config.shards = 2;
   config.cache_capacity_per_shard = 16;
   QueryEngine engine = make_engine(config);
-  const std::vector<Query> batch = random_batch(11, 3000);
+  const std::vector<Query> batch = random_batch(test::case_seed(11), 3000);
   BatchResults reference;
   engine.evaluate_serial(batch, reference);
   BatchResults sharded;
@@ -308,7 +313,7 @@ TEST(QueryEngineTest, RepeatedEvaluationIsStableAcrossCacheStates) {
   // Same batch three times: cold cache, warm cache, cleared cache.  All
   // byte-identical — a hit replays exactly what a fresh compute produces.
   QueryEngine engine = make_engine();
-  const std::vector<Query> batch = random_batch(13, 1500);
+  const std::vector<Query> batch = random_batch(test::case_seed(13), 1500);
   sim::ThreadPool pool(2);
   BatchResults cold, warm, cleared;
   engine.evaluate(batch, cold, &pool);
@@ -323,7 +328,7 @@ TEST(QueryEngineTest, RepeatedEvaluationIsStableAcrossCacheStates) {
 
 TEST(QueryEngineTest, StatsAccountEveryQuery) {
   QueryEngine engine = make_engine();
-  const std::vector<Query> batch = random_batch(17, 2000);
+  const std::vector<Query> batch = random_batch(test::case_seed(17), 2000);
   BatchResults out;
   engine.evaluate(batch, out);
   const EngineStats first = engine.stats();
@@ -348,7 +353,7 @@ TEST(QueryEngineTest, StatsAccountEveryQuery) {
 TEST(QueryEngineTest, ConcurrentBatchesShareEngineAndPool) {
   QueryEngine engine = make_engine();
   sim::ThreadPool pool(4);
-  const std::vector<Query> batch = random_batch(23, 2000);
+  const std::vector<Query> batch = random_batch(test::case_seed(23), 2000);
   BatchResults reference;
   engine.evaluate_serial(batch, reference);
 

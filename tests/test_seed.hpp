@@ -1,0 +1,57 @@
+// Reproducible seeding for randomized test cases.
+//
+// Every randomized case derives its RNG seed from one process-wide base
+// seed that is (a) logged to stdout the first time it is used, so a
+// failing CI run's inputs can be replayed exactly, and (b) overridable
+// via the MAIA_TEST_SEED environment variable, so that replay is one
+// `MAIA_TEST_SEED=<logged value> ./svc_test` away.  Without the override
+// the base seed is the test binary's default — fixed, so ordinary runs
+// stay deterministic, but no longer silent about what they ran with.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace maia::test {
+
+/// The process-wide base seed: MAIA_TEST_SEED when set (parsed as an
+/// unsigned integer), else `fallback`.  Logged once per process.
+inline std::uint32_t base_seed(std::uint32_t fallback = 0x5eedba5eu) {
+  static const std::uint32_t seed = [fallback] {
+    std::uint32_t s = fallback;
+    bool overridden = false;
+    if (const char* env = std::getenv("MAIA_TEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 0);
+      if (end != env && *end == '\0') {
+        s = static_cast<std::uint32_t>(v);
+        overridden = true;
+      } else {
+        std::fprintf(stderr,
+                     "test_seed: ignoring unparsable MAIA_TEST_SEED='%s'\n",
+                     env);
+      }
+    }
+    std::printf("test_seed: base seed %u%s (set MAIA_TEST_SEED=%u to replay)\n",
+                s, overridden ? " (from MAIA_TEST_SEED)" : "", s);
+    std::fflush(stdout);
+    return s;
+  }();
+  return seed;
+}
+
+/// Per-case seed: the base seed mixed (splitmix64 finalizer) with a
+/// case-local salt, so distinct cases draw distinct streams while all
+/// remaining functions of the one logged value.
+inline std::uint32_t case_seed(std::uint32_t salt) {
+  std::uint64_t x = (static_cast<std::uint64_t>(base_seed()) << 32) | salt;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x);
+}
+
+}  // namespace maia::test
