@@ -318,6 +318,66 @@ void BM_BatchEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchEvaluate)->Arg(1)->Arg(4);
 
+// Raw cost of one lock-free probe against a resident key: the seqlock
+// epoch validation bracket around a linear probe plus the 3-word value
+// copy.  The floor under every warm-path number above.
+void BM_ShardCacheProbe(benchmark::State& state) {
+  constexpr std::size_t kEntries = 1024;
+  static svc::ShardCache cache(kEntries);
+  static const bool warmed = [] {
+    for (std::uint64_t i = 0; i < kEntries; ++i) {
+      const svc::CanonicalKey k{i, 0};
+      svc::QueryResult r;
+      r.value = static_cast<double>(i);
+      cache.insert(k, svc::hash_key(k), r);
+    }
+    return true;
+  }();
+  benchmark::DoNotOptimize(warmed);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const svc::CanonicalKey k{i++ & (kEntries - 1), 0};
+    svc::QueryResult out;
+    const auto p = cache.probe_read_only(k, svc::hash_key(k), out);
+    benchmark::DoNotOptimize(p.status);
+    benchmark::DoNotOptimize(out.value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardCacheProbe);
+
+// The contended version: N benchmark threads all probing ONE shard cache
+// lock-free.  With the seqlock read view this should scale with threads
+// (no shared-line writes on the read path beyond the epoch load); any
+// collapse here means readers are serializing somewhere.
+void BM_ShardCacheContended(benchmark::State& state) {
+  constexpr std::size_t kEntries = 4096;
+  static svc::ShardCache cache(kEntries);
+  if (state.thread_index() == 0) {
+    cache.clear();
+    for (std::uint64_t i = 0; i < kEntries; ++i) {
+      const svc::CanonicalKey k{i, 0};
+      svc::QueryResult r;
+      r.value = static_cast<double>(i) * 2.0;
+      cache.insert(k, svc::hash_key(k), r);
+    }
+  }
+  // Stride the threads apart so they sweep different keys concurrently.
+  std::uint64_t i = static_cast<std::uint64_t>(state.thread_index()) * 1031;
+  std::uint64_t retries = 0;
+  for (auto _ : state) {
+    const svc::CanonicalKey k{i++ & (kEntries - 1), 0};
+    svc::QueryResult out;
+    const auto p = cache.probe_read_only(k, svc::hash_key(k), out);
+    retries += p.retries;
+    benchmark::DoNotOptimize(out.value);
+  }
+  state.counters["read_retries"] =
+      benchmark::Counter(static_cast<double>(retries));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardCacheContended)->ThreadRange(1, 4)->UseRealTime();
+
 void BM_Fft3d(benchmark::State& state) {
   npb::Field3 f = npb::make_ft_initial(16);
   for (auto _ : state) {

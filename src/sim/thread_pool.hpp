@@ -191,4 +191,23 @@ void parallel_for(std::size_t n, Fn fn) {
   parallel_for(ThreadPool::current(), n, std::move(fn));
 }
 
+/// Block-range fan-out: split `[0, n)` into chunks of `block` contiguous
+/// indices and run `fn(block_index, lo, hi)` for each — the shape batch
+/// pipelines want, where every stage streams a contiguous lane slice
+/// (SIMD-friendly inner loops, one cache-resident chunk per task) instead
+/// of paying per-index scheduling.  Blocks are independent; the caller
+/// participates exactly as in parallel_for.  `block` == 0 is rounded up
+/// to 1.  Each index of [0, n) lands in exactly one invocation.
+template <typename Fn>
+void parallel_for_blocked(ThreadPool* pool, std::size_t n, std::size_t block,
+                          Fn fn) {
+  if (block == 0) block = 1;
+  const std::size_t blocks = (n + block - 1) / block;
+  parallel_for(pool, blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    fn(b, lo, hi);
+  });
+}
+
 }  // namespace maia::sim

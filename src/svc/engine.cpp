@@ -13,6 +13,12 @@
 namespace maia::svc {
 namespace {
 
+/// Stage-1/stage-2 block size: canonicalization lane loops and the
+/// lock-free hit sweep both stream 4096-query chunks — big enough to
+/// amortize task scheduling, small enough that the key/hash lanes of one
+/// block stay cache-resident between stages.
+constexpr std::size_t kCanonBlock = 4096;
+
 struct SvcCounters {
   obs::Counter queries;
   obs::Counter hits;
@@ -22,6 +28,13 @@ struct SvcCounters {
   obs::Counter snapshot_loaded;
   obs::Counter snapshot_rejected;
   obs::Counter snapshot_records;
+  obs::Counter lockfree_hits;
+  obs::Counter read_retries;
+  obs::Counter lock_acquisitions;
+  obs::Counter hit_lock_acquisitions;
+  obs::Counter promotions;
+  obs::Histogram lock_wait_ns;    // per miss-pass mutex acquisition
+  obs::Histogram read_retries_h;  // seqlock retries per 4096-query block
 };
 
 const SvcCounters& svc_counters() {
@@ -33,7 +46,16 @@ const SvcCounters& svc_counters() {
                        reg.counter("svc.snapshot.saved"),
                        reg.counter("svc.snapshot.loaded"),
                        reg.counter("svc.snapshot.rejected"),
-                       reg.counter("svc.snapshot.records")};
+                       reg.counter("svc.snapshot.records"),
+                       reg.counter("svc.cache.lockfree_hits"),
+                       reg.counter("svc.shard.read_retries_total"),
+                       reg.counter("svc.shard.lock_acquisitions"),
+                       reg.counter("svc.shard.hit_lock_acquisitions"),
+                       reg.counter("svc.shard.promotions"),
+                       reg.histogram("svc.shard.lock_wait_ns",
+                                     obs::exponential_bounds(64.0, 2.0, 20)),
+                       reg.histogram("svc.shard.read_retries",
+                                     obs::exponential_bounds(1.0, 2.0, 12))};
   }();
   return c;
 }
@@ -162,6 +184,120 @@ CanonicalKey QueryEngine::key_of(const Query& q) const {
   return pack(canonicalize(q));
 }
 
+void QueryEngine::canonicalize_block(std::span<const Query> queries,
+                                     std::size_t lo, std::size_t hi,
+                                     BatchResults& out) const {
+  // Partition the block's indices by kind first: three compact lanes, so
+  // every loop below walks queries of ONE layout with no per-iteration
+  // dispatch — the clamps and normalizations become selects the
+  // vectorizer can turn into cmov/blend, and the splitmix64 pass at the
+  // end runs over pure structure-of-arrays u64 lanes.
+  std::array<std::uint32_t, kCanonBlock> idx_exec, idx_coll, idx_lat;
+  std::size_t n_exec = 0, n_coll = 0, n_lat = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    switch (queries[i].kind) {
+      case QueryKind::kExec:
+        idx_exec[n_exec++] = static_cast<std::uint32_t>(i);
+        break;
+      case QueryKind::kCollective:
+        idx_coll[n_coll++] = static_cast<std::uint32_t>(i);
+        break;
+      case QueryKind::kLatency:
+        idx_lat[n_lat++] = static_cast<std::uint32_t>(i);
+        break;
+      default:
+        // Unknown kind: like the scalar path, the canonical form is the
+        // input itself and the key is zero.
+        out.canon_[i] = queries[i];
+        out.key_hi_[i] = 0;
+        out.key_lo_[i] = 0;
+        break;
+    }
+  }
+
+  const std::uint32_t kmax =
+      kernels_.empty() ? 0xffffu
+                       : static_cast<std::uint32_t>(kernels_.size() - 1);
+  for (std::size_t j = 0; j < n_exec; ++j) {
+    const std::size_t i = idx_exec[j];
+    ExecQuery q = queries[i].exec;
+    const auto d = static_cast<std::uint64_t>(q.device);
+    const int tmax = max_threads_[d];
+    int t = static_cast<int>(q.threads);
+    t = t < 1 ? 1 : t;
+    t = t > tmax ? tmax : t;
+    std::uint32_t kern = q.kernel;
+    kern = kern > kmax ? kmax : kern;
+    q.threads = static_cast<std::uint16_t>(t);
+    q.kernel = static_cast<std::uint16_t>(kern);
+    Query c;
+    c.kind = QueryKind::kExec;
+    c.exec = q;
+    out.canon_[i] = c;
+    out.key_hi_[i] =
+        (static_cast<std::uint64_t>(QueryKind::kExec) << 56) | (d << 48) |
+        (static_cast<std::uint64_t>(kern) << 16) | static_cast<std::uint64_t>(t);
+    out.key_lo_[i] = 0;
+  }
+
+  for (std::size_t j = 0; j < n_coll; ++j) {
+    const std::size_t i = idx_coll[j];
+    CollectiveQuery q = queries[i].coll;
+    const auto d = static_cast<std::uint64_t>(q.device);
+    const int rmax = max_threads_[d];
+    int r = static_cast<int>(q.ranks);
+    r = r < 1 ? 1 : r;
+    r = r > rmax ? rmax : r;
+    const bool barrier = q.op == CollectiveOp::kBarrier;
+    const bool cross = q.op == CollectiveOp::kCrossP2P;
+    const sim::Bytes msg = barrier ? 0 : q.message_bytes;
+    const fabric::SoftwareStack stack =
+        cross ? q.stack : fabric::SoftwareStack::kPostUpdate;
+    q.ranks = static_cast<std::uint16_t>(r);
+    q.message_bytes = msg;
+    q.stack = stack;
+    Query c;
+    c.kind = QueryKind::kCollective;
+    c.coll = q;
+    out.canon_[i] = c;
+    out.key_hi_[i] =
+        (static_cast<std::uint64_t>(QueryKind::kCollective) << 56) | (d << 48) |
+        (static_cast<std::uint64_t>(q.op) << 40) |
+        (static_cast<std::uint64_t>(stack) << 32) | static_cast<std::uint64_t>(r);
+    out.key_lo_[i] = msg;
+  }
+
+  for (std::size_t j = 0; j < n_lat; ++j) {
+    const std::size_t i = idx_lat[j];
+    LatencyQuery q = queries[i].lat;
+    const auto d = static_cast<std::uint64_t>(q.device);
+    const std::uint16_t iters = q.iterations == 0 ? 1 : q.iterations;
+    const sim::Bytes ws = q.working_set < 128 ? 128 : q.working_set;
+    q.iterations = iters;
+    q.working_set = ws;
+    Query c;
+    c.kind = QueryKind::kLatency;
+    c.lat = q;
+    out.canon_[i] = c;
+    out.key_hi_[i] = (static_cast<std::uint64_t>(QueryKind::kLatency) << 56) |
+                     (d << 48) | static_cast<std::uint64_t>(iters);
+    out.key_lo_[i] = ws;
+  }
+
+  // splitmix64 over the SoA key lanes, fully in-register: contiguous
+  // loads, shift/mul avalanche, contiguous store — the vectorizable tail
+  // of stage 1.
+  for (std::size_t i = lo; i < hi; ++i) {
+    std::uint64_t x = out.key_hi_[i] * 0x9e3779b97f4a7c15ull ^ out.key_lo_[i];
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    out.hashes_[i] = x;
+  }
+}
+
 QueryResult QueryEngine::compute(const Query& q) const {
   QueryResult r;
   switch (q.kind) {
@@ -246,68 +382,188 @@ QueryResult QueryEngine::compute(const Query& q) const {
   return r;
 }
 
+std::uint64_t QueryEngine::drain_promotions(Shard& shard) {
+  const std::uint64_t p = shard.promos.pos.load(std::memory_order_acquire);
+  if (p == shard.promo_drained) return 0;
+  // Replay oldest-to-newest so the most recent hit ends up most recently
+  // used.  Entries beyond the ring capacity were overwritten (promotion is
+  // approximate by design); a torn hi/lo pair or an evicted key simply
+  // fails the probe and is skipped.
+  const std::uint64_t pending =
+      std::min<std::uint64_t>(p - shard.promo_drained, PromoRing::kEntries);
+  std::uint64_t applied = 0;
+  for (std::uint64_t j = 0; j < pending; ++j) {
+    const std::uint64_t slot = (p - pending + j) & (PromoRing::kEntries - 1);
+    const CanonicalKey key{shard.promos.hi[slot].load(std::memory_order_relaxed),
+                           shard.promos.lo[slot].load(std::memory_order_relaxed)};
+    if (shard.cache.promote(key, hash_key(key))) ++applied;
+  }
+  shard.promo_drained = p;
+  return applied;
+}
+
 void QueryEngine::evaluate(std::span<const Query> queries, BatchResults& out,
                            sim::ThreadPool* pool) {
   const std::size_t n = queries.size();
   out.resize(n);
   out.canon_.resize(n);
-  out.keys_.resize(n);
+  out.key_hi_.resize(n);
+  out.key_lo_.resize(n);
   out.hashes_.resize(n);
   if (n == 0) return;
+  if (n > 0xffffffffull) {
+    throw std::length_error("QueryEngine::evaluate: batch exceeds 2^32 queries");
+  }
   if (pool == nullptr) pool = sim::ThreadPool::current();
   MAIA_OBS_SPAN("svc", "batch_evaluate");
-
-  // Stage 1: canonicalize and key every query, in index blocks.
-  constexpr std::size_t kBlock = 4096;
-  const std::size_t blocks = (n + kBlock - 1) / kBlock;
-  sim::parallel_for(pool, blocks, [&](std::size_t b) {
-    const std::size_t lo = b * kBlock;
-    const std::size_t hi = std::min(lo + kBlock, n);
-    for (std::size_t i = lo; i < hi; ++i) {
-      out.canon_[i] = canonicalize(queries[i]);
-      out.keys_[i] = pack(out.canon_[i]);
-      out.hashes_[i] = hash_key(out.keys_[i]);
-    }
-  });
-
-  // Stage 2: one task per shard; each scans the key array for its share
-  // and answers from its cache.  The shard mutex is held for the whole
-  // pass — within one batch each shard runs on exactly one task, so the
-  // lock only ever contends with other concurrent batches.
-  const std::size_t nshards = shards_.size();
-  std::atomic<std::uint64_t> batch_hits{0};
-  std::atomic<std::uint64_t> batch_misses{0};
-  sim::parallel_for(pool, nshards, [&](std::size_t s) {
-    Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (shard_of(out.hashes_[i]) != s) continue;
-      QueryResult r;
-      if (const QueryResult* cached = shard.cache.find(out.keys_[i], out.hashes_[i])) {
-        r = *cached;
-        ++hits;
-      } else {
-        r = compute(out.canon_[i]);
-        shard.cache.insert(out.keys_[i], out.hashes_[i], r);
-        ++misses;
-      }
-      out.values_[i] = r.value;
-      out.secondary_[i] = r.secondary;
-      out.flags_[i] = r.flags;
-    }
-    shard.hits += hits;
-    shard.misses += misses;
-    batch_hits.fetch_add(hits, std::memory_order_relaxed);
-    batch_misses.fetch_add(misses, std::memory_order_relaxed);
-  });
-
   const SvcCounters& counters = svc_counters();
+
+  // Stage 1: canonicalize and key every query — branchless per-kind lane
+  // loops over 4096-index blocks, filling the SoA key/hash lanes.
+  sim::parallel_for_blocked(
+      pool, n, kCanonBlock,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        canonicalize_block(queries, lo, hi, out);
+      });
+
+  // Stage 2a: the lock-free hit sweep.  Every query probes its shard's
+  // seqlock read view; hits copy the cached bytes and record an
+  // approximate promotion, misses are queued per block for the locked
+  // fill.  No mutex is touched anywhere on this path.
+  const std::size_t nshards = shards_.size();
+  const std::size_t blocks = (n + kCanonBlock - 1) / kCanonBlock;
+  out.miss_idx_.resize(n);
+  out.block_misses_.resize(blocks);
+  std::atomic<std::uint64_t> sweep_hits{0};
+  std::atomic<std::uint64_t> sweep_retries{0};
+  sim::parallel_for_blocked(
+      pool, n, kCanonBlock,
+      [&](std::size_t b, std::size_t lo, std::size_t hi) {
+        std::uint64_t hits = 0;
+        std::uint64_t retries = 0;
+        std::uint32_t misses = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t hash = out.hashes_[i];
+          const CanonicalKey key{out.key_hi_[i], out.key_lo_[i]};
+          Shard& shard = *shards_[shard_of(hash)];
+          QueryResult r;
+          const ShardCache::ProbeResult probe =
+              shard.cache.probe_read_only(key, hash, r);
+          retries += probe.retries;
+          if (probe.status == ShardCache::ProbeStatus::kHit) {
+            out.values_[i] = r.value;
+            out.secondary_[i] = r.secondary;
+            out.flags_[i] = r.flags;
+            shard.promos.record(key);
+            ++hits;
+          } else {
+            // kMiss and kRetry both resolve under the shard mutex below.
+            out.miss_idx_[lo + misses] = static_cast<std::uint32_t>(i);
+            ++misses;
+          }
+        }
+        out.block_misses_[b] = misses;
+        sweep_hits.fetch_add(hits, std::memory_order_relaxed);
+        sweep_retries.fetch_add(retries, std::memory_order_relaxed);
+        MAIA_OBS_HISTOGRAM(counters.read_retries_h,
+                           static_cast<double>(retries));
+      });
+
+  // Stage 2b: the per-shard miss fill.  Group the sweep's leftovers by
+  // shard (one counting sort over the miss indices), then one task per
+  // shard takes its mutex exactly once, replays pending promote-on-hit
+  // batches, re-probes each leftover (another batch may have inserted it
+  // since the sweep — that's a locked hit), and computes the rest.
+  std::uint64_t total_misses = 0;
+  for (std::size_t b = 0; b < blocks; ++b) total_misses += out.block_misses_[b];
+  std::atomic<std::uint64_t> locked_hits{0};
+  std::atomic<std::uint64_t> locked_misses{0};
+  std::atomic<std::uint64_t> lock_acqs{0};
+  std::atomic<std::uint64_t> hit_lock_acqs{0};
+  std::atomic<std::uint64_t> promotions{0};
+  if (total_misses > 0) {
+    out.shard_offsets_.assign(nshards + 1, 0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t lo = b * kCanonBlock;
+      for (std::uint32_t j = 0; j < out.block_misses_[b]; ++j) {
+        ++out.shard_offsets_[shard_of(out.hashes_[out.miss_idx_[lo + j]]) + 1];
+      }
+    }
+    for (std::size_t s = 0; s < nshards; ++s) {
+      out.shard_offsets_[s + 1] += out.shard_offsets_[s];
+    }
+    out.shard_miss_.resize(total_misses);
+    out.shard_cursor_.assign(out.shard_offsets_.begin(),
+                             out.shard_offsets_.end() - 1);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t lo = b * kCanonBlock;
+      for (std::uint32_t j = 0; j < out.block_misses_[b]; ++j) {
+        const std::uint32_t i = out.miss_idx_[lo + j];
+        out.shard_miss_[out.shard_cursor_[shard_of(out.hashes_[i])]++] = i;
+      }
+    }
+
+    sim::parallel_for(pool, nshards, [&](std::size_t s) {
+      const std::size_t begin = out.shard_offsets_[s];
+      const std::size_t end = out.shard_offsets_[s + 1];
+      if (begin == end) return;  // untouched shard: its mutex stays cold
+      Shard& shard = *shards_[s];
+      const std::uint64_t t0 = obs::metrics_now_ns();
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      const std::uint64_t wait = t0 ? obs::metrics_now_ns() - t0 : 0;
+      const std::uint64_t promos = drain_promotions(shard);
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      for (std::size_t j = begin; j < end; ++j) {
+        const std::size_t i = out.shard_miss_[j];
+        const CanonicalKey key{out.key_hi_[i], out.key_lo_[i]};
+        const std::uint64_t hash = out.hashes_[i];
+        QueryResult r;
+        if (shard.cache.find(key, hash, r)) {
+          ++hits;
+        } else {
+          r = compute(out.canon_[i]);
+          shard.cache.insert(key, hash, r);
+          ++misses;
+        }
+        out.values_[i] = r.value;
+        out.secondary_[i] = r.secondary;
+        out.flags_[i] = r.flags;
+      }
+      shard.hits += hits;
+      shard.misses += misses;
+      ++shard.lock_acquisitions;
+      if (misses == 0) ++shard.hit_lock_acquisitions;
+      shard.lock_wait_ns += wait;
+      shard.promotions += promos;
+      lock.unlock();
+      locked_hits.fetch_add(hits, std::memory_order_relaxed);
+      locked_misses.fetch_add(misses, std::memory_order_relaxed);
+      lock_acqs.fetch_add(1, std::memory_order_relaxed);
+      if (misses == 0) hit_lock_acqs.fetch_add(1, std::memory_order_relaxed);
+      promotions.fetch_add(promos, std::memory_order_relaxed);
+      MAIA_OBS_HISTOGRAM(counters.lock_wait_ns, static_cast<double>(wait));
+    });
+  }
+
+  const std::uint64_t lf_hits = sweep_hits.load(std::memory_order_relaxed);
+  const std::uint64_t retries = sweep_retries.load(std::memory_order_relaxed);
+  lockfree_hits_.v.fetch_add(lf_hits, std::memory_order_relaxed);
+  read_retries_.v.fetch_add(retries, std::memory_order_relaxed);
+
   MAIA_OBS_COUNT(counters.batches, 1);
   MAIA_OBS_COUNT(counters.queries, n);
-  MAIA_OBS_COUNT(counters.hits, batch_hits.load(std::memory_order_relaxed));
-  MAIA_OBS_COUNT(counters.misses, batch_misses.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.hits,
+                 lf_hits + locked_hits.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.misses, locked_misses.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.lockfree_hits, lf_hits);
+  MAIA_OBS_COUNT(counters.read_retries, retries);
+  MAIA_OBS_COUNT(counters.lock_acquisitions,
+                 lock_acqs.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.hit_lock_acquisitions,
+                 hit_lock_acqs.load(std::memory_order_relaxed));
+  MAIA_OBS_COUNT(counters.promotions,
+                 promotions.load(std::memory_order_relaxed));
 }
 
 void QueryEngine::evaluate_serial(std::span<const Query> queries,
@@ -326,10 +582,17 @@ EngineStats QueryEngine::stats() const {
   EngineStats s;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    s.cache_hits += shard->hits;
+    s.locked_hits += shard->hits;
     s.cache_misses += shard->misses;
     s.evictions += shard->cache.evictions();
+    s.lock_acquisitions += shard->lock_acquisitions;
+    s.hit_lock_acquisitions += shard->hit_lock_acquisitions;
+    s.lock_wait_ns += shard->lock_wait_ns;
+    s.promotions += shard->promotions;
   }
+  s.lockfree_hits = lockfree_hits_.v.load(std::memory_order_relaxed);
+  s.read_retries = read_retries_.v.load(std::memory_order_relaxed);
+  s.cache_hits = s.lockfree_hits + s.locked_hits;
   s.queries = s.cache_hits + s.cache_misses;
   return s;
 }
@@ -340,7 +603,15 @@ void QueryEngine::clear_cache() {
     shard->cache.clear();
     shard->hits = 0;
     shard->misses = 0;
+    shard->lock_acquisitions = 0;
+    shard->hit_lock_acquisitions = 0;
+    shard->lock_wait_ns = 0;
+    shard->promotions = 0;
+    // Forget pending promotions: their keys are gone.
+    shard->promo_drained = shard->promos.pos.load(std::memory_order_acquire);
   }
+  lockfree_hits_.v.store(0, std::memory_order_relaxed);
+  read_retries_.v.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t QueryEngine::calibration_hash() const {
@@ -377,6 +648,9 @@ SnapshotSaveResult QueryEngine::save_snapshot(const std::string& path) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Fold pending approximate promotions in first so the persisted
+    // LRU-to-MRU order reflects the latest hits.
+    drain_promotions(shard);
     counts[s] = shard.cache.size();
     records.reserve(records.size() + shard.cache.size());
     shard.cache.for_each_lru(
@@ -430,7 +704,8 @@ SnapshotLoadResult QueryEngine::load_snapshot(const std::string& path) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const std::uint32_t i : buckets[s]) {
       const SnapshotRecord& r = parsed.records[i];
-      if (shard.cache.find(r.key, hashes[i]) == nullptr) {
+      QueryResult resident;
+      if (!shard.cache.find_const(r.key, hashes[i], resident)) {
         shard.cache.insert(r.key, hashes[i], r.result);
         ++out.records_loaded;
       }

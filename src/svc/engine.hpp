@@ -1,14 +1,24 @@
 // QueryEngine: the batch prediction service over the analytical models.
 //
 // evaluate(queries) answers a batch by:
-//   1. canonicalizing every query (clamping + normalization — see
-//      canonicalize()) and packing it into a 128-bit CanonicalKey;
-//   2. sharding the batch by the key hash's high bits across the worker
-//      pool, one task per shard;
-//   3. serving repeats from the shard's open-addressing LRU cache and
-//      computing misses against precomputed model state (ProcessorProfile,
+//   1. canonicalizing every query in 4096-index blocks through branchless
+//      per-kind lane loops (structure-of-arrays key/hash lanes, clamp and
+//      normalize via select, splitmix64 hashed in-register — see
+//      canonicalize_block()), packing each into a 128-bit CanonicalKey;
+//   2. a lock-free hit sweep over the same blocks: every query probes its
+//      shard's seqlock read view (ShardCache::probe_read_only) and a hit
+//      copies the cached bytes without touching any mutex — promotion to
+//      most-recently-used is approximate, batched through a per-shard
+//      lossy ring that is replayed the next time a writer holds the lock;
+//   3. a per-shard miss-fill pass over the sweep's leftovers: one task
+//      per shard takes the shard mutex once, replays pending promotions,
+//      re-probes (a racing batch may have filled the key), and computes
+//      genuine misses against precomputed model state (ProcessorProfile,
 //      device cost tables, resident latency walkers) — the per-query hot
 //      path touches no heap.
+//
+// A batch that hits everywhere therefore acquires zero shard mutexes;
+// stats() exposes the lock/wait/retry telemetry that proves it.
 //
 // Determinism contract: evaluate() output is byte-identical to
 // evaluate_serial(), the naive one-query-at-a-time loop with no sharding
@@ -19,6 +29,8 @@
 // batches.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -64,9 +76,18 @@ struct SnapshotLoadResult {
 
 struct EngineStats {
   std::uint64_t queries = 0;
-  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_hits = 0;    ///< lockfree_hits + locked_hits
   std::uint64_t cache_misses = 0;
   std::uint64_t evictions = 0;
+  // Contention telemetry (also published as svc.shard.* metrics).
+  std::uint64_t lockfree_hits = 0;  ///< hits served with no shard mutex
+  std::uint64_t locked_hits = 0;    ///< sweep leftovers resolved under lock
+  std::uint64_t read_retries = 0;   ///< seqlock epoch conflicts, total
+  std::uint64_t lock_acquisitions = 0;      ///< miss-pass mutex acquisitions
+  std::uint64_t hit_lock_acquisitions = 0;  ///< acquisitions that resolved
+                                            ///< only hits (no computes)
+  std::uint64_t lock_wait_ns = 0;   ///< time spent blocked on shard mutexes
+  std::uint64_t promotions = 0;     ///< batched promote-on-hit replays applied
   double hit_rate() const {
     return queries ? static_cast<double>(cache_hits) / static_cast<double>(queries)
                    : 0.0;
@@ -135,13 +156,50 @@ class QueryEngine {
   int shard_count() const { return static_cast<int>(shards_.size()); }
 
  private:
+  /// Lossy multi-producer ring of recently hit keys, the approximate
+  /// promote-on-hit channel: lock-free readers record hits here instead of
+  /// splicing the LRU list, and the next writer that already holds the
+  /// shard mutex replays them as promotions.  Overwrites under pressure
+  /// (recency is a heuristic, never a correctness input) and a torn
+  /// hi/lo pair simply fails the replay probe and is skipped.
+  struct PromoRing {
+    static constexpr std::size_t kEntries = 256;  // power of two
+    std::atomic<std::uint64_t> pos{0};
+    std::array<std::atomic<std::uint64_t>, kEntries> hi{};
+    std::array<std::atomic<std::uint64_t>, kEntries> lo{};
+    void record(const CanonicalKey& key) {
+      const std::uint64_t p =
+          pos.fetch_add(1, std::memory_order_relaxed) & (kEntries - 1);
+      hi[p].store(key.hi, std::memory_order_relaxed);
+      lo[p].store(key.lo, std::memory_order_relaxed);
+    }
+  };
+
   struct Shard {
     std::mutex mutex;
     ShardCache cache;
-    std::uint64_t hits = 0;
+    PromoRing promos;
+    // All counters below are guarded by `mutex`.
+    std::uint64_t hits = 0;    // locked-path (miss-pass re-probe) hits
     std::uint64_t misses = 0;
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t hit_lock_acquisitions = 0;
+    std::uint64_t lock_wait_ns = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t promo_drained = 0;  // ring position of the last replay
     explicit Shard(std::size_t capacity) : cache(capacity) {}
   };
+
+  /// Stage 1 worker: canonicalize queries[lo..hi) into out.canon_ and the
+  /// SoA key/hash lanes.  Behaviorally identical to scalar
+  /// canonicalize()+pack()+hash_key(), restructured as branchless per-kind
+  /// lane loops the vectorizer can chew on.
+  void canonicalize_block(std::span<const Query> queries, std::size_t lo,
+                          std::size_t hi, BatchResults& out) const;
+
+  /// Replay the shard's pending promote-on-hit ring (caller holds the
+  /// shard mutex); returns the number of promotions applied.
+  static std::uint64_t drain_promotions(Shard& shard);
 
   /// Evaluate one canonical query against the models.  Pure and reentrant.
   QueryResult compute(const Query& canonical) const;
@@ -158,8 +216,25 @@ class QueryEngine {
   mem::LatencyWalker walkers_[3];
   mpi::Collectives coll_post_;
   mpi::Collectives coll_pre_;
+  /// A relaxed telemetry counter that moves by value, so the engine stays
+  /// movable (construction helpers return engines by value; nothing moves
+  /// an engine while batches are in flight).
+  struct TelemetryCounter {
+    std::atomic<std::uint64_t> v{0};
+    TelemetryCounter() = default;
+    TelemetryCounter(TelemetryCounter&& o) noexcept
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    TelemetryCounter& operator=(TelemetryCounter&& o) noexcept {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   std::vector<perf::KernelSignature> kernels_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Lock-free-path telemetry (no mutex to hang it off).
+  TelemetryCounter lockfree_hits_;
+  TelemetryCounter read_retries_;
 };
 
 }  // namespace maia::svc

@@ -1,15 +1,40 @@
-// Open-addressing LRU cache: one per QueryEngine shard.
+// Open-addressing LRU cache with a seqlock-published read view: one per
+// QueryEngine shard.
 //
 // Layout: a power-of-two slot table of entry indices probed linearly, over
-// stable structure-of-arrays entry storage (keys / hashes / values / LRU
-// links) preallocated at capacity.  Nothing allocates after construction:
-// a hit is a probe walk plus an intrusive-list splice, an insert at
-// capacity recycles the least-recently-used entry in place.  Deletion uses
-// backward-shift compaction instead of tombstones, so probe chains stay as
-// short as the load factor implies no matter how many evictions have
-// happened — important for a cache that by design evicts forever.
+// stable structure-of-arrays entry storage (key words / hashes / value
+// words / LRU links) preallocated at capacity.  Nothing allocates after
+// construction: a hit is a probe walk plus an intrusive-list splice, an
+// insert at capacity recycles the least-recently-used entry in place.
+// Deletion uses backward-shift compaction instead of tombstones, so probe
+// chains stay as short as the load factor implies no matter how many
+// evictions have happened — important for a cache that by design evicts
+// forever.
+//
+// Concurrency: the cache has two faces.
+//  * The WRITER face (find / insert / clear / for_each_lru) must run under
+//    the owner's external mutex, exactly as before.  Mutations that a
+//    reader could observe — table slots, key words, value words — are
+//    bracketed by an epoch counter (odd while a write is in flight) and
+//    performed through relaxed atomic stores.  LRU-link splices (touch)
+//    are invisible to readers and deliberately do NOT bump the epoch, so
+//    promotions never invalidate concurrent reads.
+//  * The READER face (probe_read_only) is const, lock-free and wait-free
+//    apart from seqlock retries: it validates the epoch around the probe
+//    and the value copy, and reports kRetry on writer overlap instead of
+//    blocking.  All shared words are read through relaxed atomics with
+//    acquire fencing on the epoch re-check (the standard C++ seqlock
+//    recipe), so the fast path is UB-free and TSan-clean.
+//
+// A probe can return a momentarily-stale kMiss while a writer is between
+// epochs; callers resolve misses under the writer mutex anyway, so a stale
+// miss costs a lock, never a wrong answer.  A hit is always exact: values
+// are pure functions of their key, and the epoch check guarantees the
+// copied bytes belong to one consistent table state.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,44 +45,148 @@ namespace maia::svc {
 
 class ShardCache {
  public:
+  /// Outcome of one lock-free probe.
+  enum class ProbeStatus : std::uint8_t {
+    kHit,    ///< value copied out; exact at some consistent epoch
+    kMiss,   ///< key absent at a consistent epoch (may be stale vs a writer)
+    kRetry,  ///< writer overlap persisted past the retry budget
+  };
+  struct ProbeResult {
+    ProbeStatus status = ProbeStatus::kMiss;
+    std::uint32_t retries = 0;  ///< epoch-validation retries consumed
+  };
+
+  /// Lock-free probes give up after this many epoch conflicts and fall
+  /// back to the caller's locked path (forward progress under heavy
+  /// writer churn).
+  static constexpr std::uint32_t kMaxProbeRetries = 16;
+
   /// `capacity` = maximum resident entries; the slot table is sized at
-  /// twice that (next power of two), bounding the load factor at 1/2.
+  /// twice that (next power of two), bounding the load factor at 1/2 —
+  /// which also guarantees every probe walk, even one racing a writer,
+  /// meets an empty slot within one table length.
   explicit ShardCache(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {
     std::size_t slots = 8;
     while (slots < capacity_ * 2) slots <<= 1;
     mask_ = slots - 1;
-    table_.assign(slots, kNil);
-    keys_.resize(capacity_);
+    table_ = std::vector<std::atomic<std::uint32_t>>(slots);
+    for (auto& s : table_) s.store(kNil, std::memory_order_relaxed);
+    key_hi_ = std::vector<std::atomic<std::uint64_t>>(capacity_);
+    key_lo_ = std::vector<std::atomic<std::uint64_t>>(capacity_);
+    val_value_ = std::vector<std::atomic<std::uint64_t>>(capacity_);
+    val_secondary_ = std::vector<std::atomic<std::uint64_t>>(capacity_);
+    val_flags_ = std::vector<std::atomic<std::uint64_t>>(capacity_);
     hashes_.resize(capacity_);
-    values_.resize(capacity_);
     prev_.resize(capacity_);
     next_.resize(capacity_);
   }
+
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
 
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t evictions() const { return evictions_; }
 
-  /// Pointer to the cached result, refreshed to most-recently-used; null
-  /// on miss.  The pointer is valid until the next insert().
-  const QueryResult* find(const CanonicalKey& key, std::uint64_t hash) {
-    std::size_t slot = hash & mask_;
-    while (table_[slot] != kNil) {
-      const std::uint32_t e = table_[slot];
-      if (keys_[e] == key) {
-        touch(e);
-        return &values_[e];
+  // ------------------------------------------------------- reader face ---
+
+  /// Const lock-free probe: copy the cached result for `key` into `out`
+  /// without taking any lock and without promoting the entry.  Retries
+  /// internally on writer overlap; kRetry after kMaxProbeRetries conflicts.
+  ProbeResult probe_read_only(const CanonicalKey& key, std::uint64_t hash,
+                              QueryResult& out) const {
+    ProbeResult result;
+    while (result.retries <= kMaxProbeRetries) {
+      const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
+      if (e1 & 1) {  // writer mid-flight
+        ++result.retries;
+        continue;
       }
-      slot = (slot + 1) & mask_;
+      bool hit = false;
+      bool torn = false;
+      QueryResult candidate;
+      std::size_t slot = hash & mask_;
+      std::size_t steps = 0;
+      for (;;) {
+        const std::uint32_t e = table_[slot].load(std::memory_order_relaxed);
+        if (e == kNil) break;
+        if (key_hi_[e].load(std::memory_order_relaxed) == key.hi &&
+            key_lo_[e].load(std::memory_order_relaxed) == key.lo) {
+          candidate.value = std::bit_cast<double>(
+              val_value_[e].load(std::memory_order_relaxed));
+          candidate.secondary = std::bit_cast<double>(
+              val_secondary_[e].load(std::memory_order_relaxed));
+          const std::uint64_t fr = val_flags_[e].load(std::memory_order_relaxed);
+          candidate.flags = static_cast<std::uint32_t>(fr);
+          candidate.reserved = static_cast<std::uint32_t>(fr >> 32);
+          hit = true;
+          break;
+        }
+        slot = (slot + 1) & mask_;
+        if (++steps > mask_) {  // only reachable through a torn table state
+          torn = true;
+          break;
+        }
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (!torn && epoch_.load(std::memory_order_relaxed) == e1) {
+        if (hit) out = candidate;
+        result.status = hit ? ProbeStatus::kHit : ProbeStatus::kMiss;
+        return result;
+      }
+      ++result.retries;
     }
-    return nullptr;
+    result.status = ProbeStatus::kRetry;
+    return result;
+  }
+
+  /// Current epoch (even = quiescent, odd = write in flight).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Test hook: reposition the epoch counter (e.g. next to the wrap point)
+  /// while no writer or reader is active.
+  void set_epoch_for_test(std::uint64_t e) {
+    epoch_.store(e, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------- writer face ---
+  // Every method below requires the owner's shard mutex.
+
+  /// Copy the cached result into `out` and promote the entry to
+  /// most-recently-used; false on miss.
+  bool find(const CanonicalKey& key, std::uint64_t hash, QueryResult& out) {
+    const std::uint32_t e = locate(key, hash);
+    if (e == kNil) return false;
+    touch(e);  // LRU splice only: readers never see the links, no epoch bump
+    out = value_at(e);
+    return true;
+  }
+
+  /// Read-only membership-and-copy without the LRU promotion: the probe the
+  /// snapshot refill and tests use when recency must not change.
+  bool find_const(const CanonicalKey& key, std::uint64_t hash,
+                  QueryResult& out) const {
+    const std::uint32_t e = locate(key, hash);
+    if (e == kNil) return false;
+    out = value_at(e);
+    return true;
+  }
+
+  /// Promote `key` to most-recently-used if resident (the batched
+  /// promote-on-hit replay); false when the key has since been evicted.
+  bool promote(const CanonicalKey& key, std::uint64_t hash) {
+    const std::uint32_t e = locate(key, hash);
+    if (e == kNil) return false;
+    touch(e);
+    return true;
   }
 
   /// Insert a key known to be absent (call after a failed find()).  At
   /// capacity the least-recently-used entry is evicted.
   void insert(const CanonicalKey& key, std::uint64_t hash,
               const QueryResult& value) {
+    write_begin();
     std::uint32_t e;
     if (size_ < capacity_) {
       e = static_cast<std::uint32_t>(size_++);
@@ -67,17 +196,29 @@ class ShardCache {
       erase_slot(slot_of(e));
       ++evictions_;
     }
-    keys_[e] = key;
+    key_hi_[e].store(key.hi, std::memory_order_relaxed);
+    key_lo_[e].store(key.lo, std::memory_order_relaxed);
     hashes_[e] = hash;
-    values_[e] = value;
+    val_value_[e].store(std::bit_cast<std::uint64_t>(value.value),
+                        std::memory_order_relaxed);
+    val_secondary_[e].store(std::bit_cast<std::uint64_t>(value.secondary),
+                            std::memory_order_relaxed);
+    val_flags_[e].store(static_cast<std::uint64_t>(value.flags) |
+                            (static_cast<std::uint64_t>(value.reserved) << 32),
+                        std::memory_order_relaxed);
     std::size_t slot = hash & mask_;
-    while (table_[slot] != kNil) slot = (slot + 1) & mask_;
-    table_[slot] = e;
+    while (table_[slot].load(std::memory_order_relaxed) != kNil) {
+      slot = (slot + 1) & mask_;
+    }
+    table_[slot].store(e, std::memory_order_relaxed);
     push_front(e);
+    write_end();
   }
 
   void clear() {
-    table_.assign(table_.size(), kNil);
+    write_begin();
+    for (auto& s : table_) s.store(kNil, std::memory_order_relaxed);
+    write_end();
     size_ = 0;
     evictions_ = 0;
     head_ = tail_ = kNil;
@@ -89,11 +230,58 @@ class ShardCache {
   /// mutate the cache.
   template <typename Fn>
   void for_each_lru(Fn&& fn) const {
-    for (std::uint32_t e = tail_; e != kNil; e = prev_[e]) fn(keys_[e], values_[e]);
+    for (std::uint32_t e = tail_; e != kNil; e = prev_[e]) {
+      fn(key_at(e), value_at(e));
+    }
   }
 
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  // Seqlock write bracket.  Odd store first, release fence so no data
+  // store can be observed before it; the closing even store is release so
+  // all data stores are ordered before it.
+  void write_begin() {
+    epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void write_end() {
+    epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+  /// Probe for `key`; entry index or kNil.  Writer-context (relaxed loads
+  /// are exact because the caller holds the only write lock).
+  std::uint32_t locate(const CanonicalKey& key, std::uint64_t hash) const {
+    std::size_t slot = hash & mask_;
+    for (;;) {
+      const std::uint32_t e = table_[slot].load(std::memory_order_relaxed);
+      if (e == kNil) return kNil;
+      if (key_hi_[e].load(std::memory_order_relaxed) == key.hi &&
+          key_lo_[e].load(std::memory_order_relaxed) == key.lo) {
+        return e;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  CanonicalKey key_at(std::uint32_t e) const {
+    return CanonicalKey{key_hi_[e].load(std::memory_order_relaxed),
+                        key_lo_[e].load(std::memory_order_relaxed)};
+  }
+
+  QueryResult value_at(std::uint32_t e) const {
+    QueryResult r;
+    r.value =
+        std::bit_cast<double>(val_value_[e].load(std::memory_order_relaxed));
+    r.secondary =
+        std::bit_cast<double>(val_secondary_[e].load(std::memory_order_relaxed));
+    const std::uint64_t fr = val_flags_[e].load(std::memory_order_relaxed);
+    r.flags = static_cast<std::uint32_t>(fr);
+    r.reserved = static_cast<std::uint32_t>(fr >> 32);
+    return r;
+  }
 
   void push_front(std::uint32_t e) {
     prev_[e] = kNil;
@@ -119,7 +307,9 @@ class ShardCache {
   /// The table slot currently holding entry `e` (probe from its home).
   std::size_t slot_of(std::uint32_t e) const {
     std::size_t slot = hashes_[e] & mask_;
-    while (table_[slot] != e) slot = (slot + 1) & mask_;
+    while (table_[slot].load(std::memory_order_relaxed) != e) {
+      slot = (slot + 1) & mask_;
+    }
     return slot;
   }
 
@@ -127,16 +317,16 @@ class ShardCache {
   /// chain and pulling back every entry whose home slot lies cyclically at
   /// or before the hole, so lookups never need tombstones.
   void erase_slot(std::size_t s) {
-    table_[s] = kNil;
+    table_[s].store(kNil, std::memory_order_relaxed);
     std::size_t j = s;
     for (;;) {
       j = (j + 1) & mask_;
-      const std::uint32_t e = table_[j];
+      const std::uint32_t e = table_[j].load(std::memory_order_relaxed);
       if (e == kNil) return;
       const std::size_t home = hashes_[e] & mask_;
       if (((j - home) & mask_) >= ((j - s) & mask_)) {
-        table_[s] = e;
-        table_[j] = kNil;
+        table_[s].store(e, std::memory_order_relaxed);
+        table_[j].store(kNil, std::memory_order_relaxed);
         s = j;
       }
     }
@@ -148,10 +338,16 @@ class ShardCache {
   std::uint64_t evictions_ = 0;
   std::uint32_t head_ = kNil;
   std::uint32_t tail_ = kNil;
-  std::vector<std::uint32_t> table_;  // slot -> entry index, kNil when empty
-  std::vector<CanonicalKey> keys_;
+  std::atomic<std::uint64_t> epoch_{0};
+  // Reader-visible state: accessed with relaxed atomics under the seqlock.
+  std::vector<std::atomic<std::uint32_t>> table_;  // slot -> entry, kNil empty
+  std::vector<std::atomic<std::uint64_t>> key_hi_;
+  std::vector<std::atomic<std::uint64_t>> key_lo_;
+  std::vector<std::atomic<std::uint64_t>> val_value_;      // double bits
+  std::vector<std::atomic<std::uint64_t>> val_secondary_;  // double bits
+  std::vector<std::atomic<std::uint64_t>> val_flags_;      // flags | reserved<<32
+  // Writer-only state: never read on the lock-free path.
   std::vector<std::uint64_t> hashes_;
-  std::vector<QueryResult> values_;
   std::vector<std::uint32_t> prev_;
   std::vector<std::uint32_t> next_;
 };

@@ -135,9 +135,11 @@ struct QueryResult {
 
 /// Structure-of-arrays arena for batch results.  The engine writes each
 /// query's answer at its input index, so output order never depends on
-/// shard scheduling.  The arena also owns the canonicalization scratch
-/// (keys, hashes, canonical queries), so a reused BatchResults makes
-/// repeated evaluate() calls allocation-free once warmed.
+/// shard scheduling.  The arena also owns the canonicalization scratch —
+/// canonical queries plus the key lanes (hi / lo / hash as separate
+/// arrays, the SIMD-friendly layout stage 1 fills branchlessly) — and the
+/// miss-pass scratch, so a reused BatchResults makes repeated evaluate()
+/// calls allocation-free once warmed.
 class BatchResults {
  public:
   std::size_t size() const { return values_.size(); }
@@ -171,8 +173,17 @@ class BatchResults {
   std::vector<std::uint32_t> flags_;
   // Scratch reused across evaluate() calls.
   std::vector<Query> canon_;
-  std::vector<CanonicalKey> keys_;
-  std::vector<std::uint64_t> hashes_;
+  std::vector<std::uint64_t> key_hi_;   // CanonicalKey.hi lane
+  std::vector<std::uint64_t> key_lo_;   // CanonicalKey.lo lane
+  std::vector<std::uint64_t> hashes_;   // hash_key lane
+  // Miss bookkeeping for the two-phase hit-sweep / miss-fill pass: the
+  // lock-free sweep records missing indices per block, then one counting
+  // sort groups them by shard for the locked fill.
+  std::vector<std::uint32_t> miss_idx_;      // block-major miss indices
+  std::vector<std::uint32_t> block_misses_;  // misses recorded per block
+  std::vector<std::uint32_t> shard_miss_;    // miss indices grouped by shard
+  std::vector<std::size_t> shard_offsets_;   // per-shard extents in shard_miss_
+  std::vector<std::size_t> shard_cursor_;    // scatter cursors for the sort
 };
 
 }  // namespace maia::svc

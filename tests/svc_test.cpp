@@ -9,8 +9,10 @@
 // seed (tests/test_seed.hpp), so any failure reproduces exactly.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +37,12 @@ QueryResult result(double v) {
   return r;
 }
 
+/// find() with the result discarded: membership plus the LRU promotion.
+bool touch_find(ShardCache& cache, const CanonicalKey& k, std::uint64_t hash) {
+  QueryResult out;
+  return cache.find(k, hash, out);
+}
+
 TEST(ShardCacheTest, FindsInsertedEntries) {
   ShardCache cache(4);
   for (std::uint64_t i = 0; i < 4; ++i) {
@@ -42,11 +50,12 @@ TEST(ShardCacheTest, FindsInsertedEntries) {
   }
   EXPECT_EQ(cache.size(), 4u);
   for (std::uint64_t i = 0; i < 4; ++i) {
-    const QueryResult* r = cache.find(key(i), hash_key(key(i)));
-    ASSERT_NE(r, nullptr);
-    EXPECT_EQ(r->value, static_cast<double>(i));
+    QueryResult r;
+    ASSERT_TRUE(cache.find(key(i), hash_key(key(i)), r));
+    EXPECT_EQ(r.value, static_cast<double>(i));
   }
-  EXPECT_EQ(cache.find(key(99), hash_key(key(99))), nullptr);
+  QueryResult r;
+  EXPECT_FALSE(cache.find(key(99), hash_key(key(99)), r));
   EXPECT_EQ(cache.evictions(), 0u);
 }
 
@@ -56,13 +65,13 @@ TEST(ShardCacheTest, EvictsLeastRecentlyUsed) {
     cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
   }
   // Touch key 0 so key 1 becomes the LRU entry.
-  ASSERT_NE(cache.find(key(0), hash_key(key(0))), nullptr);
+  ASSERT_TRUE(touch_find(cache, key(0), hash_key(key(0))));
   cache.insert(key(4), hash_key(key(4)), result(4.0));
   EXPECT_EQ(cache.size(), 4u);
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.find(key(1), hash_key(key(1))), nullptr);  // evicted
-  EXPECT_NE(cache.find(key(0), hash_key(key(0))), nullptr);  // saved by touch
-  EXPECT_NE(cache.find(key(4), hash_key(key(4))), nullptr);
+  EXPECT_FALSE(touch_find(cache, key(1), hash_key(key(1))));  // evicted
+  EXPECT_TRUE(touch_find(cache, key(0), hash_key(key(0))));   // saved by touch
+  EXPECT_TRUE(touch_find(cache, key(4), hash_key(key(4))));
 }
 
 TEST(ShardCacheTest, EvictionStreamKeepsOnlyTheLastCapacityKeys) {
@@ -75,12 +84,13 @@ TEST(ShardCacheTest, EvictionStreamKeepsOnlyTheLastCapacityKeys) {
   EXPECT_EQ(cache.size(), kCapacity);
   EXPECT_EQ(cache.evictions(), kTotal - kCapacity);
   for (std::uint64_t i = 0; i < kTotal; ++i) {
-    const QueryResult* r = cache.find(key(i), hash_key(key(i)));
+    QueryResult r;
+    const bool found = cache.find(key(i), hash_key(key(i)), r);
     if (i < kTotal - kCapacity) {
-      EXPECT_EQ(r, nullptr) << "key " << i << " should have been evicted";
+      EXPECT_FALSE(found) << "key " << i << " should have been evicted";
     } else {
-      ASSERT_NE(r, nullptr) << "key " << i << " should be resident";
-      EXPECT_EQ(r->value, static_cast<double>(i));
+      ASSERT_TRUE(found) << "key " << i << " should be resident";
+      EXPECT_EQ(r.value, static_cast<double>(i));
     }
   }
 }
@@ -95,17 +105,18 @@ TEST(ShardCacheTest, BackwardShiftKeepsCollidingChainsReachable) {
     cache.insert(key(i), kHash, result(static_cast<double>(i)));
   }
   // Touch 0 and 2; inserting two more evicts 1 then 3.
-  ASSERT_NE(cache.find(key(0), kHash), nullptr);
-  ASSERT_NE(cache.find(key(2), kHash), nullptr);
+  ASSERT_TRUE(touch_find(cache, key(0), kHash));
+  ASSERT_TRUE(touch_find(cache, key(2), kHash));
   cache.insert(key(4), kHash, result(4.0));
   cache.insert(key(5), kHash, result(5.0));
   EXPECT_EQ(cache.evictions(), 2u);
-  EXPECT_EQ(cache.find(key(1), kHash), nullptr);
-  EXPECT_EQ(cache.find(key(3), kHash), nullptr);
+  EXPECT_FALSE(touch_find(cache, key(1), kHash));
+  EXPECT_FALSE(touch_find(cache, key(3), kHash));
   for (const std::uint64_t i : {0ull, 2ull, 4ull, 5ull}) {
-    const QueryResult* r = cache.find(key(i), kHash);
-    ASSERT_NE(r, nullptr) << "key " << i << " lost after backward shift";
-    EXPECT_EQ(r->value, static_cast<double>(i));
+    QueryResult r;
+    ASSERT_TRUE(cache.find(key(i), kHash, r))
+        << "key " << i << " lost after backward shift";
+    EXPECT_EQ(r.value, static_cast<double>(i));
   }
 }
 
@@ -118,9 +129,173 @@ TEST(ShardCacheTest, ClearResetsSizeAndEvictions) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.evictions(), 0u);
-  EXPECT_EQ(cache.find(key(4), hash_key(key(4))), nullptr);
+  EXPECT_FALSE(touch_find(cache, key(4), hash_key(key(4))));
   cache.insert(key(7), hash_key(key(7)), result(7.0));
-  EXPECT_NE(cache.find(key(7), hash_key(key(7))), nullptr);
+  EXPECT_TRUE(touch_find(cache, key(7), hash_key(key(7))));
+}
+
+TEST(ShardCacheTest, ProbeReadOnlyHitsAndMisses) {
+  ShardCache cache(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    cache.insert(key(i), hash_key(key(i)),
+                 result(static_cast<double>(i) * 0.5));
+  }
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    QueryResult r;
+    const ShardCache::ProbeResult p =
+        cache.probe_read_only(key(i), hash_key(key(i)), r);
+    ASSERT_EQ(p.status, ShardCache::ProbeStatus::kHit);
+    EXPECT_EQ(p.retries, 0u);  // no concurrent writer: first pass validates
+    EXPECT_EQ(r.value, static_cast<double>(i) * 0.5);
+  }
+  QueryResult r;
+  EXPECT_EQ(cache.probe_read_only(key(99), hash_key(key(99)), r).status,
+            ShardCache::ProbeStatus::kMiss);
+}
+
+TEST(ShardCacheTest, ConstProbesDoNotPromote) {
+  // find_const and probe_read_only must leave the recency order alone:
+  // probing key 0 through both does not save it from eviction, while a
+  // real find() (the locked, promoting probe) does save key 1.
+  ShardCache cache(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  QueryResult r;
+  ASSERT_TRUE(cache.find_const(key(0), hash_key(key(0)), r));
+  ASSERT_EQ(cache.probe_read_only(key(0), hash_key(key(0)), r).status,
+            ShardCache::ProbeStatus::kHit);
+  ASSERT_TRUE(cache.find(key(1), hash_key(key(1)), r));
+  cache.insert(key(4), hash_key(key(4)), result(4.0));  // evicts 0, not 1
+  EXPECT_FALSE(cache.find_const(key(0), hash_key(key(0)), r));
+  EXPECT_TRUE(cache.find_const(key(1), hash_key(key(1)), r));
+}
+
+TEST(ShardCacheTest, PromoteReordersAndReportsEvictedKeys) {
+  ShardCache cache(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(key(i), hash_key(key(i)), result(static_cast<double>(i)));
+  }
+  EXPECT_TRUE(cache.promote(key(0), hash_key(key(0))));
+  EXPECT_FALSE(cache.promote(key(42), hash_key(key(42))));  // never inserted
+  cache.insert(key(4), hash_key(key(4)), result(4.0));      // evicts 1
+  QueryResult r;
+  EXPECT_TRUE(cache.find_const(key(0), hash_key(key(0)), r));
+  EXPECT_FALSE(cache.find_const(key(1), hash_key(key(1)), r));
+  EXPECT_FALSE(cache.promote(key(1), hash_key(key(1))));  // evicted: lost
+}
+
+TEST(ShardCacheTest, EpochOverflowWrapsSafely) {
+  // The seqlock epoch is a free-running u64; park it two increments from
+  // the wrap point and push a write through it.  Quiescent probes must
+  // validate on both sides of the wrap.
+  ShardCache cache(4);
+  cache.insert(key(1), hash_key(key(1)), result(1.0));
+  cache.set_epoch_for_test(~std::uint64_t{1});  // 0xfffffffffffffffe, even
+  QueryResult r;
+  EXPECT_EQ(cache.probe_read_only(key(1), hash_key(key(1)), r).status,
+            ShardCache::ProbeStatus::kHit);
+  cache.insert(key(2), hash_key(key(2)), result(2.0));  // odd: ~0, even: 0
+  EXPECT_EQ(cache.epoch(), 0u);
+  EXPECT_EQ(cache.probe_read_only(key(1), hash_key(key(1)), r).status,
+            ShardCache::ProbeStatus::kHit);
+  ASSERT_EQ(cache.probe_read_only(key(2), hash_key(key(2)), r).status,
+            ShardCache::ProbeStatus::kHit);
+  EXPECT_EQ(r.value, 2.0);
+}
+
+// The seqlock's actual guarantee, under the adversarial schedule: readers
+// probing lock-free while a writer churns evictions at capacity never see
+// a torn value.  Every cached result here is a pure function of its key,
+// so any hit whose bytes disagree with f(key) is a consistency violation.
+// Run under TSan (the CI sanitizer job) this also proves the probe path
+// is race-free in the C++ memory model sense.
+TEST(ShardCacheTest, SeqlockReadersNeverObserveTornValuesUnderChurn) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::uint64_t kKeySpace = 256;  // 4x capacity: constant eviction
+  const auto value_of = [](std::uint64_t i) {
+    return static_cast<double>(i) * 1.5 + 0.25;
+  };
+  const auto secondary_of = [](std::uint64_t i) {
+    return -static_cast<double>(i) - 0.5;
+  };
+  ShardCache cache(kCapacity);
+  // Prefill to capacity so readers have resident keys from the first
+  // probe, whatever the scheduler does to the writer thread.
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    QueryResult entry;
+    entry.value = value_of(i);
+    entry.secondary = secondary_of(i);
+    entry.flags = static_cast<std::uint32_t>(i & 0xff);
+    cache.insert(key(i), hash_key(key(i)), entry);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> hits{0};
+
+  // Quiescent phase first: every prefilled key must hit with exact bytes.
+  // This pins the hits floor whatever the scheduler later does to the
+  // writer (on a single hardware thread the readers can exhaust their
+  // probe budget inside one of the writer's epoch brackets, seeing only
+  // kRetry — a legal schedule, not a cache defect).
+  for (std::uint64_t i = 0; i < kCapacity; ++i) {
+    QueryResult r;
+    ASSERT_EQ(cache.probe_read_only(key(i), hash_key(key(i)), r).status,
+              ShardCache::ProbeStatus::kHit);
+    ASSERT_EQ(r.value, value_of(i));
+    hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::thread writer([&] {
+    std::mt19937_64 rng(test::case_seed(31));
+    // Single writer: the external shard mutex is trivially held.
+    for (std::uint64_t round = 0; !stop.load(std::memory_order_relaxed);
+         ++round) {
+      const std::uint64_t i = rng() % kKeySpace;
+      QueryResult r;
+      QueryResult entry;
+      entry.value = value_of(i);
+      entry.secondary = secondary_of(i);
+      entry.flags = static_cast<std::uint32_t>(i & 0xff);
+      if (!cache.find(key(i), hash_key(key(i)), r)) {
+        cache.insert(key(i), hash_key(key(i)), entry);
+      }
+      if ((round & 0x3ff) == 0) cache.promote(key(i), hash_key(key(i)));
+    }
+  });
+
+  constexpr int kReaders = 2;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937_64 rng(test::case_seed(37) + static_cast<std::uint32_t>(t));
+      for (int probes = 0; probes < 200000; ++probes) {
+        const std::uint64_t i = rng() % kKeySpace;
+        QueryResult r;
+        const ShardCache::ProbeResult p =
+            cache.probe_read_only(key(i), hash_key(key(i)), r);
+        if (p.status == ShardCache::ProbeStatus::kRetry) {
+          // Writer descheduled mid-bracket: yield it the core, as the
+          // engine's locked fallback path effectively would.
+          std::this_thread::yield();
+          continue;
+        }
+        if (p.status != ShardCache::ProbeStatus::kHit) continue;
+        hits.fetch_add(1, std::memory_order_relaxed);
+        if (r.value != value_of(i) || r.secondary != secondary_of(i) ||
+            r.flags != static_cast<std::uint32_t>(i & 0xff)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(hits.load(), 0u);  // the schedule actually exercised hits
 }
 
 // -------------------------------------------------- engine test fixtures ---
@@ -348,6 +523,49 @@ TEST(QueryEngineTest, StatsAccountEveryQuery) {
   EXPECT_EQ(cleared.hit_rate(), 0.0);
 }
 
+TEST(QueryEngineTest, WarmHitPathAcquiresNoShardLocks) {
+  // The tentpole acceptance check: after a warming pass, re-evaluating the
+  // same batch is 100% cache hits and the hit path must take zero shard
+  // mutexes — every answer comes off the seqlock read view.
+  QueryEngine engine = make_engine();
+  const std::vector<Query> batch = random_batch(test::case_seed(41), 2000);
+  sim::ThreadPool pool(4);
+  BatchResults out;
+  engine.evaluate(batch, out, &pool);  // cold: misses take locks
+  const EngineStats cold = engine.stats();
+  EXPECT_GT(cold.lock_acquisitions, 0u);
+
+  engine.evaluate(batch, out, &pool);  // warm: all hits
+  const EngineStats warm = engine.stats();
+  EXPECT_EQ(warm.lock_acquisitions, cold.lock_acquisitions)
+      << "warm hits took a shard mutex";
+  EXPECT_EQ(warm.lockfree_hits, cold.lockfree_hits + batch.size());
+  EXPECT_EQ(warm.cache_misses, cold.cache_misses);
+  EXPECT_EQ(warm.queries, 2 * batch.size());
+}
+
+TEST(QueryEngineTest, SnapshotWarmedRunIsAllLockFreeHits) {
+  // Same acceptance check through the snapshot path: a fresh engine warmed
+  // purely from a snapshot answers the whole batch without a single mutex
+  // acquisition or miss.
+  const std::string path = ::testing::TempDir() + "/svc_lockfree_warm.snap";
+  const std::vector<Query> batch = random_batch(test::case_seed(43), 1500);
+  QueryEngine warmer = make_engine();
+  BatchResults out;
+  warmer.evaluate(batch, out);
+  ASSERT_TRUE(warmer.save_snapshot(path).ok());
+
+  QueryEngine engine = make_engine();
+  ASSERT_TRUE(engine.load_snapshot(path).ok());
+  sim::ThreadPool pool(4);
+  engine.evaluate(batch, out, &pool);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.lock_acquisitions, 0u);
+  EXPECT_EQ(stats.lockfree_hits, batch.size());
+  EXPECT_EQ(stats.hit_lock_acquisitions, 0u);
+}
+
 // ----------------------------------------------------- concurrent stress ---
 
 TEST(QueryEngineTest, ConcurrentBatchesShareEngineAndPool) {
@@ -378,6 +596,41 @@ TEST(QueryEngineTest, ConcurrentBatchesShareEngineAndPool) {
   EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kThreads) * kRounds *
                                batch.size());
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+TEST(QueryEngineTest, ConcurrentBatchesUnderEvictionPressureStayExact) {
+  // The hard schedule for the lock-free read path: tiny caches force
+  // continuous insert/evict churn in every shard while several threads run
+  // lock-free hit sweeps over the same keys.  Byte-identity must survive
+  // the races — a seqlock-retried or stale-miss probe may cost a lock,
+  // never a wrong byte.
+  EngineConfig config;
+  config.shards = 4;
+  config.cache_capacity_per_shard = 32;
+  QueryEngine engine = make_engine(config);
+  sim::ThreadPool pool(4);
+  const std::vector<Query> batch = random_batch(test::case_seed(47), 3000);
+  BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<BatchResults> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        engine.evaluate(batch, results[t], &pool);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].bitwise_equal(reference)) << "thread " << t;
+  }
+  EXPECT_GT(engine.stats().evictions, 0u);
 }
 
 }  // namespace

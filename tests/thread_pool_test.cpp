@@ -147,6 +147,40 @@ TEST(ParallelForTest, RethrowsFirstExceptionAfterCompletion) {
   EXPECT_EQ(completed.load(), 15);  // every other iteration still ran
 }
 
+TEST(ParallelForBlockedTest, PartitionsRangeIntoDisjointContiguousBlocks) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;  // not a multiple of the block size
+  constexpr std::size_t kBlock = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> blocks_seen{0};
+  parallel_for_blocked(&pool, kN, kBlock,
+                       [&](std::size_t b, std::size_t lo, std::size_t hi) {
+                         EXPECT_EQ(lo, b * kBlock);
+                         EXPECT_LE(hi, kN);
+                         EXPECT_GT(hi, lo);
+                         blocks_seen.fetch_add(1, std::memory_order_relaxed);
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           hits[i].fetch_add(1, std::memory_order_relaxed);
+                         }
+                       });
+  EXPECT_EQ(blocks_seen.load(), 3);  // ceil(10000 / 4096)
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlockedTest, ZeroBlockSizeDegradesToSingleIndexBlocks) {
+  std::vector<int> out(17, 0);
+  parallel_for_blocked(nullptr, out.size(), 0,
+                       [&out](std::size_t b, std::size_t lo, std::size_t hi) {
+                         EXPECT_EQ(lo, b);
+                         EXPECT_EQ(hi, lo + 1);
+                         out[lo] = static_cast<int>(lo) + 1;
+                       });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
 TEST(ParallelForTest, DeeplyNestedFanOutCompletes) {
   ThreadPool pool(3);
   std::atomic<int> leaves{0};
