@@ -1,0 +1,146 @@
+// The declarative sweep grid shared by maia_sweep, maia_serve's clients,
+// and maia_client: every NPB Class-C kernel x thread count x execution
+// mode x message size, three queries per scenario (an execution-time
+// prediction, a collective cost, and a load-latency walk).
+//
+// Factored out of sweep_main.cpp so the streaming client can replay the
+// exact same grid (or a slice of it) over the wire and compare responses
+// byte-for-byte against a local serial evaluation — same queries, same
+// order, same canonical keys.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "npb/signatures.hpp"
+#include "svc/query.hpp"
+
+namespace maia::sweepgrid {
+
+/// Execution modes of the sweep: where the kernel runs and which software
+/// stack serves its communication (the paper's native/symmetric axes).
+enum class Mode { kHostNative = 0, kPhiPost, kPhiPre, kSymmetric };
+inline constexpr int kModeCount = 4;
+inline constexpr int kMaxThreads = 240;
+
+inline arch::DeviceId mode_device(Mode m) {
+  return m == Mode::kHostNative ? arch::DeviceId::kHost : arch::DeviceId::kPhi0;
+}
+
+inline fabric::SoftwareStack mode_stack(Mode m) {
+  return m == Mode::kPhiPre ? fabric::SoftwareStack::kPreUpdate
+                            : fabric::SoftwareStack::kPostUpdate;
+}
+
+/// Geometric ladder of 44 message sizes from 16 B to ~4 MiB; strictly
+/// increasing so every size is a distinct canonical key.
+inline std::vector<sim::Bytes> message_sizes() {
+  constexpr int kCount = 44;
+  const double ratio = std::pow(4.0 * 1024.0 * 1024.0 / 16.0,
+                                1.0 / static_cast<double>(kCount - 1));
+  std::vector<sim::Bytes> sizes;
+  sizes.reserve(kCount);
+  double value = 16.0;
+  sim::Bytes prev = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto s = static_cast<sim::Bytes>(value);
+    if (s <= prev) s = prev + 1;
+    sizes.push_back(s);
+    prev = s;
+    value *= ratio;
+  }
+  return sizes;
+}
+
+/// The collective each kernel exercises in the sweep (its dominant
+/// communication pattern); symmetric mode always asks the cross-device
+/// p2p question instead.
+inline svc::CollectiveOp kernel_op(std::size_t kernel_index) {
+  static constexpr svc::CollectiveOp kOps[] = {
+      svc::CollectiveOp::kAllreduce,    // EP: final sum reduction
+      svc::CollectiveOp::kSendrecvRing, // CG: halo exchange
+      svc::CollectiveOp::kBcast,        // MG: coarse-grid broadcast
+      svc::CollectiveOp::kAlltoall,     // FT: transpose
+      svc::CollectiveOp::kAllgather,    // IS: key redistribution
+      svc::CollectiveOp::kReduce,       // BT: residual reduction
+      svc::CollectiveOp::kGather,       // SP: solution gather
+      svc::CollectiveOp::kScatter,      // LU: block scatter
+  };
+  return kOps[kernel_index % (sizeof(kOps) / sizeof(kOps[0]))];
+}
+
+/// Pointer-chase working set probed alongside each kernel: a Fig-5-style
+/// ladder from L1-resident to memory-resident, one rung per kernel, so the
+/// sweep exercises every level transition of both hierarchies.
+inline sim::Bytes kernel_working_set(std::size_t kernel_index) {
+  return sim::Bytes{16 * 1024} << (kernel_index % 8);  // 16 KiB .. 2 MiB
+}
+
+struct Grid {
+  std::vector<svc::Query> queries;
+};
+
+/// Build the sweep: kernels x threads x modes x message sizes, three
+/// queries per scenario.  `thread_step` samples the 1..240 thread axis
+/// (1 = full grid, >1 = smoke); `kernel_limit` > 0 restricts to the first
+/// K kernels (the slice knob used by maia_client).
+inline Grid build_grid(const std::vector<npb::NpbWorkload>& workloads,
+                       int thread_step, std::size_t kernel_limit = 0) {
+  Grid grid;
+  const std::vector<sim::Bytes> sizes = message_sizes();
+  const std::size_t kernels =
+      kernel_limit > 0 && kernel_limit < workloads.size() ? kernel_limit
+                                                          : workloads.size();
+  std::size_t scenario_count = 0;
+  for (int t = 1; t <= kMaxThreads; t += thread_step) ++scenario_count;
+  grid.queries.reserve(kernels * scenario_count * kModeCount * sizes.size() * 3);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    const auto kernel = static_cast<std::uint16_t>(k);
+    const sim::Bytes ws = kernel_working_set(k);
+    for (int t = 1; t <= kMaxThreads; t += thread_step) {
+      for (int m = 0; m < kModeCount; ++m) {
+        const Mode mode = static_cast<Mode>(m);
+        const arch::DeviceId device = mode_device(mode);
+        for (const sim::Bytes s : sizes) {
+          svc::ExecQuery exec;
+          exec.kernel = kernel;
+          exec.device = device;
+          exec.threads = static_cast<std::uint16_t>(t);
+          grid.queries.push_back(svc::Query::of(exec));
+
+          svc::CollectiveQuery coll;
+          coll.op = mode == Mode::kSymmetric ? svc::CollectiveOp::kCrossP2P
+                                             : kernel_op(k);
+          coll.device = device;
+          coll.ranks = static_cast<std::uint16_t>(t);
+          coll.message_bytes = s;
+          coll.stack = mode_stack(mode);
+          grid.queries.push_back(svc::Query::of(coll));
+
+          svc::LatencyQuery lat;
+          lat.device = device;
+          lat.working_set = ws;
+          lat.iterations = 4;
+          grid.queries.push_back(svc::Query::of(lat));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+/// The standard engine setup every sweep binary shares: register the
+/// eight NPB Class-C kernels in benchmark order, so kernel ids — and the
+/// engine calibration hash — agree between server, client, and harness.
+inline std::vector<npb::NpbWorkload> register_npb_kernels(
+    svc::QueryEngine& engine) {
+  std::vector<npb::NpbWorkload> workloads;
+  for (const npb::Benchmark b : npb::all_benchmarks()) {
+    workloads.push_back(npb::class_c_workload(b));
+    engine.register_kernel(workloads.back().signature);
+  }
+  return workloads;
+}
+
+}  // namespace maia::sweepgrid

@@ -46,122 +46,18 @@
 #include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
 #include "svc/engine.hpp"
+#include "sweep_grid.hpp"
 
 namespace {
 
 using namespace maia;
+using sweepgrid::Grid;
+using sweepgrid::build_grid;
+using sweepgrid::kModeCount;
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-/// Execution modes of the sweep: where the kernel runs and which software
-/// stack serves its communication (the paper's native/symmetric axes).
-enum class Mode { kHostNative = 0, kPhiPost, kPhiPre, kSymmetric };
-constexpr int kModeCount = 4;
-
-arch::DeviceId mode_device(Mode m) {
-  return m == Mode::kHostNative ? arch::DeviceId::kHost : arch::DeviceId::kPhi0;
-}
-
-fabric::SoftwareStack mode_stack(Mode m) {
-  return m == Mode::kPhiPre ? fabric::SoftwareStack::kPreUpdate
-                            : fabric::SoftwareStack::kPostUpdate;
-}
-
-/// Geometric ladder of 44 message sizes from 16 B to ~4 MiB; strictly
-/// increasing so every size is a distinct canonical key.
-std::vector<sim::Bytes> message_sizes() {
-  constexpr int kCount = 44;
-  const double ratio = std::pow(4.0 * 1024.0 * 1024.0 / 16.0,
-                                1.0 / static_cast<double>(kCount - 1));
-  std::vector<sim::Bytes> sizes;
-  sizes.reserve(kCount);
-  double value = 16.0;
-  sim::Bytes prev = 0;
-  for (int i = 0; i < kCount; ++i) {
-    auto s = static_cast<sim::Bytes>(value);
-    if (s <= prev) s = prev + 1;
-    sizes.push_back(s);
-    prev = s;
-    value *= ratio;
-  }
-  return sizes;
-}
-
-/// The collective each kernel exercises in the sweep (its dominant
-/// communication pattern); symmetric mode always asks the cross-device
-/// p2p question instead.
-svc::CollectiveOp kernel_op(std::size_t kernel_index) {
-  static constexpr svc::CollectiveOp kOps[] = {
-      svc::CollectiveOp::kAllreduce,    // EP: final sum reduction
-      svc::CollectiveOp::kSendrecvRing, // CG: halo exchange
-      svc::CollectiveOp::kBcast,        // MG: coarse-grid broadcast
-      svc::CollectiveOp::kAlltoall,     // FT: transpose
-      svc::CollectiveOp::kAllgather,    // IS: key redistribution
-      svc::CollectiveOp::kReduce,       // BT: residual reduction
-      svc::CollectiveOp::kGather,       // SP: solution gather
-      svc::CollectiveOp::kScatter,      // LU: block scatter
-  };
-  return kOps[kernel_index % (sizeof(kOps) / sizeof(kOps[0]))];
-}
-
-/// Pointer-chase working set probed alongside each kernel: a Fig-5-style
-/// ladder from L1-resident to memory-resident, one rung per kernel, so the
-/// sweep exercises every level transition of both hierarchies.
-sim::Bytes kernel_working_set(std::size_t kernel_index) {
-  return sim::Bytes{16 * 1024} << (kernel_index % 8);  // 16 KiB .. 2 MiB
-}
-
-struct Grid {
-  std::vector<svc::Query> queries;
-};
-
-/// Build the sweep: kernels x threads x modes x message sizes, three
-/// queries per scenario.  `thread_step` samples the 1..240 thread axis
-/// (1 = full grid, >1 = smoke).
-Grid build_grid(const std::vector<npb::NpbWorkload>& workloads, int thread_step) {
-  Grid grid;
-  const std::vector<sim::Bytes> sizes = message_sizes();
-  constexpr int kMaxThreads = 240;
-  std::size_t scenario_count = 0;
-  for (int t = 1; t <= kMaxThreads; t += thread_step) ++scenario_count;
-  grid.queries.reserve(workloads.size() * scenario_count * kModeCount *
-                       sizes.size() * 3);
-  for (std::size_t k = 0; k < workloads.size(); ++k) {
-    const auto kernel = static_cast<std::uint16_t>(k);
-    const sim::Bytes ws = kernel_working_set(k);
-    for (int t = 1; t <= kMaxThreads; t += thread_step) {
-      for (int m = 0; m < kModeCount; ++m) {
-        const Mode mode = static_cast<Mode>(m);
-        const arch::DeviceId device = mode_device(mode);
-        for (const sim::Bytes s : sizes) {
-          svc::ExecQuery exec;
-          exec.kernel = kernel;
-          exec.device = device;
-          exec.threads = static_cast<std::uint16_t>(t);
-          grid.queries.push_back(svc::Query::of(exec));
-
-          svc::CollectiveQuery coll;
-          coll.op = mode == Mode::kSymmetric ? svc::CollectiveOp::kCrossP2P
-                                             : kernel_op(k);
-          coll.device = device;
-          coll.ranks = static_cast<std::uint16_t>(t);
-          coll.message_bytes = s;
-          coll.stack = mode_stack(mode);
-          grid.queries.push_back(svc::Query::of(coll));
-
-          svc::LatencyQuery lat;
-          lat.device = device;
-          lat.working_set = ws;
-          lat.iterations = 4;
-          grid.queries.push_back(svc::Query::of(lat));
-        }
-      }
-    }
-  }
-  return grid;
 }
 
 void print_help(const char* argv0, std::FILE* out) {
@@ -316,11 +212,8 @@ int main(int argc, char** argv) {
   config.shards = shards;
   config.cache_capacity_per_shard = cache;
   svc::QueryEngine engine(arch::maia_node(), config);
-  std::vector<npb::NpbWorkload> workloads;
-  for (const npb::Benchmark b : npb::all_benchmarks()) {
-    workloads.push_back(npb::class_c_workload(b));
-    engine.register_kernel(workloads.back().signature);
-  }
+  const std::vector<npb::NpbWorkload> workloads =
+      sweepgrid::register_npb_kernels(engine);
 
   const Grid grid = build_grid(workloads, thread_step);
   const std::size_t n = grid.queries.size();

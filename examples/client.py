@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""Dependency-free Python client for the maia streaming prediction server.
+
+Speaks the src/net length-prefixed binary protocol (see src/net/PROTOCOL.md)
+over a unix-domain socket using only the standard library: frames are built
+with struct.pack, the payload checksum is zlib.crc32 (the same polynomial the
+C++ side reuses from the snapshot writer).
+
+Replays a slice of the maia_sweep query grid — collective sweeps over message
+sizes and rank counts, kernel execution queries, and memory-latency probes —
+then re-sends the identical batch and checks the two responses are
+byte-identical, which they must be: the server's answers are deterministic
+functions of the query.
+
+Usage:
+    python3 examples/client.py --socket /tmp/maia.sock [--batch 512] [--json]
+
+Start a server first:
+    ./build/bench/maia_serve --socket /tmp/maia.sock
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import zlib
+
+MAGIC = 0x4149414D  # "MAIA" little-endian
+PROTOCOL_VERSION = 1
+HEADER = struct.Struct("<IHHQIIII")  # magic, version, type, id, deadline, len, crc, reserved
+HEADER_BYTES = 32
+WIRE_QUERY = struct.Struct("<BBBBHHQ")  # kind, device, op, stack, a, b, c
+WIRE_RESULT_BYTES = 24
+
+# Frame types.
+BATCH_REQUEST = 0x0001
+PING = 0x0002
+STATS_REQUEST = 0x0003
+BATCH_RESPONSE = 0x8001
+PONG = 0x8002
+STATS_RESPONSE = 0x8003
+ERROR = 0x80FF
+
+# Typed error codes (payload of an ERROR frame).
+ERROR_NAMES = {
+    0: "OK",
+    1: "MALFORMED",
+    2: "BAD_VERSION",
+    3: "BAD_TYPE",
+    4: "TOO_LARGE",
+    5: "RETRY_LATER",
+    6: "DEADLINE_EXCEEDED",
+    7: "DRAINING",
+    8: "BAD_MAGIC",
+}
+
+# Query kinds.
+KIND_EXEC = 0
+KIND_COLLECTIVE = 1
+KIND_LATENCY = 2
+
+STATS_FIELDS = (
+    "served",
+    "rejected",
+    "timed_out",
+    "malformed",
+    "connected_clients",
+    "queue_depth",
+    "engine_queries",
+    "engine_hits",
+    "engine_misses",
+)
+
+
+def encode_frame(frame_type, request_id, payload=b"", deadline_ms=0):
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, frame_type, request_id,
+                         deadline_ms, len(payload), crc, 0)
+    return header + payload
+
+
+def exec_query(kernel, device, threads):
+    return WIRE_QUERY.pack(KIND_EXEC, device, 0, 0, kernel, threads, 0)
+
+
+def collective_query(op, device, ranks, message_bytes, stack):
+    return WIRE_QUERY.pack(KIND_COLLECTIVE, device, op, stack, ranks, 0,
+                           message_bytes)
+
+
+def latency_query(device, working_set, iterations=1):
+    return WIRE_QUERY.pack(KIND_LATENCY, device, 0, 0, iterations, 0,
+                           working_set)
+
+
+def batch_payload(queries):
+    return struct.pack("<II", len(queries), 0) + b"".join(queries)
+
+
+def sweep_slice(limit):
+    """A deterministic slice of the maia_sweep grid: every collective op and
+    software stack across power-of-two message sizes and rank counts on the
+    coprocessor, host kernel execution at several thread counts, and latency
+    probes over a range of working sets."""
+    queries = []
+    for op in range(10):  # CollectiveOp: sendrecv ring ... cross-node P2P
+        for stack in (0, 1):  # pre-update / post-update software stack
+            for log2_bytes in range(4, 21, 4):
+                for ranks in (16, 60, 240):
+                    queries.append(
+                        collective_query(op, 1, ranks, 1 << log2_bytes, stack))
+    for kernel in range(8):  # the eight NPB Class-C kernels
+        for threads in (1, 16, 60, 120, 240):
+            queries.append(exec_query(kernel, 1, threads))
+    for log2_ws in range(10, 28, 2):
+        for device in (0, 1):
+            queries.append(latency_query(device, 1 << log2_ws))
+    return queries[:limit] if limit else queries
+
+
+class Client:
+    """Minimal synchronous protocol client over a unix-domain socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.buffer = b""
+        self.next_id = 1
+
+    def close(self):
+        self.sock.close()
+
+    def _read_frame(self):
+        while True:
+            if len(self.buffer) >= HEADER_BYTES:
+                magic, version, ftype, rid, _deadline, length, crc, _r = \
+                    HEADER.unpack_from(self.buffer)
+                if magic != MAGIC:
+                    raise ProtocolError("bad magic in response stream")
+                if len(self.buffer) >= HEADER_BYTES + length:
+                    payload = self.buffer[HEADER_BYTES:HEADER_BYTES + length]
+                    self.buffer = self.buffer[HEADER_BYTES + length:]
+                    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                        raise ProtocolError("response CRC mismatch")
+                    if version != PROTOCOL_VERSION:
+                        raise ProtocolError(f"response version {version}")
+                    return ftype, rid, payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("server closed the connection")
+            self.buffer += chunk
+
+    def _roundtrip(self, frame_type, payload=b"", deadline_ms=0):
+        rid = self.next_id
+        self.next_id += 1
+        self.sock.sendall(encode_frame(frame_type, rid, payload, deadline_ms))
+        while True:
+            ftype, got_rid, response = self._read_frame()
+            if got_rid == rid:
+                return ftype, response
+
+    def ping(self):
+        ftype, _ = self._roundtrip(PING)
+        return ftype == PONG
+
+    def stats(self):
+        ftype, payload = self._roundtrip(STATS_REQUEST)
+        if ftype != STATS_RESPONSE:
+            raise ProtocolError(f"stats answered with frame type {ftype:#x}")
+        values = struct.unpack(f"<{len(STATS_FIELDS)}Q", payload)
+        return dict(zip(STATS_FIELDS, values))
+
+    def evaluate(self, queries, deadline_ms=0, max_retries=64):
+        """Evaluate a batch; retries typed RETRY_LATER backpressure."""
+        payload = batch_payload(queries)
+        for _ in range(max_retries):
+            ftype, response = self._roundtrip(BATCH_REQUEST, payload,
+                                              deadline_ms)
+            if ftype == BATCH_RESPONSE:
+                (count,) = struct.unpack_from("<I", response)
+                expected = 8 + count * WIRE_RESULT_BYTES
+                if len(response) != expected:
+                    raise ProtocolError("batch response length mismatch")
+                return response  # raw bytes: byte-identity is the contract
+            if ftype == ERROR:
+                (code,) = struct.unpack_from("<I", response)
+                if code == 5:  # RETRY_LATER: bounded admission queue is full
+                    continue
+                raise ProtocolError(
+                    f"server error {ERROR_NAMES.get(code, code)}")
+            raise ProtocolError(f"unexpected frame type {ftype:#x}")
+        raise ProtocolError("backpressure retries exhausted")
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def decode_results(response):
+    (count,) = struct.unpack_from("<I", response)
+    out = []
+    for i in range(count):
+        value, secondary, flags, _ = struct.unpack_from("<ddII", response,
+                                                        8 + i * WIRE_RESULT_BYTES)
+        out.append((value, secondary, flags))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Replay a maia_sweep grid slice against maia_serve.")
+    parser.add_argument("--socket", default="maia.sock",
+                        help="unix socket path of a running maia_serve")
+    parser.add_argument("--batch", type=int, default=512,
+                        help="queries per request frame (default: 512)")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="cap total queries (default: whole slice)")
+    parser.add_argument("--deadline-ms", type=int, default=0,
+                        help="per-request deadline (default: none)")
+    parser.add_argument("--json", action="store_true",
+                        help="print a JSON report instead of prose")
+    args = parser.parse_args()
+
+    client = Client(args.socket)
+    if not client.ping():
+        print("client.py: server did not answer PING", file=sys.stderr)
+        return 1
+
+    queries = sweep_slice(args.limit)
+    before = client.stats()
+
+    responses = []
+    for start in range(0, len(queries), args.batch):
+        responses.append(
+            client.evaluate(queries[start:start + args.batch],
+                            args.deadline_ms))
+
+    # Determinism check: the same workload must come back byte-identical.
+    replay = []
+    for start in range(0, len(queries), args.batch):
+        replay.append(
+            client.evaluate(queries[start:start + args.batch],
+                            args.deadline_ms))
+    identical = responses == replay
+
+    after = client.stats()
+    client.close()
+
+    sample = decode_results(responses[0])[:3]
+    delta_queries = after["engine_queries"] - before["engine_queries"]
+    delta_hits = after["engine_hits"] - before["engine_hits"]
+    hit_rate = delta_hits / delta_queries if delta_queries else 0.0
+
+    if args.json:
+        print(json.dumps({
+            "queries": len(queries),
+            "requests": 2 * len(responses),
+            "identical_replay": identical,
+            "engine_delta_queries": delta_queries,
+            "engine_delta_hit_rate": hit_rate,
+            "server_stats": after,
+        }, indent=2))
+    else:
+        print(f"client.py: {len(queries)} grid queries x2 in "
+              f"{2 * len(responses)} requests -> {args.socket}")
+        for i, (value, secondary, flags) in enumerate(sample):
+            print(f"  sample[{i}]: value={value:.6g} secondary={secondary:.6g}"
+                  f" flags={flags:#x}")
+        print(f"  engine: +{delta_queries} queries, "
+              f"{100.0 * hit_rate:.1f}% hit rate this workload")
+        print(f"  replay: {'byte-identical' if identical else 'DIVERGED'}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ProtocolError as err:
+        print(f"client.py: protocol error: {err}", file=sys.stderr)
+        sys.exit(1)
+    except (ConnectionError, FileNotFoundError) as err:
+        print(f"client.py: cannot reach server: {err}", file=sys.stderr)
+        sys.exit(1)

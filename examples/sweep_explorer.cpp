@@ -5,12 +5,18 @@
 // through.
 //
 //   $ ./sweep_explorer
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "arch/registry.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "npb/signatures.hpp"
 #include "sim/thread_pool.hpp"
 #include "svc/engine.hpp"
@@ -163,5 +169,47 @@ int main() {
                 static_cast<unsigned long long>(now.lock_acquisitions -
                                                 before.lock_acquisitions));
   }
+
+  std::printf("\n=== Part 6: the same answers over a socket ===\n");
+  // Everything above ran in-process.  src/net serves the identical
+  // engine over a unix-domain socket (the maia_serve daemon); here we
+  // stand the server up in-process, connect a client, and check the
+  // wire adds nothing and loses nothing: the f64 bit patterns that come
+  // back are the ones evaluate() produced.
+  net::ServerConfig server_config;
+  server_config.socket_path =
+      "sweep_explorer." + std::to_string(::getpid()) + ".sock";
+  server_config.workers = 2;
+  net::Server server(engine, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::printf("server failed to start: %s\n", error.c_str());
+    return 1;
+  }
+
+  net::Client client;
+  if (!client.connect(server_config.socket_path, &error)) {
+    std::printf("connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<net::WireResult> wire;
+  const net::ClientOutcome outcome = client.evaluate(batch, wire);
+  bool wire_identical = outcome.ok() && wire.size() == reference.size();
+  for (std::size_t i = 0; wire_identical && i < wire.size(); ++i) {
+    wire_identical = std::memcmp(&wire[i].value, &reference.values()[i], 8) == 0;
+  }
+  std::printf("%zu queries over the socket: %s\n", batch.size(),
+              wire_identical ? "IDENTICAL to the in-process answers"
+                             : "DIVERGED");
+
+  // A graceful drain is one call: stop accepting, flush in-flight work,
+  // remove the socket file.  maia_serve wires SIGTERM to exactly this.
+  client.close();
+  server.request_drain();
+  const int exit_code = server.wait();
+  std::printf("drain: exit code %d, socket %s\n", exit_code,
+              net::socket_alive(server_config.socket_path)
+                  ? "still present (bug!)"
+                  : "removed");
   return 0;
 }

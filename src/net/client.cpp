@@ -1,0 +1,191 @@
+#include "net/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace maia::net {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t rc = ::write(fd, data + off, n - off);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path empty or too long";
+    return false;
+  }
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect(" + socket_path + "): " + std::strerror(errno);
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  parser_ = FrameParser();
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send_raw(std::span<const std::uint8_t> bytes) {
+  return fd_ >= 0 && write_all(fd_, bytes.data(), bytes.size());
+}
+
+bool Client::send_request(FrameType type, std::uint64_t request_id,
+                          std::span<const std::uint8_t> payload,
+                          std::uint32_t deadline_ms) {
+  FrameHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.deadline_ms = deadline_ms;
+  const std::vector<std::uint8_t> frame = encode_frame(header, payload);
+  return send_raw(frame);
+}
+
+std::optional<Frame> Client::read_response(std::uint64_t request_id) {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    for (;;) {
+      const FrameParser::Status status = parser_.next(frame);
+      if (status == FrameParser::Status::kNeedMore) break;
+      if (status != FrameParser::Status::kFrame) return std::nullopt;
+      if (frame.header.request_id == request_id) return frame;
+      // A response to some other (stale / pipelined) request: drop it.
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return std::nullopt;  // server hung up
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    parser_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+ClientOutcome Client::evaluate(std::span<const svc::Query> queries,
+                               std::vector<WireResult>& results,
+                               std::uint32_t deadline_ms) {
+  ClientOutcome outcome;
+  results.clear();
+  const std::uint64_t id = next_id();
+  const std::uint64_t t0 = now_ns();
+  const std::vector<std::uint8_t> payload = encode_batch_request(queries);
+  if (!send_request(FrameType::kBatchRequest, id, payload, deadline_ms)) {
+    outcome.error = WireError::kMalformed;
+    return outcome;
+  }
+  const std::optional<Frame> response = read_response(id);
+  outcome.rtt_ns = now_ns() - t0;
+  if (!response.has_value()) {
+    outcome.error = WireError::kMalformed;
+    return outcome;
+  }
+  if (response->header.type == FrameType::kError) {
+    outcome.error = decode_error(response->payload);
+    return outcome;
+  }
+  if (response->header.type != FrameType::kBatchResponse) {
+    outcome.error = WireError::kMalformed;
+    return outcome;
+  }
+  std::optional<std::vector<WireResult>> decoded =
+      decode_batch_response(response->payload);
+  if (!decoded.has_value() || decoded->size() != queries.size()) {
+    outcome.error = WireError::kMalformed;
+    return outcome;
+  }
+  results = std::move(*decoded);
+  return outcome;
+}
+
+ClientOutcome Client::evaluate_with_retry(std::span<const svc::Query> queries,
+                                          std::vector<WireResult>& results,
+                                          std::uint32_t deadline_ms,
+                                          int max_retries,
+                                          std::uint32_t backoff_us,
+                                          std::uint64_t* retries_out) {
+  ClientOutcome outcome;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    outcome = evaluate(queries, results, deadline_ms);
+    if (outcome.error != WireError::kRetryLater) break;
+    if (retries_out != nullptr) ++*retries_out;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::uint64_t>(backoff_us) *
+                                  static_cast<std::uint64_t>(attempt + 1)));
+  }
+  return outcome;
+}
+
+ClientOutcome Client::ping() {
+  ClientOutcome outcome;
+  const std::uint64_t id = next_id();
+  const std::uint64_t t0 = now_ns();
+  if (!send_request(FrameType::kPing, id, {}, 0)) {
+    outcome.error = WireError::kMalformed;
+    return outcome;
+  }
+  const std::optional<Frame> response = read_response(id);
+  outcome.rtt_ns = now_ns() - t0;
+  if (!response.has_value() || response->header.type != FrameType::kPong) {
+    outcome.error = WireError::kMalformed;
+  }
+  return outcome;
+}
+
+std::optional<WireStats> Client::stats() {
+  const std::uint64_t id = next_id();
+  if (!send_request(FrameType::kStatsRequest, id, {}, 0)) return std::nullopt;
+  const std::optional<Frame> response = read_response(id);
+  if (!response.has_value() ||
+      response->header.type != FrameType::kStatsResponse) {
+    return std::nullopt;
+  }
+  return decode_stats(response->payload);
+}
+
+}  // namespace maia::net

@@ -1,0 +1,86 @@
+// Synchronous client for the streaming prediction server: one unix-socket
+// connection, blocking request/response in protocol.hpp frames.
+//
+// A Client is deliberately dumb — it sends one frame, then reads frames
+// until one echoes the request id (matching by id keeps it correct even
+// against a server that interleaves responses).  Concurrency is layered
+// above: N connections = N Client instances on N threads, which is
+// exactly how maia_client and the soak tests drive the server.
+//
+// Not thread-safe; one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "svc/query.hpp"
+
+namespace maia::net {
+
+/// Outcome of one request round-trip.
+struct ClientOutcome {
+  /// kOk on success, the server's typed code (kRetryLater, kDraining,
+  /// kDeadlineExceeded, ...) on a kError response, kMalformed on a
+  /// transport / framing failure (disconnect, garbage bytes).
+  WireError error = WireError::kOk;
+  std::uint64_t rtt_ns = 0;  ///< client-side send-to-response latency
+  bool ok() const { return error == WireError::kOk; }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the server socket; false with a reason on failure.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trip a batch.  On success `results` holds one WireResult per
+  /// query, in query order, bit-exact from the server's engine.
+  ClientOutcome evaluate(std::span<const svc::Query> queries,
+                         std::vector<WireResult>& results,
+                         std::uint32_t deadline_ms = 0);
+
+  /// Like evaluate(), but transparently retries RETRY_LATER responses
+  /// with linear backoff (attempt * backoff_us).  `retries_out` reports
+  /// how many backpressure rounds were absorbed.
+  ClientOutcome evaluate_with_retry(std::span<const svc::Query> queries,
+                                    std::vector<WireResult>& results,
+                                    std::uint32_t deadline_ms = 0,
+                                    int max_retries = 64,
+                                    std::uint32_t backoff_us = 200,
+                                    std::uint64_t* retries_out = nullptr);
+
+  /// Health check round-trip.
+  ClientOutcome ping();
+
+  /// Server + engine counters (kStatsRequest).
+  std::optional<WireStats> stats();
+
+  /// Send a pre-encoded raw frame (tests: malformed frames, truncation).
+  bool send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Read frames until one matches `request_id` (test helper; evaluate()
+  /// and friends use it internally).
+  std::optional<Frame> read_response(std::uint64_t request_id);
+
+ private:
+  std::uint64_t next_id() { return ++last_id_; }
+  bool send_request(FrameType type, std::uint64_t request_id,
+                    std::span<const std::uint8_t> payload,
+                    std::uint32_t deadline_ms);
+
+  int fd_ = -1;
+  std::uint64_t last_id_ = 0;
+  FrameParser parser_;
+};
+
+}  // namespace maia::net

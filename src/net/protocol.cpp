@@ -1,0 +1,325 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "svc/snapshot.hpp"  // svc::crc32 — shared CRC implementation
+
+namespace maia::net {
+
+namespace {
+
+// WireQuery record layout (kWireQueryBytes):
+//   0  u8  kind      (QueryKind)
+//   1  u8  device    (arch::DeviceId)
+//   2  u8  op        (CollectiveOp; collective queries only, else 0)
+//   3  u8  stack     (fabric::SoftwareStack; collective only, else 0)
+//   4  u16 a         exec: kernel id | coll: ranks | latency: iterations
+//   6  u16 b         exec: threads  | otherwise 0
+//   8  u64 c         coll: message bytes | latency: working set | else 0
+void put_query(std::uint8_t* p, const svc::Query& q) {
+  std::memset(p, 0, kWireQueryBytes);
+  p[0] = static_cast<std::uint8_t>(q.kind);
+  switch (q.kind) {
+    case svc::QueryKind::kExec:
+      p[1] = static_cast<std::uint8_t>(q.exec.device);
+      put_u16(p + 4, q.exec.kernel);
+      put_u16(p + 6, q.exec.threads);
+      break;
+    case svc::QueryKind::kCollective:
+      p[1] = static_cast<std::uint8_t>(q.coll.device);
+      p[2] = static_cast<std::uint8_t>(q.coll.op);
+      p[3] = static_cast<std::uint8_t>(q.coll.stack);
+      put_u16(p + 4, q.coll.ranks);
+      put_u64(p + 8, q.coll.message_bytes);
+      break;
+    case svc::QueryKind::kLatency:
+      p[1] = static_cast<std::uint8_t>(q.lat.device);
+      put_u16(p + 4, q.lat.iterations);
+      put_u64(p + 8, q.lat.working_set);
+      break;
+  }
+}
+
+bool get_query(const std::uint8_t* p, svc::Query& out) {
+  if (p[1] > 2) return false;  // DeviceId: kHost / kPhi0 / kPhi1
+  const auto device = static_cast<arch::DeviceId>(p[1]);
+  switch (p[0]) {
+    case static_cast<std::uint8_t>(svc::QueryKind::kExec): {
+      svc::ExecQuery q;
+      q.kernel = get_u16(p + 4);
+      q.device = device;
+      q.threads = get_u16(p + 6);
+      out = svc::Query::of(q);
+      return true;
+    }
+    case static_cast<std::uint8_t>(svc::QueryKind::kCollective): {
+      if (p[2] > static_cast<std::uint8_t>(svc::CollectiveOp::kCrossP2P) ||
+          p[3] > 1) {
+        return false;
+      }
+      svc::CollectiveQuery q;
+      q.op = static_cast<svc::CollectiveOp>(p[2]);
+      q.device = device;
+      q.ranks = get_u16(p + 4);
+      q.message_bytes = get_u64(p + 8);
+      q.stack = static_cast<fabric::SoftwareStack>(p[3]);
+      out = svc::Query::of(q);
+      return true;
+    }
+    case static_cast<std::uint8_t>(svc::QueryKind::kLatency): {
+      svc::LatencyQuery q;
+      q.device = device;
+      q.working_set = get_u64(p + 8);
+      q.iterations = get_u16(p + 4);
+      out = svc::Query::of(q);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool known_type(std::uint16_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kBatchRequest:
+    case FrameType::kPing:
+    case FrameType::kStatsRequest:
+    case FrameType::kBatchResponse:
+    case FrameType::kPong:
+    case FrameType::kStatsResponse:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError error) {
+  switch (error) {
+    case WireError::kOk: return "ok";
+    case WireError::kMalformed: return "malformed";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kBadType: return "bad_type";
+    case WireError::kTooLarge: return "too_large";
+    case WireError::kRetryLater: return "retry_later";
+    case WireError::kDeadlineExceeded: return "deadline_exceeded";
+    case WireError::kDraining: return "draining";
+    case WireError::kBadMagic: return "bad_magic";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(kHeaderBytes + payload.size());
+  std::uint8_t* p = frame.data();
+  put_u32(p + 0, kMagic);
+  put_u16(p + 4, header.version);
+  put_u16(p + 6, static_cast<std::uint16_t>(header.type));
+  put_u64(p + 8, header.request_id);
+  put_u32(p + 16, header.deadline_ms);
+  put_u32(p + 20, static_cast<std::uint32_t>(payload.size()));
+  put_u32(p + 24, svc::crc32(payload.data(), payload.size()));
+  put_u32(p + 28, 0);  // reserved
+  if (!payload.empty()) {
+    std::memcpy(p + kHeaderBytes, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_batch_request(
+    std::span<const svc::Query> queries) {
+  std::vector<std::uint8_t> payload(8 + queries.size() * kWireQueryBytes);
+  put_u32(payload.data(), static_cast<std::uint32_t>(queries.size()));
+  put_u32(payload.data() + 4, 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    put_query(payload.data() + 8 + i * kWireQueryBytes, queries[i]);
+  }
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_batch_response(
+    std::span<const double> values, std::span<const double> secondary,
+    std::span<const std::uint32_t> flags) {
+  const std::size_t n = values.size();
+  std::vector<std::uint8_t> payload(8 + n * kWireResultBytes);
+  put_u32(payload.data(), static_cast<std::uint32_t>(n));
+  put_u32(payload.data() + 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* p = payload.data() + 8 + i * kWireResultBytes;
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[i], 8);
+    put_u64(p, bits);
+    std::memcpy(&bits, &secondary[i], 8);
+    put_u64(p + 8, bits);
+    put_u32(p + 16, flags[i]);
+    put_u32(p + 20, 0);
+  }
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_error(WireError code, std::uint32_t detail) {
+  std::vector<std::uint8_t> payload(8);
+  put_u16(payload.data(), static_cast<std::uint16_t>(code));
+  put_u16(payload.data() + 2, 0);
+  put_u32(payload.data() + 4, detail);
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_stats(const WireStats& stats) {
+  std::vector<std::uint8_t> payload(kWireStatsBytes);
+  const std::uint64_t fields[] = {
+      stats.served,         stats.rejected,      stats.timed_out,
+      stats.malformed,      stats.draining_rejected,
+      stats.engine_queries, stats.engine_hits,   stats.engine_misses,
+      stats.connected_clients};
+  for (std::size_t i = 0; i < std::size(fields); ++i) {
+    put_u64(payload.data() + i * 8, fields[i]);
+  }
+  return payload;
+}
+
+std::optional<WireStats> decode_stats(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kWireStatsBytes) return std::nullopt;
+  WireStats s;
+  std::uint64_t* fields[] = {
+      &s.served,         &s.rejected,    &s.timed_out,
+      &s.malformed,      &s.draining_rejected,
+      &s.engine_queries, &s.engine_hits, &s.engine_misses,
+      &s.connected_clients};
+  for (std::size_t i = 0; i < std::size(fields); ++i) {
+    *fields[i] = get_u64(payload.data() + i * 8);
+  }
+  return s;
+}
+
+WireError decode_batch_request(std::span<const std::uint8_t> payload,
+                               std::vector<svc::Query>& out) {
+  out.clear();
+  if (payload.size() < 8) return WireError::kMalformed;
+  const std::uint32_t count = get_u32(payload.data());
+  if (payload.size() != 8 + static_cast<std::size_t>(count) * kWireQueryBytes) {
+    return WireError::kMalformed;
+  }
+  // The count was cross-checked against the actual payload length (itself
+  // bounded by the parser), so this reserve is bounded by bytes really
+  // received — a hostile count can never drive a huge allocation.
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    svc::Query q;
+    if (!get_query(payload.data() + 8 + i * kWireQueryBytes, q)) {
+      out.clear();
+      return WireError::kMalformed;
+    }
+    out.push_back(q);
+  }
+  return WireError::kOk;
+}
+
+std::optional<std::vector<WireResult>> decode_batch_response(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 8) return std::nullopt;
+  const std::uint32_t count = get_u32(payload.data());
+  if (payload.size() != 8 + static_cast<std::size_t>(count) * kWireResultBytes) {
+    return std::nullopt;
+  }
+  std::vector<WireResult> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = payload.data() + 8 + i * kWireResultBytes;
+    WireResult r;
+    std::uint64_t bits = get_u64(p);
+    std::memcpy(&r.value, &bits, 8);
+    bits = get_u64(p + 8);
+    std::memcpy(&r.secondary, &bits, 8);
+    r.flags = get_u32(p + 16);
+    r.reserved = get_u32(p + 20);
+    out.push_back(r);
+  }
+  return out;
+}
+
+WireError decode_error(std::span<const std::uint8_t> payload,
+                       std::uint32_t* detail) {
+  if (payload.size() != 8) return WireError::kMalformed;
+  if (detail != nullptr) *detail = get_u32(payload.data() + 4);
+  const std::uint16_t code = get_u16(payload.data());
+  if (code > static_cast<std::uint16_t>(WireError::kBadMagic)) {
+    return WireError::kMalformed;
+  }
+  return static_cast<WireError>(code);
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> data) {
+  if (poisoned_) return;
+  compact();
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void FrameParser::compact() {
+  // Reclaim consumed prefix once it dominates the buffer; amortized O(1).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+FrameParser::Status FrameParser::next(Frame& out) {
+  if (poisoned_) return Status::kNeedMore;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderBytes) return Status::kNeedMore;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+
+  if (get_u32(p) != kMagic) {
+    // Stream desync: nothing downstream of this point can be trusted, not
+    // even the length field we would need to resynchronize.
+    poisoned_ = true;
+    rejected_id_ = get_u64(p + 8);
+    return Status::kBadMagic;
+  }
+  const std::uint16_t version = get_u16(p + 4);
+  const std::uint16_t type = get_u16(p + 6);
+  const std::uint64_t request_id = get_u64(p + 8);
+  const std::uint32_t deadline_ms = get_u32(p + 16);
+  const std::uint32_t payload_len = get_u32(p + 20);
+  const std::uint32_t stored_crc = get_u32(p + 24);
+
+  if (payload_len > max_payload_) {
+    // Refuse to buffer (or blindly skip) a frame bigger than the bound —
+    // the length field is attacker-controlled, so allocation stays
+    // bounded by max_payload no matter what the header claims.
+    poisoned_ = true;
+    rejected_id_ = request_id;
+    return Status::kTooLarge;
+  }
+  if (avail < kHeaderBytes + payload_len) return Status::kNeedMore;
+
+  const std::uint8_t* payload = p + kHeaderBytes;
+  consumed_ += kHeaderBytes + payload_len;  // frame fully skippable below
+
+  if (version != kProtocolVersion) {
+    rejected_id_ = request_id;
+    return Status::kBadVersion;
+  }
+  if (!known_type(type)) {
+    rejected_id_ = request_id;
+    return Status::kBadType;
+  }
+  if (svc::crc32(payload, payload_len) != stored_crc) {
+    rejected_id_ = request_id;
+    return Status::kBadCrc;
+  }
+
+  out.header.version = version;
+  out.header.type = static_cast<FrameType>(type);
+  out.header.request_id = request_id;
+  out.header.deadline_ms = deadline_ms;
+  out.header.payload_len = payload_len;
+  out.payload.assign(payload, payload + payload_len);
+  compact();
+  return Status::kFrame;
+}
+
+}  // namespace maia::net

@@ -1,0 +1,219 @@
+// Wire protocol for the streaming prediction service: length-prefixed
+// binary frames over a unix-domain socket (see src/net/PROTOCOL.md for the
+// byte-level layout and framing rules).
+//
+// A frame is a fixed 32-byte header followed by `payload_len` payload
+// bytes.  The header carries a magic word, the protocol version, a frame
+// type, a client-chosen request id (echoed verbatim in the response), an
+// optional per-request deadline, and a CRC32 (the snapshot subsystem's
+// zlib-polynomial crc32) over the payload.  All integers little-endian.
+//
+// Trust model mirrors svc/snapshot: bytes off the socket are never
+// trusted.  FrameParser validates magic -> version -> type -> length
+// bound -> CRC before a payload reaches a decoder, allocation is bounded
+// by `max_payload` (a hostile length field can never drive a huge
+// zero-fill), and every rejection is a typed status the server answers
+// with a typed error frame.  A frame whose header is sound but whose
+// payload is bad (version, type, CRC, malformed batch) is skippable — the
+// stream stays in sync and the connection survives.  Only a bad magic
+// word (stream desync) or an oversized length (cannot trust the skip
+// distance) poisons the connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "svc/query.hpp"
+
+namespace maia::net {
+
+inline constexpr std::uint32_t kMagic = 0x4149414du;  // "MAIA" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kWireQueryBytes = 16;
+inline constexpr std::size_t kWireResultBytes = 24;
+inline constexpr std::size_t kWireStatsBytes = 9 * 8;
+/// Default ceiling on a frame's payload; a BatchRequest of this size holds
+/// ~1M queries, a full sweep grid in one frame.
+inline constexpr std::size_t kDefaultMaxPayload = 16u << 20;
+
+/// Frame types.  Requests have the high bit clear; responses set it.
+enum class FrameType : std::uint16_t {
+  kBatchRequest = 0x0001,  ///< payload: u32 count, u32 rsvd, count WireQuery
+  kPing = 0x0002,          ///< payload: empty
+  kStatsRequest = 0x0003,  ///< payload: empty
+  kBatchResponse = 0x8001, ///< payload: u32 count, u32 rsvd, count WireResult
+  kPong = 0x8002,          ///< payload: empty
+  kStatsResponse = 0x8003, ///< payload: WireStats
+  kError = 0x80ff,         ///< payload: u16 code, u16 rsvd, u32 detail
+};
+
+/// Typed error codes carried by a kError frame.
+enum class WireError : std::uint16_t {
+  kOk = 0,
+  kMalformed = 1,         ///< bad CRC / bad payload shape / bad query kind
+  kBadVersion = 2,        ///< header version != kProtocolVersion
+  kBadType = 3,           ///< unknown frame type
+  kTooLarge = 4,          ///< payload length over the server's bound
+  kRetryLater = 5,        ///< admission queue full — back off and resend
+  kDeadlineExceeded = 6,  ///< request expired before evaluation started
+  kDraining = 7,          ///< server is shutting down; no new work
+  kBadMagic = 8,          ///< stream desync; connection will close
+};
+
+/// Stable lower-case token for metrics suffixes and log lines.
+const char* wire_error_name(WireError error);
+
+struct FrameHeader {
+  std::uint16_t version = kProtocolVersion;
+  FrameType type = FrameType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline (requests only)
+  std::uint32_t payload_len = 0;
+};
+
+/// A parsed frame: validated header plus its payload bytes.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+// ------------------------------------------------------------- primitives
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Serialize header + payload into one contiguous frame (CRC computed
+/// over `payload`).
+std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
+                                       std::span<const std::uint8_t> payload);
+
+/// BatchRequest payload for `queries` (u32 count + WireQuery records).
+std::vector<std::uint8_t> encode_batch_request(
+    std::span<const svc::Query> queries);
+
+/// BatchResponse payload from parallel result lanes of equal length.
+std::vector<std::uint8_t> encode_batch_response(
+    std::span<const double> values, std::span<const double> secondary,
+    std::span<const std::uint32_t> flags);
+
+/// kError payload.
+std::vector<std::uint8_t> encode_error(WireError code, std::uint32_t detail = 0);
+
+/// One decoded result record of a BatchResponse.  Bit-exact: the doubles
+/// are the engine's bytes, so client-side memcmp against a local
+/// evaluate_serial() run is a meaningful identity check.
+struct WireResult {
+  double value = 0.0;
+  double secondary = 0.0;
+  std::uint32_t flags = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// Server-side counters served by kStatsResponse (all totals since start).
+struct WireStats {
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;       ///< RETRY_LATER responses (queue full)
+  std::uint64_t timed_out = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t draining_rejected = 0;
+  std::uint64_t engine_queries = 0;
+  std::uint64_t engine_hits = 0;
+  std::uint64_t engine_misses = 0;
+  std::uint64_t connected_clients = 0;
+};
+
+std::vector<std::uint8_t> encode_stats(const WireStats& stats);
+std::optional<WireStats> decode_stats(std::span<const std::uint8_t> payload);
+
+// --------------------------------------------------------------- decoding
+
+/// Decode a BatchRequest payload into `out` (cleared first).  Returns
+/// kOk, or kMalformed when the count disagrees with the payload length or
+/// a record names an unknown query kind / device / collective op.
+WireError decode_batch_request(std::span<const std::uint8_t> payload,
+                               std::vector<svc::Query>& out);
+
+/// Decode a BatchResponse payload; empty optional when malformed.
+std::optional<std::vector<WireResult>> decode_batch_response(
+    std::span<const std::uint8_t> payload);
+
+/// Decode a kError payload; kMalformed when the payload is not even a
+/// well-formed error frame.
+WireError decode_error(std::span<const std::uint8_t> payload,
+                       std::uint32_t* detail = nullptr);
+
+/// Incremental frame scanner over a byte stream.  Feed bytes as they
+/// arrive; next() yields complete validated frames and typed rejections.
+///
+/// Recovery semantics: after kBadVersion / kBadType / kBadCrc the bad
+/// frame has been skipped in full and the stream is still in sync —
+/// callers answer with a typed error and keep the connection.  After
+/// kBadMagic or kTooLarge the parser refuses further input (poisoned());
+/// the only safe move is to close the connection.
+class FrameParser {
+ public:
+  enum class Status {
+    kNeedMore,    ///< no complete frame buffered yet
+    kFrame,       ///< `out` holds a validated frame
+    kBadMagic,    ///< poisoned: stream desync
+    kBadVersion,  ///< skipped: foreign protocol generation
+    kBadType,     ///< skipped: unknown frame type
+    kBadCrc,      ///< skipped: payload corrupted in flight
+    kTooLarge,    ///< poisoned: length field over max_payload
+  };
+
+  explicit FrameParser(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Append raw socket bytes.  Buffering is bounded: held bytes never
+  /// exceed max_payload + kHeaderBytes + the last read's size, because a
+  /// frame is consumed (or the parser poisons) as soon as it completes.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Extract the next frame / rejection.  On kFrame, `out` is filled and
+  /// the frame's bytes consumed; on skippable rejections `rejected_id()`
+  /// holds the offending frame's request id for the error response.
+  Status next(Frame& out);
+
+  bool poisoned() const { return poisoned_; }
+  std::uint64_t rejected_id() const { return rejected_id_; }
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::uint64_t rejected_id_ = 0;
+};
+
+}  // namespace maia::net

@@ -1,0 +1,655 @@
+#include "net/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace maia::net {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Stage histograms share one exponential layout: 1 us .. ~8.6 s.
+std::vector<double> stage_bounds() { return obs::exponential_bounds(1024.0, 2.0, 24); }
+
+struct NetMetrics {
+  obs::Counter served, rejected, timed_out, malformed, draining;
+  obs::Counter accepted, closed, bytes_read, bytes_written;
+  obs::Gauge clients, depth;
+  obs::Histogram decode_ns, queue_wait_ns, evaluate_ns, encode_ns, total_ns;
+  static const NetMetrics& get() {
+    static const NetMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      NetMetrics n;
+      n.served = reg.counter("net.requests.served");
+      n.rejected = reg.counter("net.requests.rejected");
+      n.timed_out = reg.counter("net.requests.timed_out");
+      n.malformed = reg.counter("net.requests.malformed");
+      n.draining = reg.counter("net.requests.draining");
+      n.accepted = reg.counter("net.connections.accepted");
+      n.closed = reg.counter("net.connections.closed");
+      n.bytes_read = reg.counter("net.bytes.read");
+      n.bytes_written = reg.counter("net.bytes.written");
+      n.clients = reg.gauge("net.clients.connected");
+      n.depth = reg.gauge("net.admission.depth");
+      n.decode_ns = reg.histogram("net.request.decode_ns", stage_bounds());
+      n.queue_wait_ns = reg.histogram("net.request.queue_wait_ns", stage_bounds());
+      n.evaluate_ns = reg.histogram("net.request.evaluate_ns", stage_bounds());
+      n.encode_ns = reg.histogram("net.request.encode_ns", stage_bounds());
+      n.total_ns = reg.histogram("net.request.total_ns", stage_bounds());
+      return n;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+bool socket_alive(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const bool alive =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return alive;
+}
+
+/// One client connection.  File descriptor and parser belong to the
+/// reactor; the outbox is the only state workers share (under its mutex).
+struct Server::Conn {
+  int fd = -1;
+  FrameParser parser;
+  std::mutex out_mutex;
+  std::deque<std::vector<std::uint8_t>> outbox;  // guarded by out_mutex
+  std::size_t out_offset = 0;  // bytes of outbox.front() already written
+  bool has_output = false;     // mirrored under out_mutex for poll() setup
+  bool close_after_flush = false;
+  bool closed = false;  // guarded by out_mutex: workers drop responses
+  std::vector<svc::Query> decode_scratch;
+
+  explicit Conn(int fd_, std::size_t max_payload)
+      : fd(fd_), parser(max_payload) {}
+};
+
+Server::Server(svc::QueryEngine& engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.workers <= 0) config_.workers = 1;
+  if (config_.admission_depth == 0) config_.admission_depth = 1;
+}
+
+Server::~Server() {
+  if (running_.load(std::memory_order_acquire)) {
+    request_drain();
+    wait();
+  }
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  sockaddr_un addr{};
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path empty or longer than sun_path (107 bytes): '" +
+                config_.socket_path + "'");
+  }
+
+  // Stale-socket probe: a leftover path from a crashed server is unlinked
+  // only once a connect() probe confirms nobody answers there; a live
+  // server keeps ownership and we refuse to start.
+  struct stat st{};
+  if (::lstat(config_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return fail("path exists and is not a socket: " + config_.socket_path);
+    }
+    if (socket_alive(config_.socket_path)) {
+      return fail("another live server owns " + config_.socket_path +
+                  " (connect() succeeded); refusing to steal the socket");
+    }
+    if (::unlink(config_.socket_path.c_str()) != 0 && errno != ENOENT) {
+      return fail("cannot unlink stale socket " + config_.socket_path + ": " +
+                  std::strerror(errno));
+    }
+  }
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind(" + config_.socket_path + "): " + std::strerror(errno));
+  }
+  socket_bound_ = true;
+  if (::listen(listen_fd_, 64) != 0) {
+    return fail(std::string("listen(): ") + std::strerror(errno));
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    return fail(std::string("fcntl(listener): ") + std::strerror(errno));
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return fail(std::string("pipe(): ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  running_.store(true, std::memory_order_release);
+  reactor_ = std::thread([this] { reactor_loop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void Server::request_drain() {
+  // Only async-signal-safe operations: an atomic store and a write() on a
+  // pipe fd that was created before any signal handler could exist.
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::wake() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+int Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [this] { return drained_.load(std::memory_order_acquire); });
+  }
+  if (reactor_.joinable()) reactor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  running_.store(false, std::memory_order_release);
+  return exit_code_.load(std::memory_order_acquire);
+}
+
+void Server::pause_workers() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  workers_paused_ = true;
+}
+
+void Server::resume_workers() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.draining_rejected = draining_rejected_.load(std::memory_order_relaxed);
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.connected = s.connections_accepted - s.connections_closed;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+  }
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.snapshot_records = snapshot_records_.load(std::memory_order_relaxed);
+  return s;
+}
+
+WireStats Server::wire_stats() const {
+  const ServerStats s = stats();
+  const svc::EngineStats e = engine_.stats();
+  WireStats w;
+  w.served = s.served;
+  w.rejected = s.rejected;
+  w.timed_out = s.timed_out;
+  w.malformed = s.malformed;
+  w.draining_rejected = s.draining_rejected;
+  w.engine_queries = e.queries;
+  w.engine_hits = e.cache_hits;
+  w.engine_misses = e.cache_misses;
+  w.connected_clients = s.connected;
+  return w;
+}
+
+void Server::send_frame(Conn& conn, FrameType type, std::uint64_t request_id,
+                        std::span<const std::uint8_t> payload) {
+  FrameHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  std::vector<std::uint8_t> bytes = encode_frame(header, payload);
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mutex);
+    if (conn.closed) return;  // client went away; response has no home
+    conn.outbox.push_back(std::move(bytes));
+    conn.has_output = true;
+  }
+  wake();
+}
+
+void Server::send_error(Conn& conn, std::uint64_t request_id, WireError code,
+                        std::uint32_t detail) {
+  const std::vector<std::uint8_t> payload = encode_error(code, detail);
+  send_frame(conn, FrameType::kError, request_id, payload);
+}
+
+void Server::dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
+  const NetMetrics& m = NetMetrics::get();
+  switch (frame.header.type) {
+    case FrameType::kPing:
+      send_frame(*conn, FrameType::kPong, frame.header.request_id, {});
+      return;
+    case FrameType::kStatsRequest: {
+      const std::vector<std::uint8_t> payload = encode_stats(wire_stats());
+      send_frame(*conn, FrameType::kStatsResponse, frame.header.request_id,
+                 payload);
+      return;
+    }
+    case FrameType::kBatchRequest: {
+      const std::uint64_t t0 = now_ns();
+      const WireError decode_rc =
+          decode_batch_request(frame.payload, conn->decode_scratch);
+      MAIA_OBS_HISTOGRAM(m.decode_ns, static_cast<double>(now_ns() - t0));
+      if (decode_rc != WireError::kOk) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.malformed, 1);
+        send_error(*conn, frame.header.request_id, decode_rc);
+        return;
+      }
+      if (drain_requested_.load(std::memory_order_acquire)) {
+        draining_rejected_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.draining, 1);
+        send_error(*conn, frame.header.request_id, WireError::kDraining);
+        return;
+      }
+      WorkItem item;
+      item.conn = conn;
+      item.request_id = frame.header.request_id;
+      item.deadline_ms = frame.header.deadline_ms;
+      item.recv_ns = t0;
+      item.queries = std::move(conn->decode_scratch);
+      conn->decode_scratch = {};
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.size() >= config_.admission_depth) {
+          // Explicit backpressure: the client is told to retry, nothing
+          // is silently dropped, and queue memory stays bounded.
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          MAIA_OBS_COUNT(m.rejected, 1);
+          send_error(*conn, item.request_id, WireError::kRetryLater,
+                     static_cast<std::uint32_t>(queue_.size()));
+          return;
+        }
+        item.enqueue_ns = now_ns();
+        queue_.push_back(std::move(item));
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
+        MAIA_OBS_GAUGE(m.depth, static_cast<double>(queue_.size()));
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+    default:
+      // Response-typed frames have no business arriving at the server.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      MAIA_OBS_COUNT(m.malformed, 1);
+      send_error(*conn, frame.header.request_id, WireError::kBadType);
+      return;
+  }
+}
+
+bool Server::handle_readable(const std::shared_ptr<Conn>& conn) {
+  const NetMetrics& m = NetMetrics::get();
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_read_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+      MAIA_OBS_COUNT(m.bytes_read, static_cast<std::uint64_t>(n));
+      conn->parser.feed({buf, static_cast<std::size_t>(n)});
+      Frame frame;
+      for (;;) {
+        const FrameParser::Status status = conn->parser.next(frame);
+        if (status == FrameParser::Status::kNeedMore) break;
+        switch (status) {
+          case FrameParser::Status::kFrame:
+            dispatch_frame(conn, std::move(frame));
+            break;
+          case FrameParser::Status::kBadVersion:
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.malformed, 1);
+            send_error(*conn, conn->parser.rejected_id(), WireError::kBadVersion);
+            break;
+          case FrameParser::Status::kBadType:
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.malformed, 1);
+            send_error(*conn, conn->parser.rejected_id(), WireError::kBadType);
+            break;
+          case FrameParser::Status::kBadCrc:
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.malformed, 1);
+            send_error(*conn, conn->parser.rejected_id(), WireError::kMalformed);
+            break;
+          case FrameParser::Status::kBadMagic:
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.malformed, 1);
+            send_error(*conn, conn->parser.rejected_id(), WireError::kBadMagic);
+            conn->close_after_flush = true;
+            break;
+          case FrameParser::Status::kTooLarge:
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.malformed, 1);
+            send_error(*conn, conn->parser.rejected_id(), WireError::kTooLarge);
+            conn->close_after_flush = true;
+            break;
+          case FrameParser::Status::kNeedMore:
+            break;
+        }
+        if (conn->parser.poisoned()) break;
+      }
+      if (conn->parser.poisoned()) {
+        // Deliver the error frame, then hang up: the stream is desynced.
+        return true;
+      }
+      continue;
+    }
+    if (n == 0) return false;  // EOF: peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // hard error
+  }
+}
+
+bool Server::flush_writable(Conn& conn) {
+  const NetMetrics& m = NetMetrics::get();
+  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  while (!conn.outbox.empty()) {
+    const std::vector<std::uint8_t>& front = conn.outbox.front();
+    const ssize_t n = ::write(conn.fd, front.data() + conn.out_offset,
+                              front.size() - conn.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // EPIPE etc: peer gone
+    }
+    bytes_written_.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+    MAIA_OBS_COUNT(m.bytes_written, static_cast<std::uint64_t>(n));
+    conn.out_offset += static_cast<std::size_t>(n);
+    if (conn.out_offset == front.size()) {
+      conn.outbox.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  conn.has_output = false;
+  return !conn.close_after_flush;
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::close(conn->fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  MAIA_OBS_COUNT(NetMetrics::get().closed, 1);
+}
+
+void Server::accept_clients() {
+  const NetMetrics& m = NetMetrics::get();
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::make_shared<Conn>(fd, config_.max_payload_bytes));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    MAIA_OBS_COUNT(m.accepted, 1);
+    MAIA_OBS_GAUGE(m.clients,
+                   static_cast<double>(accepted_.load(std::memory_order_relaxed) -
+                                       closed_.load(std::memory_order_relaxed)));
+  }
+}
+
+void Server::reactor_loop() {
+  std::vector<pollfd> pfds;
+  std::uint64_t drain_started_ns = 0;
+  bool listener_open = true;
+
+  for (;;) {
+    const bool draining = drain_requested_.load(std::memory_order_acquire);
+    if (draining && listener_open) {
+      // Stop accepting: close and unlink so new clients fail fast instead
+      // of queueing behind a server that will never serve them.
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+      ::unlink(config_.socket_path.c_str());
+      drain_started_ns = now_ns();
+    }
+
+    if (draining) {
+      bool outboxes_empty = true;
+      for (const auto& conn : conns_) {
+        std::lock_guard<std::mutex> lock(conn->out_mutex);
+        if (!conn->outbox.empty()) {
+          outboxes_empty = false;
+          break;
+        }
+      }
+      bool queue_empty;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_empty = queue_.empty();
+      }
+      if (queue_empty && inflight_.load(std::memory_order_acquire) == 0 &&
+          outboxes_empty) {
+        break;  // clean drain: everything admitted has been answered
+      }
+      if (now_ns() - drain_started_ns >
+          static_cast<std::uint64_t>(config_.drain_timeout_ms) * 1'000'000ull) {
+        exit_code_.store(1, std::memory_order_release);
+        break;  // forced drain: give up on stuck work / dead peers
+      }
+    }
+
+    pfds.clear();
+    if (listener_open) pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    const std::size_t conn_base = pfds.size();
+    // accept_clients() below can append to conns_ mid-iteration; only the
+    // connections polled this round have a pfds entry.
+    const std::size_t polled_conns = conns_.size();
+    for (const auto& conn : conns_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mutex);
+        if (conn->has_output) events |= POLLOUT;
+      }
+      pfds.push_back({conn->fd, events, 0});
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), draining ? 20 : 200);
+    if (rc < 0 && errno != EINTR) break;
+
+    std::size_t idx = 0;
+    if (listener_open) {
+      if ((pfds[idx].revents & POLLIN) != 0) accept_clients();
+      ++idx;
+    }
+    if ((pfds[idx].revents & POLLIN) != 0) {
+      std::uint8_t drain_buf[256];
+      while (::read(wake_read_fd_, drain_buf, sizeof(drain_buf)) > 0) {
+      }
+    }
+
+    for (std::size_t c = 0; c < polled_conns; ++c) {
+      const pollfd& pfd = pfds[conn_base + c];
+      const auto& conn = conns_[c];
+      bool keep = true;
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) keep = false;
+      if (keep && (pfd.revents & POLLIN) != 0) keep = handle_readable(conn);
+      // POLLHUP with readable data still pending is handled above; a bare
+      // hangup (or one left after reading) means the peer is gone.
+      if (keep && (pfd.revents & POLLHUP) != 0 && (pfd.revents & POLLIN) == 0) {
+        keep = false;
+      }
+      bool flush_ok = true;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mutex);
+        flush_ok = conn->outbox.empty();
+      }
+      if (!flush_ok || (pfd.revents & POLLOUT) != 0) {
+        if (!flush_writable(*conn)) keep = false;
+      }
+      if (!keep) close_conn(conn);
+    }
+    std::erase_if(conns_, [](const std::shared_ptr<Conn>& c) {
+      std::lock_guard<std::mutex> lock(c->out_mutex);
+      return c->closed;
+    });
+  }
+
+  // Shut down: no more admissions, release the workers, hang up on
+  // everyone still connected.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+    for (WorkItem& item : queue_) {
+      // Forced drain only: anything still queued is answered DRAINING so
+      // no request ever vanishes without a typed response (the flush is
+      // best-effort at this point; the socket may already be gone).
+      send_error(*item.conn, item.request_id, WireError::kDraining);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  for (const auto& conn : conns_) {
+    flush_writable(*conn);
+    close_conn(conn);
+  }
+  conns_.clear();
+  if (listener_open) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+
+  if (!config_.snapshot_out.empty()) {
+    const svc::SnapshotSaveResult saved = engine_.save_snapshot(config_.snapshot_out);
+    if (saved.ok()) {
+      snapshot_records_.store(saved.records, std::memory_order_release);
+    }
+  }
+
+  drained_.store(true, std::memory_order_release);
+  wait_cv_.notify_all();
+}
+
+void Server::worker_loop() {
+  const NetMetrics& m = NetMetrics::get();
+  svc::BatchResults results;  // reused scratch: warm batches allocate nothing
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return queue_closed_ || (!queue_.empty() && !workers_paused_);
+      });
+      if (queue_closed_ && (queue_.empty() || workers_paused_)) return;
+      if (queue_.empty()) continue;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const std::uint64_t t_start = now_ns();
+    MAIA_OBS_HISTOGRAM(m.queue_wait_ns,
+                       static_cast<double>(t_start - item.enqueue_ns));
+
+    if (item.deadline_ms > 0 &&
+        t_start - item.recv_ns >
+            static_cast<std::uint64_t>(item.deadline_ms) * 1'000'000ull) {
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      MAIA_OBS_COUNT(m.timed_out, 1);
+      send_error(*item.conn, item.request_id, WireError::kDeadlineExceeded);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      wake();
+      continue;
+    }
+
+    engine_.evaluate(item.queries, results, config_.eval_pool);
+    const std::uint64_t t_eval = now_ns();
+    MAIA_OBS_HISTOGRAM(m.evaluate_ns, static_cast<double>(t_eval - t_start));
+
+    const std::vector<std::uint8_t> payload = encode_batch_response(
+        results.values(), results.secondary(), results.flags());
+    MAIA_OBS_HISTOGRAM(m.encode_ns, static_cast<double>(now_ns() - t_eval));
+
+    // Count before the response can reach the wire so a client that has
+    // seen its reply also sees the served counter reflect it.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    MAIA_OBS_COUNT(m.served, 1);
+    send_frame(*item.conn, FrameType::kBatchResponse, item.request_id, payload);
+    MAIA_OBS_HISTOGRAM(m.total_ns, static_cast<double>(now_ns() - item.recv_ns));
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    wake();
+  }
+}
+
+}  // namespace maia::net

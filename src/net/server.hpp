@@ -1,0 +1,194 @@
+// Streaming prediction server: serves svc::QueryEngine over a unix-domain
+// socket speaking the src/net/protocol.hpp frame protocol.
+//
+// Architecture — one reactor, W evaluation workers, a bounded admission
+// queue between them:
+//
+//   * The reactor thread owns every file descriptor: it poll()s the
+//     listener, a self-pipe, and all client connections; accepts,
+//     incrementally parses frames (FrameParser), decodes batches, and
+//     flushes response bytes.  Workers never touch a socket.
+//   * Decoded batches enter the bounded admission queue.  A full queue is
+//     explicit backpressure: the reactor answers RETRY_LATER immediately
+//     and drops nothing — a client that backs off and resends loses no
+//     work, and the queue depth bounds server memory under overload.
+//   * Workers pop batches, enforce the per-request deadline (a request
+//     that expired while queued gets DEADLINE_EXCEEDED, not a stale
+//     answer), run QueryEngine::evaluate, encode the response, push it to
+//     the connection's outbox, and wake the reactor through the pipe.
+//
+// Graceful drain (request_drain(), typically from a SIGTERM handler —
+// async-signal-safe): the reactor closes and unlinks the listener, answers
+// DRAINING to any new batch, lets queued and in-flight batches finish,
+// flushes every outbox, then saves a cache snapshot (config.snapshot_out)
+// so the next server starts warm, and wait() returns 0.
+//
+// Startup is stale-socket robust: a leftover socket path is unlinked only
+// after probing it dead (connect() refused); if a live server answers the
+// probe, start() fails with a clear error instead of stealing the path.
+//
+// Observability (src/obs): per-stage latency histograms
+// net.request.{decode,queue_wait,evaluate,encode,total}_ns, SLO counters
+// net.requests.{served,rejected,timed_out,malformed,draining}, connection
+// and byte counters, high-watermark gauges net.clients.connected and
+// net.admission.depth.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "svc/engine.hpp"
+
+namespace maia::sim {
+class ThreadPool;
+}
+
+namespace maia::net {
+
+struct ServerConfig {
+  std::string socket_path = "maia.sock";
+  /// Evaluation worker threads (each runs whole batches; <= 0 -> 1).
+  int workers = 1;
+  /// Bounded admission queue depth; a full queue answers RETRY_LATER.
+  std::size_t admission_depth = 64;
+  /// Frame payload ceiling (parser-enforced, bounded allocation).
+  std::size_t max_payload_bytes = kDefaultMaxPayload;
+  /// Forced-exit ceiling on drain (queue flush + outbox flush).
+  std::uint32_t drain_timeout_ms = 30'000;
+  /// When nonempty, save a cache snapshot here at the end of drain.
+  std::string snapshot_out;
+  /// Optional pool for intra-batch parallelism inside evaluate(); null
+  /// keeps each batch serial within its worker (workers still overlap).
+  sim::ThreadPool* eval_pool = nullptr;
+};
+
+/// Point-in-time server counters (see also the net.* obs metrics).
+struct ServerStats {
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;  ///< RETRY_LATER (admission queue full)
+  std::uint64_t timed_out = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t draining_rejected = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connected = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t snapshot_records = 0;  ///< records persisted by drain
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server.  Kernel registration must be
+  /// complete before start() — clients address kernels by id.
+  Server(svc::QueryEngine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind (stale-socket probe first), listen, spawn reactor + workers.
+  /// False with a human-readable reason in `*error` on failure.
+  bool start(std::string* error);
+
+  /// Begin graceful drain.  Async-signal-safe and idempotent: storms of
+  /// SIGTERMs and concurrent callers collapse into one drain.
+  void request_drain();
+
+  /// Block until drain completes; returns the process exit code (0 on a
+  /// clean drain, 1 if the drain timeout forced connections closed).
+  int wait();
+
+  /// True once start() succeeded and wait() has not yet returned.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+  /// Test hooks: freeze / thaw the evaluation workers so tests can fill
+  /// the admission queue deterministically (backpressure, deadline, and
+  /// drain-under-load scenarios).  Not used in production paths.
+  void pause_workers();
+  void resume_workers();
+
+ private:
+  struct Conn;
+  struct WorkItem {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t request_id = 0;
+    std::uint32_t deadline_ms = 0;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t recv_ns = 0;  ///< frame completion time (total latency t0)
+    std::vector<svc::Query> queries;
+  };
+
+  void reactor_loop();
+  void worker_loop();
+  void accept_clients();
+  bool handle_readable(const std::shared_ptr<Conn>& conn);
+  bool flush_writable(Conn& conn);
+  void dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  void send_frame(Conn& conn, FrameType type, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload);
+  void send_error(Conn& conn, std::uint64_t request_id, WireError code,
+                  std::uint32_t detail = 0);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void wake();
+  WireStats wire_stats() const;
+
+  svc::QueryEngine& engine_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool socket_bound_ = false;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+
+  // Admission queue (bounded, mutex + condvar).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool queue_closed_ = false;
+  bool workers_paused_ = false;
+
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<int> exit_code_{0};
+  std::atomic<std::int64_t> inflight_{0};  ///< admitted, response not yet queued
+
+  // Counters (relaxed; aggregated by stats()).
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> draining_rejected_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> snapshot_records_{0};
+
+  mutable std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+};
+
+/// Probe `path`: true when a unix socket answers a connect() there (a
+/// live server owns it).  Used by Server::start() and exposed for tests.
+bool socket_alive(const std::string& path);
+
+}  // namespace maia::net

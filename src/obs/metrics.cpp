@@ -206,6 +206,30 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 // ---------------------------------------------------------------- snapshot
 
+double HistogramData::percentile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample, 1-based; q = 0 asks for the first sample.
+  const double rank = std::max(q * static_cast<double>(total), 1.0);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (rank > static_cast<double>(cumulative)) continue;
+    if (b >= bounds.size()) {
+      // Overflow bucket: no upper edge, clamp to the last finite bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double fraction =
+        (rank - below) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;
@@ -253,7 +277,10 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
     for (std::size_t b = 0; b < data.counts.size(); ++b) {
       os << (b ? "," : "") << data.counts[b];
     }
-    os << "], \"total\": " << data.total << ", \"sum\": " << data.sum << "}";
+    os << "], \"total\": " << data.total << ", \"sum\": " << data.sum
+       << ", \"p50\": " << data.percentile(0.50)
+       << ", \"p95\": " << data.percentile(0.95)
+       << ", \"p99\": " << data.percentile(0.99) << "}";
   }
   os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
 }

@@ -78,6 +78,15 @@ struct HistogramData {
   std::uint64_t total = 0;
   double sum = 0.0;
   double mean() const { return total ? sum / static_cast<double>(total) : 0.0; }
+
+  /// Estimate the q-quantile (q in [0,1]) from the fixed buckets: find the
+  /// bucket holding the q*total-th sample and interpolate linearly inside
+  /// it.  Exact only at bucket edges — the error is bounded by the bucket
+  /// width, which is what fixed-bucket SLO histograms trade for zero
+  /// hot-path cost.  Samples in the overflow bucket clamp to the last
+  /// bound (there is no upper edge to interpolate toward); an empty
+  /// histogram reports 0.
+  double percentile(double q) const;
 };
 
 /// A merged, point-in-time view of every registered metric.
@@ -155,7 +164,9 @@ class MetricsRegistry {
 
 /// Render a snapshot as a JSON object: {"counters": {...}, "gauges": {...},
 /// "histograms": {name: {"bounds": [...], "counts": [...], "total": n,
-/// "sum": s}}}.
+/// "sum": s, "p50": x, "p95": y, "p99": z}}}.  The percentiles are
+/// bucket-interpolated estimates (HistogramData::percentile), so latency
+/// SLOs are readable straight from the dump without post-processing.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
 
 /// Runtime switch consulted by the MAIA_OBS_* macros (default: on).

@@ -84,6 +84,63 @@ TEST(MetricsTest, HistogramBucketsMergeBySummation) {
   EXPECT_DOUBLE_EQ(data->mean(), data->sum / 8.0);
 }
 
+TEST(MetricsTest, PercentileInterpolatesInsideBuckets) {
+  MetricsRegistry reg;
+  const Histogram h = reg.histogram("pct.hist", {10.0, 20.0, 40.0});
+  // Counts per bucket: [2, 4, 2, 2] — 10 samples total.
+  for (int i = 0; i < 2; ++i) h.record(5.0);    // (0, 10]
+  for (int i = 0; i < 4; ++i) h.record(15.0);   // (10, 20]
+  for (int i = 0; i < 2; ++i) h.record(30.0);   // (20, 40]
+  for (int i = 0; i < 2; ++i) h.record(100.0);  // overflow
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("pct.hist");
+  ASSERT_NE(data, nullptr);
+  // p50: rank 5 lands 3/4 of the way through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(data->percentile(0.50), 17.5);
+  // p0 asks for the first sample: halfway through (0, 10] with 2 samples.
+  EXPECT_DOUBLE_EQ(data->percentile(0.0), 5.0);
+  // p95 (rank 9.5) and p100 land in the unbounded overflow bucket, which
+  // clamps to the last finite bound rather than inventing an upper edge.
+  EXPECT_DOUBLE_EQ(data->percentile(0.95), 40.0);
+  EXPECT_DOUBLE_EQ(data->percentile(1.0), 40.0);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(data->percentile(-0.5), data->percentile(0.0));
+  EXPECT_DOUBLE_EQ(data->percentile(2.0), data->percentile(1.0));
+}
+
+TEST(MetricsTest, PercentileEdgeCases) {
+  MetricsRegistry reg;
+  // Empty histogram: every percentile is 0.
+  (void)reg.histogram("pct.empty", {1.0, 2.0});
+  // Single finite bucket: linear interpolation from the origin.
+  const Histogram single = reg.histogram("pct.single", {100.0});
+  for (int i = 0; i < 4; ++i) single.record(50.0);
+  // All samples past the last bound: clamped to it.
+  const Histogram over = reg.histogram("pct.over", {8.0});
+  for (int i = 0; i < 3; ++i) over.record(1e9);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histogram("pct.empty")->percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(snap.histogram("pct.single")->percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(snap.histogram("pct.single")->percentile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(snap.histogram("pct.over")->percentile(0.50), 8.0);
+  EXPECT_DOUBLE_EQ(snap.histogram("pct.over")->percentile(0.99), 8.0);
+}
+
+TEST(MetricsTest, JsonExportIncludesPercentileEstimates) {
+  MetricsRegistry reg;
+  const Histogram h = reg.histogram("pct.json", {10.0});
+  h.record(5.0);
+  h.record(5.0);
+  std::ostringstream os;
+  write_metrics_json(os, reg.snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": 9.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 9.9"), std::string::npos) << json;
+}
+
 TEST(MetricsTest, ReRegistrationReturnsTheSameMetric) {
   MetricsRegistry reg;
   const Counter a = reg.counter("dup");
