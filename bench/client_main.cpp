@@ -15,18 +15,26 @@
 // overload slows the client down instead of losing work.  Exit 0 iff
 // every request was answered, verification passed, and every --expect /
 // --require / --max floor held.
+//
+// Sharded mode: repeat `--backend PATH` (instead of --socket) to fan each
+// request out client-side across several maia_serve backends through a
+// net::Router per connection — the same consistent-hash scatter/gather
+// maia_router runs server-side, with the same byte-identity check on the
+// merged results.  Stats deltas aggregate over the whole backend fleet.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/registry.hpp"
 #include "net/client.hpp"
+#include "net/router.hpp"
 #include "svc/engine.hpp"
 #include "sweep_grid.hpp"
 
@@ -51,6 +59,10 @@ void print_help(const char* argv0, std::FILE* out) {
       "\n"
       "options:\n"
       "  --socket PATH         server socket (default: maia.sock)\n"
+      "  --backend PATH        fan out client-side across these backend\n"
+      "                        sockets instead (repeatable; implies the\n"
+      "                        consistent-hash scatter/gather of\n"
+      "                        maia_router, merged byte-identical)\n"
       "  --connections N       concurrent client connections (default: 4)\n"
       "  --batch N             queries per request frame (default: 4096)\n"
       "  --smoke               sample the thread axis 1-in-10 (~10^5\n"
@@ -84,6 +96,7 @@ int main(int argc, char** argv) {
   double require_hit_rate = -1.0;
   double max_p99_ms = -1.0;
   std::string json_path;
+  std::vector<std::string> backends;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -95,6 +108,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--socket") == 0) {
       socket_path = need_value("--socket");
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      backends.push_back(need_value("--backend"));
     } else if (std::strcmp(argv[i], "--connections") == 0) {
       connections = std::atoi(need_value("--connections"));
       if (connections < 1) connections = 1;
@@ -136,18 +151,49 @@ int main(int argc, char** argv) {
       sweepgrid::build_grid(workloads, thread_step, kernel_limit);
   const std::size_t n = grid.queries.size();
   const std::size_t chunks = (n + batch - 1) / batch;
-  std::printf("maia_client: %zu queries in %zu requests of <=%zu across %d "
-              "connections -> %s\n",
-              n, chunks, batch, connections, socket_path.c_str());
+  if (backends.empty()) {
+    std::printf("maia_client: %zu queries in %zu requests of <=%zu across %d "
+                "connections -> %s\n",
+                n, chunks, batch, connections, socket_path.c_str());
+  } else {
+    std::printf("maia_client: %zu queries in %zu requests of <=%zu across %d "
+                "connections -> client-side fan-out over %zu backends\n",
+                n, chunks, batch, connections, backends.size());
+  }
 
-  // Stats before the workload, for workload-attributable deltas.
-  net::Client stats_client;
+  // One transport per connection thread.  Direct mode uses a Client per
+  // thread; sharded mode a Router per thread (each owning its own backend
+  // connections), constructed and admitted here so a bad fleet fails fast
+  // before any thread starts.
+  std::vector<std::unique_ptr<net::Router>> routers;
   std::string error;
-  if (!stats_client.connect(socket_path, &error)) {
+  if (!backends.empty()) {
+    net::RouterConfig router_config;
+    router_config.backends = backends;
+    for (int c = 0; c < connections; ++c) {
+      routers.push_back(std::make_unique<net::Router>(engine, router_config));
+      if (!routers.back()->connect(&error)) {
+        std::fprintf(stderr, "maia_client: backend admission failed: %s\n",
+                     error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Stats before the workload, for workload-attributable deltas.  In
+  // sharded mode the deltas aggregate over the whole backend fleet
+  // (routers[0] is only touched here, before and after the worker threads
+  // run, so its thread confinement holds).
+  net::Client stats_client;
+  if (backends.empty() && !stats_client.connect(socket_path, &error)) {
     std::fprintf(stderr, "maia_client: %s\n", error.c_str());
     return 1;
   }
-  const std::optional<net::WireStats> before = stats_client.stats();
+  auto fetch_stats = [&]() -> std::optional<net::WireStats> {
+    if (backends.empty()) return stats_client.stats();
+    return routers.front()->aggregate_backend_stats();
+  };
+  const std::optional<net::WireStats> before = fetch_stats();
   if (!before.has_value()) {
     std::fprintf(stderr, "maia_client: stats request failed\n");
     return 1;
@@ -162,27 +208,50 @@ int main(int argc, char** argv) {
   for (int c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
       net::Client client;
-      std::string conn_error;
-      if (!client.connect(socket_path, &conn_error)) {
-        std::fprintf(stderr, "maia_client: connection %d: %s\n", c,
-                     conn_error.c_str());
-        return;
+      if (backends.empty()) {
+        std::string conn_error;
+        if (!client.connect(socket_path, &conn_error)) {
+          std::fprintf(stderr, "maia_client: connection %d: %s\n", c,
+                       conn_error.c_str());
+          return;
+        }
       }
       std::vector<net::WireResult> chunk_results;
+      svc::BatchResults chunk_batch;
       for (std::size_t chunk = static_cast<std::size_t>(c); chunk < chunks;
            chunk += static_cast<std::size_t>(connections)) {
         const std::size_t lo = chunk * batch;
         const std::size_t hi = std::min(lo + batch, n);
         ChunkOutcome& outcome = outcomes[chunk];
-        const net::ClientOutcome rc = client.evaluate_with_retry(
-            std::span<const svc::Query>(grid.queries).subspan(lo, hi - lo),
-            chunk_results, deadline_ms, /*max_retries=*/256,
-            /*backoff_us=*/200, &outcome.retries);
-        outcome.error = rc.error;
-        outcome.rtt_ns = rc.rtt_ns;
-        if (!rc.ok()) continue;
-        std::copy(chunk_results.begin(), chunk_results.end(),
-                  results.begin() + static_cast<std::ptrdiff_t>(lo));
+        const auto subspan =
+            std::span<const svc::Query>(grid.queries).subspan(lo, hi - lo);
+        if (backends.empty()) {
+          const net::ClientOutcome rc = client.evaluate_with_retry(
+              subspan, chunk_results, deadline_ms, /*max_retries=*/256,
+              /*backoff_us=*/200, &outcome.retries);
+          outcome.error = rc.error;
+          outcome.rtt_ns = rc.rtt_ns;
+          if (!rc.ok()) continue;
+          std::copy(chunk_results.begin(), chunk_results.end(),
+                    results.begin() + static_cast<std::ptrdiff_t>(lo));
+        } else {
+          // The router absorbs RETRY_LATER itself; its retry counters are
+          // folded into the total after the join.
+          const auto req0 = std::chrono::steady_clock::now();
+          outcome.error =
+              routers[static_cast<std::size_t>(c)]->evaluate(
+                  subspan, chunk_batch, deadline_ms);
+          outcome.rtt_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - req0)
+                  .count());
+          if (outcome.error != net::WireError::kOk) continue;
+          for (std::size_t i = lo; i < hi; ++i) {
+            results[i].value = chunk_batch.values()[i - lo];
+            results[i].secondary = chunk_batch.secondary()[i - lo];
+            results[i].flags = chunk_batch.flags()[i - lo];
+          }
+        }
         outcome.ok = true;
       }
     });
@@ -192,14 +261,23 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const std::optional<net::WireStats> after = stats_client.stats();
+  const std::optional<net::WireStats> after = fetch_stats();
   if (!after.has_value()) {
     std::fprintf(stderr, "maia_client: post-workload stats request failed\n");
     return 1;
   }
 
+  std::uint64_t router_retries = 0, router_resprayed = 0;
+  bool degraded = false;
+  for (const std::unique_ptr<net::Router>& r : routers) {
+    const net::RouterStats rs = r->stats();
+    router_retries += rs.retries;
+    router_resprayed += rs.resprayed;
+    degraded = degraded || rs.degraded;
+  }
+
   std::size_t failed = 0;
-  std::uint64_t retries = 0;
+  std::uint64_t retries = router_retries;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(chunks);
   for (const ChunkOutcome& o : outcomes) {
@@ -257,6 +335,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(d_rejected),
               static_cast<unsigned long long>(d_queries),
               static_cast<unsigned long long>(d_hits), 100.0 * hit_rate);
+  if (!backends.empty()) {
+    std::printf("router:     %zu backends, %llu re-sprayed on failover%s\n",
+                backends.size(),
+                static_cast<unsigned long long>(router_resprayed),
+                degraded ? ", DEGRADED" : "");
+  }
   if (verify) {
     std::printf("identity:   %s\n",
                 failed == 0 ? (identical ? "IDENTICAL" : "DIVERGED")
@@ -300,6 +384,9 @@ int main(int argc, char** argv) {
          << ", \"p99\": " << p99 << "},\n"
          << "  \"server_rejected\": " << d_rejected << ",\n"
          << "  \"server_hit_rate\": " << hit_rate << ",\n"
+         << "  \"backends\": " << backends.size() << ",\n"
+         << "  \"resprayed\": " << router_resprayed << ",\n"
+         << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n"
          << "  \"verified\": " << (verify ? "true" : "false") << ",\n"
          << "  \"identical_results\": "
          << (verify && failed == 0 && identical ? "true" : "false") << "\n"

@@ -1,0 +1,270 @@
+// maia_router: scatter/gather front tier for a fleet of maia_serve
+// backends.  Clients speak the same framed protocol to the router's
+// socket they would speak to one server; the router partitions every
+// batch by canonical-key hash into consistent-hash shard ranges, fans the
+// sub-batches out to the backends, and merges the responses back by input
+// index — byte-identical to one process answering the whole batch.
+//
+//   maia_router --socket PATH --backend PATH [--backend PATH ...]
+//               [--workers N] [--queue-depth N] [--retries N]
+//               [--backoff-us U] [--subbatch N] [--no-failover]
+//               [--metrics PATH] [--drain-timeout-ms T]
+//
+// Offline mode — split a snapshot into per-shard warm-start files
+// (PREFIX.0 .. PREFIX.N-1, one per `maia_serve --shard i/N` backend):
+//
+//   maia_router --partition-snapshot IN --shards N --out-prefix PREFIX
+//
+// Every backend must pass the admission handshake (calibration hash +
+// shard-range advertisement) before the router starts serving.  A backend
+// dying later degrades the fleet (metrics-visible) but not the answers:
+// its range is re-sprayed across the survivors until it comes back.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "obs/obs.hpp"
+#include "svc/engine.hpp"
+#include "svc/snapshot.hpp"
+#include "sweep_grid.hpp"
+
+namespace {
+
+maia::net::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+void print_help(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s --socket PATH --backend PATH [--backend PATH ...] [options]\n"
+      "       %s --partition-snapshot IN --shards N --out-prefix PREFIX\n"
+      "\n"
+      "Scatter/gather router over N maia_serve backends: batches are\n"
+      "partitioned by canonical-key hash, fanned out, and merged back\n"
+      "byte-identical to a single-process answer.\n"
+      "\n"
+      "options:\n"
+      "  --socket PATH          front unix socket (default: maia_router.sock)\n"
+      "  --backend PATH         backend server socket; repeatable\n"
+      "  --workers N            concurrent fan-outs (default: 2)\n"
+      "  --queue-depth N        front admission bound (default: 64)\n"
+      "  --retries N            RETRY_LATER rounds per sub-batch (default: 64)\n"
+      "  --backoff-us U         linear backoff unit (default: 200)\n"
+      "  --subbatch N           max queries per backend frame (default: 65536)\n"
+      "  --no-failover          fail a batch instead of re-spraying a dead\n"
+      "                         backend's range across survivors\n"
+      "  --metrics PATH         write the metrics registry JSON at drain\n"
+      "  --drain-timeout-ms T   force-exit ceiling on drain (default: 30000)\n"
+      "  --partition-snapshot IN  offline: split IN into per-shard files\n"
+      "  --shards N               shard count for --partition-snapshot\n"
+      "  --out-prefix PREFIX      output files PREFIX.0 .. PREFIX.N-1\n"
+      "  --help                 show this help\n",
+      argv0, argv0);
+}
+
+int run_partition(const std::string& in_path, int shards,
+                  const std::string& prefix) {
+  if (in_path.empty() || shards <= 0 || prefix.empty()) {
+    std::fprintf(stderr,
+                 "maia_router: --partition-snapshot needs IN, --shards N > 0 "
+                 "and --out-prefix PREFIX\n");
+    return 2;
+  }
+  std::vector<std::string> out_paths;
+  out_paths.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    out_paths.push_back(prefix + "." + std::to_string(s));
+  }
+  const maia::svc::PartitionResult result =
+      maia::svc::partition_snapshot(in_path, out_paths);
+  if (!result.ok()) {
+    std::fprintf(stderr, "maia_router: partition of %s REJECTED (%s)\n",
+                 in_path.c_str(), maia::svc::snapshot_error_name(result.error));
+    return 1;
+  }
+  std::printf("maia_router: partitioned %llu records from %s into %d shards\n",
+              static_cast<unsigned long long>(result.records_in),
+              in_path.c_str(), shards);
+  for (int s = 0; s < shards; ++s) {
+    std::printf("  shard %d: %llu records -> %s\n", s,
+                static_cast<unsigned long long>(
+                    result.records_per_shard[static_cast<std::size_t>(s)]),
+                out_paths[static_cast<std::size_t>(s)].c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace maia;
+
+  net::ServerConfig server_config;
+  server_config.socket_path = "maia_router.sock";
+  server_config.workers = 2;
+  net::RouterConfig router_config;
+  std::string metrics_path;
+  std::string partition_in;
+  std::string partition_prefix;
+  int partition_shards = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "maia_router: %s expects a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      server_config.socket_path = need_value("--socket");
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      router_config.backends.push_back(need_value("--backend"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      server_config.workers = std::atoi(need_value("--workers"));
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+      server_config.admission_depth =
+          static_cast<std::size_t>(std::atol(need_value("--queue-depth")));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      router_config.max_retries = std::atoi(need_value("--retries"));
+    } else if (std::strcmp(argv[i], "--backoff-us") == 0) {
+      router_config.backoff_us =
+          static_cast<std::uint32_t>(std::atol(need_value("--backoff-us")));
+    } else if (std::strcmp(argv[i], "--subbatch") == 0) {
+      router_config.max_subbatch =
+          static_cast<std::size_t>(std::atol(need_value("--subbatch")));
+    } else if (std::strcmp(argv[i], "--no-failover") == 0) {
+      router_config.allow_failover = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = need_value("--metrics");
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0) {
+      server_config.drain_timeout_ms =
+          static_cast<std::uint32_t>(std::atol(need_value("--drain-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--partition-snapshot") == 0) {
+      partition_in = need_value("--partition-snapshot");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      partition_shards = std::atoi(need_value("--shards"));
+    } else if (std::strcmp(argv[i], "--out-prefix") == 0) {
+      partition_prefix = need_value("--out-prefix");
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0], stdout);
+      return 0;
+    } else {
+      print_help(argv[0], stderr);
+      return 2;
+    }
+  }
+
+  if (!partition_in.empty() || partition_shards > 0 ||
+      !partition_prefix.empty()) {
+    return run_partition(partition_in, partition_shards, partition_prefix);
+  }
+
+  if (router_config.backends.empty()) {
+    std::fprintf(stderr, "maia_router: at least one --backend is required\n");
+    return 2;
+  }
+  if (server_config.workers <= 0) server_config.workers = 1;
+
+  // The local engine is the canonicalization + calibration reference; it
+  // never evaluates a query itself.  Same kernel registry as the
+  // backends, so the calibration hashes can match.
+  svc::EngineConfig engine_config;
+  svc::QueryEngine engine(arch::maia_node(), engine_config);
+  sweepgrid::register_npb_kernels(engine);
+
+  net::RouterPool pool(engine, router_config, server_config.workers);
+  std::string error;
+  if (!pool.connect_all(&error)) {
+    std::fprintf(stderr, "maia_router: backend admission failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+
+  server_config.evaluator = [&pool](std::span<const svc::Query> queries,
+                                    svc::BatchResults& out,
+                                    std::uint32_t deadline_ms) {
+    return pool.evaluate(queries, out, deadline_ms);
+  };
+  server_config.stats_augment = [&pool](net::WireStats& w) {
+    pool.augment_stats(w);
+  };
+
+  net::Server server(engine, server_config);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "maia_router: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "maia_router: listening on %s (%d workers), routing to %zu backends\n",
+      server_config.socket_path.c_str(), server_config.workers,
+      router_config.backends.size());
+  for (const std::string& backend : router_config.backends) {
+    std::printf("  backend: %s\n", backend.c_str());
+  }
+  std::fflush(stdout);
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = handle_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  const int exit_code = server.wait();
+  g_server = nullptr;
+
+  const net::ServerStats stats = server.stats();
+  const net::RouterStats rstats = pool.stats();
+  std::printf(
+      "maia_router: drained (%s)%s\n"
+      "  front: %llu served, %llu rejected (retry), %llu timed out, "
+      "%llu malformed, %llu refused draining\n"
+      "  routed: %llu batches, %llu queries, %llu retries absorbed, "
+      "%llu re-sprayed on failover\n",
+      exit_code == 0 ? "clean" : "forced", rstats.degraded ? " DEGRADED" : "",
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.malformed),
+      static_cast<unsigned long long>(stats.draining_rejected),
+      static_cast<unsigned long long>(rstats.batches),
+      static_cast<unsigned long long>(rstats.queries),
+      static_cast<unsigned long long>(rstats.retries),
+      static_cast<unsigned long long>(rstats.resprayed));
+  for (const net::RouterBackendStats& b : rstats.backends) {
+    std::printf(
+        "  backend %s: %s, %llu sub-batches, %llu queries, %llu retries, "
+        "%llu failures, %llu reconnects\n",
+        b.socket.c_str(), b.alive ? "alive" : "DEAD",
+        static_cast<unsigned long long>(b.batches),
+        static_cast<unsigned long long>(b.queries),
+        static_cast<unsigned long long>(b.retries),
+        static_cast<unsigned long long>(b.failures),
+        static_cast<unsigned long long>(b.reconnects));
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "maia_router: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os, obs::MetricsRegistry::global().snapshot());
+    std::printf("  metrics: %s\n", metrics_path.c_str());
+  }
+
+  return exit_code;
+}

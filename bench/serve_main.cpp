@@ -3,8 +3,8 @@
 // length-prefixed frames — including the dependency-free examples/client.py.
 //
 //   maia_serve --socket PATH [--workers N] [--eval-jobs N] [--queue-depth N]
-//              [--cache N] [--shards N] [--snapshot-in P] [--snapshot-out P]
-//              [--metrics PATH] [--drain-timeout-ms T]
+//              [--cache N] [--shards N] [--shard I/N] [--snapshot-in P]
+//              [--snapshot-out P] [--metrics PATH] [--drain-timeout-ms T]
 //
 // The server registers the eight NPB Class-C kernels (same ids as
 // maia_sweep / maia_client), optionally warm-starts from a cache snapshot,
@@ -57,6 +57,10 @@ void print_help(const char* argv0, std::FILE* out) {
       "                       RETRY_LATER (default: 64)\n"
       "  --cache N            LRU entries per engine shard (default: 32768)\n"
       "  --shards N           engine shard count (default: auto)\n"
+      "  --shard I/N          serve only consistent-hash range I of N and\n"
+      "                       answer WRONG_SHARD to any key outside it;\n"
+      "                       the range is advertised in the stats\n"
+      "                       handshake so a router can validate routing\n"
       "  --snapshot-in P      warm-start the caches from snapshot P\n"
       "  --snapshot-out P     save a snapshot at drain\n"
       "  --metrics PATH       write the metrics registry JSON at drain\n"
@@ -100,6 +104,23 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(need_value("--cache")));
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       engine_config.shards = std::atoi(need_value("--shards"));
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      const char* spec = need_value("--shard");
+      char* slash = nullptr;
+      const long index = std::strtol(spec, &slash, 10);
+      long count = 0;
+      if (slash != nullptr && *slash == '/') {
+        count = std::strtol(slash + 1, nullptr, 10);
+      }
+      if (count <= 0 || index < 0 || index >= count) {
+        std::fprintf(stderr,
+                     "maia_serve: --shard expects INDEX/COUNT with "
+                     "0 <= INDEX < COUNT, got '%s'\n",
+                     spec);
+        return 2;
+      }
+      server_config.shard_index = static_cast<int>(index);
+      server_config.shard_count = static_cast<int>(count);
     } else if (std::strcmp(argv[i], "--snapshot-in") == 0) {
       snapshot_in = need_value("--snapshot-in");
     } else if (std::strcmp(argv[i], "--snapshot-out") == 0) {
@@ -149,6 +170,10 @@ int main(int argc, char** argv) {
   std::printf("maia_serve: listening on %s (%d workers, queue depth %zu)\n",
               server_config.socket_path.c_str(), server_config.workers,
               server_config.admission_depth);
+  if (server_config.shard_count > 0) {
+    std::printf("maia_serve: serving shard %d/%d only\n",
+                server_config.shard_index, server_config.shard_count);
+  }
   std::fflush(stdout);
 
   g_server = &server;
@@ -165,7 +190,7 @@ int main(int argc, char** argv) {
   std::printf(
       "maia_serve: drained (%s)\n"
       "  requests: %llu served, %llu rejected (retry), %llu timed out, "
-      "%llu malformed, %llu refused draining\n"
+      "%llu malformed, %llu refused draining, %llu wrong shard\n"
       "  connections: %llu accepted, %llu closed\n"
       "  bytes: %llu in, %llu out\n"
       "  engine: %llu queries, %llu hits, %llu misses (%.1f%% hit rate)\n",
@@ -175,6 +200,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.timed_out),
       static_cast<unsigned long long>(stats.malformed),
       static_cast<unsigned long long>(stats.draining_rejected),
+      static_cast<unsigned long long>(stats.wrong_shard),
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.connections_closed),
       static_cast<unsigned long long>(stats.bytes_read),

@@ -14,7 +14,8 @@
 //
 //   maia_sweep [--smoke] [--jobs N] [--shards N] [--cache N] [--json PATH]
 //              [--metrics PATH] [--guard METRIC:MIN] [--threads-sweep LIST]
-//              [--snapshot-in PATH] [--snapshot-out PATH]
+//              [--backends-sweep LIST] [--snapshot-in PATH]
+//              [--snapshot-out PATH]
 //
 // --snapshot-in warms the engine from a persisted cache snapshot before
 // the sharded run (a rejected snapshot — wrong magic/version/calibration,
@@ -29,19 +30,31 @@
 // noise makes a point dip below its predecessor), plus the seqlock retry
 // and shard-lock telemetry that proves warm hits never took a mutex.
 //
+// --backends-sweep 1,2 measures the scale-out tier: per listed count B it
+// launches B in-process streaming servers (each warm-started from the main
+// run's cache image), routes the whole grid through a net::Router fan-out,
+// verifies the merged bytes against the serial reference, and records the
+// qps-vs-backends scaling curve (guarded in CI via backends_scaling, like
+// threads_scaling).
+//
 // Exit status: 0 iff the sharded results are byte-identical to the serial
 // loop and every --guard floor holds.
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/registry.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
 #include "npb/signatures.hpp"
 #include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
@@ -85,12 +98,19 @@ void print_help(const char* argv0, std::FILE* out) {
       "                    snapshot_hit_rate (hit_rate, but 0 unless a\n"
       "                    --snapshot-in loaded), threads_scaling (best\n"
       "                    multi-thread warm qps over the first sweep\n"
-      "                    point's qps; needs --threads-sweep), or\n"
-      "                    zero_hit_locks (1 iff the warm sweep acquired\n"
-      "                    no shard mutex, else 0); repeatable\n"
+      "                    point's qps; needs --threads-sweep),\n"
+      "                    backends_scaling (best multi-backend routed qps\n"
+      "                    over the first backends-sweep point's; needs\n"
+      "                    --backends-sweep), or zero_hit_locks (1 iff the\n"
+      "                    warm sweep acquired no shard mutex, else 0);\n"
+      "                    repeatable\n"
       "  --threads-sweep L re-run the warmed grid once per worker count in\n"
       "                    the comma-separated list L (e.g. 1,2,4) and\n"
       "                    record the qps-vs-threads scaling curve\n"
+      "  --backends-sweep L  route the warmed grid through a scatter/gather\n"
+      "                    router over B in-process streaming servers, once\n"
+      "                    per B in the comma-separated list L (e.g. 1,2),\n"
+      "                    and record the qps-vs-backends scaling curve\n"
       "  --snapshot-in P   warm the caches from snapshot P before the\n"
       "                    sharded run (invalid/stale snapshots fall back\n"
       "                    to a cold start)\n"
@@ -116,6 +136,7 @@ int main(int argc, char** argv) {
   std::string snapshot_in;
   std::string snapshot_out;
   std::vector<int> threads_sweep;
+  std::vector<int> backends_sweep;
   struct Guard {
     std::string metric;
     double min;
@@ -171,6 +192,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "maia_sweep: --threads-sweep list is empty\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--backends-sweep") == 0 && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1 || (*end != '\0' && *end != ',')) {
+          std::fprintf(stderr,
+                       "maia_sweep: --backends-sweep expects a comma-separated "
+                       "list of backend counts >= 1, got '%s'\n",
+                       argv[i]);
+          return 2;
+        }
+        backends_sweep.push_back(static_cast<int>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (backends_sweep.empty()) {
+        std::fprintf(stderr, "maia_sweep: --backends-sweep list is empty\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--guard") == 0 && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t colon = spec.rfind(':');
@@ -183,12 +223,14 @@ int main(int argc, char** argv) {
       const bool known = metric == "qps" || metric == "speedup" ||
                          metric == "hit_rate" || metric == "snapshot_hit_rate" ||
                          metric == "threads_scaling" ||
+                         metric == "backends_scaling" ||
                          metric == "zero_hit_locks";
       if (!known || min <= 0.0 || (end != nullptr && *end != '\0')) {
         std::fprintf(stderr,
                      "maia_sweep: --guard expects qps:MIN, speedup:MIN, "
                      "hit_rate:MIN, snapshot_hit_rate:MIN, "
-                     "threads_scaling:MIN or zero_hit_locks:MIN, got '%s'\n",
+                     "threads_scaling:MIN, backends_scaling:MIN or "
+                     "zero_hit_locks:MIN, got '%s'\n",
                      spec.c_str());
         return 2;
       }
@@ -359,6 +401,151 @@ int main(int argc, char** argv) {
                 threads_scaling, static_cast<unsigned long long>(sweep_locks));
   }
 
+  // Scale-out sweep: per listed count B, launch B in-process streaming
+  // servers — each its own QueryEngine warm-started from the main run's
+  // cache image — and answer the whole grid through a consistent-hash
+  // scatter/gather Router over them.  The merged bytes are verified
+  // against the serial reference at every point, so the curve measures
+  // routed warm throughput under the same determinism contract.
+  struct BackendPoint {
+    int backends = 0;
+    double qps = 0.0;
+    double hit_rate = 0.0;
+    std::uint64_t retries = 0;
+    std::uint64_t resprayed = 0;
+  };
+  std::vector<BackendPoint> backend_points;
+  double backends_scaling = 0.0;
+  if (!backends_sweep.empty()) {
+    // Persist the warmed cache once; every backend warm-loads the same
+    // full image (load_snapshot re-shards by hash, so an unsharded
+    // backend absorbs all of it).
+    const std::string warm_image =
+        "maia_bsweep." + std::to_string(getpid()) + ".snapshot";
+    const svc::SnapshotSaveResult saved = engine.save_snapshot(warm_image);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "maia_sweep: cannot write %s (%s)\n",
+                   warm_image.c_str(), svc::snapshot_error_name(saved.error));
+      return 1;
+    }
+    constexpr int kBackendReps = 3;
+    std::printf("\nbackends sweep (routed scatter/gather, warm backends, "
+                "best of %d reps/point):\n",
+                kBackendReps);
+    std::fflush(stdout);
+    svc::BatchResults routed_out;
+    for (const int b : backends_sweep) {
+      BackendPoint point;
+      point.backends = b;
+      std::vector<std::unique_ptr<svc::QueryEngine>> backend_engines;
+      std::vector<std::unique_ptr<net::Server>> backend_servers;
+      const auto drain_backends = [&backend_servers] {
+        for (std::unique_ptr<net::Server>& s : backend_servers) {
+          s->request_drain();
+        }
+        for (std::unique_ptr<net::Server>& s : backend_servers) s->wait();
+      };
+      net::RouterConfig router_config;
+      for (int s = 0; s < b; ++s) {
+        backend_engines.push_back(
+            std::make_unique<svc::QueryEngine>(arch::maia_node(), config));
+        sweepgrid::register_npb_kernels(*backend_engines.back());
+        const svc::SnapshotLoadResult warmed =
+            backend_engines.back()->load_snapshot(warm_image);
+        if (!warmed.ok()) {
+          std::fprintf(stderr,
+                       "maia_sweep: backend %d warm-load REJECTED (%s)\n", s,
+                       svc::snapshot_error_name(warmed.error));
+          drain_backends();
+          return 1;
+        }
+        net::ServerConfig backend_config;
+        backend_config.socket_path = "maia_bsweep." +
+                                     std::to_string(getpid()) + "." +
+                                     std::to_string(s) + ".sock";
+        backend_config.workers = 2;
+        backend_servers.push_back(std::make_unique<net::Server>(
+            *backend_engines.back(), backend_config));
+        std::string backend_error;
+        if (!backend_servers.back()->start(&backend_error)) {
+          backend_servers.pop_back();
+          std::fprintf(stderr, "maia_sweep: backend %d: %s\n", s,
+                       backend_error.c_str());
+          drain_backends();
+          return 1;
+        }
+        router_config.backends.push_back(backend_config.socket_path);
+      }
+      net::Router router(engine, router_config);
+      std::string router_error;
+      if (!router.connect(&router_error)) {
+        std::fprintf(stderr, "maia_sweep: backend admission failed: %s\n",
+                     router_error.c_str());
+        drain_backends();
+        return 1;
+      }
+      const std::optional<net::WireStats> stats_before =
+          router.aggregate_backend_stats();
+      for (int rep = 0; rep < kBackendReps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const net::WireError rc = router.evaluate(grid.queries, routed_out);
+        const double s = seconds_since(t0);
+        if (rc != net::WireError::kOk) {
+          std::fprintf(stderr, "maia_sweep: routed evaluation failed: %s\n",
+                       net::wire_error_name(rc));
+          drain_backends();
+          return 1;
+        }
+        const double rep_qps = s > 0.0 ? static_cast<double>(n) / s : 0.0;
+        if (rep_qps > point.qps) point.qps = rep_qps;
+      }
+      if (!routed_out.bitwise_equal(reference)) {
+        std::fprintf(stderr,
+                     "maia_sweep: backends-sweep results diverged at %d "
+                     "backends\n",
+                     b);
+        drain_backends();
+        return 1;
+      }
+      const std::optional<net::WireStats> stats_after =
+          router.aggregate_backend_stats();
+      if (stats_before.has_value() && stats_after.has_value()) {
+        const std::uint64_t dq =
+            stats_after->engine_queries - stats_before->engine_queries;
+        const std::uint64_t dh =
+            stats_after->engine_hits - stats_before->engine_hits;
+        point.hit_rate =
+            dq > 0 ? static_cast<double>(dh) / static_cast<double>(dq) : 0.0;
+      }
+      const net::RouterStats rstats = router.stats();
+      point.retries = rstats.retries;
+      point.resprayed = rstats.resprayed;
+      drain_backends();
+      backend_points.push_back(point);
+    }
+    std::remove(warm_image.c_str());
+    const double base_backend_qps = backend_points.front().qps;
+    double best_multi_backend = 0.0;
+    for (const BackendPoint& p : backend_points) {
+      if (p.backends > backend_points.front().backends &&
+          p.qps > best_multi_backend) {
+        best_multi_backend = p.qps;
+      }
+      std::printf("  %3d backends: %12.0f qps  (%.2fx vs %d-backend, "
+                  "%.1f%% warm hits, %llu retries, %llu re-sprayed)\n",
+                  p.backends, p.qps,
+                  base_backend_qps > 0.0 ? p.qps / base_backend_qps : 0.0,
+                  backend_points.front().backends, 100.0 * p.hit_rate,
+                  static_cast<unsigned long long>(p.retries),
+                  static_cast<unsigned long long>(p.resprayed));
+    }
+    backends_scaling = backend_points.size() > 1 && base_backend_qps > 0.0
+                           ? best_multi_backend / base_backend_qps
+                           : 1.0;
+    std::printf("  scaling (best multi-backend / first point): %.2fx\n",
+                backends_scaling);
+  }
+
   const double serial_qps =
       serial_seconds > 0.0 ? static_cast<double>(n) / serial_seconds : 0.0;
   const double qps =
@@ -392,6 +579,7 @@ int main(int argc, char** argv) {
                          : g.metric == "speedup" ? speedup
                          : g.metric == "snapshot_hit_rate" ? snapshot_hit_rate
                          : g.metric == "threads_scaling"   ? threads_scaling
+                         : g.metric == "backends_scaling"  ? backends_scaling
                          : g.metric == "zero_hit_locks"    ? zero_hit_locks
                                                            : stats.hit_rate();
     if (value < g.min) {
@@ -457,7 +645,20 @@ int main(int argc, char** argv) {
            << ", \"hit_lock_acquisitions\": " << p.hit_lock_acquisitions
            << "}";
     }
-    json << (sweep_points.empty() ? "]" : "\n  ]") << "\n}\n";
+    json << (sweep_points.empty() ? "]," : "\n  ],") << "\n"
+         << "  \"backends_scaling\": " << backends_scaling << ",\n"
+         << "  \"backends_sweep\": [";
+    for (std::size_t i = 0; i < backend_points.size(); ++i) {
+      const BackendPoint& p = backend_points[i];
+      const double base = backend_points.front().qps;
+      json << (i == 0 ? "\n" : ",\n")
+           << "    {\"backends\": " << p.backends << ", \"qps\": " << p.qps
+           << ", \"speedup\": " << (base > 0.0 ? p.qps / base : 0.0)
+           << ", \"hit_rate\": " << p.hit_rate
+           << ", \"retries\": " << p.retries
+           << ", \"resprayed\": " << p.resprayed << "}";
+    }
+    json << (backend_points.empty() ? "]" : "\n  ]") << "\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
 

@@ -21,9 +21,11 @@ Start a server first:
 
 import argparse
 import json
+import os
 import socket
 import struct
 import sys
+import time
 import zlib
 
 MAGIC = 0x4149414D  # "MAIA" little-endian
@@ -53,23 +55,46 @@ ERROR_NAMES = {
     6: "DEADLINE_EXCEEDED",
     7: "DRAINING",
     8: "BAD_MAGIC",
+    9: "WRONG_SHARD",
 }
+
+# Transient server states worth re-sending the same request for:
+# RETRY_LATER (admission queue momentarily full) and DRAINING (a router
+# backend is restarting; the fleet absorbs the key range meanwhile).
+# WRONG_SHARD is deliberately NOT here — it means the request reached a
+# server that does not own the key, a routing bug that a retry would only
+# repeat.
+RETRYABLE_CODES = frozenset((5, 7))
+
+
+def retry_backoff(attempt, base_seconds=0.0002):
+    """Shared linear backoff for every retryable typed error."""
+    time.sleep(base_seconds * (attempt + 1))
 
 # Query kinds.
 KIND_EXEC = 0
 KIND_COLLECTIVE = 1
 KIND_LATENCY = 2
 
+# kStatsResponse payload: twelve u64 in the exact order the C++ side
+# encodes them (src/net/protocol.cpp encode_stats).  calibration_hash and
+# shard_index/shard_count are the scale-out handshake fields: a router
+# refuses backends whose calibration differs from its own, and a sharded
+# backend advertises which consistent-hash range it owns (shard_count 0
+# means unsharded).
 STATS_FIELDS = (
     "served",
     "rejected",
     "timed_out",
     "malformed",
-    "connected_clients",
-    "queue_depth",
+    "draining_rejected",
     "engine_queries",
     "engine_hits",
     "engine_misses",
+    "connected_clients",
+    "calibration_hash",
+    "shard_index",
+    "shard_count",
 )
 
 
@@ -174,7 +199,7 @@ class Client:
     def evaluate(self, queries, deadline_ms=0, max_retries=64):
         """Evaluate a batch; retries typed RETRY_LATER backpressure."""
         payload = batch_payload(queries)
-        for _ in range(max_retries):
+        for attempt in range(max_retries):
             ftype, response = self._roundtrip(BATCH_REQUEST, payload,
                                               deadline_ms)
             if ftype == BATCH_RESPONSE:
@@ -185,7 +210,8 @@ class Client:
                 return response  # raw bytes: byte-identity is the contract
             if ftype == ERROR:
                 (code,) = struct.unpack_from("<I", response)
-                if code == 5:  # RETRY_LATER: bounded admission queue is full
+                if code in RETRYABLE_CODES:
+                    retry_backoff(attempt)
                     continue
                 raise ProtocolError(
                     f"server error {ERROR_NAMES.get(code, code)}")
@@ -210,8 +236,10 @@ def decode_results(response):
 def main():
     parser = argparse.ArgumentParser(
         description="Replay a maia_sweep grid slice against maia_serve.")
-    parser.add_argument("--socket", default="maia.sock",
-                        help="unix socket path of a running maia_serve")
+    parser.add_argument("--socket",
+                        default=os.environ.get("MAIA_SOCKET", "maia.sock"),
+                        help="unix socket path of a running maia_serve "
+                             "(default: $MAIA_SOCKET, else maia.sock)")
     parser.add_argument("--batch", type=int, default=512,
                         help="queries per request frame (default: 512)")
     parser.add_argument("--limit", type=int, default=0,

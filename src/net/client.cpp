@@ -23,7 +23,10 @@ std::uint64_t now_ns() {
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t rc = ::write(fd, data + off, n - off);
+    // MSG_NOSIGNAL: a peer that died mid-request (a drained or killed
+    // backend) must surface as a send error the caller can fail over
+    // from, not as a process-killing SIGPIPE.
+    const ssize_t rc = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -97,6 +100,24 @@ std::optional<Frame> Client::read_response(std::uint64_t request_id) {
       if (frame.header.request_id == request_id) return frame;
       // A response to some other (stale / pipelined) request: drop it.
     }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return std::nullopt;  // server hung up
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    parser_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+std::optional<Frame> Client::read_frame() {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    const FrameParser::Status status = parser_.next(frame);
+    if (status == FrameParser::Status::kFrame) return frame;
+    if (status != FrameParser::Status::kNeedMore) return std::nullopt;
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n == 0) return std::nullopt;  // server hung up
     if (n < 0) {

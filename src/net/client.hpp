@@ -69,8 +69,15 @@ class Client {
   bool send_raw(std::span<const std::uint8_t> bytes);
 
   /// Read frames until one matches `request_id` (test helper; evaluate()
-  /// and friends use it internally).
+  /// and friends use it internally).  Non-matching frames are DROPPED —
+  /// unusable when requests are pipelined; use read_frame() for that.
   std::optional<Frame> read_response(std::uint64_t request_id);
+
+  /// Read the next complete frame regardless of request id.  The router
+  /// pipelines several sub-batches per connection and matches ids itself,
+  /// so it cannot afford read_response()'s drop-on-mismatch policy.
+  /// Empty optional on disconnect or framing failure.
+  std::optional<Frame> read_frame();
 
  private:
   std::uint64_t next_id() { return ++last_id_; }

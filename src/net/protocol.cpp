@@ -106,6 +106,7 @@ const char* wire_error_name(WireError error) {
     case WireError::kDeadlineExceeded: return "deadline_exceeded";
     case WireError::kDraining: return "draining";
     case WireError::kBadMagic: return "bad_magic";
+    case WireError::kWrongShard: return "wrong_shard";
   }
   return "unknown";
 }
@@ -173,7 +174,8 @@ std::vector<std::uint8_t> encode_stats(const WireStats& stats) {
       stats.served,         stats.rejected,      stats.timed_out,
       stats.malformed,      stats.draining_rejected,
       stats.engine_queries, stats.engine_hits,   stats.engine_misses,
-      stats.connected_clients};
+      stats.connected_clients,
+      stats.calibration_hash, stats.shard_index, stats.shard_count};
   for (std::size_t i = 0; i < std::size(fields); ++i) {
     put_u64(payload.data() + i * 8, fields[i]);
   }
@@ -187,7 +189,8 @@ std::optional<WireStats> decode_stats(std::span<const std::uint8_t> payload) {
       &s.served,         &s.rejected,    &s.timed_out,
       &s.malformed,      &s.draining_rejected,
       &s.engine_queries, &s.engine_hits, &s.engine_misses,
-      &s.connected_clients};
+      &s.connected_clients,
+      &s.calibration_hash, &s.shard_index, &s.shard_count};
   for (std::size_t i = 0; i < std::size(fields); ++i) {
     *fields[i] = get_u64(payload.data() + i * 8);
   }
@@ -245,7 +248,7 @@ WireError decode_error(std::span<const std::uint8_t> payload,
   if (payload.size() != 8) return WireError::kMalformed;
   if (detail != nullptr) *detail = get_u32(payload.data() + 4);
   const std::uint16_t code = get_u16(payload.data());
-  if (code > static_cast<std::uint16_t>(WireError::kBadMagic)) {
+  if (code > static_cast<std::uint16_t>(WireError::kWrongShard)) {
     return WireError::kMalformed;
   }
   return static_cast<WireError>(code);

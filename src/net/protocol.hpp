@@ -35,7 +35,7 @@ inline constexpr std::uint16_t kProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 32;
 inline constexpr std::size_t kWireQueryBytes = 16;
 inline constexpr std::size_t kWireResultBytes = 24;
-inline constexpr std::size_t kWireStatsBytes = 9 * 8;
+inline constexpr std::size_t kWireStatsBytes = 12 * 8;
 /// Default ceiling on a frame's payload; a BatchRequest of this size holds
 /// ~1M queries, a full sweep grid in one frame.
 inline constexpr std::size_t kDefaultMaxPayload = 16u << 20;
@@ -62,6 +62,9 @@ enum class WireError : std::uint16_t {
   kDeadlineExceeded = 6,  ///< request expired before evaluation started
   kDraining = 7,          ///< server is shutting down; no new work
   kBadMagic = 8,          ///< stream desync; connection will close
+  kWrongShard = 9,        ///< query outside this backend's shard range;
+                          ///< detail = offending query index.  A routing
+                          ///< bug, never retried.
 };
 
 /// Stable lower-case token for metrics suffixes and log lines.
@@ -147,6 +150,12 @@ struct WireStats {
   std::uint64_t engine_hits = 0;
   std::uint64_t engine_misses = 0;
   std::uint64_t connected_clients = 0;
+  // Handshake fields: a router refuses a backend whose calibration hash
+  // differs from its own (results would not be byte-identical), and uses
+  // the advertised shard range to validate its routing table.
+  std::uint64_t calibration_hash = 0;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 0;  ///< 0 = unsharded, answers the full range
 };
 
 std::vector<std::uint8_t> encode_stats(const WireStats& stats);

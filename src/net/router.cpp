@@ -1,0 +1,577 @@
+#include "net/router.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unordered_set>
+
+#include "svc/sharding.hpp"
+
+namespace maia::net {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<double> rtt_bounds() {
+  return obs::exponential_bounds(1024.0, 2.0, 24);  // 1 us .. ~8.6 s
+}
+
+std::vector<double> size_bounds() {
+  return obs::exponential_bounds(1.0, 2.0, 21);  // 1 .. 1M queries
+}
+
+}  // namespace
+
+/// One backend connection plus its counters.  The Client (and next_id_)
+/// belong to the owning thread; the atomics exist so stats() can be read
+/// from elsewhere (the pool's metrics dump, tests).
+struct Router::Backend {
+  std::string socket;
+  Client client;
+  std::atomic<bool> alive{false};
+  std::uint64_t adv_index = 0;
+  std::uint64_t adv_count = 0;
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  obs::Histogram rtt_ns;
+  obs::Histogram subbatch_queries;
+};
+
+/// One pipelined request to one backend: the encoded frame (kept for
+/// RETRY_LATER resends), the original input indices it carries, and the
+/// retry budget left.
+struct Router::SubBatch {
+  std::size_t backend = 0;
+  std::uint64_t id = 0;
+  int retries_left = 0;
+  bool done = false;
+  std::vector<std::uint32_t> idx;
+  std::vector<std::uint8_t> frame;
+};
+
+Router::Router(svc::QueryEngine& engine, RouterConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.max_retries < 0) config_.max_retries = 0;
+  if (config_.max_subbatch == 0) config_.max_subbatch = 1;
+  auto& reg = obs::MetricsRegistry::global();
+  degraded_gauge_ = reg.gauge("net.router.degraded");
+  respray_counter_ = reg.counter("net.router.resprayed");
+  fanout_ns_ = reg.histogram("net.router.fanout_ns", rtt_bounds());
+  backends_.reserve(config_.backends.size());
+  for (std::size_t b = 0; b < config_.backends.size(); ++b) {
+    auto backend = std::make_unique<Backend>();
+    backend->socket = config_.backends[b];
+    const std::string prefix = "net.router.backend" + std::to_string(b);
+    backend->rtt_ns = reg.histogram(prefix + ".rtt_ns", rtt_bounds());
+    backend->subbatch_queries =
+        reg.histogram(prefix + ".subbatch_queries", size_bounds());
+    backends_.push_back(std::move(backend));
+  }
+  // Ids far above Client's internal counter so a stale handshake response
+  // can never alias a routed sub-batch.
+  next_id_ = 0x726f757465000000ull;  // "route" + room for 2^24 requests
+  range_to_backend_.resize(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) range_to_backend_[b] = b;
+}
+
+Router::~Router() = default;
+
+bool Router::handshake(Backend& backend, std::string* error) {
+  const std::optional<WireStats> stats = backend.client.stats();
+  if (!stats.has_value()) {
+    if (error != nullptr) {
+      *error = "backend " + backend.socket + ": stats handshake failed";
+    }
+    return false;
+  }
+  if (config_.verify_calibration &&
+      stats->calibration_hash != engine_.calibration_hash()) {
+    if (error != nullptr) {
+      *error = "backend " + backend.socket + ": calibration mismatch (theirs " +
+               hex64(stats->calibration_hash) + ", ours " +
+               hex64(engine_.calibration_hash()) +
+               ") — results would not be byte-identical; refusing";
+    }
+    return false;
+  }
+  backend.adv_index = stats->shard_index;
+  backend.adv_count = stats->shard_count;
+  return true;
+}
+
+bool Router::connect(std::string* error) {
+  if (backends_.empty()) {
+    if (error != nullptr) *error = "router configured with zero backends";
+    return false;
+  }
+  for (auto& backend : backends_) {
+    std::string reason;
+    if (!backend->client.connect(backend->socket, &reason)) {
+      if (error != nullptr) *error = reason;
+      return false;
+    }
+    if (!handshake(*backend, error)) return false;
+  }
+
+  // Shard-advertisement validation: all unsharded, or a complete disjoint
+  // permutation of 0..N-1 of N.  A mix (or a hole) would mean some key
+  // range has no owner willing to answer it.
+  const std::size_t nb = backends_.size();
+  strict_ = false;
+  for (const auto& backend : backends_) {
+    if (backend->adv_count != 0) strict_ = true;
+  }
+  if (strict_) {
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& backend : backends_) {
+      if (backend->adv_count != nb || backend->adv_index >= nb) {
+        if (error != nullptr) {
+          *error = "backend " + backend->socket + ": advertises shard " +
+                   std::to_string(backend->adv_index) + "/" +
+                   std::to_string(backend->adv_count) + " but the router has " +
+                   std::to_string(nb) + " backends";
+        }
+        return false;
+      }
+      if (!seen.insert(backend->adv_index).second) {
+        if (error != nullptr) {
+          *error = "two backends advertise shard " +
+                   std::to_string(backend->adv_index) + "/" +
+                   std::to_string(nb) + " (" + backend->socket + " is one)";
+        }
+        return false;
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      range_to_backend_[backends_[b]->adv_index] = b;
+    }
+  }
+  for (auto& backend : backends_) {
+    backend->alive.store(true, std::memory_order_release);
+  }
+  publish_degraded();
+  return true;
+}
+
+void Router::mark_dead(Backend& backend) {
+  backend.client.close();
+  backend.alive.store(false, std::memory_order_release);
+  backend.failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Router::try_reconnect(Backend& backend) {
+  if (!backend.client.connect(backend.socket)) return false;
+  const std::uint64_t prev_index = backend.adv_index;
+  const std::uint64_t prev_count = backend.adv_count;
+  if (!handshake(backend, nullptr) ||
+      (strict_ &&
+       (backend.adv_index != prev_index || backend.adv_count != prev_count))) {
+    // Whatever answered is not the backend we admitted (recalibrated, or
+    // restarted owning a different range): keep it out.
+    backend.adv_index = prev_index;
+    backend.adv_count = prev_count;
+    backend.client.close();
+    return false;
+  }
+  backend.alive.store(true, std::memory_order_release);
+  backend.reconnects.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Router::publish_degraded() {
+  // High-watermark gauge: once a run has seen a degraded interval, the
+  // metrics dump says so even after recovery (counters tell the rest).
+  MAIA_OBS_GAUGE(degraded_gauge_, degraded() ? 1.0 : 0.0);
+}
+
+bool Router::degraded() const {
+  for (const auto& backend : backends_) {
+    if (!backend->alive.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+WireError Router::evaluate(std::span<const svc::Query> queries,
+                           svc::BatchResults& out, std::uint32_t deadline_ms) {
+  const std::size_t n = queries.size();
+  out.resize(n);
+  if (n == 0) return WireError::kOk;
+  const std::size_t nb = backends_.size();
+  if (nb == 0) return WireError::kDraining;
+  const std::uint64_t t_fanout = now_ns();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(n, std::memory_order_relaxed);
+
+  // A backend that died during an earlier batch gets one cheap reconnect
+  // attempt per batch (connect() to a missing socket fails immediately).
+  for (auto& backend : backends_) {
+    if (!backend->alive.load(std::memory_order_relaxed)) {
+      try_reconnect(*backend);
+    }
+  }
+
+  // Scatter: canonical hash -> range -> owning backend.
+  hash_scratch_.resize(n);
+  assign_scratch_.resize(nb);
+  for (auto& list : assign_scratch_) list.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = svc::hash_key(engine_.key_of(queries[i]));
+    hash_scratch_[i] = h;
+    assign_scratch_[range_to_backend_[svc::shard_owner(h, nb)]].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  std::span<double> values = out.values_mut();
+  std::span<double> secondary = out.secondary_mut();
+  std::span<std::uint32_t> flags = out.flags_mut();
+
+  std::vector<std::uint32_t> respray;
+  std::vector<SubBatch> subs;
+  WireError fatal = WireError::kOk;
+
+  // Each round sends every assigned sub-batch and gathers the responses;
+  // a round only repeats when a backend died and its keys need a new
+  // home, so nb rounds is a hard ceiling.
+  for (std::size_t round = 0; round <= nb && fatal == WireError::kOk;
+       ++round) {
+    subs.clear();
+
+    // Send phase: chunk each backend's index list into pipelined frames.
+    for (std::size_t b = 0; b < nb; ++b) {
+      std::vector<std::uint32_t>& idx = assign_scratch_[b];
+      if (idx.empty()) continue;
+      Backend& backend = *backends_[b];
+      if (!backend.alive.load(std::memory_order_relaxed)) {
+        respray.insert(respray.end(), idx.begin(), idx.end());
+        idx.clear();
+        continue;
+      }
+      bool send_failed = false;
+      for (std::size_t off = 0; off < idx.size() && !send_failed;
+           off += config_.max_subbatch) {
+        const std::size_t len = std::min(config_.max_subbatch, idx.size() - off);
+        SubBatch sub;
+        sub.backend = b;
+        sub.id = ++next_id_;
+        sub.retries_left = config_.max_retries;
+        sub.idx.assign(idx.begin() + static_cast<std::ptrdiff_t>(off),
+                       idx.begin() + static_cast<std::ptrdiff_t>(off + len));
+        gather_scratch_.clear();
+        gather_scratch_.reserve(len);
+        for (const std::uint32_t i : sub.idx) {
+          gather_scratch_.push_back(queries[i]);
+        }
+        FrameHeader header;
+        header.type = FrameType::kBatchRequest;
+        header.request_id = sub.id;
+        header.deadline_ms = deadline_ms;
+        sub.frame = encode_frame(header, encode_batch_request(gather_scratch_));
+        if (!backend.client.send_raw(sub.frame)) {
+          mark_dead(backend);
+          respray.insert(respray.end(),
+                         idx.begin() + static_cast<std::ptrdiff_t>(off),
+                         idx.end());
+          // Sub-batches already on the wire to this backend are collected
+          // by the gather phase's disconnect handling.
+          send_failed = true;
+          break;
+        }
+        backend.batches.fetch_add(1, std::memory_order_relaxed);
+        backend.queries.fetch_add(len, std::memory_order_relaxed);
+        MAIA_OBS_HISTOGRAM(backend.subbatch_queries, static_cast<double>(len));
+        subs.push_back(std::move(sub));
+      }
+      idx.clear();
+    }
+
+    // Gather phase: per backend, read frames and match ids ourselves
+    // (server workers may answer pipelined requests out of order).
+    for (std::size_t b = 0; b < nb && fatal == WireError::kOk; ++b) {
+      std::vector<SubBatch*> outstanding;
+      for (SubBatch& sub : subs) {
+        if (sub.backend == b && !sub.done) outstanding.push_back(&sub);
+      }
+      if (outstanding.empty()) continue;
+      Backend& backend = *backends_[b];
+      std::size_t remaining = outstanding.size();
+      const std::uint64_t t_send = now_ns();
+      while (remaining > 0 && fatal == WireError::kOk) {
+        const std::optional<Frame> frame = backend.client.read_frame();
+        if (!frame.has_value()) {
+          // Transport death mid-gather: every unanswered sub-batch of
+          // this backend needs a new home.
+          mark_dead(backend);
+          for (SubBatch* sub : outstanding) {
+            if (!sub->done) {
+              respray.insert(respray.end(), sub->idx.begin(), sub->idx.end());
+              sub->done = true;
+            }
+          }
+          break;
+        }
+        SubBatch* sub = nullptr;
+        for (SubBatch* candidate : outstanding) {
+          if (!candidate->done && candidate->id == frame->header.request_id) {
+            sub = candidate;
+            break;
+          }
+        }
+        if (sub == nullptr) continue;  // stale frame from an aborted batch
+
+        if (frame->header.type == FrameType::kBatchResponse) {
+          const std::optional<std::vector<WireResult>> decoded =
+              decode_batch_response(frame->payload);
+          if (!decoded.has_value() || decoded->size() != sub->idx.size()) {
+            fatal = WireError::kMalformed;
+            break;
+          }
+          for (std::size_t j = 0; j < sub->idx.size(); ++j) {
+            const std::uint32_t i = sub->idx[j];
+            values[i] = (*decoded)[j].value;
+            secondary[i] = (*decoded)[j].secondary;
+            flags[i] = (*decoded)[j].flags;
+          }
+          MAIA_OBS_HISTOGRAM(backend.rtt_ns,
+                             static_cast<double>(now_ns() - t_send));
+          sub->done = true;
+          --remaining;
+          continue;
+        }
+        if (frame->header.type != FrameType::kError) {
+          fatal = WireError::kMalformed;
+          break;
+        }
+        const WireError code = decode_error(frame->payload);
+        if (code == WireError::kRetryLater && sub->retries_left > 0) {
+          // Backpressure on one shard: back off and resend to that shard
+          // only; the other backends' gathers are untouched.
+          const int attempt = config_.max_retries - sub->retries_left;
+          --sub->retries_left;
+          backend.retries.fetch_add(1, std::memory_order_relaxed);
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<std::uint64_t>(config_.backoff_us) *
+              static_cast<std::uint64_t>(attempt + 1)));
+          if (!backend.client.send_raw(sub->frame)) {
+            mark_dead(backend);
+            for (SubBatch* pending : outstanding) {
+              if (!pending->done) {
+                respray.insert(respray.end(), pending->idx.begin(),
+                               pending->idx.end());
+                pending->done = true;
+              }
+            }
+            break;
+          }
+          continue;  // still outstanding
+        }
+        if (code == WireError::kDraining) {
+          // The backend is going away.  Reroute this sub-batch; anything
+          // it already admitted will still be answered, so keep reading.
+          backend.failures.fetch_add(1, std::memory_order_relaxed);
+          backend.alive.store(false, std::memory_order_release);
+          respray.insert(respray.end(), sub->idx.begin(), sub->idx.end());
+          sub->done = true;
+          --remaining;
+          continue;
+        }
+        // WRONG_SHARD (a routing bug — never retried), retry budget
+        // exhausted, DEADLINE_EXCEEDED, or any other typed failure is
+        // terminal for the whole batch.
+        fatal = code;
+      }
+    }
+    if (fatal != WireError::kOk) break;
+    if (respray.empty()) break;  // every query answered
+
+    // Failover: re-spray the dead ranges across the survivors.  The remix
+    // hash spreads a contiguous dead range uniformly instead of dumping
+    // it on one neighbour.
+    if (strict_ || !config_.allow_failover) {
+      fatal = WireError::kDraining;
+      break;
+    }
+    std::vector<std::size_t> survivors;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (backends_[b]->alive.load(std::memory_order_relaxed)) {
+        survivors.push_back(b);
+      }
+    }
+    if (survivors.empty()) {
+      fatal = WireError::kDraining;
+      break;
+    }
+    resprayed_.fetch_add(respray.size(), std::memory_order_relaxed);
+    MAIA_OBS_COUNT(respray_counter_,
+                   static_cast<std::uint64_t>(respray.size()));
+    for (const std::uint32_t i : respray) {
+      const std::size_t s = survivors[svc::shard_owner(
+          svc::failover_spray(hash_scratch_[i]), survivors.size())];
+      assign_scratch_[s].push_back(i);
+    }
+    respray.clear();
+  }
+
+  if (fatal == WireError::kOk && !respray.empty()) {
+    fatal = WireError::kDraining;  // ran out of rounds with work unplaced
+  }
+  publish_degraded();
+  MAIA_OBS_HISTOGRAM(fanout_ns_, static_cast<double>(now_ns() - t_fanout));
+  return fatal;
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.resprayed = resprayed_.load(std::memory_order_relaxed);
+  s.backends.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    RouterBackendStats b;
+    b.socket = backend->socket;
+    b.alive = backend->alive.load(std::memory_order_acquire);
+    b.shard_index = backend->adv_index;
+    b.shard_count = backend->adv_count;
+    b.batches = backend->batches.load(std::memory_order_relaxed);
+    b.queries = backend->queries.load(std::memory_order_relaxed);
+    b.retries = backend->retries.load(std::memory_order_relaxed);
+    b.failures = backend->failures.load(std::memory_order_relaxed);
+    b.reconnects = backend->reconnects.load(std::memory_order_relaxed);
+    if (!b.alive) s.degraded = true;
+    s.backends.push_back(std::move(b));
+  }
+  return s;
+}
+
+std::optional<WireStats> Router::aggregate_backend_stats() {
+  bool any = false;
+  WireStats sum;
+  for (auto& backend : backends_) {
+    if (!backend->alive.load(std::memory_order_relaxed)) continue;
+    const std::optional<WireStats> s = backend->client.stats();
+    if (!s.has_value()) {
+      mark_dead(*backend);
+      continue;
+    }
+    any = true;
+    sum.served += s->served;
+    sum.rejected += s->rejected;
+    sum.timed_out += s->timed_out;
+    sum.malformed += s->malformed;
+    sum.draining_rejected += s->draining_rejected;
+    sum.engine_queries += s->engine_queries;
+    sum.engine_hits += s->engine_hits;
+    sum.engine_misses += s->engine_misses;
+    sum.connected_clients += s->connected_clients;
+  }
+  publish_degraded();
+  if (!any) return std::nullopt;
+  sum.calibration_hash = engine_.calibration_hash();
+  return sum;
+}
+
+// ---------------------------------------------------------------- pool
+
+RouterPool::RouterPool(svc::QueryEngine& engine, RouterConfig config,
+                       int size) {
+  if (size <= 0) size = 1;
+  routers_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    routers_.push_back(std::make_unique<Router>(engine, config));
+  }
+  stats_router_ = std::make_unique<Router>(engine, std::move(config));
+}
+
+RouterPool::~RouterPool() = default;
+
+bool RouterPool::connect_all(std::string* error) {
+  for (auto& router : routers_) {
+    if (!router->connect(error)) return false;
+  }
+  if (!stats_router_->connect(error)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.clear();
+    for (auto& router : routers_) idle_.push_back(router.get());
+  }
+  return true;
+}
+
+WireError RouterPool::evaluate(std::span<const svc::Query> queries,
+                               svc::BatchResults& out,
+                               std::uint32_t deadline_ms) {
+  Router* router = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !idle_.empty(); });
+    router = idle_.back();
+    idle_.pop_back();
+  }
+  const WireError rc = router->evaluate(queries, out, deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(router);
+  }
+  cv_.notify_one();
+  return rc;
+}
+
+void RouterPool::augment_stats(WireStats& w) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const std::optional<WireStats> sum = stats_router_->aggregate_backend_stats();
+  if (!sum.has_value()) return;
+  // Substitute the backend fleet's engine counters: the front server's
+  // own engine never evaluates, so without this a hit-rate check through
+  // the router would always read 0/0.
+  w.engine_queries = sum->engine_queries;
+  w.engine_hits = sum->engine_hits;
+  w.engine_misses = sum->engine_misses;
+}
+
+RouterStats RouterPool::stats() const {
+  RouterStats merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& router : routers_) {
+    const RouterStats s = router->stats();
+    merged.batches += s.batches;
+    merged.queries += s.queries;
+    merged.retries += s.retries;
+    merged.resprayed += s.resprayed;
+    merged.degraded = merged.degraded || s.degraded;
+    if (merged.backends.empty()) {
+      merged.backends = s.backends;
+    } else {
+      for (std::size_t b = 0;
+           b < merged.backends.size() && b < s.backends.size(); ++b) {
+        RouterBackendStats& dst = merged.backends[b];
+        const RouterBackendStats& src = s.backends[b];
+        dst.alive = dst.alive && src.alive;
+        dst.batches += src.batches;
+        dst.queries += src.queries;
+        dst.retries += src.retries;
+        dst.failures += src.failures;
+        dst.reconnects += src.reconnects;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace maia::net

@@ -13,6 +13,7 @@
 
 #include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
+#include "svc/sharding.hpp"
 
 namespace maia::net {
 
@@ -34,7 +35,7 @@ bool set_nonblocking(int fd) {
 std::vector<double> stage_bounds() { return obs::exponential_bounds(1024.0, 2.0, 24); }
 
 struct NetMetrics {
-  obs::Counter served, rejected, timed_out, malformed, draining;
+  obs::Counter served, rejected, timed_out, malformed, draining, wrong_shard;
   obs::Counter accepted, closed, bytes_read, bytes_written;
   obs::Gauge clients, depth;
   obs::Histogram decode_ns, queue_wait_ns, evaluate_ns, encode_ns, total_ns;
@@ -47,6 +48,7 @@ struct NetMetrics {
       n.timed_out = reg.counter("net.requests.timed_out");
       n.malformed = reg.counter("net.requests.malformed");
       n.draining = reg.counter("net.requests.draining");
+      n.wrong_shard = reg.counter("net.requests.wrong_shard");
       n.accepted = reg.counter("net.connections.accepted");
       n.closed = reg.counter("net.connections.closed");
       n.bytes_read = reg.counter("net.bytes.read");
@@ -231,6 +233,7 @@ ServerStats Server::stats() const {
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.malformed = malformed_.load(std::memory_order_relaxed);
   s.draining_rejected = draining_rejected_.load(std::memory_order_relaxed);
+  s.wrong_shard = wrong_shard_.load(std::memory_order_relaxed);
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
   s.connections_closed = closed_.load(std::memory_order_relaxed);
   s.connected = s.connections_accepted - s.connections_closed;
@@ -257,6 +260,12 @@ WireStats Server::wire_stats() const {
   w.engine_hits = e.cache_hits;
   w.engine_misses = e.cache_misses;
   w.connected_clients = s.connected;
+  w.calibration_hash = engine_.calibration_hash();
+  w.shard_index = static_cast<std::uint64_t>(
+      config_.shard_count > 0 ? config_.shard_index : 0);
+  w.shard_count = static_cast<std::uint64_t>(
+      config_.shard_count > 0 ? config_.shard_count : 0);
+  if (config_.stats_augment) config_.stats_augment(w);
   return w;
 }
 
@@ -303,6 +312,24 @@ void Server::dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         MAIA_OBS_COUNT(m.malformed, 1);
         send_error(*conn, frame.header.request_id, decode_rc);
         return;
+      }
+      if (config_.shard_count > 0) {
+        // Shard enforcement: answering a key outside this backend's range
+        // would be a routing bug upstream, so it gets a typed WRONG_SHARD
+        // (detail = offending query index), never a silent wrong answer.
+        const auto count = static_cast<std::size_t>(config_.shard_count);
+        const auto index = static_cast<std::size_t>(config_.shard_index);
+        for (std::size_t qi = 0; qi < conn->decode_scratch.size(); ++qi) {
+          const std::uint64_t h =
+              svc::hash_key(engine_.key_of(conn->decode_scratch[qi]));
+          if (!svc::in_shard(h, index, count)) {
+            wrong_shard_.fetch_add(1, std::memory_order_relaxed);
+            MAIA_OBS_COUNT(m.wrong_shard, 1);
+            send_error(*conn, frame.header.request_id, WireError::kWrongShard,
+                       static_cast<std::uint32_t>(qi));
+            return;
+          }
+        }
       }
       if (drain_requested_.load(std::memory_order_acquire)) {
         draining_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -413,8 +440,10 @@ bool Server::flush_writable(Conn& conn) {
   std::lock_guard<std::mutex> lock(conn.out_mutex);
   while (!conn.outbox.empty()) {
     const std::vector<std::uint8_t>& front = conn.outbox.front();
-    const ssize_t n = ::write(conn.fd, front.data() + conn.out_offset,
-                              front.size() - conn.out_offset);
+    // MSG_NOSIGNAL: a client that vanished mid-flush is a close_conn(),
+    // never a process-killing SIGPIPE.
+    const ssize_t n = ::send(conn.fd, front.data() + conn.out_offset,
+                             front.size() - conn.out_offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
@@ -633,9 +662,41 @@ void Server::worker_loop() {
       continue;
     }
 
-    engine_.evaluate(item.queries, results, config_.eval_pool);
+    WireError eval_rc = WireError::kOk;
+    if (config_.evaluator) {
+      eval_rc = config_.evaluator(item.queries, results, item.deadline_ms);
+    } else {
+      engine_.evaluate(item.queries, results, config_.eval_pool);
+    }
     const std::uint64_t t_eval = now_ns();
     MAIA_OBS_HISTOGRAM(m.evaluate_ns, static_cast<double>(t_eval - t_start));
+
+    if (eval_rc != WireError::kOk) {
+      // The pluggable evaluator failed upstream; relay its typed code and
+      // fold it into the closest local counter.
+      switch (eval_rc) {
+        case WireError::kRetryLater:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          MAIA_OBS_COUNT(m.rejected, 1);
+          break;
+        case WireError::kDraining:
+          draining_rejected_.fetch_add(1, std::memory_order_relaxed);
+          MAIA_OBS_COUNT(m.draining, 1);
+          break;
+        case WireError::kDeadlineExceeded:
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+          MAIA_OBS_COUNT(m.timed_out, 1);
+          break;
+        default:
+          malformed_.fetch_add(1, std::memory_order_relaxed);
+          MAIA_OBS_COUNT(m.malformed, 1);
+          break;
+      }
+      send_error(*item.conn, item.request_id, eval_rc);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      wake();
+      continue;
+    }
 
     const std::vector<std::uint8_t> payload = encode_batch_response(
         results.values(), results.secondary(), results.flags());

@@ -38,9 +38,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +71,25 @@ struct ServerConfig {
   /// Optional pool for intra-batch parallelism inside evaluate(); null
   /// keeps each batch serial within its worker (workers still overlap).
   sim::ThreadPool* eval_pool = nullptr;
+  /// Pluggable batch evaluator.  Null -> the local engine evaluates.
+  /// When set, workers call it instead (the router front server plugs in
+  /// its scatter/gather fan-out here); it must fill `out` with one result
+  /// per query at its input index, or return a typed error the server
+  /// answers the request with.  Called concurrently from all workers.
+  std::function<WireError(std::span<const svc::Query>, svc::BatchResults&,
+                          std::uint32_t deadline_ms)>
+      evaluator;
+  /// Optional decoration of kStatsResponse frames (after the server fills
+  /// its own counters).  The router front substitutes its backends'
+  /// aggregated engine counters so hit-rate checks see through the tier.
+  /// Runs on the reactor thread — keep it quick.
+  std::function<void(WireStats&)> stats_augment;
+  /// Shard-range enforcement: when shard_count > 0 this server owns shard
+  /// `shard_index` of `shard_count` consistent-hash ranges (svc/sharding)
+  /// and answers WRONG_SHARD (detail = query index) to any batch holding
+  /// a key outside its range.  Both are advertised in kStatsResponse.
+  int shard_index = 0;
+  int shard_count = 0;
 };
 
 /// Point-in-time server counters (see also the net.* obs metrics).
@@ -78,6 +99,7 @@ struct ServerStats {
   std::uint64_t timed_out = 0;
   std::uint64_t malformed = 0;
   std::uint64_t draining_rejected = 0;
+  std::uint64_t wrong_shard = 0;  ///< batches refused by shard enforcement
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t connected = 0;
@@ -177,6 +199,7 @@ class Server {
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> draining_rejected_{0};
+  std::atomic<std::uint64_t> wrong_shard_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_{0};
   std::atomic<std::uint64_t> bytes_read_{0};

@@ -154,6 +154,14 @@ class BatchResults {
   std::span<const double> secondary() const { return secondary_; }
   std::span<const std::uint32_t> flags() const { return flags_; }
 
+  // Mutable result lanes for external producers.  The scatter/gather
+  // router fills a BatchResults from backend responses, writing each
+  // sub-batch result at its original input index — same placement
+  // contract as the engine itself.
+  std::span<double> values_mut() { return values_; }
+  std::span<double> secondary_mut() { return secondary_; }
+  std::span<std::uint32_t> flags_mut() { return flags_; }
+
   /// Exact bitwise comparison of the result arrays (scratch excluded).
   bool bitwise_equal(const BatchResults& o) const {
     const std::size_t n = size();

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maia::svc {
+
+// Consistent-hash shard ranges over the 64-bit canonical-key hash space.
+//
+// The hash space [0, 2^64) is split into `count` contiguous, equal-width
+// ranges; shard `i` owns [shard_range(i).lo, shard_range(i).hi].  Ownership
+// is computed with a multiply-shift (no division on the hot path) and the
+// same function is used by the router's scatter step, `maia_serve --shard`
+// range enforcement, and `partition_snapshot`, so all three always agree.
+
+/// Which of `count` shards owns `hash`.  count <= 1 collapses to shard 0.
+inline std::size_t shard_owner(std::uint64_t hash, std::size_t count) {
+  if (count <= 1) return 0;
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(hash) * count) >> 64);
+}
+
+/// Inclusive hash range owned by shard `index` of `count`.
+struct ShardRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+inline ShardRange shard_range(std::size_t index, std::size_t count) {
+  if (count <= 1) return ShardRange{0, ~0ull};
+  // Smallest h with shard_owner(h, count) == i is ceil(i * 2^64 / count).
+  const auto boundary = [count](std::size_t i) -> std::uint64_t {
+    const unsigned __int128 num = static_cast<unsigned __int128>(i) << 64;
+    return static_cast<std::uint64_t>((num + count - 1) / count);
+  };
+  ShardRange range;
+  range.lo = boundary(index);
+  range.hi = index + 1 >= count ? ~0ull : boundary(index + 1) - 1;
+  return range;
+}
+
+inline bool in_shard(std::uint64_t hash, std::size_t index, std::size_t count) {
+  return shard_owner(hash, count) == index;
+}
+
+/// Deterministic remix used when a shard's owner is dead and its keys must be
+/// re-sprayed across the survivors.  Remixing (rather than reusing the raw
+/// hash) spreads a dead shard's contiguous range uniformly over the survivor
+/// set instead of dumping it all on one neighbour.
+inline std::uint64_t failover_spray(std::uint64_t hash) {
+  std::uint64_t x = hash ^ 0x517cc1b727220a95ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace maia::svc

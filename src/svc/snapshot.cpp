@@ -2,9 +2,12 @@
 
 #include <array>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+
+#include "svc/sharding.hpp"
 
 namespace maia::svc {
 namespace {
@@ -209,6 +212,62 @@ SnapshotReadResult read_snapshot(std::istream& is,
     r.result.flags = get_u32(p + 32);
     r.result.reserved = get_u32(p + 36);
     p += sizeof(SnapshotRecord);
+  }
+  return out;
+}
+
+PartitionResult partition_snapshot(const std::string& in_path,
+                                   std::span<const std::string> out_paths) {
+  PartitionResult out;
+  if (out_paths.empty()) {
+    out.error = SnapshotError::kBadHeader;
+    return out;
+  }
+  std::ifstream is(in_path, std::ios::binary);
+  if (!is) {
+    out.error = SnapshotError::kIoError;
+    return out;
+  }
+  // Peek the stored calibration so the full validation ladder can run
+  // against it — partitioning preserves whatever calibration the source
+  // carries; it is load_snapshot() on the target engine that decides
+  // whether that calibration is acceptable.
+  unsigned char header[kSnapshotHeaderBytes];
+  is.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    out.error = SnapshotError::kTruncated;
+    return out;
+  }
+  const std::uint64_t calibration = get_u64(header + 16);
+  is.seekg(0);
+  SnapshotReadResult parsed = read_snapshot(is, calibration);
+  if (!parsed.ok()) {
+    out.error = parsed.error;
+    return out;
+  }
+  out.records_in = parsed.records.size();
+
+  const std::size_t shards = out_paths.size();
+  std::vector<std::vector<SnapshotRecord>> split(shards);
+  for (const SnapshotRecord& r : parsed.records) {
+    split[shard_owner(hash_key(r.key), shards)].push_back(r);
+  }
+  out.records_per_shard.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::ofstream os(out_paths[s], std::ios::binary | std::ios::trunc);
+    if (!os) {
+      out.error = SnapshotError::kIoError;
+      return out;
+    }
+    const std::uint64_t count = split[s].size();
+    write_snapshot(os, calibration, std::span<const std::uint64_t>(&count, 1),
+                   split[s]);
+    os.flush();
+    if (!os) {
+      out.error = SnapshotError::kIoError;
+      return out;
+    }
+    out.records_per_shard[s] = count;
   }
   return out;
 }

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "svc/query.hpp"
@@ -90,5 +91,23 @@ struct SnapshotReadResult {
 /// records/shard_counts are empty — a rejected snapshot warms nothing.
 SnapshotReadResult read_snapshot(std::istream& is,
                                  std::uint64_t expected_calibration);
+
+/// Outcome of partition_snapshot().
+struct PartitionResult {
+  SnapshotError error = SnapshotError::kOk;
+  std::uint64_t records_in = 0;
+  std::vector<std::uint64_t> records_per_shard;
+  bool ok() const { return error == SnapshotError::kOk; }
+};
+
+/// Split one snapshot into `out_paths.size()` per-shard snapshot files:
+/// each record lands in the file whose index is
+/// `shard_owner(hash_key(record.key), out_paths.size())` — the same
+/// consistent-hash ranges the router scatters by, so shard file i warms
+/// exactly the keys `maia_serve --shard i/N` will be asked.  The source
+/// file is fully validated first (against its own stored calibration,
+/// which every output preserves); on any error nothing useful is written.
+PartitionResult partition_snapshot(const std::string& in_path,
+                                   std::span<const std::string> out_paths);
 
 }  // namespace maia::svc

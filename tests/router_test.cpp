@@ -1,0 +1,521 @@
+// Tests for the scale-out shard router (src/net/router, src/svc/sharding):
+// consistent-hash shard-map properties, scatter/gather merge byte-identity
+// against the serial engine, the calibration-fingerprint admission
+// handshake, `--shard` range enforcement answering typed WRONG_SHARD,
+// strict-mode advertisement validation, failover re-spray when a backend
+// dies mid-fleet (and reconnect when it returns), offline snapshot
+// partitioning, and a RouterPool drain-under-load soak (run under TSan in
+// CI).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/registry.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "perf/signature.hpp"
+#include "svc/engine.hpp"
+#include "svc/sharding.hpp"
+#include "svc/snapshot.hpp"
+
+namespace maia::net {
+namespace {
+
+// ------------------------------------------------------------- fixtures ---
+
+perf::KernelSignature test_kernel(double flops, double bytes) {
+  perf::KernelSignature s;
+  s.name = "router-test";
+  s.flops = flops;
+  s.dram_bytes = bytes;
+  s.vector_fraction = 0.9;
+  return s;
+}
+
+svc::QueryEngine make_engine(bool extra_kernel = false) {
+  svc::QueryEngine engine(arch::maia_node(), {});
+  engine.register_kernel(test_kernel(1e11, 1e8));
+  engine.register_kernel(test_kernel(1e9, 1e10));
+  if (extra_kernel) engine.register_kernel(test_kernel(5e10, 5e9));
+  return engine;
+}
+
+std::vector<svc::Query> random_batch(std::uint32_t seed, std::size_t n) {
+  std::mt19937 rng(seed);
+  const arch::DeviceId devices[] = {arch::DeviceId::kHost,
+                                    arch::DeviceId::kPhi0,
+                                    arch::DeviceId::kPhi1};
+  std::vector<svc::Query> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng() % 3) {
+      case 0: {
+        svc::ExecQuery q;
+        q.kernel = static_cast<std::uint16_t>(rng() % 3);
+        q.device = devices[rng() % 3];
+        q.threads = static_cast<std::uint16_t>(rng() % 300);
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+      case 1: {
+        svc::CollectiveQuery q;
+        q.op = static_cast<svc::CollectiveOp>(rng() % 10);
+        q.device = devices[rng() % 3];
+        q.ranks = static_cast<std::uint16_t>(rng() % 300);
+        q.message_bytes = sim::Bytes{1} << (rng() % 20);
+        q.stack = (rng() % 2) ? fabric::SoftwareStack::kPreUpdate
+                              : fabric::SoftwareStack::kPostUpdate;
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+      default: {
+        svc::LatencyQuery q;
+        q.device = devices[rng() % 3];
+        q.working_set = sim::Bytes{1024} << (rng() % 6);
+        q.iterations = static_cast<std::uint16_t>(rng() % 3);
+        batch.push_back(svc::Query::of(q));
+        break;
+      }
+    }
+  }
+  return batch;
+}
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/maia_router_test." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// RAII backend: a Server over its own engine on a unique socket path,
+/// optionally shard-configured or deliberately calibration-divergent.
+struct Backend {
+  svc::QueryEngine engine;
+  ServerConfig config;
+  std::unique_ptr<Server> server;
+
+  explicit Backend(int shard_index = 0, int shard_count = 0,
+                   bool extra_kernel = false)
+      : engine(make_engine(extra_kernel)) {
+    config.socket_path = unique_socket_path();
+    config.workers = 2;
+    config.shard_index = shard_index;
+    config.shard_count = shard_count;
+    server = std::make_unique<Server>(engine, config);
+    std::string error;
+    EXPECT_TRUE(server->start(&error)) << error;
+  }
+
+  ~Backend() { drain(); ::unlink(config.socket_path.c_str()); }
+
+  void drain() {
+    if (server != nullptr && server->running()) {
+      server->request_drain();
+      server->wait();
+    }
+  }
+
+  /// Bring the same socket path back up (reconnect tests).
+  void restart() {
+    drain();
+    server = std::make_unique<Server>(engine, config);
+    std::string error;
+    ASSERT_TRUE(server->start(&error)) << error;
+  }
+};
+
+RouterConfig config_for(std::initializer_list<const Backend*> backends) {
+  RouterConfig config;
+  for (const Backend* b : backends) {
+    config.backends.push_back(b->config.socket_path);
+  }
+  return config;
+}
+
+// ------------------------------------------------------------ shard map ---
+
+TEST(ShardMapTest, RangesPartitionTheHashSpace) {
+  for (const std::size_t count : {1u, 2u, 3u, 5u, 8u, 13u, 240u}) {
+    std::uint64_t expected_lo = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const svc::ShardRange range = svc::shard_range(i, count);
+      EXPECT_EQ(range.lo, expected_lo) << "gap before shard " << i << "/"
+                                       << count;
+      EXPECT_GE(range.hi, range.lo);
+      // Boundary hashes land exactly where the range says they do.
+      EXPECT_EQ(svc::shard_owner(range.lo, count), i);
+      EXPECT_EQ(svc::shard_owner(range.hi, count), i);
+      if (range.lo > 0) {
+        EXPECT_EQ(svc::shard_owner(range.lo - 1, count), i - 1);
+      }
+      expected_lo = range.hi + 1;
+    }
+    EXPECT_EQ(svc::shard_range(count - 1, count).hi, ~0ull);
+  }
+}
+
+TEST(ShardMapTest, OwnerAgreesWithRangeMembership) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t h = rng();
+    for (const std::size_t count : {2u, 3u, 7u}) {
+      const std::size_t owner = svc::shard_owner(h, count);
+      ASSERT_LT(owner, count);
+      EXPECT_TRUE(svc::in_shard(h, owner, count));
+      const svc::ShardRange range = svc::shard_range(owner, count);
+      EXPECT_GE(h, range.lo);
+      EXPECT_LE(h, range.hi);
+    }
+  }
+}
+
+TEST(ShardMapTest, FailoverSpraySpreadsADeadRange) {
+  // Keys from ONE dead shard's contiguous range must land on every
+  // survivor after the remix, not pile up on a neighbour.
+  constexpr std::size_t kCount = 3;
+  const svc::ShardRange dead = svc::shard_range(1, kCount);
+  std::vector<std::size_t> hits(kCount, 0);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t h = dead.lo + rng() % (dead.hi - dead.lo);
+    const std::uint64_t sprayed = svc::failover_spray(h);
+    EXPECT_EQ(sprayed, svc::failover_spray(h)) << "spray must be deterministic";
+    ++hits[svc::shard_owner(sprayed, kCount)];
+  }
+  for (std::size_t s = 0; s < kCount; ++s) {
+    EXPECT_GT(hits[s], 30000 / (kCount * 4))
+        << "shard " << s << " starved by the respray remix";
+  }
+}
+
+// ----------------------------------------------------- scatter / gather ---
+
+TEST(RouterTest, MergesByIndexIdenticalToSerial) {
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  Router router(engine, config_for({&b0, &b1}));
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+  EXPECT_FALSE(router.strict_sharding());
+
+  const std::vector<svc::Query> batch = random_batch(101, 3000);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+
+  svc::BatchResults routed;
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+
+  // Both backends actually took traffic (3000 hashed keys cannot all land
+  // in one half of the hash space).
+  const RouterStats stats = router.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_GT(stats.backends[0].queries, 0u);
+  EXPECT_GT(stats.backends[1].queries, 0u);
+  EXPECT_EQ(stats.backends[0].queries + stats.backends[1].queries, 3000u);
+  EXPECT_EQ(stats.resprayed, 0u);
+  EXPECT_FALSE(stats.degraded);
+}
+
+TEST(RouterTest, EmptyAndSingleQueryBatches) {
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  Router router(engine, config_for({&b0, &b1}));
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+
+  svc::BatchResults out;
+  ASSERT_EQ(router.evaluate({}, out), WireError::kOk);
+  EXPECT_EQ(out.size(), 0u);
+
+  const std::vector<svc::Query> one = random_batch(5, 1);
+  svc::BatchResults reference;
+  engine.evaluate_serial(one, reference);
+  ASSERT_EQ(router.evaluate(one, out), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(reference));
+}
+
+TEST(RouterTest, SubBatchPipeliningPreservesOrder) {
+  // Force many pipelined frames per backend: 8 queries per frame over a
+  // 500-query batch exercises the id-matched gather path hard.
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  RouterConfig config = config_for({&b0, &b1});
+  config.max_subbatch = 8;
+  Router router(engine, config);
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+
+  const std::vector<svc::Query> batch = random_batch(77, 500);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  svc::BatchResults routed;
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+}
+
+// ------------------------------------------------- admission handshake ---
+
+TEST(RouterTest, CalibrationMismatchRejectedAtAdmission) {
+  Backend good(0, 0, /*extra_kernel=*/false);
+  Backend diverged(0, 0, /*extra_kernel=*/true);
+  ASSERT_NE(good.engine.calibration_hash(), diverged.engine.calibration_hash());
+
+  svc::QueryEngine engine = make_engine();
+  Router router(engine, config_for({&good, &diverged}));
+  std::string error;
+  EXPECT_FALSE(router.connect(&error));
+  EXPECT_NE(error.find("calibration mismatch"), std::string::npos) << error;
+}
+
+// --------------------------------------------------- shard enforcement ---
+
+TEST(RouterTest, ShardedServerAnswersWrongShardTyped) {
+  Backend owner_of_one(1, 2);
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(owner_of_one.config.socket_path, &error)) << error;
+
+  // Split a batch by the key range the server owns.
+  const std::vector<svc::Query> batch = random_batch(42, 200);
+  std::vector<svc::Query> in_range, out_of_range;
+  for (const svc::Query& q : batch) {
+    const std::uint64_t h = svc::hash_key(owner_of_one.engine.key_of(q));
+    (svc::in_shard(h, 1, 2) ? in_range : out_of_range).push_back(q);
+  }
+  ASSERT_FALSE(in_range.empty());
+  ASSERT_FALSE(out_of_range.empty());
+
+  std::vector<WireResult> results;
+  EXPECT_EQ(client.evaluate(in_range, results).error, WireError::kOk);
+  EXPECT_EQ(results.size(), in_range.size());
+
+  // A single foreign key poisons the whole batch with the typed code — a
+  // routing bug must never be half-answered.
+  std::vector<svc::Query> mixed = in_range;
+  mixed.push_back(out_of_range.front());
+  EXPECT_EQ(client.evaluate(mixed, results).error, WireError::kWrongShard);
+  EXPECT_EQ(owner_of_one.server->stats().wrong_shard, 1u);
+}
+
+TEST(RouterTest, StrictShardPairRoutesWithoutWrongShard) {
+  Backend s0(0, 2), s1(1, 2);
+  svc::QueryEngine engine = make_engine();
+  Router router(engine, config_for({&s0, &s1}));
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+  EXPECT_TRUE(router.strict_sharding());
+
+  const std::vector<svc::Query> batch = random_batch(303, 2000);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  svc::BatchResults routed;
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+
+  // The router's scatter agreed with both servers' range enforcement.
+  EXPECT_EQ(s0.server->stats().wrong_shard, 0u);
+  EXPECT_EQ(s1.server->stats().wrong_shard, 0u);
+}
+
+TEST(RouterTest, StrictAdvertisementMustFormAPermutation) {
+  {
+    // Two backends claiming the same shard of 2: rejected.
+    Backend a(0, 2), b(0, 2);
+    svc::QueryEngine engine = make_engine();
+    Router router(engine, config_for({&a, &b}));
+    std::string error;
+    EXPECT_FALSE(router.connect(&error));
+    EXPECT_NE(error.find("shard"), std::string::npos) << error;
+  }
+  {
+    // Mixing a sharded backend with an unsharded one: rejected.
+    Backend a(0, 2), b;
+    svc::QueryEngine engine = make_engine();
+    Router router(engine, config_for({&a, &b}));
+    std::string error;
+    EXPECT_FALSE(router.connect(&error));
+    EXPECT_NE(error.find("shard"), std::string::npos) << error;
+  }
+  {
+    // A 2-shard fleet needs exactly 2 backends.
+    Backend a(0, 3), b(1, 3);
+    svc::QueryEngine engine = make_engine();
+    Router router(engine, config_for({&a, &b}));
+    std::string error;
+    EXPECT_FALSE(router.connect(&error));
+    EXPECT_NE(error.find("shard"), std::string::npos) << error;
+  }
+}
+
+// -------------------------------------------------------------- failover ---
+
+TEST(RouterTest, ReSpraysDeadBackendAndReconnects) {
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  Router router(engine, config_for({&b0, &b1}));
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+
+  const std::vector<svc::Query> batch = random_batch(909, 1500);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+
+  svc::BatchResults routed;
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+  EXPECT_FALSE(router.degraded());
+
+  // Kill one backend; the batch must still complete, answered entirely by
+  // the survivor, and the degradation must be visible.
+  b1.drain();
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+  EXPECT_TRUE(router.degraded());
+  EXPECT_GT(router.stats().resprayed, 0u);
+
+  // Bring it back: the next batch reconnects and clears the degradation.
+  b1.restart();
+  ASSERT_EQ(router.evaluate(batch, routed), WireError::kOk);
+  EXPECT_TRUE(routed.bitwise_equal(reference));
+  EXPECT_FALSE(router.degraded());
+  const RouterStats stats = router.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_GE(stats.backends[1].reconnects, 1u);
+}
+
+TEST(RouterTest, NoFailoverFailsTheBatchWithDraining) {
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  RouterConfig config = config_for({&b0, &b1});
+  config.allow_failover = false;
+  Router router(engine, config);
+  std::string error;
+  ASSERT_TRUE(router.connect(&error)) << error;
+
+  b1.drain();
+  const std::vector<svc::Query> batch = random_batch(13, 800);
+  svc::BatchResults routed;
+  EXPECT_EQ(router.evaluate(batch, routed), WireError::kDraining);
+}
+
+// --------------------------------------------------- snapshot partition ---
+
+TEST(PartitionSnapshotTest, ConservesRecordsWithinShardRanges) {
+  svc::QueryEngine engine = make_engine();
+  const std::vector<svc::Query> batch = random_batch(55, 2000);
+  svc::BatchResults warm;
+  engine.evaluate(batch, warm);
+
+  const std::string dir =
+      "/tmp/maia_router_test." + std::to_string(::getpid()) + ".part";
+  const std::string full = dir + ".full";
+  const svc::SnapshotSaveResult saved = engine.save_snapshot(full);
+  ASSERT_TRUE(saved.ok());
+  ASSERT_GT(saved.records, 0u);
+
+  constexpr std::size_t kShards = 3;
+  std::vector<std::string> out_paths;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    out_paths.push_back(dir + "." + std::to_string(s));
+  }
+  const svc::PartitionResult split = svc::partition_snapshot(full, out_paths);
+  ASSERT_TRUE(split.ok()) << svc::snapshot_error_name(split.error);
+  EXPECT_EQ(split.records_in, saved.records);
+
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sum += split.records_per_shard[s];
+    std::ifstream is(out_paths[s], std::ios::binary);
+    ASSERT_TRUE(is.is_open());
+    const svc::SnapshotReadResult shard =
+        svc::read_snapshot(is, engine.calibration_hash());
+    ASSERT_TRUE(shard.ok()) << svc::snapshot_error_name(shard.error);
+    EXPECT_EQ(shard.records.size(), split.records_per_shard[s]);
+    // Every record landed in the range that shard owns — the property the
+    // `--shard` warm start depends on.
+    for (const svc::SnapshotRecord& r : shard.records) {
+      EXPECT_TRUE(svc::in_shard(svc::hash_key(r.key), s, kShards));
+    }
+  }
+  EXPECT_EQ(sum, split.records_in);
+
+  // A partitioned file is a valid warm start for a fresh engine.
+  svc::QueryEngine warmed = make_engine();
+  const svc::SnapshotLoadResult loaded = warmed.load_snapshot(out_paths[0]);
+  EXPECT_TRUE(loaded.ok()) << svc::snapshot_error_name(loaded.error);
+  EXPECT_EQ(loaded.records_loaded, split.records_per_shard[0]);
+
+  std::remove(full.c_str());
+  for (const std::string& p : out_paths) std::remove(p.c_str());
+}
+
+// ------------------------------------------------------------- pool soak ---
+
+TEST(RouterPoolTest, DrainUnderLoadSoakStaysByteIdentical) {
+  Backend b0, b1;
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&b0, &b1}), /*size=*/3);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  constexpr int kThreads = 3;
+  constexpr int kPostDrainIters = 6;
+  std::vector<std::vector<svc::Query>> batches;
+  std::vector<svc::BatchResults> references(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    batches.push_back(random_batch(1000 + static_cast<std::uint32_t>(t), 400));
+    engine.evaluate_serial(batches.back(), references[t]);
+  }
+
+  // Every thread soaks until it has completed several batches AFTER the
+  // backend kill below — so failover is guaranteed to be exercised, not
+  // raced past on a fast machine.
+  std::atomic<bool> backend_killed{false};
+  std::atomic<int> divergences{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      svc::BatchResults out;
+      for (int post = 0; post < kPostDrainIters;) {
+        const WireError rc = pool.evaluate(batches[t], out, 0);
+        if (rc != WireError::kOk) {
+          failures.fetch_add(1);
+        } else if (!out.bitwise_equal(references[t])) {
+          divergences.fetch_add(1);
+        }
+        if (backend_killed.load(std::memory_order_acquire)) ++post;
+      }
+    });
+  }
+  // Kill one backend while the pool is mid-soak: every in-flight and
+  // subsequent batch must still be answered, byte-identical, by failover.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b0.drain();
+  backend_killed.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(divergences.load(), 0);
+  const RouterStats stats = pool.stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GT(stats.resprayed, 0u);
+  EXPECT_GE(stats.batches,
+            static_cast<std::uint64_t>(kThreads) * kPostDrainIters);
+}
+
+}  // namespace
+}  // namespace maia::net
