@@ -65,6 +65,10 @@ void print_help(const char* argv0, std::FILE* out) {
       "                        maia_router, merged byte-identical)\n"
       "  --connections N       concurrent client connections (default: 4)\n"
       "  --batch N             queries per request frame (default: 4096)\n"
+      "  --frame-size N        small-frame load-gen mode: same as --batch N\n"
+      "                        but tagged as a frame-size point (the\n"
+      "                        coalescing sweep drives N in {16..4096});\n"
+      "                        emitted as \"frame_size\" in --json\n"
       "  --smoke               sample the thread axis 1-in-10 (~10^5\n"
       "                        queries instead of ~10^6)\n"
       "  --kernels K           restrict the slice to the first K NPB\n"
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   std::string socket_path = "maia.sock";
   int connections = 4;
   std::size_t batch = 4096;
+  bool frame_size_mode = false;
   int thread_step = 1;
   std::size_t kernel_limit = 0;
   std::uint32_t deadline_ms = 0;
@@ -116,6 +121,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = static_cast<std::size_t>(std::atol(need_value("--batch")));
       if (batch == 0) batch = 1;
+    } else if (std::strcmp(argv[i], "--frame-size") == 0) {
+      batch = static_cast<std::size_t>(std::atol(need_value("--frame-size")));
+      if (batch == 0) batch = 1;
+      frame_size_mode = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       thread_step = 10;
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
@@ -159,6 +168,10 @@ int main(int argc, char** argv) {
     std::printf("maia_client: %zu queries in %zu requests of <=%zu across %d "
                 "connections -> client-side fan-out over %zu backends\n",
                 n, chunks, batch, connections, backends.size());
+  }
+  if (frame_size_mode) {
+    std::printf("maia_client: small-frame mode (%zu queries per frame)\n",
+                batch);
   }
 
   // One transport per connection thread.  Direct mode uses a Client per
@@ -375,6 +388,7 @@ int main(int argc, char** argv) {
          << "  \"queries\": " << n << ",\n"
          << "  \"requests\": " << chunks << ",\n"
          << "  \"batch\": " << batch << ",\n"
+         << "  \"frame_size\": " << (frame_size_mode ? batch : 0) << ",\n"
          << "  \"connections\": " << connections << ",\n"
          << "  \"failed_requests\": " << failed << ",\n"
          << "  \"backpressure_retries\": " << retries << ",\n"

@@ -55,6 +55,13 @@ void print_help(const char* argv0, std::FILE* out) {
       "                       serial inside their worker)\n"
       "  --queue-depth N      admission queue bound; a full queue answers\n"
       "                       RETRY_LATER (default: 64)\n"
+      "  --coalesce N         continuous batching: stitch queued frames\n"
+      "                       into mega-batches of up to N queries\n"
+      "                       (default: 65536; 0 disables)\n"
+      "  --coalesce-linger-us T  max-linger deadline topping up a\n"
+      "                       below-target mega-batch (default: 200)\n"
+      "  --no-coalesce        shorthand for --coalesce 0 (evaluate one\n"
+      "                       frame per batch, the pre-coalescing path)\n"
       "  --cache N            LRU entries per engine shard (default: 32768)\n"
       "  --shards N           engine shard count (default: auto)\n"
       "  --shard I/N          serve only consistent-hash range I of N and\n"
@@ -99,6 +106,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
       server_config.admission_depth =
           static_cast<std::size_t>(std::atol(need_value("--queue-depth")));
+    } else if (std::strcmp(argv[i], "--coalesce") == 0) {
+      server_config.coalesce_max_queries =
+          static_cast<std::size_t>(std::atol(need_value("--coalesce")));
+    } else if (std::strcmp(argv[i], "--coalesce-linger-us") == 0) {
+      server_config.coalesce_linger_us = static_cast<std::uint32_t>(
+          std::atol(need_value("--coalesce-linger-us")));
+    } else if (std::strcmp(argv[i], "--no-coalesce") == 0) {
+      server_config.coalesce_max_queries = 0;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       engine_config.cache_capacity_per_shard =
           static_cast<std::size_t>(std::atol(need_value("--cache")));
@@ -170,6 +185,13 @@ int main(int argc, char** argv) {
   std::printf("maia_serve: listening on %s (%d workers, queue depth %zu)\n",
               server_config.socket_path.c_str(), server_config.workers,
               server_config.admission_depth);
+  if (server_config.coalesce_max_queries > 0) {
+    std::printf("maia_serve: coalescing up to %zu queries, %u us linger\n",
+                server_config.coalesce_max_queries,
+                server_config.coalesce_linger_us);
+  } else {
+    std::printf("maia_serve: coalescing disabled\n");
+  }
   if (server_config.shard_count > 0) {
     std::printf("maia_serve: serving shard %d/%d only\n",
                 server_config.shard_index, server_config.shard_count);
@@ -209,6 +231,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(engine_stats.cache_hits),
       static_cast<unsigned long long>(engine_stats.cache_misses),
       100.0 * engine_stats.hit_rate());
+  std::printf(
+      "  coalescing: %llu mega-batches stitched %llu frames; "
+      "bufpool %llu allocs, %llu reuses\n",
+      static_cast<unsigned long long>(stats.coalesced_batches),
+      static_cast<unsigned long long>(stats.coalesced_frames),
+      static_cast<unsigned long long>(stats.bufpool_allocations),
+      static_cast<unsigned long long>(stats.bufpool_reuses));
   if (!server_config.snapshot_out.empty()) {
     std::printf("  snapshot: %llu records -> %s\n",
                 static_cast<unsigned long long>(stats.snapshot_records),

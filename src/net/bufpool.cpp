@@ -1,0 +1,40 @@
+#include "net/bufpool.hpp"
+
+namespace maia::net {
+
+std::size_t BufPool::home_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+PooledBuf BufPool::acquire(std::size_t size) {
+  const std::size_t shard = home_shard();
+  std::vector<std::uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    if (!shards_[shard].free.empty()) {
+      buf = std::move(shards_[shard].free.back());
+      shards_[shard].free.pop_back();
+      cached_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (buf.capacity() >= size) {
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buf.resize(size);
+  return PooledBuf(std::move(buf), this, shard);
+}
+
+void BufPool::release(std::vector<std::uint8_t>&& data, std::size_t shard) {
+  if (data.capacity() == 0) return;  // nothing worth parking
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  if (shards_[shard].free.size() >= max_cached_) return;  // drop: freed here
+  shards_[shard].free.push_back(std::move(data));
+  cached_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace maia::net

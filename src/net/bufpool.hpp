@@ -1,0 +1,137 @@
+// Pooled byte-buffer arena for the zero-copy response path.
+//
+// Every response frame the server (and every sub-batch frame the router)
+// sends used to be a freshly heap-allocated vector that died as soon as
+// the kernel accepted the bytes.  BufPool recycles those vectors through
+// small sharded freelists so the steady state performs *zero* heap
+// allocations on the data plane: a worker acquires a buffer sized for the
+// frame, the encoder writes header + payload at their final offsets
+// (protocol.hpp `*_frame` helpers), the reactor flushes it with one
+// writev, and the RAII handle returns the storage to the pool.
+//
+// Two properties matter for the "no allocation after warmup" contract:
+//
+//  * Buffers return to the shard they were *acquired* from, not the shard
+//    of the releasing thread.  Workers acquire; the reactor releases after
+//    the flush.  Releasing into the reactor's shard would starve every
+//    worker freelist and the pool would allocate forever.
+//  * acquire() counts a reuse only when the recycled vector's capacity
+//    already covers the request; a fresh vector *or* a capacity growth
+//    counts as an allocation.  Tests assert the allocation counter stays
+//    flat across a warmed steady state.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace maia::net {
+
+class BufPool;
+
+/// Move-only RAII handle over a pooled byte buffer.  Destruction (or an
+/// explicit release()) parks the storage back in the pool's freelist.
+class PooledBuf {
+ public:
+  PooledBuf() = default;
+  PooledBuf(PooledBuf&& other) noexcept
+      : data_(std::move(other.data_)), pool_(other.pool_),
+        shard_(other.shard_) {
+    other.pool_ = nullptr;
+  }
+  PooledBuf& operator=(PooledBuf&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::move(other.data_);
+      pool_ = other.pool_;
+      shard_ = other.shard_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledBuf(const PooledBuf&) = delete;
+  PooledBuf& operator=(const PooledBuf&) = delete;
+  ~PooledBuf() { release(); }
+
+  /// The underlying storage; encoders resize/fill it in place.
+  std::vector<std::uint8_t>& bytes() { return data_; }
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Return the storage to the pool now (no-op for a moved-from or
+  /// default-constructed handle; unpooled storage is simply freed).
+  void release();
+
+ private:
+  friend class BufPool;
+  PooledBuf(std::vector<std::uint8_t>&& data, BufPool* pool,
+            std::size_t shard)
+      : data_(std::move(data)), pool_(pool), shard_(shard) {}
+
+  std::vector<std::uint8_t> data_;
+  BufPool* pool_ = nullptr;  ///< null = not pool-owned
+  std::size_t shard_ = 0;    ///< freelist the storage came from
+};
+
+struct BufPoolStats {
+  std::uint64_t allocations = 0;  ///< fresh buffer or capacity growth
+  std::uint64_t reuses = 0;       ///< served from a freelist, no growth
+  std::uint64_t cached = 0;       ///< buffers currently parked
+};
+
+/// Sharded freelist pool.  Thread-safe; a thread is pinned to one shard
+/// for its acquires (round-robin assignment on first use) so steady-state
+/// acquire/release cycles touch one lightly-contended mutex each.
+class BufPool {
+ public:
+  explicit BufPool(std::size_t max_cached_per_shard = 256)
+      : max_cached_(max_cached_per_shard) {}
+  BufPool(const BufPool&) = delete;
+  BufPool& operator=(const BufPool&) = delete;
+
+  /// A buffer resized to exactly `size` bytes (contents unspecified —
+  /// frame encoders overwrite every byte).
+  PooledBuf acquire(std::size_t size);
+
+  BufPoolStats stats() const {
+    BufPoolStats s;
+    s.allocations = allocations_.load(std::memory_order_relaxed);
+    s.reuses = reuses_.load(std::memory_order_relaxed);
+    s.cached = cached_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  friend class PooledBuf;
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::vector<std::uint8_t>> free;
+  };
+
+  void release(std::vector<std::uint8_t>&& data, std::size_t shard);
+  static std::size_t home_shard();
+
+  Shard shards_[kShards];
+  std::size_t max_cached_;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> cached_{0};
+};
+
+inline void PooledBuf::release() {
+  if (pool_ != nullptr) {
+    pool_->release(std::move(data_), shard_);
+    pool_ = nullptr;
+  }
+  data_.clear();
+}
+
+}  // namespace maia::net

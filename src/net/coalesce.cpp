@@ -1,0 +1,25 @@
+#include "net/coalesce.hpp"
+
+namespace maia::net {
+
+void CoalesceBuilder::clear() {
+  queries_.clear();
+  offsets_.clear();
+}
+
+std::size_t CoalesceBuilder::add(std::span<const svc::Query> queries) {
+  offsets_.push_back(queries_.size());
+  queries_.insert(queries_.end(), queries.begin(), queries.end());
+  return offsets_.size() - 1;
+}
+
+CoalesceBuilder::Slice CoalesceBuilder::slice(std::size_t i) const {
+  Slice s;
+  s.offset = offsets_[i];
+  const std::size_t end =
+      (i + 1 < offsets_.size()) ? offsets_[i + 1] : queries_.size();
+  s.count = end - s.offset;
+  return s;
+}
+
+}  // namespace maia::net

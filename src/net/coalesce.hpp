@@ -1,0 +1,59 @@
+// Continuous-batching support: stitch queries from many client frames
+// into one contiguous engine mega-batch, and remember each frame's slice
+// so its results can be scattered back to the owning connection.
+//
+// Why: the engine's blocked canonicalization + lock-free hit sweep only
+// approach peak throughput on large batches (millions of queries), but a
+// realistic many-client workload arrives as thousands of small frames.
+// Evaluating each frame alone pays full dispatch cost per frame and the
+// engine never saturates — the classic wide-machine occupancy problem.
+// Workers therefore drain the admission queue by coalescing frames up to
+// a target query count or a max-linger deadline (whichever first), run
+// ONE evaluation, and slice the results back per frame.
+//
+// Correctness rests on the engine's determinism contract: results land at
+// their original input index and are byte-identical to evaluate_serial for
+// ANY batch composition, so the slice [offset, offset+count) of a
+// mega-batch is exactly the response the frame would have gotten alone.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "svc/query.hpp"
+
+namespace maia::net {
+
+/// Accumulates per-frame query spans into one contiguous batch.  Not
+/// thread-safe; each evaluation worker owns one and reuses it across
+/// mega-batches (steady state allocates nothing once the vectors have
+/// grown to the high-water mark).
+class CoalesceBuilder {
+ public:
+  struct Slice {
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+
+  /// Forget all stitched frames; keeps capacity.
+  void clear();
+
+  /// Append one frame's queries; returns the frame's index for slice().
+  std::size_t add(std::span<const svc::Query> queries);
+
+  /// The stitched mega-batch, in admission order.
+  std::span<const svc::Query> queries() const { return queries_; }
+
+  std::size_t total_queries() const { return queries_.size(); }
+  std::size_t requests() const { return offsets_.size(); }
+
+  /// Where frame `i`'s queries (and thus its results) live in the batch.
+  Slice slice(std::size_t i) const;
+
+ private:
+  std::vector<svc::Query> queries_;
+  std::vector<std::size_t> offsets_;  ///< offsets_[i] = start of frame i
+};
+
+}  // namespace maia::net

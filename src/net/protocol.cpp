@@ -168,6 +168,68 @@ std::vector<std::uint8_t> encode_error(WireError code, std::uint32_t detail) {
   return payload;
 }
 
+void finish_frame(std::span<std::uint8_t> out, FrameType type,
+                  std::uint64_t request_id, std::uint32_t deadline_ms) {
+  std::uint8_t* p = out.data();
+  const std::size_t payload_len = out.size() - kHeaderBytes;
+  put_u32(p + 0, kMagic);
+  put_u16(p + 4, kProtocolVersion);
+  put_u16(p + 6, static_cast<std::uint16_t>(type));
+  put_u64(p + 8, request_id);
+  put_u32(p + 16, deadline_ms);
+  put_u32(p + 20, static_cast<std::uint32_t>(payload_len));
+  put_u32(p + 24, svc::crc32(p + kHeaderBytes, payload_len));
+  put_u32(p + 28, 0);  // reserved
+}
+
+void encode_batch_response_frame(std::uint64_t request_id,
+                                 std::span<const double> values,
+                                 std::span<const double> secondary,
+                                 std::span<const std::uint32_t> flags,
+                                 std::vector<std::uint8_t>& out) {
+  const std::size_t n = values.size();
+  out.resize(batch_response_frame_bytes(n));
+  std::uint8_t* payload = out.data() + kHeaderBytes;
+  put_u32(payload, static_cast<std::uint32_t>(n));
+  put_u32(payload + 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* p = payload + 8 + i * kWireResultBytes;
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[i], 8);
+    put_u64(p, bits);
+    std::memcpy(&bits, &secondary[i], 8);
+    put_u64(p + 8, bits);
+    put_u32(p + 16, flags[i]);
+    put_u32(p + 20, 0);
+  }
+  finish_frame(out, FrameType::kBatchResponse, request_id);
+}
+
+void encode_batch_request_frame(std::uint64_t request_id,
+                                std::uint32_t deadline_ms,
+                                std::span<const svc::Query> queries,
+                                std::vector<std::uint8_t>& out) {
+  const std::size_t n = queries.size();
+  out.resize(batch_request_frame_bytes(n));
+  std::uint8_t* payload = out.data() + kHeaderBytes;
+  put_u32(payload, static_cast<std::uint32_t>(n));
+  put_u32(payload + 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    put_query(payload + 8 + i * kWireQueryBytes, queries[i]);
+  }
+  finish_frame(out, FrameType::kBatchRequest, request_id, deadline_ms);
+}
+
+void encode_error_frame(std::uint64_t request_id, WireError code,
+                        std::uint32_t detail, std::vector<std::uint8_t>& out) {
+  out.resize(kHeaderBytes + 8);
+  std::uint8_t* payload = out.data() + kHeaderBytes;
+  put_u16(payload, static_cast<std::uint16_t>(code));
+  put_u16(payload + 2, 0);
+  put_u32(payload + 4, detail);
+  finish_frame(out, FrameType::kError, request_id);
+}
+
 std::vector<std::uint8_t> encode_stats(const WireStats& stats) {
   std::vector<std::uint8_t> payload(kWireStatsBytes);
   const std::uint64_t fields[] = {
@@ -241,6 +303,30 @@ std::optional<std::vector<WireResult>> decode_batch_response(
     out.push_back(r);
   }
   return out;
+}
+
+bool decode_batch_response_scatter(std::span<const std::uint8_t> payload,
+                                   std::span<const std::uint32_t> idx,
+                                   std::span<double> values,
+                                   std::span<double> secondary,
+                                   std::span<std::uint32_t> flags) {
+  if (payload.size() < 8) return false;
+  const std::uint32_t count = get_u32(payload.data());
+  if (payload.size() != 8 + static_cast<std::size_t>(count) * kWireResultBytes ||
+      count != idx.size()) {
+    return false;
+  }
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const std::uint32_t at = idx[j];
+    if (at >= values.size()) return false;
+    const std::uint8_t* p = payload.data() + 8 + j * kWireResultBytes;
+    std::uint64_t bits = get_u64(p);
+    std::memcpy(&values[at], &bits, 8);
+    bits = get_u64(p + 8);
+    std::memcpy(&secondary[at], &bits, 8);
+    flags[at] = get_u32(p + 16);
+  }
+  return true;
 }
 
 WireError decode_error(std::span<const std::uint8_t> payload,

@@ -129,6 +129,46 @@ std::vector<std::uint8_t> encode_batch_response(
 /// kError payload.
 std::vector<std::uint8_t> encode_error(WireError code, std::uint32_t detail = 0);
 
+// ------------------------------------------------ zero-copy frame encoding
+//
+// The allocating encode_* helpers above build a payload vector which
+// encode_frame() then copies behind a fresh header — two allocations and a
+// full payload memcpy per response.  The *_frame variants below write the
+// header and payload directly into a caller-provided buffer (typically a
+// pooled one, see bufpool.hpp) at their final framed offsets, computing
+// the CRC in place: the bytes written are the bytes sent.
+
+/// Exact on-the-wire size of a BatchResponse frame holding `n` records.
+inline constexpr std::size_t batch_response_frame_bytes(std::size_t n) {
+  return kHeaderBytes + 8 + n * kWireResultBytes;
+}
+/// Exact on-the-wire size of a BatchRequest frame holding `n` queries.
+inline constexpr std::size_t batch_request_frame_bytes(std::size_t n) {
+  return kHeaderBytes + 8 + n * kWireQueryBytes;
+}
+
+/// Write the 32-byte header into out[0..32) for a frame whose payload
+/// already occupies out[32..size()), computing the CRC over that payload.
+void finish_frame(std::span<std::uint8_t> out, FrameType type,
+                  std::uint64_t request_id, std::uint32_t deadline_ms = 0);
+
+/// Encode a complete BatchResponse frame into `out` (resized to fit).
+void encode_batch_response_frame(std::uint64_t request_id,
+                                 std::span<const double> values,
+                                 std::span<const double> secondary,
+                                 std::span<const std::uint32_t> flags,
+                                 std::vector<std::uint8_t>& out);
+
+/// Encode a complete BatchRequest frame into `out` (resized to fit).
+void encode_batch_request_frame(std::uint64_t request_id,
+                                std::uint32_t deadline_ms,
+                                std::span<const svc::Query> queries,
+                                std::vector<std::uint8_t>& out);
+
+/// Encode a complete kError frame into `out` (resized to fit).
+void encode_error_frame(std::uint64_t request_id, WireError code,
+                        std::uint32_t detail, std::vector<std::uint8_t>& out);
+
 /// One decoded result record of a BatchResponse.  Bit-exact: the doubles
 /// are the engine's bytes, so client-side memcmp against a local
 /// evaluate_serial() run is a meaningful identity check.
@@ -172,6 +212,17 @@ WireError decode_batch_request(std::span<const std::uint8_t> payload,
 /// Decode a BatchResponse payload; empty optional when malformed.
 std::optional<std::vector<WireResult>> decode_batch_response(
     std::span<const std::uint8_t> payload);
+
+/// Scatter-decode a BatchResponse payload: record `j` lands at `idx[j]`
+/// in the output lanes instead of position `j`, with no intermediate
+/// WireResult vector — the router's gather path.  Returns false when the
+/// payload is malformed, its count != idx.size(), or an index is out of
+/// range for the output lanes.
+bool decode_batch_response_scatter(std::span<const std::uint8_t> payload,
+                                   std::span<const std::uint32_t> idx,
+                                   std::span<double> values,
+                                   std::span<double> secondary,
+                                   std::span<std::uint32_t> flags);
 
 /// Decode a kError payload; kMalformed when the payload is not even a
 /// well-formed error frame.

@@ -53,16 +53,16 @@ struct Router::Backend {
   obs::Histogram subbatch_queries;
 };
 
-/// One pipelined request to one backend: the encoded frame (kept for
-/// RETRY_LATER resends), the original input indices it carries, and the
-/// retry budget left.
+/// One pipelined request to one backend: the encoded frame (a pooled
+/// buffer, kept alive for RETRY_LATER resends), the original input
+/// indices it carries, and the retry budget left.
 struct Router::SubBatch {
   std::size_t backend = 0;
   std::uint64_t id = 0;
   int retries_left = 0;
   bool done = false;
   std::vector<std::uint32_t> idx;
-  std::vector<std::uint8_t> frame;
+  PooledBuf frame;
 };
 
 Router::Router(svc::QueryEngine& engine, RouterConfig config)
@@ -277,12 +277,12 @@ WireError Router::evaluate(std::span<const svc::Query> queries,
         for (const std::uint32_t i : sub.idx) {
           gather_scratch_.push_back(queries[i]);
         }
-        FrameHeader header;
-        header.type = FrameType::kBatchRequest;
-        header.request_id = sub.id;
-        header.deadline_ms = deadline_ms;
-        sub.frame = encode_frame(header, encode_batch_request(gather_scratch_));
-        if (!backend.client.send_raw(sub.frame)) {
+        // In-place encode into a pooled buffer: no payload staging vector,
+        // no header+payload re-copy, zero steady-state allocation.
+        sub.frame = pool_.acquire(batch_request_frame_bytes(len));
+        encode_batch_request_frame(sub.id, deadline_ms, gather_scratch_,
+                                   sub.frame.bytes());
+        if (!backend.client.send_raw(sub.frame.bytes())) {
           mark_dead(backend);
           respray.insert(respray.end(),
                          idx.begin() + static_cast<std::ptrdiff_t>(off),
@@ -335,17 +335,12 @@ WireError Router::evaluate(std::span<const svc::Query> queries,
         if (sub == nullptr) continue;  // stale frame from an aborted batch
 
         if (frame->header.type == FrameType::kBatchResponse) {
-          const std::optional<std::vector<WireResult>> decoded =
-              decode_batch_response(frame->payload);
-          if (!decoded.has_value() || decoded->size() != sub->idx.size()) {
+          // Scatter-decode straight into the output lanes at the original
+          // input indices — no intermediate WireResult vector.
+          if (!decode_batch_response_scatter(frame->payload, sub->idx, values,
+                                             secondary, flags)) {
             fatal = WireError::kMalformed;
             break;
-          }
-          for (std::size_t j = 0; j < sub->idx.size(); ++j) {
-            const std::uint32_t i = sub->idx[j];
-            values[i] = (*decoded)[j].value;
-            secondary[i] = (*decoded)[j].secondary;
-            flags[i] = (*decoded)[j].flags;
           }
           MAIA_OBS_HISTOGRAM(backend.rtt_ns,
                              static_cast<double>(now_ns() - t_send));
@@ -368,7 +363,7 @@ WireError Router::evaluate(std::span<const svc::Query> queries,
           std::this_thread::sleep_for(std::chrono::microseconds(
               static_cast<std::uint64_t>(config_.backoff_us) *
               static_cast<std::uint64_t>(attempt + 1)));
-          if (!backend.client.send_raw(sub->frame)) {
+          if (!backend.client.send_raw(sub->frame.bytes())) {
             mark_dead(backend);
             for (SubBatch* pending : outstanding) {
               if (!pending->done) {

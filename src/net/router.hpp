@@ -34,6 +34,14 @@
 // RouterPool holds one Router per front-server worker plus a dedicated
 // stats channel, which is how the maia_router binary serves concurrent
 // clients.
+//
+// Data plane: sub-batch request frames are encoded in place into pooled
+// buffers (net/bufpool.hpp) — zero steady-state allocation on the scatter
+// path — and responses are scatter-decoded straight into the output lanes
+// with no intermediate record vector.  When the front server runs with
+// continuous batching, each mega-batch reaches evaluate() as ONE call, so
+// queries from many concurrent client frames ride the same sub-batches:
+// the fan-out tier coalesces for free.
 #pragma once
 
 #include <atomic>
@@ -46,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "net/bufpool.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "obs/obs.hpp"
@@ -135,6 +144,9 @@ class Router {
 
   svc::QueryEngine& engine_;
   RouterConfig config_;
+  /// Recycles sub-batch request frames (declared before any scratch that
+  /// could hold a PooledBuf so it is destroyed last).
+  BufPool pool_;
   std::vector<std::unique_ptr<Backend>> backends_;
   /// Maps a key's range index to the backend owning it (strict mode uses
   /// the advertised permutation; identity otherwise).

@@ -12,10 +12,22 @@
 //     explicit backpressure: the reactor answers RETRY_LATER immediately
 //     and drops nothing — a client that backs off and resends loses no
 //     work, and the queue depth bounds server memory under overload.
-//   * Workers pop batches, enforce the per-request deadline (a request
-//     that expired while queued gets DEADLINE_EXCEEDED, not a stale
-//     answer), run QueryEngine::evaluate, encode the response, push it to
-//     the connection's outbox, and wake the reactor through the pipe.
+//   * Workers drain the queue by *continuous batching*: a worker pops a
+//     frame, greedily stitches every queued frame with the same
+//     deadline_ms into one engine mega-batch (src/net/coalesce.hpp), tops
+//     it up for at most coalesce_linger_us while other admitted work is
+//     still in flight, runs ONE evaluation, and scatters each frame's
+//     result slice back to its connection.  Per-frame semantics are
+//     unchanged: the deadline is enforced both before and after the
+//     evaluation (a slow mega-batch cannot smuggle results past a frame's
+//     deadline), RETRY_LATER still answers a full queue, and each frame's
+//     bytes are identical to an uncoalesced evaluation (the engine's
+//     slice-composition guarantee).
+//   * Responses take a zero-copy path: workers encode each frame directly
+//     into a pooled buffer (src/net/bufpool.hpp) at its final framed
+//     offsets, the reactor flushes outboxes with one sendmsg/writev over
+//     many frames, and the buffer returns to the pool — the steady state
+//     allocates nothing per response.
 //
 // Graceful drain (request_drain(), typically from a SIGTERM handler —
 // async-signal-safe): the reactor closes and unlinks the listener, answers
@@ -47,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/bufpool.hpp"
 #include "net/protocol.hpp"
 #include "svc/engine.hpp"
 
@@ -66,6 +79,17 @@ struct ServerConfig {
   std::size_t max_payload_bytes = kDefaultMaxPayload;
   /// Forced-exit ceiling on drain (queue flush + outbox flush).
   std::uint32_t drain_timeout_ms = 30'000;
+  /// Continuous batching: a worker stitches queued frames sharing one
+  /// deadline_ms into a single engine mega-batch of up to this many
+  /// queries before evaluating.  0 disables coalescing (one frame per
+  /// evaluation, the pre-PR-9 behavior).
+  std::size_t coalesce_max_queries = 65536;
+  /// Max-linger deadline: how long a worker tops up a below-target
+  /// mega-batch waiting for more frames.  The wait self-cancels as soon
+  /// as no other admitted work exists (every outstanding frame is already
+  /// in the batch), so an idle or request-response workload never pays
+  /// it.  0 = flush immediately after the greedy drain.
+  std::uint32_t coalesce_linger_us = 200;
   /// When nonempty, save a cache snapshot here at the end of drain.
   std::string snapshot_out;
   /// Optional pool for intra-batch parallelism inside evaluate(); null
@@ -107,6 +131,10 @@ struct ServerStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t snapshot_records = 0;  ///< records persisted by drain
+  std::uint64_t coalesced_batches = 0;  ///< evaluations stitching >= 2 frames
+  std::uint64_t coalesced_frames = 0;   ///< frames answered by those
+  std::uint64_t bufpool_allocations = 0;  ///< response buffers heap-allocated
+  std::uint64_t bufpool_reuses = 0;       ///< response buffers recycled
 };
 
 class Server {
@@ -159,6 +187,7 @@ class Server {
   bool handle_readable(const std::shared_ptr<Conn>& conn);
   bool flush_writable(Conn& conn);
   void dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  void enqueue_out(Conn& conn, PooledBuf&& buf);
   void send_frame(Conn& conn, FrameType type, std::uint64_t request_id,
                   std::span<const std::uint8_t> payload);
   void send_error(Conn& conn, std::uint64_t request_id, WireError code,
@@ -169,6 +198,10 @@ class Server {
 
   svc::QueryEngine& engine_;
   ServerConfig config_;
+
+  // Declared before the connection table and threads so it is destroyed
+  // after every PooledBuf still parked in an outbox has returned.
+  BufPool pool_;
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
@@ -205,6 +238,8 @@ class Server {
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<std::uint64_t> snapshot_records_{0};
+  std::atomic<std::uint64_t> coalesced_batches_{0};
+  std::atomic<std::uint64_t> coalesced_frames_{0};
 
   mutable std::mutex wait_mutex_;
   std::condition_variable wait_cv_;

@@ -27,6 +27,13 @@
 // of the canonical query, and a cache hit replays the exact bits a fresh
 // computation would produce.  tests/svc_test.cpp enforces it on randomized
 // batches.
+//
+// A corollary the serving tier leans on: because results are positional
+// and composition-independent, any contiguous slice of a batch's results
+// (BatchResults::slice) equals the result of evaluating just those
+// queries.  The server's continuous batching stitches many client frames
+// into one mega-batch on this guarantee and scatters the slices back
+// per frame, byte-identical to per-frame evaluation.
 #pragma once
 
 #include <array>

@@ -5,9 +5,12 @@
 // survives), and the live server over a real unix socket — byte-identity
 // against the serial engine, admission-queue backpressure (RETRY_LATER,
 // never a silent drop), per-request deadlines, stale-socket startup
-// robustness, graceful drain with snapshot-on-shutdown, and a
-// multi-client concurrent soak (run under TSan in CI) including
-// drain-under-load.
+// robustness, graceful drain with snapshot-on-shutdown, continuous
+// batching (interleaved connections stitched into one mega-batch with
+// byte-identical per-frame slices, linger flush promptness, post-eval
+// deadline re-check, buffer-pool reuse), and multi-client concurrent
+// soaks (run under TSan in CI) including drain-under-load with and
+// without coalescing.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -653,6 +656,172 @@ TEST(ServerTest, GracefulDrainFlushesInFlightAndSavesSnapshot) {
   ::unlink(snapshot_path.c_str());
 }
 
+// -------------------------------------------------- continuous batching ---
+
+TEST(CoalesceTest, InterleavedConnectionsGetByteIdenticalSlices) {
+  // Four connections, four different-size frames, all admitted while the
+  // workers are frozen — the single worker must stitch them into one
+  // mega-batch on resume, and every connection must still get exactly its
+  // own slice, byte-identical to a standalone serial evaluation.
+  ServerConfig config;
+  config.workers = 1;
+  config.admission_depth = 16;
+  TestServer ts(config);
+  ts.server->pause_workers();
+
+  constexpr int kConns = 4;
+  std::vector<Client> clients(kConns);
+  std::vector<std::vector<svc::Query>> workloads;
+  for (int c = 0; c < kConns; ++c) {
+    ts.connect(clients[c]);
+    workloads.push_back(random_batch(
+        test::case_seed(121) + static_cast<std::uint32_t>(c),
+        48 + 16 * static_cast<std::size_t>(c)));
+  }
+  for (int c = 0; c < kConns; ++c) {
+    ASSERT_TRUE(clients[c].send_raw(encode_frame(
+        batch_header(900 + static_cast<std::uint64_t>(c)),
+        encode_batch_request(workloads[c]))));
+  }
+  // Give the reactor (which keeps running while workers are paused) time
+  // to admit all four frames into the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ts.server->resume_workers();
+
+  for (int c = 0; c < kConns; ++c) {
+    std::optional<Frame> response =
+        clients[c].read_response(900 + static_cast<std::uint64_t>(c));
+    ASSERT_TRUE(response.has_value()) << c;
+    ASSERT_EQ(response->header.type, FrameType::kBatchResponse) << c;
+    const auto decoded = decode_batch_response(response->payload);
+    ASSERT_TRUE(decoded.has_value()) << c;
+    svc::BatchResults reference;
+    ts.engine.evaluate_serial(workloads[c], reference);
+    expect_identical(*decoded, reference);
+  }
+  const ServerStats stats = ts.server->stats();
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_GE(stats.coalesced_batches, 1u);
+  EXPECT_GE(stats.coalesced_frames, 2u);
+}
+
+TEST(CoalesceTest, LoneAndPipelinedFramesFlushWithoutLingerStall) {
+  // An absurd linger budget must never delay a frame that has nothing to
+  // coalesce with: a lone frame flushes immediately (the linger only arms
+  // once a batch holds >= 2 frames), and a pipelined burst flushes as soon
+  // as every admitted frame is aboard.
+  ServerConfig config;
+  config.workers = 2;
+  config.coalesce_max_queries = 65536;
+  config.coalesce_linger_us = 500'000;  // 500 ms: a stall would be obvious
+  TestServer ts(config);
+  Client client;
+  ts.connect(client);
+  const std::vector<svc::Query> queries = random_batch(test::case_seed(123), 8);
+  svc::BatchResults reference;
+  ts.engine.evaluate_serial(queries, reference);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<WireResult> results;
+  ASSERT_TRUE(client.evaluate(queries, results).ok());
+  const double lone_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  expect_identical(results, reference);
+  EXPECT_LT(lone_ms, 250.0) << "a lone frame waited for the linger deadline";
+
+  const std::vector<std::uint8_t> payload = encode_batch_request(queries);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const std::uint64_t id : {911ull, 912ull, 913ull}) {
+    ASSERT_TRUE(client.send_raw(encode_frame(batch_header(id), payload)));
+  }
+  for (const std::uint64_t id : {911ull, 912ull, 913ull}) {
+    std::optional<Frame> response = client.read_response(id);
+    ASSERT_TRUE(response.has_value()) << id;
+    ASSERT_EQ(response->header.type, FrameType::kBatchResponse) << id;
+    const auto decoded = decode_batch_response(response->payload);
+    ASSERT_TRUE(decoded.has_value());
+    expect_identical(*decoded, reference);
+  }
+  const double burst_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t1)
+          .count();
+  EXPECT_LT(burst_ms, 250.0) << "a pipelined burst waited for the linger";
+}
+
+TEST(CoalesceTest, DeadlineRecheckedAfterEvaluation) {
+  // A mega-batch that evaluates slowly must not smuggle results past a
+  // frame's deadline: the deadline is re-checked AFTER the coalesced
+  // evaluation, and an expired frame gets the typed timeout even though
+  // its slice was computed.
+  ServerConfig config;
+  config.workers = 1;
+  config.evaluator = [](std::span<const svc::Query> queries,
+                        svc::BatchResults& out,
+                        std::uint32_t) -> WireError {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    out.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out.values_mut()[i] = static_cast<double>(i);
+      out.secondary_mut()[i] = 0.5;
+      out.flags_mut()[i] = 0;
+    }
+    return WireError::kOk;
+  };
+  TestServer ts(config);
+  Client client;
+  ts.connect(client);
+  const std::vector<svc::Query> queries = random_batch(test::case_seed(125), 4);
+
+  // Deadline far above queue latency but far below the evaluation time:
+  // the pre-evaluation check passes, the post-evaluation re-check fires.
+  ASSERT_TRUE(client.send_raw(encode_frame(batch_header(921, /*deadline_ms=*/30),
+                                           encode_batch_request(queries))));
+  std::optional<Frame> response = client.read_response(921);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->header.type, FrameType::kError);
+  EXPECT_EQ(decode_error(response->payload), WireError::kDeadlineExceeded);
+  EXPECT_EQ(ts.server->stats().timed_out, 1u);
+  EXPECT_EQ(ts.server->stats().served, 0u);
+
+  // Without a deadline the same slow evaluator serves its stub results.
+  std::vector<WireResult> results;
+  ASSERT_TRUE(client.evaluate(queries, results).ok());
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double expected = static_cast<double>(i);
+    EXPECT_EQ(std::memcmp(&results[i].value, &expected, 8), 0) << i;
+  }
+  EXPECT_EQ(ts.server->stats().served, 1u);
+}
+
+TEST(CoalesceTest, BufferPoolReusesAfterWarmup) {
+  // The zero-copy response path must hit zero steady-state allocation:
+  // after a few same-shaped frames warm the buffer pool, further frames
+  // recycle buffers (reuse counter grows, allocation counter is flat).
+  ServerConfig config;
+  config.workers = 1;
+  TestServer ts(config);
+  Client client;
+  ts.connect(client);
+  const std::vector<svc::Query> queries = random_batch(test::case_seed(127), 64);
+  std::vector<WireResult> results;
+  for (int warm = 0; warm < 8; ++warm) {
+    ASSERT_TRUE(client.evaluate(queries, results).ok());
+  }
+
+  const ServerStats warmed = ts.server->stats();
+  for (int round = 0; round < 16; ++round) {
+    ASSERT_TRUE(client.evaluate(queries, results).ok());
+  }
+  const ServerStats after = ts.server->stats();
+  EXPECT_EQ(after.bufpool_allocations, warmed.bufpool_allocations)
+      << "steady-state frames still allocated";
+  EXPECT_GE(after.bufpool_reuses, warmed.bufpool_reuses + 16);
+}
+
 // A soak with N concurrent clients hammering one server — byte-identity
 // for every response, then a drain under load that must neither drop an
 // admitted request nor deadlock.  Runs under TSan in CI.
@@ -732,6 +901,82 @@ TEST(ServerSoakTest, ConcurrentClientsStayByteIdenticalThroughDrain) {
 
   // Every admitted request was answered: served + rejected + timed out +
   // refused-during-drain accounts for every batch frame that arrived.
+  const ServerStats stats = ts.server->stats();
+  EXPECT_EQ(stats.served, completed.load() + stats.timed_out);
+}
+
+// The same drain-under-load soak with coalescing forced on and frames
+// small enough that mega-batches really stitch across connections: the
+// drain must still answer every admitted frame individually (no response
+// lost inside a half-built mega-batch), byte-identical.  Runs under TSan.
+TEST(ServerSoakTest, DrainUnderLoadWithCoalescingSmallFrames) {
+  constexpr int kClients = 4;
+  constexpr int kBatchesPerClient = 24;
+  constexpr std::size_t kBatchSize = 24;
+
+  ServerConfig config;
+  config.workers = 2;
+  config.admission_depth = 8;
+  config.coalesce_max_queries = 65536;
+  config.coalesce_linger_us = 200;
+  TestServer ts(config);
+
+  std::vector<std::vector<svc::Query>> workloads;
+  std::vector<svc::BatchResults> references(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workloads.push_back(random_batch(
+        test::case_seed(129) + static_cast<std::uint32_t>(c), kBatchSize));
+    ts.engine.evaluate_serial(workloads.back(), references[c]);
+  }
+
+  std::atomic<int> divergences{0};
+  std::atomic<int> transport_failures{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      std::string error;
+      if (!client.connect(ts.config.socket_path, &error)) {
+        transport_failures.fetch_add(1);
+        return;
+      }
+      std::vector<WireResult> results;
+      for (int b = 0; b < kBatchesPerClient; ++b) {
+        const ClientOutcome outcome =
+            client.evaluate_with_retry(workloads[c], results);
+        if (outcome.error == WireError::kDraining ||
+            outcome.error == WireError::kMalformed) {
+          break;  // server is shutting down under us — expected later
+        }
+        if (!outcome.ok()) {
+          transport_failures.fetch_add(1);
+          break;
+        }
+        const svc::BatchResults& reference = references[c];
+        bool same = results.size() == reference.size();
+        for (std::size_t i = 0; same && i < results.size(); ++i) {
+          same = std::memcmp(&results[i].value, &reference.values()[i], 8) == 0 &&
+                 std::memcmp(&results[i].secondary, &reference.secondary()[i],
+                             8) == 0 &&
+                 results[i].flags == reference.flags()[i];
+        }
+        if (!same) divergences.fetch_add(1);
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ts.server->request_drain();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ts.server->wait(), 0);
+
+  EXPECT_EQ(divergences.load(), 0);
+  EXPECT_EQ(transport_failures.load(), 0);
+  EXPECT_GT(completed.load(), 0u);
+
   const ServerStats stats = ts.server->stats();
   EXPECT_EQ(stats.served, completed.load() + stats.timed_out);
 }
