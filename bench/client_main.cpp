@@ -1,4 +1,5 @@
-// maia_client: drives a running maia_serve over its unix socket with
+// maia_client: drives a running maia_serve — over a unix or TCP socket
+// (--socket unix:/path | tcp:host:port | bare path) — with
 // sweep-grid slices and verifies the responses byte-for-byte against a
 // local serial evaluation of the same queries — the end-to-end identity
 // check for the whole wire path (encode -> server decode -> engine ->
@@ -58,9 +59,10 @@ void print_help(const char* argv0, std::FILE* out) {
       "the responses byte-identical to a local serial evaluation.\n"
       "\n"
       "options:\n"
-      "  --socket PATH         server socket (default: maia.sock)\n"
-      "  --backend PATH        fan out client-side across these backend\n"
-      "                        sockets instead (repeatable; implies the\n"
+      "  --socket ADDR         server endpoint: unix:/path, tcp:host:port,\n"
+      "                        or a bare unix path (default: maia.sock)\n"
+      "  --backend ADDR        fan out client-side across these backend\n"
+      "                        endpoints instead (repeatable; implies the\n"
       "                        consistent-hash scatter/gather of\n"
       "                        maia_router, merged byte-identical)\n"
       "  --connections N       concurrent client connections (default: 4)\n"

@@ -15,6 +15,13 @@
 //
 //   maia_router --partition-snapshot IN --shards N --out-prefix PREFIX
 //
+// Admin mode — live-rebalance a RUNNING router's fleet from N to M shards
+// (the M --backend flags name the NEW topology; the router pauses only the
+// moving hash ranges, streams their warm cache records to the new owners,
+// and flips the shard map atomically — no cold restart, no cache loss):
+//
+//   maia_router --rebalance N:M --socket FRONT --backend B0 ... --backend BM-1
+//
 // Every backend must pass the admission handshake (calibration hash +
 // shard-range advertisement) before the router starts serving.  A backend
 // dying later degrades the fleet (metrics-visible) but not the answers:
@@ -47,9 +54,11 @@ void handle_signal(int) {
 void print_help(const char* argv0, std::FILE* out) {
   std::fprintf(
       out,
-      "usage: %s --socket PATH --backend PATH [--backend PATH ...] [options]\n"
+      "usage: %s --socket ADDR --backend ADDR [--backend ADDR ...] [options]\n"
       "       %s --partition-snapshot IN --shards N --out-prefix PREFIX\n"
+      "       %s --rebalance N:M --socket FRONT --backend B0 .. --backend BM-1\n"
       "\n"
+      "Addresses are unix:/path, tcp:host:port, or bare unix paths.\n"
       "Scatter/gather router over N maia_serve backends: batches are\n"
       "partitioned by canonical-key hash, fanned out, and merged back\n"
       "byte-identical to a single-process answer.\n"
@@ -69,8 +78,12 @@ void print_help(const char* argv0, std::FILE* out) {
       "  --partition-snapshot IN  offline: split IN into per-shard files\n"
       "  --shards N               shard count for --partition-snapshot\n"
       "  --out-prefix PREFIX      output files PREFIX.0 .. PREFIX.N-1\n"
+      "  --rebalance N:M        admin: tell the RUNNING router at --socket\n"
+      "                         to move its N-shard fleet to the M\n"
+      "                         --backend addresses, live (warm caches\n"
+      "                         migrate, traffic keeps flowing)\n"
       "  --help                 show this help\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
 }
 
 int run_partition(const std::string& in_path, int shards,
@@ -105,6 +118,58 @@ int run_partition(const std::string& in_path, int shards,
   return 0;
 }
 
+int run_rebalance(const std::string& spec, const std::string& front,
+                  const std::vector<std::string>& backends) {
+  char* colon = nullptr;
+  const long n_old = std::strtol(spec.c_str(), &colon, 10);
+  long n_new = 0;
+  if (colon != nullptr && *colon == ':') {
+    n_new = std::strtol(colon + 1, nullptr, 10);
+  }
+  if (n_old < 0 || n_new <= 0) {
+    std::fprintf(stderr,
+                 "maia_router: --rebalance expects N:M with M > 0, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  if (backends.size() != static_cast<std::size_t>(n_new)) {
+    std::fprintf(stderr,
+                 "maia_router: --rebalance %s needs exactly %ld --backend "
+                 "flags (the NEW topology), got %zu\n",
+                 spec.c_str(), n_new, backends.size());
+    return 2;
+  }
+  maia::net::Client client;
+  std::string error;
+  if (!client.connect(front, &error)) {
+    std::fprintf(stderr, "maia_router: cannot reach router at %s: %s\n",
+                 front.c_str(), error.c_str());
+    return 1;
+  }
+  maia::net::RebalanceRequest req;
+  req.expect_old_count = static_cast<std::uint32_t>(n_old);
+  req.backends = backends;
+  const std::optional<maia::net::RebalanceReport> report =
+      client.rebalance(req);
+  if (!report.has_value()) {
+    std::fprintf(stderr,
+                 "maia_router: rebalance transport failure (router died?)\n");
+    return 1;
+  }
+  if (!report->ok()) {
+    std::fprintf(stderr, "maia_router: rebalance REFUSED (%s); fleet unchanged\n",
+                 maia::net::wire_error_name(report->code));
+    return 1;
+  }
+  std::printf(
+      "maia_router: rebalanced %ld -> %ld shards (epoch %llu, %u ranges "
+      "moved, %llu warm records streamed)\n",
+      n_old, n_new, static_cast<unsigned long long>(report->epoch),
+      report->moved_ranges,
+      static_cast<unsigned long long>(report->records_streamed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +183,7 @@ int main(int argc, char** argv) {
   std::string partition_in;
   std::string partition_prefix;
   int partition_shards = 0;
+  std::string rebalance_spec;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -129,6 +195,10 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--socket") == 0) {
       server_config.socket_path = need_value("--socket");
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      server_config.socket_path = need_value("--listen");
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      rebalance_spec = need_value("--rebalance");
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       router_config.backends.push_back(need_value("--backend"));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
@@ -171,6 +241,10 @@ int main(int argc, char** argv) {
       !partition_prefix.empty()) {
     return run_partition(partition_in, partition_shards, partition_prefix);
   }
+  if (!rebalance_spec.empty()) {
+    return run_rebalance(rebalance_spec, server_config.socket_path,
+                         router_config.backends);
+  }
 
   if (router_config.backends.empty()) {
     std::fprintf(stderr, "maia_router: at least one --backend is required\n");
@@ -201,6 +275,23 @@ int main(int argc, char** argv) {
   server_config.stats_augment = [&pool](net::WireStats& w) {
     pool.augment_stats(w);
   };
+  server_config.rebalance = [&pool](const net::RebalanceRequest& req) {
+    const net::RebalanceReport report = pool.rebalance(req);
+    if (report.ok()) {
+      std::printf(
+          "maia_router: rebalanced to %zu shards (epoch %llu, %u ranges "
+          "moved, %llu records streamed)\n",
+          req.backends.size(), static_cast<unsigned long long>(report.epoch),
+          report.moved_ranges,
+          static_cast<unsigned long long>(report.records_streamed));
+    } else {
+      std::printf("maia_router: rebalance ABORTED (%s); fleet unchanged\n",
+                  net::wire_error_name(report.code));
+    }
+    std::fflush(stdout);
+    return report;
+  };
+  server_config.log_accepts = true;
 
   net::Server server(engine, server_config);
   if (!server.start(&error)) {

@@ -1,6 +1,7 @@
 // maia_serve: the streaming prediction server.  Serves the svc::QueryEngine
-// over a unix-domain socket (src/net protocol) to any client that can speak
-// length-prefixed frames — including the dependency-free examples/client.py.
+// over a unix-domain or TCP socket (src/net protocol; --listen tcp:host:port
+// puts a fleet on a network) to any client that can speak length-prefixed
+// frames — including the dependency-free examples/client.py.
 //
 //   maia_serve --socket PATH [--workers N] [--eval-jobs N] [--queue-depth N]
 //              [--cache N] [--shards N] [--shard I/N] [--snapshot-in P]
@@ -46,9 +47,11 @@ void print_help(const char* argv0, std::FILE* out) {
       "cache snapshot is saved, and the process exits 0.\n"
       "\n"
       "options:\n"
-      "  --socket PATH        unix socket path (default: maia.sock);\n"
-      "                       a stale leftover socket is probed and\n"
+      "  --socket ADDR        listen endpoint: unix:/path, tcp:host:port,\n"
+      "                       or a bare unix path (default: maia.sock);\n"
+      "                       a stale leftover unix socket is probed and\n"
       "                       reclaimed, a live one refuses startup\n"
+      "  --listen ADDR        alias for --socket\n"
       "  --workers N          evaluation worker threads (default: 2)\n"
       "  --eval-jobs N        share one N-thread pool for intra-batch\n"
       "                       parallelism (default: off, batches run\n"
@@ -99,6 +102,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--socket") == 0) {
       server_config.socket_path = need_value("--socket");
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      server_config.socket_path = need_value("--listen");
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       server_config.workers = std::atoi(need_value("--workers"));
     } else if (std::strcmp(argv[i], "--eval-jobs") == 0) {
@@ -176,6 +181,7 @@ int main(int argc, char** argv) {
     server_config.eval_pool = eval_pool.get();
   }
 
+  server_config.log_accepts = true;
   net::Server server(engine, server_config);
   std::string error;
   if (!server.start(&error)) {

@@ -145,11 +145,25 @@ def sweep_slice(limit):
 
 
 class Client:
-    """Minimal synchronous protocol client over a unix-domain socket."""
+    """Minimal synchronous protocol client.
 
-    def __init__(self, path):
-        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self.sock.connect(path)
+    Accepts the same address schemes as the C++ tools: "unix:/path",
+    "tcp:host:port", or a bare unix-socket path.
+    """
+
+    def __init__(self, addr):
+        if addr.startswith("tcp:"):
+            host, _, port = addr[len("tcp:"):].rpartition(":")
+            if not host or not port.isdigit():
+                raise ProtocolError(f"bad tcp address: {addr}")
+            self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self.sock.connect((host, int(port)))
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        else:
+            if addr.startswith("unix:"):
+                addr = addr[len("unix:"):]
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.connect(addr)
         self.buffer = b""
         self.next_id = 1
 
@@ -238,7 +252,8 @@ def main():
         description="Replay a maia_sweep grid slice against maia_serve.")
     parser.add_argument("--socket",
                         default=os.environ.get("MAIA_SOCKET", "maia.sock"),
-                        help="unix socket path of a running maia_serve "
+                        help="maia_serve endpoint: unix:/path, tcp:host:port, "
+                             "or a bare unix path "
                              "(default: $MAIA_SOCKET, else maia.sock)")
     parser.add_argument("--batch", type=int, default=512,
                         help="queries per request frame (default: 512)")

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <thread>
 
+#include "net/transport.hpp"
+
 namespace maia::net {
 
 namespace {
@@ -42,26 +44,18 @@ Client::~Client() { close(); }
 
 bool Client::connect(const std::string& socket_path, std::string* error) {
   close();
-  sockaddr_un addr{};
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) *error = "socket path empty or too long";
+  Address addr;
+  std::string parse_err;
+  if (!parse_address(socket_path, addr, &parse_err)) {
+    if (error != nullptr) *error = parse_err;
     return false;
   }
-  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    if (error != nullptr) *error = std::string("socket(): ") + std::strerror(errno);
+  const TransportResult dialed = dial(addr);
+  if (!dialed.ok()) {
+    if (error != nullptr) *error = dialed.message;
     return false;
   }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) {
-      *error = "connect(" + socket_path + "): " + std::strerror(errno);
-    }
-    ::close(fd_);
-    fd_ = -1;
-    return false;
-  }
+  fd_ = dialed.fd;
   parser_ = FrameParser();
   return true;
 }
@@ -207,6 +201,76 @@ std::optional<WireStats> Client::stats() {
     return std::nullopt;
   }
   return decode_stats(response->payload);
+}
+
+std::optional<RebalanceReport> Client::rebalance(const RebalanceRequest& req,
+                                                 std::uint32_t deadline_ms) {
+  const std::uint64_t id = next_id();
+  const std::vector<std::uint8_t> payload = encode_rebalance_request(req);
+  if (!send_request(FrameType::kRebalance, id, payload, deadline_ms)) {
+    return std::nullopt;
+  }
+  const std::optional<Frame> response = read_response(id);
+  if (!response.has_value()) return std::nullopt;
+  if (response->header.type == FrameType::kError) {
+    // The front refused the frame itself (null handler, bad payload):
+    // surface it as a typed report rather than a transport failure.
+    RebalanceReport report;
+    report.code = decode_error(response->payload);
+    return report;
+  }
+  if (response->header.type != FrameType::kRebalanceDone) return std::nullopt;
+  return decode_rebalance_report(response->payload);
+}
+
+bool Client::shard_assign(std::uint32_t index, std::uint32_t count) {
+  const std::uint64_t id = next_id();
+  const std::vector<std::uint8_t> payload = encode_shard_assign(index, count);
+  if (!send_request(FrameType::kShardAssign, id, payload, 0)) return false;
+  const std::optional<Frame> response = read_response(id);
+  return response.has_value() &&
+         response->header.type == FrameType::kShardAssigned;
+}
+
+std::optional<std::vector<std::uint8_t>> Client::snapshot_fetch(
+    std::uint64_t lo, std::uint64_t hi, bool* too_large) {
+  if (too_large != nullptr) *too_large = false;
+  const std::uint64_t id = next_id();
+  const std::vector<std::uint8_t> payload = encode_snapshot_fetch(lo, hi);
+  if (!send_request(FrameType::kSnapshotFetch, id, payload, 0)) {
+    return std::nullopt;
+  }
+  const std::optional<Frame> response = read_response(id);
+  if (!response.has_value()) return std::nullopt;
+  if (response->header.type == FrameType::kError) {
+    if (too_large != nullptr &&
+        decode_error(response->payload) == WireError::kTooLarge) {
+      *too_large = true;
+    }
+    return std::nullopt;
+  }
+  if (response->header.type != FrameType::kSnapshotData) return std::nullopt;
+  return std::vector<std::uint8_t>(response->payload.begin(),
+                                   response->payload.end());
+}
+
+std::optional<std::uint64_t> Client::snapshot_install(
+    std::span<const std::uint8_t> image) {
+  const std::uint64_t id = next_id();
+  if (!send_request(FrameType::kSnapshotInstall, id, image, 0)) {
+    return std::nullopt;
+  }
+  const std::optional<Frame> response = read_response(id);
+  if (!response.has_value() ||
+      response->header.type != FrameType::kSnapshotInstalled ||
+      response->payload.size() != 8) {
+    return std::nullopt;
+  }
+  std::uint64_t records = 0;
+  for (int i = 0; i < 8; ++i) {
+    records |= static_cast<std::uint64_t>(response->payload[i]) << (8 * i);
+  }
+  return records;
 }
 
 }  // namespace maia::net

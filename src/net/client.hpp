@@ -1,5 +1,6 @@
-// Synchronous client for the streaming prediction server: one unix-socket
-// connection, blocking request/response in protocol.hpp frames.
+// Synchronous client for the streaming prediction server: one stream
+// connection ("unix:/path" or "tcp:host:port", see net/transport.hpp),
+// blocking request/response in protocol.hpp frames.
 //
 // A Client is deliberately dumb — it sends one frame, then reads frames
 // until one echoes the request id (matching by id keeps it correct even
@@ -38,7 +39,8 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to the server socket; false with a reason on failure.
+  /// Connect to a server endpoint: "unix:/path", "tcp:host:port", or a
+  /// bare unix path (back-compat).  False with a reason on failure.
   bool connect(const std::string& socket_path, std::string* error = nullptr);
   void close();
   bool connected() const { return fd_ >= 0; }
@@ -64,6 +66,30 @@ class Client {
 
   /// Server + engine counters (kStatsRequest).
   std::optional<WireStats> stats();
+
+  // Admin plane (live rebalance, see PROTOCOL.md).  All block until the
+  // matching response arrives; rebalance() can block for a whole fleet
+  // migration, so pass a generous deadline_ms.
+
+  /// Ask the router fleet to transition to req.backends.  Empty optional
+  /// on transport failure; otherwise the router's RebalanceReport (whose
+  /// .code carries orchestration failures).
+  std::optional<RebalanceReport> rebalance(const RebalanceRequest& req,
+                                           std::uint32_t deadline_ms = 0);
+
+  /// Re-range a backend to shard `index` of `count` (count 0 -> unsharded).
+  bool shard_assign(std::uint32_t index, std::uint32_t count);
+
+  /// Fetch the backend's resident cache records with key hash in [lo, hi]
+  /// as a snapshot image.  On kTooLarge the caller bisects; `too_large`
+  /// (when non-null) distinguishes that from a hard failure.
+  std::optional<std::vector<std::uint8_t>> snapshot_fetch(
+      std::uint64_t lo, std::uint64_t hi, bool* too_large = nullptr);
+
+  /// Install a snapshot image into the backend's caches; on success
+  /// returns the number of records newly loaded.
+  std::optional<std::uint64_t> snapshot_install(
+      std::span<const std::uint8_t> image);
 
   /// Send a pre-encoded raw frame (tests: malformed frames, truncation).
   bool send_raw(std::span<const std::uint8_t> bytes);

@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "svc/snapshot.hpp"  // svc::crc32 — shared CRC implementation
@@ -84,9 +85,17 @@ bool known_type(std::uint16_t t) {
     case FrameType::kBatchRequest:
     case FrameType::kPing:
     case FrameType::kStatsRequest:
+    case FrameType::kRebalance:
+    case FrameType::kShardAssign:
+    case FrameType::kSnapshotFetch:
+    case FrameType::kSnapshotInstall:
     case FrameType::kBatchResponse:
     case FrameType::kPong:
     case FrameType::kStatsResponse:
+    case FrameType::kRebalanceDone:
+    case FrameType::kShardAssigned:
+    case FrameType::kSnapshotData:
+    case FrameType::kSnapshotInstalled:
     case FrameType::kError:
       return true;
   }
@@ -257,6 +266,100 @@ std::optional<WireStats> decode_stats(std::span<const std::uint8_t> payload) {
     *fields[i] = get_u64(payload.data() + i * 8);
   }
   return s;
+}
+
+std::vector<std::uint8_t> encode_rebalance_request(const RebalanceRequest& req) {
+  std::size_t bytes = 8;
+  for (const std::string& b : req.backends) bytes += 2 + b.size();
+  std::vector<std::uint8_t> payload(bytes);
+  put_u32(payload.data(), req.expect_old_count);
+  put_u32(payload.data() + 4, static_cast<std::uint32_t>(req.backends.size()));
+  std::size_t off = 8;
+  for (const std::string& b : req.backends) {
+    put_u16(payload.data() + off, static_cast<std::uint16_t>(b.size()));
+    std::memcpy(payload.data() + off + 2, b.data(), b.size());
+    off += 2 + b.size();
+  }
+  return payload;
+}
+
+bool decode_rebalance_request(std::span<const std::uint8_t> payload,
+                              RebalanceRequest& out) {
+  out = RebalanceRequest{};
+  if (payload.size() < 8) return false;
+  out.expect_old_count = get_u32(payload.data());
+  const std::uint32_t count = get_u32(payload.data() + 4);
+  // The count is cross-checked against the bytes actually present as each
+  // entry is walked, so a hostile count cannot drive a huge allocation.
+  std::size_t off = 8;
+  out.backends.reserve(std::min<std::uint32_t>(count, 1024));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + 2 > payload.size()) return false;
+    const std::uint16_t len = get_u16(payload.data() + off);
+    off += 2;
+    if (len == 0 || off + len > payload.size()) return false;
+    out.backends.emplace_back(reinterpret_cast<const char*>(payload.data() + off),
+                              len);
+    off += len;
+  }
+  return off == payload.size();
+}
+
+std::vector<std::uint8_t> encode_rebalance_report(const RebalanceReport& report) {
+  std::vector<std::uint8_t> payload(24);
+  put_u32(payload.data(), static_cast<std::uint32_t>(report.code));
+  put_u32(payload.data() + 4, report.moved_ranges);
+  put_u64(payload.data() + 8, report.records_streamed);
+  put_u64(payload.data() + 16, report.epoch);
+  return payload;
+}
+
+std::optional<RebalanceReport> decode_rebalance_report(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() != 24) return std::nullopt;
+  RebalanceReport r;
+  const std::uint32_t code = get_u32(payload.data());
+  if (code > static_cast<std::uint32_t>(WireError::kWrongShard)) {
+    return std::nullopt;
+  }
+  r.code = static_cast<WireError>(code);
+  r.moved_ranges = get_u32(payload.data() + 4);
+  r.records_streamed = get_u64(payload.data() + 8);
+  r.epoch = get_u64(payload.data() + 16);
+  return r;
+}
+
+std::vector<std::uint8_t> encode_shard_assign(std::uint32_t shard_index,
+                                              std::uint32_t shard_count) {
+  std::vector<std::uint8_t> payload(8);
+  put_u32(payload.data(), shard_index);
+  put_u32(payload.data() + 4, shard_count);
+  return payload;
+}
+
+bool decode_shard_assign(std::span<const std::uint8_t> payload,
+                         std::uint32_t& shard_index,
+                         std::uint32_t& shard_count) {
+  if (payload.size() != 8) return false;
+  shard_index = get_u32(payload.data());
+  shard_count = get_u32(payload.data() + 4);
+  return shard_count == 0 || shard_index < shard_count;
+}
+
+std::vector<std::uint8_t> encode_snapshot_fetch(std::uint64_t lo,
+                                                std::uint64_t hi) {
+  std::vector<std::uint8_t> payload(16);
+  put_u64(payload.data(), lo);
+  put_u64(payload.data() + 8, hi);
+  return payload;
+}
+
+bool decode_snapshot_fetch(std::span<const std::uint8_t> payload,
+                           std::uint64_t& lo, std::uint64_t& hi) {
+  if (payload.size() != 16) return false;
+  lo = get_u64(payload.data());
+  hi = get_u64(payload.data() + 8);
+  return lo <= hi;
 }
 
 WireError decode_batch_request(std::span<const std::uint8_t> payload,

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "svc/query.hpp"
@@ -41,13 +42,25 @@ inline constexpr std::size_t kWireStatsBytes = 12 * 8;
 inline constexpr std::size_t kDefaultMaxPayload = 16u << 20;
 
 /// Frame types.  Requests have the high bit clear; responses set it.
+/// 0x0004-0x0007 are the fleet-admin plane (live rebalance): they ride the
+/// same framing and CRC rules as the data plane, and a server that cannot
+/// honour one answers a typed kError instead of dropping it.
 enum class FrameType : std::uint16_t {
   kBatchRequest = 0x0001,  ///< payload: u32 count, u32 rsvd, count WireQuery
   kPing = 0x0002,          ///< payload: empty
   kStatsRequest = 0x0003,  ///< payload: empty
+  kRebalance = 0x0004,     ///< -> router: u32 expect_old, u32 new_count,
+                           ///< then new_count x (u16 len, len addr bytes)
+  kShardAssign = 0x0005,   ///< -> backend: u32 shard_index, u32 shard_count
+  kSnapshotFetch = 0x0006, ///< -> backend: u64 lo, u64 hi (inclusive range)
+  kSnapshotInstall = 0x0007, ///< -> backend: svc snapshot image
   kBatchResponse = 0x8001, ///< payload: u32 count, u32 rsvd, count WireResult
   kPong = 0x8002,          ///< payload: empty
   kStatsResponse = 0x8003, ///< payload: WireStats
+  kRebalanceDone = 0x8004, ///< payload: RebalanceReport (24 bytes)
+  kShardAssigned = 0x8005, ///< payload: u32 shard_index, u32 shard_count echo
+  kSnapshotData = 0x8006,  ///< payload: svc snapshot image (range-filtered)
+  kSnapshotInstalled = 0x8007, ///< payload: u64 records newly loaded
   kError = 0x80ff,         ///< payload: u16 code, u16 rsvd, u32 detail
 };
 
@@ -200,6 +213,46 @@ struct WireStats {
 
 std::vector<std::uint8_t> encode_stats(const WireStats& stats);
 std::optional<WireStats> decode_stats(std::span<const std::uint8_t> payload);
+
+// ------------------------------------------------------- admin plane
+
+/// kRebalance request: transition the fleet behind a router to the given
+/// backend list.  `expect_old_count` guards against racing admins: when
+/// nonzero the router refuses unless its current fleet has exactly that
+/// many backends (the "N" of `--rebalance N:M`).
+struct RebalanceRequest {
+  std::uint32_t expect_old_count = 0;  ///< 0 = don't check
+  std::vector<std::string> backends;   ///< the new topology, in shard order
+};
+
+/// kRebalanceDone payload (24 bytes): the admin-visible outcome.
+struct RebalanceReport {
+  WireError code = WireError::kOk;
+  std::uint32_t moved_ranges = 0;        ///< maximal hash ranges that moved
+  std::uint64_t records_streamed = 0;    ///< warm records copied to new owners
+  std::uint64_t epoch = 0;               ///< shard-map epoch after the call
+  bool ok() const { return code == WireError::kOk; }
+};
+
+std::vector<std::uint8_t> encode_rebalance_request(const RebalanceRequest& req);
+bool decode_rebalance_request(std::span<const std::uint8_t> payload,
+                              RebalanceRequest& out);
+std::vector<std::uint8_t> encode_rebalance_report(const RebalanceReport& report);
+std::optional<RebalanceReport> decode_rebalance_report(
+    std::span<const std::uint8_t> payload);
+
+/// kShardAssign / kShardAssigned payload: u32 index, u32 count
+/// (count == 0 reverts the backend to unsharded, full-range service).
+std::vector<std::uint8_t> encode_shard_assign(std::uint32_t shard_index,
+                                              std::uint32_t shard_count);
+bool decode_shard_assign(std::span<const std::uint8_t> payload,
+                         std::uint32_t& shard_index, std::uint32_t& shard_count);
+
+/// kSnapshotFetch payload: inclusive canonical-key-hash range [lo, hi].
+std::vector<std::uint8_t> encode_snapshot_fetch(std::uint64_t lo,
+                                                std::uint64_t hi);
+bool decode_snapshot_fetch(std::span<const std::uint8_t> payload,
+                           std::uint64_t& lo, std::uint64_t& hi);
 
 // --------------------------------------------------------------- decoding
 

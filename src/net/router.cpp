@@ -1,7 +1,10 @@
 #include "net/router.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <thread>
 #include <unordered_set>
 
@@ -167,6 +170,29 @@ bool Router::connect(std::string* error) {
   }
   publish_degraded();
   return true;
+}
+
+bool Router::set_backends(const std::vector<std::string>& backends,
+                          std::string* error) {
+  // Destroying the Backend objects closes every connection; the router is
+  // thread-confined while checked out, so nothing races the teardown.
+  backends_.clear();
+  config_.backends = backends;
+  auto& reg = obs::MetricsRegistry::global();
+  backends_.reserve(backends.size());
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    auto backend = std::make_unique<Backend>();
+    backend->socket = backends[b];
+    const std::string prefix = "net.router.backend" + std::to_string(b);
+    backend->rtt_ns = reg.histogram(prefix + ".rtt_ns", rtt_bounds());
+    backend->subbatch_queries =
+        reg.histogram(prefix + ".subbatch_queries", size_bounds());
+    backends_.push_back(std::move(backend));
+  }
+  range_to_backend_.resize(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) range_to_backend_[b] = b;
+  strict_ = false;
+  return connect(error);
 }
 
 void Router::mark_dead(Backend& backend) {
@@ -485,13 +511,16 @@ std::optional<WireStats> Router::aggregate_backend_stats() {
 // ---------------------------------------------------------------- pool
 
 RouterPool::RouterPool(svc::QueryEngine& engine, RouterConfig config,
-                       int size) {
+                       int size)
+    : engine_(engine),
+      config_(std::move(config)),
+      topology_(config_.backends) {
   if (size <= 0) size = 1;
   routers_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
-    routers_.push_back(std::make_unique<Router>(engine, config));
+    routers_.push_back(std::make_unique<Router>(engine, config_));
   }
-  stats_router_ = std::make_unique<Router>(engine, std::move(config));
+  stats_router_ = std::make_unique<Router>(engine, config_);
 }
 
 RouterPool::~RouterPool() = default;
@@ -509,27 +538,304 @@ bool RouterPool::connect_all(std::string* error) {
   return true;
 }
 
-WireError RouterPool::evaluate(std::span<const svc::Query> queries,
-                               svc::BatchResults& out,
-                               std::uint32_t deadline_ms) {
-  Router* router = nullptr;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !idle_.empty(); });
-    router = idle_.back();
-    idle_.pop_back();
-  }
-  const WireError rc = router->evaluate(queries, out, deadline_ms);
+Router* RouterPool::checkout() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !idle_.empty(); });
+  Router* router = idle_.back();
+  idle_.pop_back();
+  return router;
+}
+
+void RouterPool::checkin(Router* router) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     idle_.push_back(router);
   }
-  cv_.notify_one();
+  // notify_all: rebalance()'s barrier waits on the same condvar as the
+  // worker threads; a notify_one routed to a worker could starve it.
+  cv_.notify_all();
+}
+
+bool RouterPool::hash_paused(std::uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(pause_mutex_);
+  for (const auto& [lo, hi] : paused_ranges_) {
+    if (hash >= lo && hash <= hi) return true;
+  }
+  return false;
+}
+
+WireError RouterPool::evaluate(std::span<const svc::Query> queries,
+                               svc::BatchResults& out,
+                               std::uint32_t deadline_ms) {
+  Router* router = checkout();
+  // Pause check AFTER checkout: any batch that passed this check before
+  // the pause went up still holds its router, so rebalance()'s barrier
+  // (which checks out every router once) cannot complete until it has
+  // finished — no old-epoch batch can touch a range while its records
+  // stream to the new owner.
+  if (rebalancing_.load(std::memory_order_acquire)) {
+    for (const svc::Query& q : queries) {
+      if (hash_paused(svc::hash_key(engine_.key_of(q)))) {
+        checkin(router);
+        out.resize(queries.size());
+        return WireError::kRetryLater;
+      }
+    }
+  }
+  // Lazy re-home: a router still wired to a pre-rebalance topology is
+  // rebuilt against the current one the first time it is checked out
+  // after the flip.
+  const std::uint64_t want = epoch_.load(std::memory_order_acquire);
+  if (router->topology_epoch() != want) {
+    std::vector<std::string> topo;
+    {
+      std::lock_guard<std::mutex> lock(topo_mutex_);
+      topo = topology_;
+    }
+    std::string err;
+    if (!router->set_backends(topo, &err)) {
+      checkin(router);
+      out.resize(queries.size());
+      return WireError::kRetryLater;
+    }
+    router->set_topology_epoch(want);
+  }
+  const WireError rc = router->evaluate(queries, out, deadline_ms);
+  checkin(router);
   return rc;
+}
+
+RebalanceReport RouterPool::rebalance(const RebalanceRequest& req) {
+  RebalanceReport report;
+  std::lock_guard<std::mutex> admin_lock(rebalance_mutex_);
+  report.epoch = epoch_.load(std::memory_order_acquire);
+
+  std::vector<std::string> old_topo;
+  {
+    std::lock_guard<std::mutex> lock(topo_mutex_);
+    old_topo = topology_;
+  }
+  const std::size_t n_old = old_topo.size();
+  const std::size_t n_new = req.backends.size();
+  if (n_new == 0 ||
+      (req.expect_old_count != 0 && req.expect_old_count != n_old)) {
+    report.code = WireError::kMalformed;
+    return report;
+  }
+  {
+    const std::unordered_set<std::string> uniq(req.backends.begin(),
+                                               req.backends.end());
+    if (uniq.size() != n_new) {
+      report.code = WireError::kMalformed;
+      return report;
+    }
+  }
+  if (req.backends == old_topo) return report;  // no-op: already there
+
+  // Step 1 — admit the whole fleet (old and new) over admin connections
+  // BEFORE touching live traffic: an unreachable or miscalibrated target
+  // aborts here with nothing paused and nothing moved.
+  std::map<std::string, std::unique_ptr<Client>> admin_clients;
+  std::map<std::string, std::uint64_t> adv_counts;
+  auto admin_for = [&](const std::string& addr) -> Client* {
+    const auto it = admin_clients.find(addr);
+    if (it != admin_clients.end()) return it->second.get();
+    auto client = std::make_unique<Client>();
+    if (!client->connect(addr)) return nullptr;
+    const std::optional<WireStats> s = client->stats();
+    if (!s.has_value()) return nullptr;
+    if (config_.verify_calibration &&
+        s->calibration_hash != engine_.calibration_hash()) {
+      return nullptr;
+    }
+    adv_counts[addr] = s->shard_count;
+    return admin_clients.emplace(addr, std::move(client)).first->second.get();
+  };
+  for (const std::string& addr : req.backends) {
+    if (admin_for(addr) == nullptr) {
+      report.code = WireError::kDraining;
+      return report;
+    }
+  }
+  bool old_strict = false;
+  for (const std::string& addr : old_topo) {
+    if (admin_for(addr) == nullptr) {
+      report.code = WireError::kDraining;
+      return report;
+    }
+    old_strict = old_strict || adv_counts[addr] != 0;
+  }
+
+  // Step 2 — the moved ranges: elementary intervals of the union of both
+  // shard maps whose owning ADDRESS changes, merged when contiguous with
+  // the same (from, to) pair.  Keys whose owner address is unchanged are
+  // never paused and never streamed.
+  struct Move {
+    std::uint64_t lo, hi;
+    std::string from, to;
+  };
+  std::vector<Move> moves;
+  {
+    std::vector<std::uint64_t> starts;
+    starts.reserve(n_old + n_new);
+    for (std::size_t i = 0; i < n_old; ++i) {
+      starts.push_back(svc::shard_range(i, n_old).lo);
+    }
+    for (std::size_t j = 0; j < n_new; ++j) {
+      starts.push_back(svc::shard_range(j, n_new).lo);
+    }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+    for (std::size_t k = 0; k < starts.size(); ++k) {
+      const std::uint64_t lo = starts[k];
+      const std::uint64_t hi =
+          (k + 1 < starts.size()) ? starts[k + 1] - 1 : ~0ull;
+      const std::string& from = old_topo[svc::shard_owner(lo, n_old)];
+      const std::string& to = req.backends[svc::shard_owner(lo, n_new)];
+      if (from == to) continue;
+      if (!moves.empty() && moves.back().hi + 1 == lo &&
+          moves.back().from == from && moves.back().to == to) {
+        moves.back().hi = hi;
+      } else {
+        moves.push_back(Move{lo, hi, from, to});
+      }
+    }
+  }
+  report.moved_ranges = static_cast<std::uint32_t>(moves.size());
+
+  // Step 3 — pause exactly the moving ranges, then barrier: check out
+  // every pooled router once so any batch admitted before the pause has
+  // finished before a record moves.
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ranges_.clear();
+    for (const Move& m : moves) paused_ranges_.emplace_back(m.lo, m.hi);
+  }
+  rebalancing_.store(true, std::memory_order_release);
+  {
+    std::vector<Router*> held;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (held.size() < routers_.size()) {
+      cv_.wait(lock, [this] { return !idle_.empty(); });
+      held.push_back(idle_.back());
+      idle_.pop_back();
+    }
+    for (Router* r : held) idle_.push_back(r);
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+  const auto abort_with = [&](WireError code) {
+    // No flip: lift the pause and let the old topology — including its
+    // failover re-spray for dead backends — keep serving.
+    {
+      std::lock_guard<std::mutex> lock(pause_mutex_);
+      paused_ranges_.clear();
+    }
+    rebalancing_.store(false, std::memory_order_release);
+    report.code = code;
+    return report;
+  };
+
+  // Step 4 — stream each moved range's warm records old -> new owner.
+  // An image over the owner's fetch ceiling answers kTooLarge and the
+  // range is bisected (64 levels bound the recursion: lo == hi ends it).
+  std::uint64_t streamed = 0;
+  const std::function<bool(Client&, Client&, std::uint64_t, std::uint64_t)>
+      stream = [&](Client& from, Client& to, std::uint64_t lo,
+                   std::uint64_t hi) -> bool {
+    bool too_large = false;
+    const std::optional<std::vector<std::uint8_t>> image =
+        from.snapshot_fetch(lo, hi, &too_large);
+    if (image.has_value()) {
+      const std::optional<std::uint64_t> loaded = to.snapshot_install(*image);
+      if (!loaded.has_value()) return false;
+      streamed += *loaded;
+      return true;
+    }
+    if (too_large && lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      return stream(from, to, lo, mid) && stream(from, to, mid + 1, hi);
+    }
+    return false;
+  };
+  for (const Move& m : moves) {
+    Client* from = admin_for(m.from);
+    Client* to = admin_for(m.to);
+    if (from == nullptr || to == nullptr || !stream(*from, *to, m.lo, m.hi)) {
+      return abort_with(WireError::kDraining);
+    }
+  }
+  report.records_streamed = streamed;
+
+  // Step 5 — strict fleets enforce their range, so every new-topology
+  // backend is re-ranged to shard j of M before the flip.  In-flight
+  // old-epoch traffic is safe through this window: a non-moving key lies
+  // in its owner's old AND new range, and moving keys are paused.
+  if (old_strict) {
+    std::vector<std::size_t> assigned;
+    bool ok = true;
+    for (std::size_t j = 0; j < n_new; ++j) {
+      if (!admin_for(req.backends[j])
+               ->shard_assign(static_cast<std::uint32_t>(j),
+                              static_cast<std::uint32_t>(n_new))) {
+        ok = false;
+        break;
+      }
+      assigned.push_back(j);
+    }
+    if (!ok) {
+      // Best-effort rollback so the un-flipped topology keeps consistent
+      // enforcement: members of the old fleet get their old range back,
+      // fresh spares revert to unsharded.
+      for (const std::size_t j : assigned) {
+        const auto it =
+            std::find(old_topo.begin(), old_topo.end(), req.backends[j]);
+        Client* c = admin_for(req.backends[j]);
+        if (c == nullptr) continue;
+        if (it != old_topo.end()) {
+          c->shard_assign(
+              static_cast<std::uint32_t>(it - old_topo.begin()),
+              static_cast<std::uint32_t>(n_old));
+        } else {
+          c->shard_assign(0, 0);
+        }
+      }
+      return abort_with(WireError::kDraining);
+    }
+  }
+
+  // Step 6 — flip: publish the topology, bump the epoch, resume.  Pooled
+  // routers re-home lazily at their next checkout; until then their
+  // old-epoch connections only ever carry non-moving keys, which both
+  // shard maps agree they own.
+  {
+    std::lock_guard<std::mutex> lock(topo_mutex_);
+    topology_ = req.backends;
+  }
+  report.epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(pause_mutex_);
+    paused_ranges_.clear();
+  }
+  rebalancing_.store(false, std::memory_order_release);
+  return report;
 }
 
 void RouterPool::augment_stats(WireStats& w) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
+  // The stats channel re-homes lazily too (it never holds a pool slot).
+  const std::uint64_t want = epoch_.load(std::memory_order_acquire);
+  if (stats_router_->topology_epoch() != want) {
+    std::vector<std::string> topo;
+    {
+      std::lock_guard<std::mutex> tlock(topo_mutex_);
+      topo = topology_;
+    }
+    std::string err;
+    if (!stats_router_->set_backends(topo, &err)) return;
+    stats_router_->set_topology_epoch(want);
+  }
   const std::optional<WireStats> sum = stats_router_->aggregate_backend_stats();
   if (!sum.has_value()) return;
   // Substitute the backend fleet's engine counters: the front server's

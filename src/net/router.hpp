@@ -128,6 +128,19 @@ class Router {
   bool strict_sharding() const { return strict_; }
   std::size_t backend_count() const { return backends_.size(); }
 
+  /// Tear down every connection and rebuild against a new backend list
+  /// (connect() + handshake included).  Thread-confined like evaluate():
+  /// only call while this Router is checked out of its pool.  On failure
+  /// the router needs another set_backends() before it can serve.
+  bool set_backends(const std::vector<std::string>& backends,
+                    std::string* error);
+
+  /// Which RouterPool topology epoch this router's connections reflect;
+  /// the pool bumps its epoch on rebalance and lazily upgrades each
+  /// router at its next checkout.
+  std::uint64_t topology_epoch() const { return topology_epoch_; }
+  void set_topology_epoch(std::uint64_t e) { topology_epoch_ = e; }
+
   /// Sum of the live backends' server counters (one kStatsRequest each).
   /// The engine_* fields let callers compute a true end-to-end hit rate
   /// through the router tier.  Empty when no backend answers.
@@ -153,6 +166,7 @@ class Router {
   std::vector<std::size_t> range_to_backend_;
   bool strict_ = false;
   std::uint64_t next_id_ = 0;
+  std::uint64_t topology_epoch_ = 0;
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> queries_{0};
@@ -196,13 +210,62 @@ class RouterPool {
   /// Counters merged across every pooled Router.
   RouterStats stats() const;
 
+  /// Live N -> M shard rebalance (ServerConfig::rebalance-shaped): moves
+  /// the fleet behind this pool to `req.backends` with zero cold restarts
+  /// and no cache loss on the moved ranges.  The orchestration:
+  ///
+  ///   1. validate the request and connect + handshake every new backend
+  ///      BEFORE touching live traffic (an unreachable or miscalibrated
+  ///      target aborts with the old topology fully intact);
+  ///   2. compute the moved ranges — the elementary intervals of the old
+  ///      and new shard maps whose owning ADDRESS changes — and pause
+  ///      exactly those (queries touching them answer RETRY_LATER; all
+  ///      other traffic flows uninterrupted);
+  ///   3. barrier: check out every pooled Router once, so any batch that
+  ///      entered before the pause has finished before records move;
+  ///   4. stream each moved range's warm cache records old -> new owner
+  ///      (kSnapshotFetch / kSnapshotInstall; oversized images are
+  ///      bisected), so moved keys stay cache-warm across the flip;
+  ///   5. strict fleets only: kShardAssign each new backend its range
+  ///      j of M (rolled back on failure);
+  ///   6. flip the topology atomically (epoch++; routers re-home lazily
+  ///      at next checkout) and resume the paused ranges.
+  ///
+  /// Any failure aborts without flipping: the pause is lifted and the old
+  /// topology — including its failover re-spray for dead backends —
+  /// keeps serving.  Serialized: concurrent calls run one at a time.
+  RebalanceReport rebalance(const RebalanceRequest& req);
+
+  /// Current topology epoch (bumped once per successful rebalance).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
  private:
+  Router* checkout();
+  void checkin(Router* router);
+  /// True when `hash` lies in a paused (mid-migration) range.
+  bool hash_paused(std::uint64_t hash) const;
+
+  svc::QueryEngine& engine_;
+  RouterConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::unique_ptr<Router> stats_router_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Router*> idle_;
   std::mutex stats_mutex_;
+
+  // --- live-rebalance state ---
+  std::mutex rebalance_mutex_;  ///< serializes rebalance() calls
+  mutable std::mutex topo_mutex_;
+  std::vector<std::string> topology_;  ///< current backend list, shard order
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> rebalancing_{false};
+  mutable std::mutex pause_mutex_;
+  /// Inclusive hash ranges currently mid-migration (guarded by
+  /// pause_mutex_; consulted only while rebalancing_ is set).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> paused_ranges_;
 };
 
 }  // namespace maia::net

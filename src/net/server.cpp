@@ -8,8 +8,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 
 #include "net/coalesce.hpp"
 #include "obs/obs.hpp"
@@ -112,6 +115,14 @@ Server::Server(svc::QueryEngine& engine, ServerConfig config)
     : engine_(engine), config_(std::move(config)) {
   if (config_.workers <= 0) config_.workers = 1;
   if (config_.admission_depth == 0) config_.admission_depth = 1;
+  if (config_.snapshot_fetch_max_bytes == 0) {
+    config_.snapshot_fetch_max_bytes = config_.max_payload_bytes;
+  }
+  const std::uint64_t count =
+      config_.shard_count > 0 ? static_cast<std::uint64_t>(config_.shard_count) : 0;
+  const std::uint64_t index =
+      count > 0 ? static_cast<std::uint64_t>(config_.shard_index) : 0;
+  shard_state_.store((index << 32) | count, std::memory_order_release);
 }
 
 Server::~Server() {
@@ -133,43 +144,36 @@ bool Server::start(std::string* error) {
     return false;
   };
 
-  sockaddr_un addr{};
-  if (config_.socket_path.empty() ||
-      config_.socket_path.size() >= sizeof(addr.sun_path)) {
-    return fail("socket path empty or longer than sun_path (107 bytes): '" +
-                config_.socket_path + "'");
+  std::string parse_err;
+  if (!parse_address(config_.socket_path, listen_addr_, &parse_err)) {
+    return fail(parse_err);
   }
 
-  // Stale-socket probe: a leftover path from a crashed server is unlinked
-  // only once a connect() probe confirms nobody answers there; a live
-  // server keeps ownership and we refuse to start.
-  struct stat st{};
-  if (::lstat(config_.socket_path.c_str(), &st) == 0) {
-    if (!S_ISSOCK(st.st_mode)) {
-      return fail("path exists and is not a socket: " + config_.socket_path);
-    }
-    if (socket_alive(config_.socket_path)) {
-      return fail("another live server owns " + config_.socket_path +
-                  " (connect() succeeded); refusing to steal the socket");
-    }
-    if (::unlink(config_.socket_path.c_str()) != 0 && errno != ENOENT) {
-      return fail("cannot unlink stale socket " + config_.socket_path + ": " +
-                  std::strerror(errno));
+  if (!listen_addr_.is_tcp()) {
+    // Stale-socket probe (unix only; TCP has no on-disk residue): a
+    // leftover path from a crashed server is unlinked only once a
+    // connect() probe confirms nobody answers there; a live server keeps
+    // ownership and we refuse to start.
+    struct stat st{};
+    if (::lstat(listen_addr_.path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        return fail("path exists and is not a socket: " + listen_addr_.path);
+      }
+      if (socket_alive(listen_addr_.path)) {
+        return fail("another live server owns " + listen_addr_.path +
+                    " (connect() succeeded); refusing to steal the socket");
+      }
+      if (::unlink(listen_addr_.path.c_str()) != 0 && errno != ENOENT) {
+        return fail("cannot unlink stale socket " + listen_addr_.path + ": " +
+                    std::strerror(errno));
+      }
     }
   }
 
-  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
-              config_.socket_path.size() + 1);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return fail("bind(" + config_.socket_path + "): " + std::strerror(errno));
-  }
+  const TransportResult bound = bind_listen(listen_addr_, 64);
+  if (!bound.ok()) return fail(bound.message);
+  listen_fd_ = bound.fd;
   socket_bound_ = true;
-  if (::listen(listen_fd_, 64) != 0) {
-    return fail(std::string("listen(): ") + std::strerror(errno));
-  }
   if (!set_nonblocking(listen_fd_)) {
     return fail(std::string("fcntl(listener): ") + std::strerror(errno));
   }
@@ -244,6 +248,7 @@ ServerStats Server::stats() const {
   s.malformed = malformed_.load(std::memory_order_relaxed);
   s.draining_rejected = draining_rejected_.load(std::memory_order_relaxed);
   s.wrong_shard = wrong_shard_.load(std::memory_order_relaxed);
+  s.shard_moves = shard_moves_.load(std::memory_order_relaxed);
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
   s.connections_closed = closed_.load(std::memory_order_relaxed);
   s.connected = s.connections_accepted - s.connections_closed;
@@ -276,10 +281,9 @@ WireStats Server::wire_stats() const {
   w.engine_misses = e.cache_misses;
   w.connected_clients = s.connected;
   w.calibration_hash = engine_.calibration_hash();
-  w.shard_index = static_cast<std::uint64_t>(
-      config_.shard_count > 0 ? config_.shard_index : 0);
-  w.shard_count = static_cast<std::uint64_t>(
-      config_.shard_count > 0 ? config_.shard_count : 0);
+  const std::uint64_t shard_state = shard_state_.load(std::memory_order_acquire);
+  w.shard_index = shard_state >> 32;
+  w.shard_count = shard_state & 0xffffffffull;
   if (config_.stats_augment) config_.stats_augment(w);
   return w;
 }
@@ -336,12 +340,16 @@ void Server::dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         send_error(*conn, frame.header.request_id, decode_rc);
         return;
       }
-      if (config_.shard_count > 0) {
+      const std::uint64_t shard_state =
+          shard_state_.load(std::memory_order_acquire);
+      if ((shard_state & 0xffffffffull) != 0) {
         // Shard enforcement: answering a key outside this backend's range
         // would be a routing bug upstream, so it gets a typed WRONG_SHARD
         // (detail = offending query index), never a silent wrong answer.
-        const auto count = static_cast<std::size_t>(config_.shard_count);
-        const auto index = static_cast<std::size_t>(config_.shard_index);
+        // The range is the live kShardAssign state, not the boot config —
+        // a rebalanced server starts refusing its ceded range atomically.
+        const auto count = static_cast<std::size_t>(shard_state & 0xffffffffull);
+        const auto index = static_cast<std::size_t>(shard_state >> 32);
         for (std::size_t qi = 0; qi < conn->decode_scratch.size(); ++qi) {
           const std::uint64_t h =
               svc::hash_key(engine_.key_of(conn->decode_scratch[qi]));
@@ -384,6 +392,109 @@ void Server::dispatch_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         MAIA_OBS_GAUGE(m.depth, static_cast<double>(queue_.size()));
       }
       queue_cv_.notify_one();
+      return;
+    }
+    case FrameType::kShardAssign: {
+      // Live re-range: the rebalance orchestrator moves this backend to a
+      // new (index, count) with one atomic store — enforcement and stats
+      // flip together, no restart, no cache loss.
+      std::uint32_t index = 0, count = 0;
+      if (!decode_shard_assign(frame.payload, index, count)) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.malformed, 1);
+        send_error(*conn, frame.header.request_id, WireError::kMalformed);
+        return;
+      }
+      shard_state_.store(
+          (static_cast<std::uint64_t>(count) > 0
+               ? (static_cast<std::uint64_t>(index) << 32) | count
+               : 0ull),
+          std::memory_order_release);
+      shard_moves_.fetch_add(1, std::memory_order_relaxed);
+      const std::vector<std::uint8_t> echo = encode_shard_assign(index, count);
+      send_frame(*conn, FrameType::kShardAssigned, frame.header.request_id, echo);
+      return;
+    }
+    case FrameType::kSnapshotFetch: {
+      // Serialize the resident cache records in [lo, hi] as a snapshot
+      // image.  An image over the fetch ceiling answers a typed kTooLarge
+      // (detail = clamped byte size) so the fetcher bisects the range —
+      // never a torn or truncated image.
+      std::uint64_t lo = 0, hi = 0;
+      if (!decode_snapshot_fetch(frame.payload, lo, hi)) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.malformed, 1);
+        send_error(*conn, frame.header.request_id, WireError::kMalformed);
+        return;
+      }
+      std::ostringstream image;
+      const svc::SnapshotSaveResult saved =
+          engine_.save_snapshot_range(image, lo, hi);
+      if (!saved.ok()) {
+        send_error(*conn, frame.header.request_id, WireError::kMalformed,
+                   static_cast<std::uint32_t>(saved.error));
+        return;
+      }
+      const std::string bytes = image.str();
+      if (bytes.size() > config_.snapshot_fetch_max_bytes) {
+        send_error(*conn, frame.header.request_id, WireError::kTooLarge,
+                   static_cast<std::uint32_t>(
+                       std::min<std::uint64_t>(bytes.size(), 0xffffffffull)));
+        return;
+      }
+      send_frame(*conn, FrameType::kSnapshotData, frame.header.request_id,
+                 {reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                  bytes.size()});
+      return;
+    }
+    case FrameType::kSnapshotInstall: {
+      // Merge a streamed snapshot image into the caches.  The image gets
+      // the same full validation as an on-disk snapshot; a bad one warms
+      // nothing and answers a typed error (detail = SnapshotError).
+      std::istringstream image(std::string(
+          reinterpret_cast<const char*>(frame.payload.data()),
+          frame.payload.size()));
+      const svc::SnapshotLoadResult loaded = engine_.load_snapshot_stream(image);
+      if (!loaded.ok()) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.malformed, 1);
+        send_error(*conn, frame.header.request_id, WireError::kMalformed,
+                   static_cast<std::uint32_t>(loaded.error));
+        return;
+      }
+      std::uint8_t payload[8];
+      for (int i = 0; i < 8; ++i) {
+        payload[i] =
+            static_cast<std::uint8_t>(loaded.records_loaded >> (8 * i));
+      }
+      send_frame(*conn, FrameType::kSnapshotInstalled, frame.header.request_id,
+                 payload);
+      return;
+    }
+    case FrameType::kRebalance: {
+      RebalanceRequest req;
+      if (!decode_rebalance_request(frame.payload, req)) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        MAIA_OBS_COUNT(m.malformed, 1);
+        send_error(*conn, frame.header.request_id, WireError::kMalformed);
+        return;
+      }
+      if (!config_.rebalance) {
+        // Plain backends do not orchestrate fleets.
+        send_error(*conn, frame.header.request_id, WireError::kBadType);
+        return;
+      }
+      // A migration can stream many megabytes; run it on a dedicated admin
+      // thread (joined at shutdown) so the data-plane reactor never stalls.
+      const std::uint64_t request_id = frame.header.request_id;
+      std::lock_guard<std::mutex> lock(admin_mutex_);
+      admin_threads_.emplace_back(
+          [this, conn, request_id, req = std::move(req)] {
+            const RebalanceReport report = config_.rebalance(req);
+            const std::vector<std::uint8_t> payload =
+                encode_rebalance_report(report);
+            send_frame(*conn, FrameType::kRebalanceDone, request_id, payload);
+          });
       return;
     }
     default:
@@ -531,6 +642,10 @@ void Server::accept_clients() {
       ::close(fd);
       continue;
     }
+    tune_stream_fd(fd);  // TCP_NODELAY on TCP peers; no-op on unix
+    if (config_.log_accepts) {
+      std::fprintf(stderr, "[serve] accepted %s\n", peer_description(fd).c_str());
+    }
     conns_.push_back(std::make_shared<Conn>(fd, config_.max_payload_bytes));
     accepted_.fetch_add(1, std::memory_order_relaxed);
     MAIA_OBS_COUNT(m.accepted, 1);
@@ -553,7 +668,7 @@ void Server::reactor_loop() {
       ::close(listen_fd_);
       listen_fd_ = -1;
       listener_open = false;
-      ::unlink(config_.socket_path.c_str());
+      if (!listen_addr_.is_tcp()) ::unlink(listen_addr_.path.c_str());
       drain_started_ns = now_ns();
     }
 
@@ -654,6 +769,18 @@ void Server::reactor_loop() {
     queue_.clear();
   }
   queue_cv_.notify_all();
+  // Join admin threads BEFORE the final flush so an in-flight rebalance's
+  // kRebalanceDone frame still reaches its admin client.
+  {
+    std::vector<std::thread> admins;
+    {
+      std::lock_guard<std::mutex> lock(admin_mutex_);
+      admins.swap(admin_threads_);
+    }
+    for (std::thread& t : admins) {
+      if (t.joinable()) t.join();
+    }
+  }
   for (const auto& conn : conns_) {
     flush_writable(*conn);
     close_conn(conn);
@@ -662,7 +789,7 @@ void Server::reactor_loop() {
   if (listener_open) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    ::unlink(config_.socket_path.c_str());
+    if (!listen_addr_.is_tcp()) ::unlink(listen_addr_.path.c_str());
   }
 
   if (!config_.snapshot_out.empty()) {

@@ -61,6 +61,7 @@
 
 #include "net/bufpool.hpp"
 #include "net/protocol.hpp"
+#include "net/transport.hpp"
 #include "svc/engine.hpp"
 
 namespace maia::sim {
@@ -70,6 +71,8 @@ class ThreadPool;
 namespace maia::net {
 
 struct ServerConfig {
+  /// Listen endpoint: "unix:/path", "tcp:host:port", or a bare unix path
+  /// (back-compat).  See net/transport.hpp for the address scheme.
   std::string socket_path = "maia.sock";
   /// Evaluation worker threads (each runs whole batches; <= 0 -> 1).
   int workers = 1;
@@ -112,8 +115,24 @@ struct ServerConfig {
   /// `shard_index` of `shard_count` consistent-hash ranges (svc/sharding)
   /// and answers WRONG_SHARD (detail = query index) to any batch holding
   /// a key outside its range.  Both are advertised in kStatsResponse.
+  /// These are the *initial* values: a kShardAssign admin frame (sent by
+  /// the router's live-rebalance orchestration) re-ranges a running
+  /// server atomically, with no restart and no cache loss.
   int shard_index = 0;
   int shard_count = 0;
+  /// Log every accepted connection's peer ("accepted tcp:1.2.3.4:567") to
+  /// stderr.  Off by default; the bench mains turn it on.
+  bool log_accepts = false;
+  /// Live-rebalance handler for kRebalance frames (the router front plugs
+  /// in RouterPool::rebalance here).  Runs on a dedicated admin thread so
+  /// a slow migration never stalls the data-plane reactor.  Null -> the
+  /// server answers BAD_TYPE (plain backends do not orchestrate fleets).
+  std::function<RebalanceReport(const RebalanceRequest&)> rebalance;
+  /// Ceiling on a single kSnapshotData response payload; a kSnapshotFetch
+  /// whose range image exceeds it is answered with a typed kTooLarge error
+  /// so the fetching router bisects the range and retries the halves.
+  /// 0 -> max_payload_bytes.  Tests set it tiny to force the bisect path.
+  std::size_t snapshot_fetch_max_bytes = 0;
 };
 
 /// Point-in-time server counters (see also the net.* obs metrics).
@@ -124,6 +143,7 @@ struct ServerStats {
   std::uint64_t malformed = 0;
   std::uint64_t draining_rejected = 0;
   std::uint64_t wrong_shard = 0;  ///< batches refused by shard enforcement
+  std::uint64_t shard_moves = 0;  ///< kShardAssign re-ranges applied
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t connected = 0;
@@ -198,6 +218,12 @@ class Server {
 
   svc::QueryEngine& engine_;
   ServerConfig config_;
+  Address listen_addr_;  ///< parsed config_.socket_path (set by start())
+
+  /// Live shard assignment, packed (index << 32) | count so enforcement
+  /// and kStatsResponse read one atomic.  Seeded from config_; re-ranged
+  /// by kShardAssign with no restart.
+  std::atomic<std::uint64_t> shard_state_{0};
 
   // Declared before the connection table and threads so it is destroyed
   // after every PooledBuf still parked in an outbox has returned.
@@ -210,6 +236,11 @@ class Server {
 
   std::thread reactor_;
   std::vector<std::thread> workers_;
+
+  /// Admin threads spawned for kRebalance frames (joined at reactor
+  /// shutdown, before the final connection flush).
+  std::mutex admin_mutex_;
+  std::vector<std::thread> admin_threads_;
 
   // Admission queue (bounded, mutex + condvar).
   mutable std::mutex queue_mutex_;
@@ -233,6 +264,7 @@ class Server {
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> draining_rejected_{0};
   std::atomic<std::uint64_t> wrong_shard_{0};
+  std::atomic<std::uint64_t> shard_moves_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> closed_{0};
   std::atomic<std::uint64_t> bytes_read_{0};

@@ -1,0 +1,271 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace maia::net {
+
+namespace {
+
+constexpr std::size_t kMaxUnixPath = sizeof(sockaddr_un{}.sun_path) - 1;
+
+bool fill_unix(const std::string& path, sockaddr_un& addr, std::string* error) {
+  if (path.empty() || path.size() > kMaxUnixPath) {
+    if (error != nullptr) {
+      *error = "unix socket path empty or longer than sun_path (" +
+               std::to_string(kMaxUnixPath) + " bytes): '" + path + "'";
+    }
+    return false;
+  }
+  addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Resolve a tcp Address to an IPv4 sockaddr_in.  getaddrinfo handles
+/// both dotted quads and names; AF_INET keeps the fleet story simple
+/// (document IPv6 as future work rather than half-support it).
+bool resolve_tcp(const Address& addr, sockaddr_in& out, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(addr.host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (error != nullptr) {
+      *error = "resolve(" + addr.host + "): " + gai_strerror(rc);
+    }
+    return false;
+  }
+  std::memcpy(&out, res->ai_addr, sizeof(sockaddr_in));
+  out.sin_port = htons(addr.port);
+  ::freeaddrinfo(res);
+  return true;
+}
+
+TransportResult fail(TransportError error, std::string message, int fd = -1) {
+  if (fd >= 0) ::close(fd);
+  TransportResult r;
+  r.error = error;
+  r.message = std::move(message);
+  return r;
+}
+
+TransportError classify_errno(int err) {
+  switch (err) {
+    case EADDRINUSE:
+      return TransportError::kAddrInUse;
+    case ECONNREFUSED:
+    case ENOENT:
+      return TransportError::kRefused;
+    default:
+      return TransportError::kIoError;
+  }
+}
+
+}  // namespace
+
+const char* transport_error_name(TransportError error) {
+  switch (error) {
+    case TransportError::kOk: return "ok";
+    case TransportError::kBadAddress: return "bad_address";
+    case TransportError::kAddrInUse: return "addr_in_use";
+    case TransportError::kRefused: return "refused";
+    case TransportError::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+bool parse_address(const std::string& spec, Address& out, std::string* error) {
+  out = Address{};
+  std::string rest;
+  if (spec.rfind("unix:", 0) == 0) {
+    rest = spec.substr(5);
+    out.kind = Address::Kind::kUnix;
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    rest = spec.substr(4);
+    out.kind = Address::Kind::kTcp;
+  } else if (spec.find(':') == std::string::npos) {
+    // Back-compat: every pre-transport socket flag was a bare unix path.
+    rest = spec;
+    out.kind = Address::Kind::kUnix;
+  } else {
+    if (error != nullptr) {
+      *error = "unknown address scheme in '" + spec +
+               "' (expected unix:/path, tcp:host:port, or a bare path)";
+    }
+    return false;
+  }
+
+  if (out.kind == Address::Kind::kUnix) {
+    if (rest.empty() || rest.size() > kMaxUnixPath) {
+      if (error != nullptr) {
+        *error = "unix socket path empty or longer than " +
+                 std::to_string(kMaxUnixPath) + " bytes: '" + rest + "'";
+      }
+      return false;
+    }
+    out.path = rest;
+    out.spec = "unix:" + rest;
+    return true;
+  }
+
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    if (error != nullptr) {
+      *error = "tcp address must be tcp:host:port, got '" + spec + "'";
+    }
+    return false;
+  }
+  out.host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    if (error != nullptr) {
+      *error = "tcp port out of range (1-65535): '" + port_str + "'";
+    }
+    return false;
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  out.spec = "tcp:" + out.host + ":" + std::to_string(out.port);
+  return true;
+}
+
+TransportResult bind_listen(const Address& addr, int backlog) {
+  TransportResult r;
+  if (addr.is_tcp()) {
+    sockaddr_in sin{};
+    std::string reason;
+    if (!resolve_tcp(addr, sin, &reason)) {
+      return fail(TransportError::kBadAddress, std::move(reason));
+    }
+    r.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (r.fd < 0) {
+      return fail(TransportError::kIoError,
+                  std::string("socket(): ") + std::strerror(errno));
+    }
+    // SO_REUSEADDR so a restart does not trip over the previous listener's
+    // TIME_WAIT remnants; a *live* listener still answers EADDRINUSE.
+    const int one = 1;
+    ::setsockopt(r.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(r.fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      const int err = errno;
+      return fail(classify_errno(err),
+                  "bind(" + addr.spec + "): " + std::strerror(err), r.fd);
+    }
+  } else {
+    sockaddr_un sun{};
+    std::string reason;
+    if (!fill_unix(addr.path, sun, &reason)) {
+      return fail(TransportError::kBadAddress, std::move(reason));
+    }
+    r.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (r.fd < 0) {
+      return fail(TransportError::kIoError,
+                  std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::bind(r.fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      const int err = errno;
+      return fail(err == EADDRINUSE ? TransportError::kAddrInUse
+                                    : TransportError::kIoError,
+                  "bind(" + addr.spec + "): " + std::strerror(err), r.fd);
+    }
+  }
+  if (::listen(r.fd, backlog) != 0) {
+    const int err = errno;
+    return fail(TransportError::kIoError,
+                std::string("listen(): ") + std::strerror(err), r.fd);
+  }
+  return r;
+}
+
+TransportResult dial(const Address& addr) {
+  TransportResult r;
+  if (addr.is_tcp()) {
+    sockaddr_in sin{};
+    std::string reason;
+    if (!resolve_tcp(addr, sin, &reason)) {
+      return fail(TransportError::kBadAddress, std::move(reason));
+    }
+    r.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (r.fd < 0) {
+      return fail(TransportError::kIoError,
+                  std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::connect(r.fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      const int err = errno;
+      return fail(classify_errno(err),
+                  "connect(" + addr.spec + "): " + std::strerror(err), r.fd);
+    }
+  } else {
+    sockaddr_un sun{};
+    std::string reason;
+    if (!fill_unix(addr.path, sun, &reason)) {
+      return fail(TransportError::kBadAddress, std::move(reason));
+    }
+    r.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (r.fd < 0) {
+      return fail(TransportError::kIoError,
+                  std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::connect(r.fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      const int err = errno;
+      return fail(classify_errno(err),
+                  "connect(" + addr.spec + "): " + std::strerror(err), r.fd);
+    }
+  }
+  tune_stream_fd(r.fd);
+  return r;
+}
+
+bool endpoint_alive(const Address& addr) {
+  TransportResult r = dial(addr);
+  if (!r.ok()) return false;
+  ::close(r.fd);
+  return true;
+}
+
+bool endpoint_alive(const std::string& spec) {
+  Address addr;
+  if (!parse_address(spec, addr)) return false;
+  return endpoint_alive(addr);
+}
+
+void tune_stream_fd(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) return;
+  if (ss.ss_family == AF_INET || ss.ss_family == AF_INET6) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+std::string peer_description(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return "unknown";
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* sin = reinterpret_cast<const sockaddr_in*>(&ss);
+    char buf[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &sin->sin_addr, buf, sizeof(buf));
+    return std::string("tcp:") + buf + ":" + std::to_string(ntohs(sin->sin_port));
+  }
+  if (ss.ss_family == AF_UNIX) return "unix:peer";
+  return "unknown";
+}
+
+}  // namespace maia::net

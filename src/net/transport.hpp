@@ -1,0 +1,83 @@
+// Transport endpoints for the streaming protocol: the 32-byte framing in
+// protocol.hpp is byte-stream agnostic, so the only transport-specific
+// code in the tier is socket creation.  This header owns it.
+//
+// Address scheme (one string everywhere a socket used to be):
+//
+//   unix:/path/to.sock   unix-domain stream socket
+//   tcp:host:port        TCP/IP (IPv4 or resolvable hostname), TCP_NODELAY
+//   /bare/path           back-compat: no scheme parses as unix
+//
+// Every `--socket` / `--backend` flag and ServerConfig::socket_path /
+// Client::connect() accepts any of the three, so a fleet can mix local
+// backends with remote ones without either side caring.
+//
+// Errors are typed (TransportError) so callers branch on EADDRINUSE /
+// connection-refused without string-matching strerror output; the
+// human-readable message rides alongside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace maia::net {
+
+/// A parsed transport endpoint.
+struct Address {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< unix: filesystem path
+  std::string host;         ///< tcp: numeric address or hostname
+  std::uint16_t port = 0;   ///< tcp only
+  std::string spec;         ///< normalized "unix:..." / "tcp:host:port"
+  bool is_tcp() const { return kind == Kind::kTcp; }
+};
+
+/// Parse `spec` ("unix:", "tcp:", or a bare unix path).  False with a
+/// reason on an unknown scheme, empty path, bad port, or oversized path.
+bool parse_address(const std::string& spec, Address& out,
+                   std::string* error = nullptr);
+
+/// Typed socket-layer failures (the interesting ones get their own code;
+/// everything else is kIoError with the errno text in the message).
+enum class TransportError : std::uint8_t {
+  kOk = 0,
+  kBadAddress,  ///< spec failed to parse / host failed to resolve
+  kAddrInUse,   ///< bind: EADDRINUSE (a live listener owns the endpoint)
+  kRefused,     ///< connect: ECONNREFUSED / ENOENT (nobody listening)
+  kIoError,     ///< any other socket-call failure
+};
+
+/// Stable lower-case token for log lines and test assertions.
+const char* transport_error_name(TransportError error);
+
+struct TransportResult {
+  int fd = -1;
+  TransportError error = TransportError::kOk;
+  std::string message;  ///< human-readable reason when !ok()
+  bool ok() const { return fd >= 0; }
+};
+
+/// Create a listening socket on `addr` (SO_REUSEADDR on TCP; the caller
+/// owns unix stale-path reclamation — see Server::start).  On success the
+/// fd is listening but still blocking; callers set O_NONBLOCK as needed.
+TransportResult bind_listen(const Address& addr, int backlog = 64);
+
+/// Connect a blocking stream socket to `addr` (TCP_NODELAY on TCP).
+TransportResult dial(const Address& addr);
+
+/// True when something accepts a connection at `addr` right now — the
+/// liveness probe behind stale-socket reclaim and wait-for-ready loops.
+bool endpoint_alive(const Address& addr);
+bool endpoint_alive(const std::string& spec);
+
+/// Apply per-connection stream tuning to an accepted/dialed fd: disables
+/// Nagle on TCP sockets (a 32-byte request frame must not wait 40 ms for
+/// an ACK to coalesce), no-op on unix sockets.
+void tune_stream_fd(int fd);
+
+/// "tcp:1.2.3.4:56789" / "unix:peer" for an accepted fd — accept-time
+/// peer logging.  Best-effort: "unknown" when getpeername fails.
+std::string peer_description(int fd);
+
+}  // namespace maia::net

@@ -642,6 +642,14 @@ std::uint64_t QueryEngine::calibration_hash() const {
 }
 
 SnapshotSaveResult QueryEngine::save_snapshot(const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return {SnapshotError::kIoError, 0};
+  return save_snapshot_range(os);
+}
+
+SnapshotSaveResult QueryEngine::save_snapshot_range(std::ostream& os,
+                                                    std::uint64_t hash_lo,
+                                                    std::uint64_t hash_hi) {
   MAIA_OBS_SPAN("svc", "snapshot_save");
   std::vector<std::uint64_t> counts(shards_.size());
   std::vector<SnapshotRecord> records;
@@ -651,16 +659,18 @@ SnapshotSaveResult QueryEngine::save_snapshot(const std::string& path) {
     // Fold pending approximate promotions in first so the persisted
     // LRU-to-MRU order reflects the latest hits.
     drain_promotions(shard);
-    counts[s] = shard.cache.size();
+    const std::size_t before = records.size();
     records.reserve(records.size() + shard.cache.size());
     shard.cache.for_each_lru(
-        [&records](const CanonicalKey& key, const QueryResult& result) {
-          records.push_back(SnapshotRecord{key, result});
+        [&](const CanonicalKey& key, const QueryResult& result) {
+          const std::uint64_t h = hash_key(key);
+          if (h >= hash_lo && h <= hash_hi) {
+            records.push_back(SnapshotRecord{key, result});
+          }
         });
+    counts[s] = records.size() - before;
   }
 
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return {SnapshotError::kIoError, 0};
   write_snapshot(os, calibration_hash(), counts, records);
   os.flush();
   if (!os) return {SnapshotError::kIoError, 0};
@@ -671,14 +681,19 @@ SnapshotSaveResult QueryEngine::save_snapshot(const std::string& path) {
 }
 
 SnapshotLoadResult QueryEngine::load_snapshot(const std::string& path) {
-  MAIA_OBS_SPAN("svc", "snapshot_load");
-  SnapshotLoadResult out;
   std::ifstream is(path, std::ios::binary);
   if (!is) {
+    SnapshotLoadResult out;
     out.error = SnapshotError::kIoError;
     count_snapshot_rejection(out.error);
     return out;
   }
+  return load_snapshot_stream(is);
+}
+
+SnapshotLoadResult QueryEngine::load_snapshot_stream(std::istream& is) {
+  MAIA_OBS_SPAN("svc", "snapshot_load");
+  SnapshotLoadResult out;
   SnapshotReadResult parsed = read_snapshot(is, calibration_hash());
   if (!parsed.ok()) {
     out.error = parsed.error;

@@ -160,6 +160,18 @@ class QueryEngine {
   /// engines loading the same file.
   SnapshotLoadResult load_snapshot(const std::string& path);
 
+  /// Stream variants behind save/load_snapshot, plus the live-rebalance
+  /// migration path: save_snapshot_range() serializes only the resident
+  /// entries whose canonical-key hash lies in [hash_lo, hash_hi]
+  /// (inclusive) — exactly the records a shard range moving to a new
+  /// owner must carry — and load_snapshot_stream() merges an image into
+  /// the caches with the same full validation as load_snapshot().  Both
+  /// are thread-safe against concurrent evaluate().
+  SnapshotSaveResult save_snapshot_range(std::ostream& os,
+                                         std::uint64_t hash_lo = 0,
+                                         std::uint64_t hash_hi = ~0ull);
+  SnapshotLoadResult load_snapshot_stream(std::istream& is);
+
   int shard_count() const { return static_cast<int>(shards_.size()); }
 
  private:

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerates golden_frames_v1.bin, the wire-layout pin for protocol v1.
+
+Every byte here is produced with struct.pack + zlib.crc32 — independently
+of the C++ encoders — so transport_test's GoldenFrames case detects ANY
+layout drift in src/net/protocol.{hpp,cpp}: header field order, endianness,
+CRC polynomial, query/result/stats/admin payload shapes.  If that test
+fails, protocol v1 changed on the wire; bump the protocol version and cut
+a golden_frames_v2.bin instead of editing this one.
+
+Usage: python3 tests/data/gen_golden_frames.py  (writes beside itself)
+"""
+
+import os
+import struct
+import zlib
+
+HEADER = struct.Struct("<IHHQIIII")  # magic, ver, type, id, deadline, len, crc, rsvd
+MAGIC = 0x4149414D  # "MAIA" little-endian
+VERSION = 1
+
+BATCH_REQUEST = 0x0001
+PING = 0x0002
+STATS_REQUEST = 0x0003
+REBALANCE = 0x0004
+SHARD_ASSIGN = 0x0005
+SNAPSHOT_FETCH = 0x0006
+BATCH_RESPONSE = 0x8001
+STATS_RESPONSE = 0x8003
+REBALANCE_DONE = 0x8004
+ERROR = 0x80FF
+
+WIRE_QUERY = struct.Struct("<BBBBHHQ")  # kind, device, op, stack, a, b, c
+
+
+def frame(ftype, request_id, payload=b"", deadline_ms=0):
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return HEADER.pack(MAGIC, VERSION, ftype, request_id, deadline_ms,
+                       len(payload), crc, 0) + payload
+
+
+def main():
+    frames = []
+
+    # 1. kPing, empty payload.
+    frames.append(frame(PING, 1))
+
+    # 2. kStatsRequest, empty payload.
+    frames.append(frame(STATS_REQUEST, 2))
+
+    # 3. kBatchRequest with one query of each kind, nonzero deadline.
+    queries = b"".join((
+        WIRE_QUERY.pack(0, 1, 0, 0, 3, 60, 0),        # exec: kernel 3, phi0, 60 thr
+        WIRE_QUERY.pack(1, 1, 2, 1, 60, 0, 65536),    # collective: op 2, post-update
+        WIRE_QUERY.pack(2, 0, 0, 0, 2, 0, 1048576),   # latency: host, 1 MiB, 2 iters
+    ))
+    frames.append(frame(BATCH_REQUEST, 3,
+                        struct.pack("<II", 3, 0) + queries, deadline_ms=5000))
+
+    # 4. kBatchResponse with two results (value, secondary, flags, rsvd).
+    results = (struct.pack("<ddII", 1.5, 2.25, 1, 0) +
+               struct.pack("<ddII", 3.75, 0.125, 2, 0))
+    frames.append(frame(BATCH_RESPONSE, 3, struct.pack("<II", 2, 0) + results))
+
+    # 5. kError: RETRY_LATER (5) with detail 7.
+    frames.append(frame(ERROR, 4, struct.pack("<HHI", 5, 0, 7)))
+
+    # 6. kStatsResponse: the twelve u64 counters, distinct values.
+    frames.append(frame(STATS_RESPONSE, 5,
+                        struct.pack("<12Q", *range(101, 113))))
+
+    # 7. kRebalance: expect_old=2 -> two new backends (len-prefixed addrs).
+    backends = [b"unix:/tmp/a.sock", b"tcp:10.0.0.2:7000"]
+    payload = struct.pack("<II", 2, len(backends))
+    for b in backends:
+        payload += struct.pack("<H", len(b)) + b
+    frames.append(frame(REBALANCE, 6, payload))
+
+    # 8. kRebalanceDone: ok, 3 ranges moved, 123456 records, epoch 7.
+    frames.append(frame(REBALANCE_DONE, 6,
+                        struct.pack("<IIQQ", 0, 3, 123456, 7)))
+
+    # 9. kShardAssign: shard 1 of 3.
+    frames.append(frame(SHARD_ASSIGN, 7, struct.pack("<II", 1, 3)))
+
+    # 10. kSnapshotFetch: hash range [0x1000, 0x20000000].
+    frames.append(frame(SNAPSHOT_FETCH, 8,
+                        struct.pack("<QQ", 0x1000, 0x20000000)))
+
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "golden_frames_v1.bin")
+    blob = b"".join(frames)
+    with open(out, "wb") as f:
+        f.write(blob)
+    print(f"wrote {out}: {len(frames)} frames, {len(blob)} bytes")
+
+
+if __name__ == "__main__":
+    main()

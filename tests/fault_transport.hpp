@@ -1,0 +1,286 @@
+// Deterministic network-fault injection for transport tests: a FaultProxy
+// sits between a protocol client and a real server, forwarding the byte
+// stream through a seeded misbehaviour schedule.
+//
+// Faults are *stream-shaped*, matching what a real network does to a TCP
+// byte stream (the protocol never sees packet boundaries, so these are the
+// only faults that exist at its layer):
+//
+//   * chunking     — bytes are forwarded in chunks of seeded pseudo-random
+//                    size (1..max_chunk), so frame headers and payloads
+//                    arrive split at arbitrary offsets.  Partial delivery
+//                    is the default fault; a correct FrameParser must not
+//                    care.
+//   * delay        — an optional per-chunk stall, turning every chunk
+//                    boundary into a visible partial-read window.
+//   * duplication  — a chunk forwarded twice with probability p_dup_chunk.
+//                    On a stream this is CORRUPTION (the duplicate bytes
+//                    shift everything after them), which the receiver must
+//                    reject via CRC / magic, never half-accept.
+//   * drop         — a chunk swallowed with probability p_drop_chunk.
+//                    Also corruption: the stream loses sync or stalls, and
+//                    the client must fail typed, not hang forever (callers
+//                    pair this with a receive timeout or connection kill).
+//   * kill-after-N — arm_kill_after(n) cuts every connection after n more
+//                    forwarded bytes, truncating mid-frame.  The canonical
+//                    "backend died mid-response" fault.
+//
+// Every random decision derives from one seed (pass tests/test_seed.hpp's
+// case_seed), mixed per-connection, per-direction, and per-chunk with a
+// splitmix64 finalizer — a failing run replays exactly from the logged
+// base seed.  All shared state is atomic or mutex-guarded: the proxy runs
+// clean under TSan.
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace maia::test {
+
+class FaultProxy {
+ public:
+  struct Config {
+    std::string target;            ///< where to forward: any address scheme
+    std::uint32_t seed = 1;        ///< schedule seed (use case_seed(...))
+    std::size_t max_chunk = 512;   ///< forwarded chunk size in [1, max_chunk]
+    std::uint32_t chunk_delay_us = 0;  ///< stall before forwarding each chunk
+    double p_drop_chunk = 0.0;     ///< swallow a chunk (stream truncation)
+    double p_dup_chunk = 0.0;      ///< forward a chunk twice (stream corruption)
+  };
+
+  explicit FaultProxy(Config config) : config_(std::move(config)) {
+    static std::atomic<int> counter{0};
+    listen_path_ = "/tmp/maia_fault_proxy." + std::to_string(::getpid()) +
+                   "." + std::to_string(counter.fetch_add(1)) + ".sock";
+  }
+
+  ~FaultProxy() { stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Clients connect here ("unix:" + a unique path).
+  std::string address() const { return "unix:" + listen_path_; }
+
+  bool start(std::string* error = nullptr) {
+    net::Address addr;
+    if (!net::parse_address(address(), addr, error)) return false;
+    ::unlink(listen_path_.c_str());
+    net::TransportResult listener = net::bind_listen(addr);
+    if (!listener.ok()) {
+      if (error != nullptr) *error = listener.message;
+      return false;
+    }
+    listen_fd_ = listener.fd;
+    stopping_.store(false, std::memory_order_release);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  void stop() {
+    if (listen_fd_ < 0) return;
+    stopping_.store(true, std::memory_order_release);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(listen_path_.c_str());
+    std::vector<std::unique_ptr<Conn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns.swap(conns_);
+    }
+    for (auto& conn : conns) {
+      conn->shutdown_both();
+      conn->join();
+    }
+  }
+
+  /// Cut every connection after `bytes` more forwarded bytes (global
+  /// across connections and directions; the budget spends exactly once).
+  void arm_kill_after(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(kill_mutex_);
+    kill_armed_ = true;
+    kill_remaining_ = bytes;
+  }
+
+  std::uint64_t forwarded_bytes() const {
+    return forwarded_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t kills() const {
+    return kills_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::thread up;    ///< client -> server
+    std::thread down;  ///< server -> client
+
+    void shutdown_both() {
+      // shutdown (not close) unblocks the pump threads without racing the
+      // fds they are still reading; close happens after join.
+      if (client_fd >= 0) ::shutdown(client_fd, SHUT_RDWR);
+      if (server_fd >= 0) ::shutdown(server_fd, SHUT_RDWR);
+    }
+    void join() {
+      if (up.joinable()) up.join();
+      if (down.joinable()) down.join();
+      if (client_fd >= 0) ::close(client_fd);
+      if (server_fd >= 0) ::close(server_fd);
+      client_fd = server_fd = -1;
+    }
+  };
+
+  static std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void accept_loop() {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 50);
+      if (rc <= 0) continue;
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) continue;
+      net::Address target;
+      std::string reason;
+      if (!net::parse_address(config_.target, target, &reason)) {
+        ::close(client_fd);
+        continue;
+      }
+      net::TransportResult upstream = net::dial(target);
+      if (!upstream.ok()) {
+        ::close(client_fd);
+        continue;
+      }
+      net::tune_stream_fd(client_fd);
+      const std::uint64_t conn_id =
+          connections_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Conn>();
+      conn->client_fd = client_fd;
+      conn->server_fd = upstream.fd;
+      Conn* raw = conn.get();
+      raw->up = std::thread([this, raw, conn_id] {
+        pump(*raw, raw->client_fd, raw->server_fd, conn_id, /*salt=*/0x11);
+      });
+      raw->down = std::thread([this, raw, conn_id] {
+        pump(*raw, raw->server_fd, raw->client_fd, conn_id, /*salt=*/0x22);
+      });
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  void pump(Conn& conn, int from_fd, int to_fd, std::uint64_t conn_id,
+            std::uint32_t salt) {
+    std::vector<std::uint8_t> buf(config_.max_chunk > 0 ? config_.max_chunk
+                                                        : 1);
+    std::uint64_t chunk_index = 0;
+    for (;;) {
+      const std::uint64_t mix =
+          splitmix((static_cast<std::uint64_t>(config_.seed) << 24) ^
+                   (conn_id << 8) ^ salt ^ (chunk_index * 0x10001ull));
+      const std::size_t want = 1 + static_cast<std::size_t>(
+                                       mix % (config_.max_chunk > 0
+                                                  ? config_.max_chunk
+                                                  : 1));
+      const ssize_t n = ::read(from_fd, buf.data(), want);
+      if (n <= 0) break;
+      ++chunk_index;
+      if (config_.chunk_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.chunk_delay_us));
+      }
+      const double drop_roll = static_cast<double>((mix >> 16) & 0xffff) / 65536.0;
+      const double dup_roll = static_cast<double>((mix >> 32) & 0xffff) / 65536.0;
+      if (drop_roll < config_.p_drop_chunk) continue;  // swallowed
+      const int copies = dup_roll < config_.p_dup_chunk ? 2 : 1;
+      bool alive = true;
+      for (int c = 0; c < copies && alive; ++c) {
+        alive = forward(to_fd, buf.data(), static_cast<std::size_t>(n));
+      }
+      if (!alive) break;
+    }
+    conn.shutdown_both();
+  }
+
+  /// Write `n` bytes (honouring the kill budget).  False when the
+  /// connection must die: budget exhausted or the peer is gone.
+  bool forward(int to_fd, const std::uint8_t* p, std::size_t n) {
+    std::size_t allow = n;
+    bool kill = false;
+    {
+      std::lock_guard<std::mutex> lock(kill_mutex_);
+      if (kill_armed_) {
+        if (kill_remaining_ <= n) {
+          allow = static_cast<std::size_t>(kill_remaining_);
+          kill_armed_ = false;
+          kill = true;
+        } else {
+          kill_remaining_ -= n;
+        }
+      }
+    }
+    std::size_t off = 0;
+    while (off < allow) {
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      const ssize_t w =
+          ::send(to_fd, p + off, allow - off, MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (w < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(w);
+      forwarded_bytes_.fetch_add(static_cast<std::uint64_t>(w),
+                                 std::memory_order_relaxed);
+    }
+    if (kill) {
+      kills_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  Config config_;
+  std::string listen_path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::mutex kill_mutex_;
+  bool kill_armed_ = false;
+  std::uint64_t kill_remaining_ = 0;
+
+  std::atomic<std::uint64_t> forwarded_bytes_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> kills_{0};
+};
+
+}  // namespace maia::test

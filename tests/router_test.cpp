@@ -11,8 +11,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <random>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "arch/registry.hpp"
+#include "fault_transport.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/router.hpp"
@@ -29,6 +32,7 @@
 #include "svc/engine.hpp"
 #include "svc/sharding.hpp"
 #include "svc/snapshot.hpp"
+#include "test_seed.hpp"
 
 namespace maia::net {
 namespace {
@@ -515,6 +519,441 @@ TEST(RouterPoolTest, DrainUnderLoadSoakStaysByteIdentical) {
   EXPECT_GT(stats.resprayed, 0u);
   EXPECT_GE(stats.batches,
             static_cast<std::uint64_t>(kThreads) * kPostDrainIters);
+}
+
+// ----------------------------------------------------- admin frame plane ---
+
+TEST(ServerAdminTest, ShardAssignReRangesALiveServer) {
+  Backend backend;  // starts unsharded: serves the full hash range
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(backend.config.socket_path, &error)) << error;
+
+  const std::vector<svc::Query> batch = random_batch(616, 300);
+  std::vector<WireResult> results;
+  ASSERT_EQ(client.evaluate(batch, results).error, WireError::kOk);
+
+  // Re-range to shard 0 of 4 with NO restart: out-of-range keys now answer
+  // the typed WRONG_SHARD, and the new range is advertised in stats.
+  ASSERT_TRUE(client.shard_assign(0, 4));
+  std::optional<WireStats> stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shard_index, 0u);
+  EXPECT_EQ(stats->shard_count, 4u);
+  EXPECT_EQ(client.evaluate(batch, results).error, WireError::kWrongShard);
+
+  // Revert to unsharded: the same batch serves again.
+  ASSERT_TRUE(client.shard_assign(0, 0));
+  stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->shard_count, 0u);
+  ASSERT_EQ(client.evaluate(batch, results).error, WireError::kOk);
+  EXPECT_EQ(backend.server->stats().shard_moves, 2u);
+}
+
+TEST(ServerAdminTest, SnapshotFetchInstallMovesWarmRecords) {
+  Backend source, target;
+  Client to_source, to_target;
+  std::string error;
+  ASSERT_TRUE(to_source.connect(source.config.socket_path, &error)) << error;
+  ASSERT_TRUE(to_target.connect(target.config.socket_path, &error)) << error;
+
+  // Warm the source through the wire, then lift its full-range image.
+  const std::vector<svc::Query> batch = random_batch(627, 400);
+  std::vector<WireResult> results;
+  ASSERT_EQ(to_source.evaluate(batch, results).error, WireError::kOk);
+  bool too_large = false;
+  const std::optional<std::vector<std::uint8_t>> image =
+      to_source.snapshot_fetch(0, ~0ull, &too_large);
+  ASSERT_TRUE(image.has_value());
+  ASSERT_FALSE(image->empty());
+
+  // Install into the cold target: records land, and the identical batch
+  // is then served from cache — bit-exact against the source's answers.
+  const svc::EngineStats cold = target.engine.stats();
+  const std::optional<std::uint64_t> loaded =
+      to_target.snapshot_install(*image);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_GT(*loaded, 0u);
+
+  std::vector<WireResult> from_target;
+  ASSERT_EQ(to_target.evaluate(batch, from_target).error, WireError::kOk);
+  ASSERT_EQ(from_target.size(), results.size());
+  EXPECT_EQ(std::memcmp(from_target.data(), results.data(),
+                        results.size() * sizeof(WireResult)),
+            0);
+  const svc::EngineStats warmed = target.engine.stats();
+  EXPECT_EQ(warmed.cache_misses, cold.cache_misses)
+      << "the installed records must serve every key without re-evaluating";
+}
+
+TEST(ServerAdminTest, OversizedSnapshotFetchAnswersTooLargeForBisect) {
+  // A tiny response ceiling forces the typed TOO_LARGE answer on the full
+  // range while a single-record range still fits — exactly the contract
+  // the rebalance orchestrator's bisect loop relies on.
+  svc::QueryEngine engine = make_engine();
+  ServerConfig config;
+  config.socket_path = unique_socket_path();
+  config.workers = 1;
+  config.snapshot_fetch_max_bytes = 256;
+  Server server(engine, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, &error)) << error;
+  const std::vector<svc::Query> batch = random_batch(644, 300);
+  std::vector<WireResult> results;
+  ASSERT_EQ(client.evaluate(batch, results).error, WireError::kOk);
+
+  bool too_large = false;
+  EXPECT_FALSE(client.snapshot_fetch(0, ~0ull, &too_large).has_value());
+  EXPECT_TRUE(too_large) << "full image above the ceiling must answer typed";
+
+  // One key's exact hash: a singleton range fits under any sane ceiling.
+  const std::uint64_t h = svc::hash_key(engine.key_of(batch.front()));
+  too_large = false;
+  const std::optional<std::vector<std::uint8_t>> one =
+      client.snapshot_fetch(h, h, &too_large);
+  EXPECT_TRUE(one.has_value()) << "singleton range must fit";
+  EXPECT_FALSE(too_large);
+
+  server.request_drain();
+  server.wait();
+  ::unlink(config.socket_path.c_str());
+}
+
+TEST(ServerAdminTest, RebalanceFrameWithoutHandlerIsBadType) {
+  Backend backend;  // plain backend: no fleet to orchestrate
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(backend.config.socket_path, &error)) << error;
+  RebalanceRequest req;
+  req.backends = {"unix:/nowhere.a", "unix:/nowhere.b"};
+  const std::optional<RebalanceReport> report = client.rebalance(req);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->code, WireError::kBadType);
+}
+
+// -------------------------------------------------------- live rebalance ---
+
+TEST(RebalanceTest, GrowTwoToThreeStreamsWarmRecordsByteIdentical) {
+  Backend s0(0, 2), s1(1, 2);  // strict 2-shard fleet
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&s0, &s1}), /*size=*/2);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+  EXPECT_EQ(pool.epoch(), 0u);
+
+  const std::vector<svc::Query> batch = random_batch(701, 1200);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  svc::BatchResults out;
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);  // warms the fleet
+  EXPECT_TRUE(out.bitwise_equal(reference));
+
+  // Grow 2 -> 3: the new member joins cold and must come out warm.
+  Backend s2;
+  RebalanceRequest req;
+  req.expect_old_count = 2;
+  req.backends = {s0.config.socket_path, s1.config.socket_path,
+                  s2.config.socket_path};
+  const RebalanceReport report = pool.rebalance(req);
+  ASSERT_TRUE(report.ok()) << wire_error_name(report.code);
+  EXPECT_GT(report.moved_ranges, 0u);
+  EXPECT_GT(report.records_streamed, 0u) << "warm records must move";
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(pool.epoch(), 1u);
+
+  // Byte-identity after the flip, with the new member serving its range
+  // from the streamed cache: >= 90% hits on the moved ranges (it should
+  // be 100% — every key was answered pre-flip).
+  const svc::EngineStats before = s2.engine.stats();
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(reference));
+  const svc::EngineStats after = s2.engine.stats();
+  const std::uint64_t moved_queries = after.queries - before.queries;
+  const std::uint64_t moved_hits = after.cache_hits - before.cache_hits;
+  ASSERT_GT(moved_queries, 0u) << "the new member took no traffic";
+  EXPECT_GE(moved_hits * 10, moved_queries * 9)
+      << moved_hits << "/" << moved_queries
+      << " hits on the moved ranges after the flip";
+
+  // Strict enforcement followed the flip: nobody answered WRONG_SHARD,
+  // and every member was re-ranged live.
+  EXPECT_EQ(s0.server->stats().wrong_shard, 0u);
+  EXPECT_EQ(s1.server->stats().wrong_shard, 0u);
+  EXPECT_EQ(s2.server->stats().wrong_shard, 0u);
+  EXPECT_GE(s0.server->stats().shard_moves, 1u);
+  EXPECT_GE(s2.server->stats().shard_moves, 1u);
+}
+
+TEST(RebalanceTest, ShrinkThreeToTwoKeepsEveryKeyWarmAndServed) {
+  Backend s0(0, 3), s1(1, 3), s2(2, 3);
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&s0, &s1, &s2}), /*size=*/2);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  const std::vector<svc::Query> batch = random_batch(719, 1000);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  svc::BatchResults out;
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+
+  // Shrink 3 -> 2: the departing member's warm range must stream to the
+  // survivors before it stops being routed to.
+  RebalanceRequest req;
+  req.expect_old_count = 3;
+  req.backends = {s0.config.socket_path, s1.config.socket_path};
+  const RebalanceReport report = pool.rebalance(req);
+  ASSERT_TRUE(report.ok()) << wire_error_name(report.code);
+  EXPECT_GT(report.records_streamed, 0u);
+  EXPECT_EQ(pool.epoch(), 1u);
+
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(reference));
+  EXPECT_EQ(s0.server->stats().wrong_shard, 0u);
+  EXPECT_EQ(s1.server->stats().wrong_shard, 0u);
+}
+
+TEST(RebalanceTest, ContinuousTrafficSeesOnlyRetryLaterTransients) {
+  Backend a0, a1;  // unsharded fleet (failover allowed)
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&a0, &a1}), /*size=*/3);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  constexpr int kThreads = 3;
+  std::vector<std::vector<svc::Query>> batches;
+  std::vector<svc::BatchResults> references(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    batches.push_back(random_batch(730 + static_cast<std::uint32_t>(t), 350));
+    engine.evaluate_serial(batches[t], references[t]);
+  }
+  svc::BatchResults warmup;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(pool.evaluate(batches[t], warmup, 0), WireError::kOk);
+  }
+
+  // Hammer the pool from all sides while the rebalance runs mid-soak.
+  // Every response is either byte-identical or the typed RETRY_LATER
+  // transient for a paused (mid-migration) range — nothing else.
+  std::atomic<bool> stop{false};
+  std::atomic<int> divergences{0};
+  std::atomic<int> hard_failures{0};
+  std::atomic<std::uint64_t> retry_transients{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      svc::BatchResults out;
+      while (!stop.load(std::memory_order_acquire)) {
+        const WireError rc = pool.evaluate(batches[t], out, 0);
+        if (rc == WireError::kOk) {
+          completed.fetch_add(1);
+          if (!out.bitwise_equal(references[t])) divergences.fetch_add(1);
+        } else if (rc == WireError::kRetryLater) {
+          retry_transients.fetch_add(1);
+        } else {
+          hard_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Backend a2;
+  RebalanceRequest req;
+  req.expect_old_count = 2;
+  req.backends = {a0.config.socket_path, a1.config.socket_path,
+                  a2.config.socket_path};
+  const RebalanceReport report = pool.rebalance(req);
+  // Let post-flip traffic soak before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_TRUE(report.ok()) << wire_error_name(report.code);
+  EXPECT_EQ(pool.epoch(), 1u);
+  EXPECT_EQ(divergences.load(), 0);
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_GT(completed.load(), 0u);
+
+  // And the fleet still answers byte-identical after the dust settles.
+  svc::BatchResults out;
+  ASSERT_EQ(pool.evaluate(batches[0], out, 0), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(references[0]));
+}
+
+TEST(RebalanceTest, ValidationFailuresAbortWithTheOldTopologyIntact) {
+  Backend s0(0, 2), s1(1, 2);
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&s0, &s1}), /*size=*/2);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  const std::vector<svc::Query> batch = random_batch(747, 600);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+
+  // Racing-admin guard: the expected old count does not match.
+  RebalanceRequest stale;
+  stale.expect_old_count = 5;
+  stale.backends = {s0.config.socket_path, s1.config.socket_path,
+                    unique_socket_path()};
+  EXPECT_EQ(pool.rebalance(stale).code, WireError::kMalformed);
+
+  // An unreachable target: refused BEFORE any live traffic is touched.
+  RebalanceRequest unreachable;
+  unreachable.expect_old_count = 2;
+  unreachable.backends = {s0.config.socket_path, s1.config.socket_path,
+                          unique_socket_path()};  // never bound
+  EXPECT_FALSE(pool.rebalance(unreachable).ok());
+
+  // An empty topology and a duplicate address: both refused.
+  RebalanceRequest empty;
+  EXPECT_EQ(pool.rebalance(empty).code, WireError::kMalformed);
+  RebalanceRequest dup;
+  dup.backends = {s0.config.socket_path, s0.config.socket_path};
+  EXPECT_EQ(pool.rebalance(dup).code, WireError::kMalformed);
+
+  // Nothing flipped, nothing paused: the old fleet serves byte-identical.
+  EXPECT_EQ(pool.epoch(), 0u);
+  svc::BatchResults out;
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(reference));
+}
+
+TEST(RebalanceTest, TargetDeathMidStreamAbortsAndOldFleetKeepsServing) {
+  Backend s0(0, 2), s1(1, 2);
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&s0, &s1}), /*size=*/2);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  // A big warm working set so the migration stream is far larger than the
+  // admission handshake.
+  const std::vector<svc::Query> batch = random_batch(761, 2500);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  svc::BatchResults out;
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+
+  // The new member sits behind a fault proxy armed to cut the connection
+  // a few KB in: admission (a stats round-trip) survives, the snapshot
+  // stream dies mid-install — exactly "target crashed during the move".
+  Backend s2;
+  test::FaultProxy::Config fault;
+  fault.target = s2.config.socket_path;
+  fault.seed = test::case_seed(0x4b1d);
+  fault.max_chunk = 4096;
+  test::FaultProxy proxy(fault);
+  ASSERT_TRUE(proxy.start(&error)) << error;
+  proxy.arm_kill_after(6000);
+
+  RebalanceRequest req;
+  req.expect_old_count = 2;
+  req.backends = {s0.config.socket_path, s1.config.socket_path,
+                  proxy.address()};
+  const RebalanceReport report = pool.rebalance(req);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.code, WireError::kDraining)
+      << wire_error_name(report.code);
+  EXPECT_EQ(proxy.kills(), 1u) << "the stream was never cut";
+
+  // Abort left the world exactly as it was: old epoch, old strict fleet,
+  // no shard reassignment on the dead target, byte-identical service.
+  EXPECT_EQ(pool.epoch(), 0u);
+  EXPECT_EQ(s2.server->stats().shard_moves, 0u);
+  ASSERT_EQ(pool.evaluate(batch, out, 0), WireError::kOk);
+  EXPECT_TRUE(out.bitwise_equal(reference));
+  proxy.stop();
+}
+
+TEST(RebalanceTest, StaleEpochRouterGetsWrongShardNeverRetried) {
+  Backend s0(0, 2), s1(1, 2);
+  svc::QueryEngine engine = make_engine();
+  Router stale(engine, config_for({&s0, &s1}));
+  std::string error;
+  ASSERT_TRUE(stale.connect(&error)) << error;
+
+  // The fleet re-ranges to a 3-way map behind the router's back (as if
+  // another front flipped an epoch this router never saw).
+  Client admin0, admin1;
+  ASSERT_TRUE(admin0.connect(s0.config.socket_path, &error)) << error;
+  ASSERT_TRUE(admin1.connect(s1.config.socket_path, &error)) << error;
+  ASSERT_TRUE(admin0.shard_assign(0, 3));
+  ASSERT_TRUE(admin1.shard_assign(1, 3));
+
+  // The stale router still scatters by the 2-way map: some sub-batch hits
+  // a key its target no longer owns.  WRONG_SHARD is a routing bug by
+  // contract — the batch fails typed, with ZERO retry rounds burned.
+  const std::vector<svc::Query> batch = random_batch(773, 800);
+  svc::BatchResults out;
+  EXPECT_EQ(stale.evaluate(batch, out), WireError::kWrongShard);
+  const RouterStats stats = stale.stats();
+  EXPECT_EQ(stats.retries, 0u) << "WRONG_SHARD must never be retried";
+  EXPECT_GT(s0.server->stats().wrong_shard + s1.server->stats().wrong_shard,
+            0u);
+}
+
+TEST(RebalanceTest, FrontServerAnswersRebalanceFramesEndToEnd) {
+  // Full frame path: client -> front Server (kRebalance) -> RouterPool
+  // orchestration -> kRebalanceDone, exactly how maia_router wires it.
+  Backend s0(0, 2), s1(1, 2);
+  svc::QueryEngine engine = make_engine();
+  RouterPool pool(engine, config_for({&s0, &s1}), /*size=*/2);
+  std::string error;
+  ASSERT_TRUE(pool.connect_all(&error)) << error;
+
+  ServerConfig front_config;
+  front_config.socket_path = unique_socket_path();
+  front_config.workers = 2;
+  front_config.evaluator = [&pool](std::span<const svc::Query> queries,
+                                   svc::BatchResults& out,
+                                   std::uint32_t deadline_ms) {
+    return pool.evaluate(queries, out, deadline_ms);
+  };
+  front_config.stats_augment = [&pool](WireStats& w) {
+    pool.augment_stats(w);
+  };
+  front_config.rebalance = [&pool](const RebalanceRequest& r) {
+    return pool.rebalance(r);
+  };
+  Server front(engine, front_config);
+  ASSERT_TRUE(front.start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(front_config.socket_path, &error)) << error;
+  const std::vector<svc::Query> batch = random_batch(787, 700);
+  svc::BatchResults reference;
+  engine.evaluate_serial(batch, reference);
+  std::vector<WireResult> results;
+  ASSERT_EQ(client.evaluate(batch, results).error, WireError::kOk);
+
+  Backend s2;
+  RebalanceRequest req;
+  req.expect_old_count = 2;
+  req.backends = {s0.config.socket_path, s1.config.socket_path,
+                  s2.config.socket_path};
+  const std::optional<RebalanceReport> report = client.rebalance(req);
+  ASSERT_TRUE(report.has_value()) << "kRebalanceDone never arrived";
+  ASSERT_TRUE(report->ok()) << wire_error_name(report->code);
+  EXPECT_GT(report->records_streamed, 0u);
+  EXPECT_EQ(report->epoch, 1u);
+
+  // Same connection, same front: traffic flows byte-identical post-flip.
+  ASSERT_EQ(client.evaluate(batch, results).error, WireError::kOk);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&results[i].value, &reference.values()[i], 8), 0)
+        << "query " << i;
+  }
+
+  front.request_drain();
+  EXPECT_EQ(front.wait(), 0);
+  ::unlink(front_config.socket_path.c_str());
 }
 
 }  // namespace
